@@ -1,0 +1,427 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§VII), plus the DESIGN.md ablations and a Bechamel
+   micro-benchmark section for the hot paths.
+
+   Usage:
+     dune exec bench/main.exe                 -- run everything (quick)
+     dune exec bench/main.exe -- fig4a fig4f  -- selected experiments
+     dune exec bench/main.exe -- --full       -- paper-length runs *)
+
+open Jury_experiments
+module Time = Jury_sim.Time
+module Table = Jury_stats.Table
+module Cdf = Jury_stats.Cdf
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let note fmt = Printf.printf ("  " ^^ fmt ^^ "\n")
+
+let print_cdf_series ~unit_label (series : Figures.cdf_series list) =
+  List.iter
+    (fun (s : Figures.cdf_series) ->
+      Printf.printf "  -- %s: n=%d  p50=%.1f%s  p95=%.1f%s\n" s.label
+        s.samples s.p50_ms unit_label s.p95_ms unit_label)
+    series;
+  let curves =
+    List.filter_map
+      (fun (s : Figures.cdf_series) ->
+        if s.samples = 0 then None else Some (s.label, s.cdf))
+      series
+  in
+  if curves <> [] then
+    print_string
+      (Jury_stats.Ascii_plot.cdf ~x_label:unit_label curves)
+
+let print_xy_series (series : Figures.xy_series list) ~x_label ~y_label =
+  let t =
+    Table.create
+      ~header:
+        (x_label
+        :: List.map
+             (fun (s : Figures.xy_series) -> s.series_label ^ " " ^ y_label)
+             series)
+  in
+  (match series with
+  | [] -> ()
+  | first :: _ ->
+      List.iteri
+        (fun i (x, _) ->
+          Table.add_row t
+            (Printf.sprintf "%.0f" x
+            :: List.map
+                 (fun (s : Figures.xy_series) ->
+                   Printf.sprintf "%.0f" (snd (List.nth s.points i)))
+                 series))
+        first.points);
+  Table.print t;
+  print_string
+    (Jury_stats.Ascii_plot.xy ~x_label ~y_label
+       (List.map (fun (s : Figures.xy_series) -> (s.series_label, s.points))
+          series))
+
+(* --- Experiment wrappers --- *)
+
+let fig4a ~full () =
+  section "Fig 4a: ONOS detection-time CDFs (k secondaries, m faulty)";
+  note "paper: p95 ~97ms (k=6,m=0), ~129ms (k=6,m=2); grows with k and m";
+  let duration = Time.sec (if full then 60 else 10) in
+  print_cdf_series ~unit_label:"ms" (Figures.fig4a ~duration ())
+
+let fig4b ~full () =
+  section "Fig 4b: ONOS detection times vs PACKET_IN rate (k=6, m=0)";
+  note "paper: detection time increases with PACKET_IN rate";
+  let duration = Time.sec (if full then 60 else 10) in
+  print_cdf_series ~unit_label:"ms" (Figures.fig4b ~duration ())
+
+let fig4c ~full () =
+  section "Fig 4c: ODL detection-time CDFs (k secondaries, m faulty)";
+  note "paper: ~500ms (k=6,m=0), ~700ms (k=6,m=2) at 500 pps";
+  let duration = Time.sec (if full then 60 else 10) in
+  print_cdf_series ~unit_label:"ms" (Figures.fig4c ~duration ())
+
+let fig4d ~full () =
+  section "Fig 4d: ONOS detection times on benign traces (k=6, m=2)";
+  note "paper: 0.35%% false positives across LBNL/UNIV/SMIA";
+  let duration = Time.sec (if full then 60 else 10) in
+  let results = Figures.fig4d ~duration () in
+  let fps =
+    List.map
+      (fun ((s : Figures.cdf_series), fp) ->
+        Printf.printf "  -- %s: n=%d p50=%.1fms p95=%.1fms FP=%.2f%%\n"
+          s.label s.samples s.p50_ms s.p95_ms (100. *. fp);
+        fp)
+      results
+  in
+  let mean_fp = List.fold_left ( +. ) 0. fps /. float_of_int (List.length fps) in
+  Printf.printf "  => overall false-positive rate: %.2f%% (paper: 0.35%%)\n"
+    (100. *. mean_fp)
+
+let detection ~full () =
+  section "Detection matrix (Sec VII-A1): every fault scenario, n=7 k=6 m=2";
+  note "paper: all faults detected in 10/10 runs within the timeout";
+  let repeats = if full then 10 else 5 in
+  let t =
+    Table.create
+      ~header:[ "scenario"; "class"; "detected"; "mean ms"; "alarm" ]
+  in
+  List.iter
+    (fun (r : Figures.detection_row) ->
+      Table.add_row t
+        [ r.scenario_name;
+          r.klass;
+          Printf.sprintf "%d/%d" r.detected r.repeats;
+          Printf.sprintf "%.1f" r.mean_ms;
+          r.expected ])
+    (Figures.detection_matrix ~repeats ());
+  Table.print t
+
+let fig4e ~full () =
+  section "Fig 4e: Cbench PACKET_IN bursts overwhelm ONOS";
+  note "paper: FLOW_MOD throughput lags the burst then collapses to ~0";
+  let duration = Time.sec (if full then 50 else 20) in
+  let rows = Figures.fig4e ~duration () in
+  let t = Table.create ~header:[ "t (s)"; "PacketIn/s"; "FlowMod/s" ] in
+  List.iteri
+    (fun i (ts, pi, fm) ->
+      if i mod 2 = 0 then
+        Table.add_row t
+          [ Printf.sprintf "%.0f" ts;
+            Printf.sprintf "%.0f" pi;
+            Printf.sprintf "%.0f" fm ])
+    rows;
+  Table.print t
+
+let fig4f ~full () =
+  section "Fig 4f: vanilla ONOS FLOW_MOD vs PACKET_IN rate, n=1/3/5/7";
+  note "paper: saturates ~5K at ~7.5K pps; n=7 within 8%% of n=1";
+  let duration = Time.sec (if full then 10 else 3) in
+  print_xy_series (Figures.fig4f ~duration ()) ~x_label:"PacketIn/s"
+    ~y_label:"FlowMod/s"
+
+let fig4g ~full () =
+  section "Fig 4g: vanilla ODL FLOW_MOD vs PACKET_IN rate, n=1/3/5/7";
+  note "paper: n=1 peaks ~800, n=7 drops to ~140 FLOW_MOD/s";
+  let duration = Time.sec (if full then 10 else 3) in
+  print_xy_series (Figures.fig4g ~duration ()) ~x_label:"PacketIn/s"
+    ~y_label:"FlowMod/s"
+
+let fig4h ~full () =
+  section "Fig 4h: JURY impact on ONOS throughput (n=7, k=2/4/6)";
+  note "paper: <11%% FLOW_MOD throughput drop at full replication";
+  let duration = Time.sec (if full then 10 else 3) in
+  let series = Figures.fig4h ~duration () in
+  print_xy_series series ~x_label:"PacketIn/s" ~y_label:"FlowMod/s";
+  match series with
+  | base :: rest when base.points <> [] ->
+      let last_of (s : Figures.xy_series) =
+        snd (List.nth s.points (List.length s.points - 1))
+      in
+      let base_rate = last_of base in
+      List.iter
+        (fun (s : Figures.xy_series) ->
+          Printf.printf "  => %s: %.1f%% drop vs vanilla\n" s.series_label
+            (100. *. (base_rate -. last_of s) /. base_rate))
+        rest
+  | _ -> ()
+
+let fig4i ~full () =
+  section "Fig 4i: ODL decapsulation overhead (n=7, k=6)";
+  note "paper: 80%% of packets under 150us across all rates";
+  let duration = Time.sec (if full then 10 else 5) in
+  let series = Figures.fig4i ~duration () in
+  List.iter
+    (fun (s : Figures.cdf_series) ->
+      let p80 =
+        if s.samples = 0 then 0. else Cdf.value_at s.cdf 0.8
+      in
+      Printf.printf "  -- %s: n=%d p50=%.1fus p80=%.1fus p95=%.1fus\n" s.label
+        s.samples s.p50_ms p80 s.p95_ms)
+    series
+
+let overhead ~full () =
+  section "Network overhead (Sec VII-B2): store vs JURY traffic";
+  note
+    "paper: ONOS@5.5Kpps Hazelcast 142 Mbps vs JURY 14.2/25.2/36.1 Mbps \
+     (k=2/4/6); ODL@500pps Infinispan 37 vs JURY 12 Mbps";
+  let duration = Time.sec (if full then 10 else 5) in
+  let t =
+    Table.create
+      ~header:
+        [ "config"; "store Mbps"; "JURY Mbps"; "chatter Mbps"; "JURY share" ]
+  in
+  List.iter
+    (fun (r : Figures.overhead_row) ->
+      Table.add_row t
+        [ r.config;
+          Printf.sprintf "%.1f" r.store_mbps;
+          Printf.sprintf "%.1f" r.jury_mbps;
+          Printf.sprintf "%.1f" r.chatter_mbps;
+          Table.cell_pct r.jury_fraction ])
+    (Figures.overhead ~duration ());
+  Table.print t
+
+let policy_scaling ~full:_ () =
+  section "Policy validation scaling (Sec VII-B2(3))";
+  note "paper: 100 -> 200us, 1K -> 1.2ms, 10K -> 11.2ms (linear)";
+  let t = Table.create ~header:[ "policies"; "validation us" ] in
+  List.iter
+    (fun (n, us) ->
+      Table.add_row t [ string_of_int n; Printf.sprintf "%.1f" us ])
+    (Figures.policy_scaling ());
+  Table.print t;
+  Printf.printf "  => PACKET_OUT pipeline peak (model): %.0f msg/s (paper: ~220K)\n"
+    (Figures.packet_out_peak ())
+
+let ablations ~full () =
+  section "Ablation: state-aware consensus vs naive majority";
+  let t =
+    Table.create ~header:[ "mode"; "decided"; "false alarms"; "unverifiable" ]
+  in
+  List.iter
+    (fun (mode, decided, faults, unver) ->
+      Table.add_row t
+        [ mode; string_of_int decided; string_of_int faults;
+          string_of_int unver ])
+    (Figures.ablation_state_aware ());
+  Table.print t;
+  section "Ablation: validation-timeout trade-off (Sec VIII-1)";
+  let t =
+    Table.create ~header:[ "timeout ms"; "FP rate"; "p95 detection ms" ]
+  in
+  List.iter
+    (fun (ms, fp, p95) ->
+      Table.add_row t
+        [ string_of_int ms;
+          Table.cell_pct fp;
+          Printf.sprintf "%.1f" p95 ])
+    (Figures.ablation_timeout ());
+  Table.print t;
+  section "Ablation: random vs static secondary selection";
+  let repeats = if full then 10 else 5 in
+  let t = Table.create ~header:[ "selection"; "detected"; "runs" ] in
+  List.iter
+    (fun (label, detected, total) ->
+      Table.add_row t [ label; string_of_int detected; string_of_int total ])
+    (Figures.ablation_secondary_selection ~repeats ());
+  Table.print t;
+  section "Extension (Sec VIII-1): adaptive validation timeout";
+  let t =
+    Table.create
+      ~header:[ "theta-tau"; "decided"; "false alarms"; "p95 ms"; "final theta ms" ]
+  in
+  List.iter
+    (fun (label, decided, faults, p95, theta) ->
+      Table.add_row t
+        [ label; string_of_int decided; string_of_int faults;
+          Printf.sprintf "%.1f" p95; Printf.sprintf "%.1f" theta ])
+    (Figures.ablation_adaptive_timeout ());
+  Table.print t;
+  section
+    "Extension (Sec VIII-2): non-deterministic (ECMP) app — the paper's \
+     admitted limitation";
+  let t =
+    Table.create
+      ~header:[ "mode"; "decided"; "false alarms"; "labelled non-det" ]
+  in
+  List.iter
+    (fun (label, decided, faults, nondet) ->
+      Table.add_row t
+        [ label; string_of_int decided; string_of_int faults;
+          string_of_int nondet ])
+    (Figures.ablation_nondeterminism ());
+  Table.print t
+
+(* --- Bechamel micro-benchmarks --- *)
+
+let micro ~full:_ () =
+  section "Micro-benchmarks (Bechamel): hot paths";
+  let open Bechamel in
+  let policy_engine =
+    Jury_policy.Engine.create
+      (List.init 1000 (fun i ->
+           Jury_policy.Ast.rule
+             ~name:(Printf.sprintf "p%d" i)
+             ~cache:Jury_store.Cache_names.flowsdb
+             ~entry:
+               (Jury_policy.Ast.Entry_glob
+                  { key = Jury_policy.Pattern.compile
+                      (Printf.sprintf "never-%d-*" i);
+                    value = Jury_policy.Pattern.compile "*" })
+             ()))
+  in
+  let query =
+    { Jury_policy.Ast.q_controller = 3;
+      q_trigger = `External;
+      q_cache = Jury_store.Cache_names.flowsdb;
+      q_op = Jury_store.Event.Create;
+      q_key = "a1b2c3d4/deadbeef";
+      q_value = String.make 160 'f';
+      q_destination = `Local }
+  in
+  let mac i = Jury_packet.Addr.Mac.of_host_index i in
+  let flow_mod =
+    Jury_openflow.Of_message.flow_mod
+      (Jury_openflow.Of_match.l2_pair ~src:(mac 1) ~dst:(mac 2))
+      [ Jury_openflow.Of_action.Output 3 ]
+  in
+  let msg =
+    Jury_openflow.Of_message.make ~xid:7
+      (Jury_openflow.Of_message.Flow_mod flow_mod)
+  in
+  let wire = Jury_openflow.Of_wire.encode msg in
+  let table = Jury_openflow.Flow_table.create () in
+  let engine_now = Jury_sim.Time.ms 1 in
+  for i = 1 to 100 do
+    ignore
+      (Jury_openflow.Flow_table.apply_flow_mod table ~now:engine_now
+         (Jury_openflow.Of_message.flow_mod ~priority:i
+            (Jury_openflow.Of_match.l2_pair ~src:(mac i) ~dst:(mac (i + 1)))
+            [ Jury_openflow.Of_action.Output 2 ]))
+  done;
+  let probe_frame =
+    Jury_packet.Frame.tcp_packet
+      ~src:(mac 50, Jury_packet.Addr.Ipv4.of_host_index 50)
+      ~dst:(mac 51, Jury_packet.Addr.Ipv4.of_host_index 51)
+      ~src_port:1234 ~dst_port:80 ()
+  in
+  let graph =
+    (Jury_topo.Builder.linear ~switches:24 ~hosts_per_switch:1)
+      .Jury_topo.Builder.graph
+  in
+  let d1 = Jury_openflow.Of_types.Dpid.of_int 1 in
+  let d24 = Jury_openflow.Of_types.Dpid.of_int 24 in
+  let tests =
+    [ Test.make ~name:"policy-check-1k"
+        (Staged.stage (fun () -> Jury_policy.Engine.check policy_engine query));
+      Test.make ~name:"of-wire-encode"
+        (Staged.stage (fun () -> Jury_openflow.Of_wire.encode msg));
+      Test.make ~name:"of-wire-decode"
+        (Staged.stage (fun () -> Jury_openflow.Of_wire.decode wire));
+      Test.make ~name:"flow-table-lookup-100"
+        (Staged.stage (fun () ->
+             Jury_openflow.Flow_table.lookup table ~now:engine_now ~in_port:1
+               probe_frame));
+      Test.make ~name:"shortest-path-linear24"
+        (Staged.stage (fun () -> Jury_topo.Graph.shortest_path graph d1 d24));
+      Test.make ~name:"frame-encode"
+        (Staged.stage (fun () -> Jury_packet.Frame.encode probe_frame)) ]
+  in
+  let grouped = Test.make_grouped ~name:"jury" tests in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Bechamel.Time.second 0.25) ()
+  in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-34s %10.1f ns/op\n" name est
+      | _ -> Printf.printf "  %-34s (no estimate)\n" name)
+    rows
+
+let all_experiments =
+  [ ("fig4a", fig4a);
+    ("fig4b", fig4b);
+    ("fig4c", fig4c);
+    ("fig4d", fig4d);
+    ("detection", detection);
+    ("fig4e", fig4e);
+    ("fig4f", fig4f);
+    ("fig4g", fig4g);
+    ("fig4h", fig4h);
+    ("fig4i", fig4i);
+    ("overhead", overhead);
+    ("policy-scaling", policy_scaling);
+    ("ablations", ablations);
+    ("micro", micro) ]
+
+let run_selected names full =
+  let to_run =
+    match names with
+    | [] -> all_experiments
+    | names ->
+        List.filter_map
+          (fun name ->
+            match List.assoc_opt name all_experiments with
+            | Some f -> Some (name, f)
+            | None ->
+                Printf.eprintf "unknown experiment %S (known: %s)\n" name
+                  (String.concat ", " (List.map fst all_experiments));
+                exit 2)
+          names
+  in
+  Printf.printf
+    "JURY reproduction benchmarks (%s mode)\n\
+     Shapes should match the paper; absolute numbers come from the \
+     calibrated simulator (see DESIGN.md / EXPERIMENTS.md).\n"
+    (if full then "full" else "quick");
+  List.iter (fun (_, f) -> f ~full ()) to_run;
+  print_newline ()
+
+open Cmdliner
+
+let names_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"
+         ~doc:"Experiments to run (default: all). Known: fig4a fig4b fig4c \
+               fig4d detection fig4e fig4f fig4g fig4h fig4i overhead \
+               policy-scaling ablations micro.")
+
+let full_arg =
+  Arg.(value & flag & info [ "full" ]
+         ~doc:"Paper-length runs (60s detection windows, 10 repeats).")
+
+let cmd =
+  let term = Term.(const (fun names full -> run_selected names full)
+                   $ names_arg $ full_arg) in
+  Cmd.v (Cmd.info "jury-bench" ~doc:"Regenerate the JURY paper's tables and figures")
+    term
+
+let () = exit (Cmd.eval cmd)

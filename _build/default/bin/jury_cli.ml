@@ -1,0 +1,215 @@
+(* jury-cli: ad-hoc front-end to the JURY reproduction.
+
+   Subcommands:
+     list                         -- list fault scenarios
+     scenario NAME [...]          -- run one fault scenario, print forensics
+     simulate [...]               -- benign run, print validation stats
+     policy FILE                  -- parse and lint a policy file (.xml or DSL)
+*)
+
+open Cmdliner
+module Time = Jury_sim.Time
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (s : Jury_faults.Scenarios.t) ->
+        Printf.printf "%-28s %s  %s\n" s.Jury_faults.Scenarios.name
+          (match s.Jury_faults.Scenarios.klass with
+          | `T1 -> "T1"
+          | `T2 -> "T2"
+          | `T3 -> "T3")
+          s.Jury_faults.Scenarios.expected_name)
+      Jury_faults.Scenarios.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the fault scenario catalog")
+    Term.(const run $ const ())
+
+(* --- scenario --- *)
+
+let nodes_arg =
+  Arg.(value & opt int 7 & info [ "n"; "nodes" ] ~doc:"Cluster size.")
+
+let k_arg =
+  Arg.(value & opt int 6 & info [ "k" ] ~doc:"Replication factor.")
+
+let faulty_arg =
+  Arg.(value & opt int 2 & info [ "faulty" ] ~doc:"Id of the faulty replica.")
+
+let seed_arg = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"RNG seed.")
+
+let switches_arg =
+  Arg.(value & opt int 24 & info [ "switches" ] ~doc:"Linear topology size.")
+
+let scenario_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
+  in
+  let run name nodes k faulty seed switches =
+    match Jury_faults.Scenarios.find name with
+    | None ->
+        Printf.eprintf "unknown scenario %S; try 'jury-cli list'\n" name;
+        exit 2
+    | Some scenario ->
+        let report =
+          Jury_faults.Runner.run ~seed ~nodes ~k ~faulty ~switches scenario
+        in
+        Format.printf "%a@." Jury_faults.Runner.pp_report report;
+        List.iter
+          (fun a -> Format.printf "  %a@." Jury.Alarm.pp a)
+          report.Jury_faults.Runner.matching_alarms;
+        if not report.Jury_faults.Runner.detected then exit 1
+  in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Inject one fault scenario and report detection")
+    Term.(const run $ name_arg $ nodes_arg $ k_arg $ faulty_arg $ seed_arg
+          $ switches_arg)
+
+(* --- simulate --- *)
+
+let simulate_cmd =
+  let profile_arg =
+    Arg.(value & opt (enum [ ("onos", `Onos); ("odl", `Odl) ]) `Onos
+         & info [ "profile" ] ~doc:"Controller flavour: onos or odl.")
+  in
+  let rate_arg =
+    Arg.(value & opt float 1000. & info [ "rate" ] ~doc:"PACKET_IN rate.")
+  in
+  let duration_arg =
+    Arg.(value & opt int 5 & info [ "duration" ] ~doc:"Seconds of workload.")
+  in
+  let run profile nodes k rate duration seed switches =
+    let profile =
+      match profile with
+      | `Onos -> Jury_controller.Profile.onos
+      | `Odl -> Jury_controller.Profile.odl
+    in
+    let engine = Jury_sim.Engine.create ~seed () in
+    let plan =
+      Jury_topo.Builder.linear ~switches ~hosts_per_switch:1
+    in
+    let network = Jury_net.Network.create engine plan () in
+    let cluster =
+      Jury_controller.Cluster.create engine ~profile ~nodes ~network ()
+    in
+    let deployment =
+      Jury.Deployment.install cluster (Jury.Deployment.config ~k ())
+    in
+    let validator = Jury.Deployment.validator deployment in
+    Jury_controller.Cluster.converge cluster;
+    List.iter Jury_net.Host.join (Jury_net.Network.hosts network);
+    Jury_sim.Engine.run engine
+      ~until:(Time.add (Jury_sim.Engine.now engine) (Time.sec 1));
+    let rng = Jury_sim.Rng.split (Jury_sim.Engine.rng engine) in
+    Jury_workload.Flows.controlled_mix network ~rng ~packet_in_rate:rate
+      ~duration:(Time.sec duration);
+    Jury_sim.Engine.run engine
+      ~until:(Time.add (Jury_sim.Engine.now engine) (Time.sec (duration + 2)));
+    let report = Jury.Report.of_validator validator in
+    print_string (Jury.Report.to_string report);
+    Printf.printf
+      "overheads: store %d bytes, jury replication %d bytes, validator %d \
+       bytes\n"
+      (Jury_store.Fabric.bytes_replicated
+         (Jury_controller.Cluster.fabric cluster))
+      (Jury.Deployment.replication_bytes deployment)
+      (Jury.Deployment.validator_bytes deployment)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run a benign workload on a JURY-enhanced cluster")
+    Term.(const run $ profile_arg $ nodes_arg $ k_arg $ rate_arg
+          $ duration_arg $ seed_arg $ switches_arg)
+
+(* --- failover --- *)
+
+let failover_cmd =
+  let run nodes k seed switches =
+    let engine = Jury_sim.Engine.create ~seed () in
+    let plan = Jury_topo.Builder.linear ~switches ~hosts_per_switch:1 in
+    let network = Jury_net.Network.create engine plan () in
+    let cluster =
+      Jury_controller.Cluster.create engine
+        ~profile:Jury_controller.Profile.onos ~nodes ~network ()
+    in
+    let deployment =
+      Jury.Deployment.install cluster (Jury.Deployment.config ~k ())
+    in
+    Jury_controller.Cluster.converge cluster;
+    List.iter Jury_net.Host.join (Jury_net.Network.hosts network);
+    Jury_sim.Engine.run engine
+      ~until:(Time.add (Jury_sim.Engine.now engine) (Time.sec 1));
+    let victim = 1 in
+    Printf.printf "crashing replica %d and failing over its switches...\n"
+      victim;
+    Jury_faults.Injector.crash cluster ~node:victim;
+    Jury_controller.Cluster.fail_over cluster ~node:victim;
+    Jury_sim.Engine.run engine
+      ~until:(Time.add (Jury_sim.Engine.now engine) (Time.sec 2));
+    Printf.printf "alive replicas: [%s]\n"
+      (String.concat ", "
+         (List.map string_of_int
+            (Jury_controller.Cluster.alive_nodes cluster)));
+    (* Push traffic through a reassigned switch to show service resumed. *)
+    let h0 = Jury_net.Network.host network 0 in
+    let h_last =
+      Jury_net.Network.host network (switches - 1)
+    in
+    Jury_net.Host.send_tcp h0 ~dst_mac:(Jury_net.Host.mac h_last)
+      ~dst_ip:(Jury_net.Host.ip h_last) ~src_port:9000 ~dst_port:80 ();
+    Jury_sim.Engine.run engine
+      ~until:(Time.add (Jury_sim.Engine.now engine) (Time.sec 2));
+    Printf.printf "traffic after failover: %s\n"
+      (if Jury_net.Host.received_count h_last > 0 then "delivered"
+       else "LOST");
+    print_string
+      (Jury.Report.to_string
+         (Jury.Report.of_validator (Jury.Deployment.validator deployment)))
+  in
+  Cmd.v
+    (Cmd.info "failover"
+       ~doc:"Crash a replica, fail its switches over, verify service")
+    Term.(const run $ nodes_arg $ k_arg $ seed_arg $ switches_arg)
+
+(* --- policy --- *)
+
+let policy_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run file =
+    let src =
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let parsed =
+      if Filename.check_suffix file ".xml" then Jury_policy.Parse.xml src
+      else Jury_policy.Parse.dsl src
+    in
+    match parsed with
+    | Error e ->
+        Printf.eprintf "parse error: %s\n" e;
+        exit 1
+    | Ok rules ->
+        Printf.printf "%d rule(s):\n" (List.length rules);
+        List.iter
+          (fun r -> Format.printf "  %a@." Jury_policy.Ast.pp_rule r)
+          rules
+  in
+  Cmd.v (Cmd.info "policy" ~doc:"Parse and lint a policy file")
+    Term.(const run $ file_arg)
+
+let () =
+  let info =
+    Cmd.info "jury-cli"
+      ~doc:"Ad-hoc driver for the JURY controller-validation reproduction"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; scenario_cmd; simulate_cmd; failover_cmd; policy_cmd ]))

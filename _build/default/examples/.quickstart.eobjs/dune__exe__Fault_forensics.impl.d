@@ -1,0 +1,1 @@
+examples/fault_forensics.ml: Format Jury Jury_faults List Printf

@@ -1,0 +1,1 @@
+examples/network_debugging.ml: Engine Format Jury Jury_controller Jury_net Jury_openflow Jury_packet Jury_sim Jury_topo Jury_workload List Printf Rng Time

@@ -1,0 +1,1 @@
+examples/policy_audit.ml: Engine Format Jury Jury_controller Jury_net Jury_openflow Jury_policy Jury_sim Jury_store Jury_topo List Printf Time

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Engine Format Jury Jury_controller Jury_faults Jury_net Jury_openflow Jury_sim Jury_store Jury_topo List Printf Time

@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Engine Jury Jury_controller Jury_net Jury_sim Jury_stats Jury_topo Jury_workload List Printf Rng Time

@@ -1,0 +1,1 @@
+lib/controller/cluster.ml: Array Controller Engine Fun Jury_net Jury_openflow Jury_sim Jury_store List Logs Of_message Of_types Of_wire Option Profile Time Types Values

@@ -1,0 +1,1 @@
+lib/controller/cluster.mli: Controller Jury_net Jury_openflow Jury_sim Jury_store Of_message Of_types Profile Types

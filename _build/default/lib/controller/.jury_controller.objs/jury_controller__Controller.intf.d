@@ -1,0 +1,1 @@
+lib/controller/controller.mli: Jury_openflow Jury_sim Jury_store Of_message Of_types Pipeline Profile Types

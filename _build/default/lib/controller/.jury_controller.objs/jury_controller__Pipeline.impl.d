@@ -1,0 +1,1 @@
+lib/controller/pipeline.ml: Engine Float Jury_sim Queue Rng Time

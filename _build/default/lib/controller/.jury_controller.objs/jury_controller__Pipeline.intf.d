@@ -1,0 +1,1 @@
+lib/controller/pipeline.mli: Jury_sim

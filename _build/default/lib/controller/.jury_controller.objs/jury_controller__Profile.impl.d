@@ -1,0 +1,1 @@
+lib/controller/profile.ml: Jury_sim Jury_store Time

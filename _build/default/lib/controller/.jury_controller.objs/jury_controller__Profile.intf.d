@@ -1,0 +1,1 @@
+lib/controller/profile.mli: Jury_sim Jury_store

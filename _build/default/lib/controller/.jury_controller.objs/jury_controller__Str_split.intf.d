@@ -1,0 +1,1 @@
+lib/controller/str_split.mli:

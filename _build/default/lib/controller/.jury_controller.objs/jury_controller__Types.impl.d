@@ -1,0 +1,1 @@
+lib/controller/types.ml: Digest Format Jury_openflow Jury_packet Jury_store List Of_match Of_message Of_types Of_wire Printf String

@@ -1,0 +1,1 @@
+lib/controller/types.mli: Format Jury_openflow Jury_store Of_match Of_message Of_types

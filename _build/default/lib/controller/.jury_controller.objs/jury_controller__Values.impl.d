@@ -1,0 +1,1 @@
+lib/controller/values.ml: Buffer Char Digest Int64 Jury_openflow Jury_packet List Of_match Of_message Of_types Of_wire Option Printf Str_split String

@@ -1,0 +1,1 @@
+lib/controller/values.mli: Jury_openflow Jury_packet Of_match Of_message Of_types

@@ -1,0 +1,223 @@
+open Jury_sim
+open Jury_openflow
+module Fabric = Jury_store.Fabric
+module Event = Jury_store.Event
+module Names = Jury_store.Cache_names
+module Network = Jury_net.Network
+module Switch = Jury_net.Switch
+
+type southbound_hook =
+  dpid:Of_types.Dpid.t ->
+  master:int ->
+  msg:Of_message.t ->
+  forward:(?taint:Types.Taint.t -> ?to_:int -> unit -> unit) ->
+  unit
+
+type northbound_hook =
+  node:int ->
+  request:Types.rest_request ->
+  forward:(?taint:Types.Taint.t -> ?to_:int -> unit -> unit) ->
+  unit
+
+type t = {
+  engine : Engine.t;
+  profile : Profile.t;
+  fabric : Fabric.t;
+  network : Network.t;
+  controllers : Controller.t array;
+  channel_latency : Time.t;
+  mutable masters : (Of_types.Dpid.t * int) list;
+  mutable failed : int list;
+  mutable southbound_hook : southbound_hook;
+  mutable northbound_hook : northbound_hook;
+  mutable southbound_bytes : int;
+}
+
+let engine t = t.engine
+let fabric t = t.fabric
+let network t = t.network
+let profile t = t.profile
+let nodes t = Array.length t.controllers
+let controllers t = t.controllers
+
+let controller t i =
+  if i < 0 || i >= nodes t then invalid_arg "Cluster.controller: bad id";
+  t.controllers.(i)
+
+let master_of t dpid =
+  match List.assoc_opt dpid t.masters with
+  | Some m -> m
+  | None -> 0
+
+let trigger_of_message dpid (msg : Of_message.t) =
+  match msg.payload with
+  | Of_message.Packet_in pi -> Some (Types.Packet_in (dpid, pi))
+  | Of_message.Port_status ps -> Some (Types.Port_status (dpid, ps))
+  | Of_message.Features_reply fr -> Some (Types.Switch_join (dpid, fr))
+  | Of_message.Flow_removed fr -> Some (Types.Flow_removed (dpid, fr))
+  | Of_message.Hello | Of_message.Echo_request _ | Of_message.Echo_reply _
+  | Of_message.Features_request | Of_message.Packet_out _
+  | Of_message.Flow_mod _ | Of_message.Barrier_request
+  | Of_message.Barrier_reply | Of_message.Stats_request _
+  | Of_message.Stats_reply _ | Of_message.Error _ ->
+      None
+
+let default_southbound ~dpid ~master ~msg
+    ~(forward : ?taint:Types.Taint.t -> ?to_:int -> unit -> unit) =
+  ignore dpid;
+  ignore master;
+  ignore msg;
+  forward ()
+
+let default_northbound ~node ~request
+    ~(forward : ?taint:Types.Taint.t -> ?to_:int -> unit -> unit) =
+  ignore node;
+  ignore request;
+  forward ()
+
+let create engine ~profile ~nodes:n ~network
+    ?(channel_latency = Time.us 150) () =
+  if n <= 0 then invalid_arg "Cluster.create: need >= 1 node";
+  let fabric =
+    Fabric.create engine ~consistency:profile.Profile.consistency ~nodes:n
+      ~profile:profile.Profile.store_profile ()
+  in
+  let controllers =
+    Array.init n (fun id -> Controller.create engine ~id ~profile ~fabric)
+  in
+  let t =
+    { engine;
+      profile;
+      fabric;
+      network;
+      controllers;
+      channel_latency;
+      masters = [];
+      failed = [];
+      southbound_hook = default_southbound;
+      northbound_hook = default_northbound;
+      southbound_bytes = 0 }
+  in
+  (* Controller → switch channels. *)
+  Array.iter
+    (fun ctrl ->
+      Controller.set_switch_tx ctrl (fun dpid msg ->
+          t.southbound_bytes <- t.southbound_bytes + Of_wire.encoded_size msg;
+          match Network.switch network dpid with
+          | sw ->
+              ignore
+                (Engine.schedule engine ~after:channel_latency (fun () ->
+                     Switch.handle_control sw msg))
+          | exception Not_found -> ()))
+    controllers;
+  (* Switch → controller channels, through the southbound hook. *)
+  List.iter
+    (fun sw ->
+      let dpid = Switch.dpid sw in
+      Switch.set_control_tx sw (fun msg ->
+          t.southbound_bytes <- t.southbound_bytes + Of_wire.encoded_size msg;
+          ignore
+            (Engine.schedule engine ~after:channel_latency (fun () ->
+                 let master = master_of t dpid in
+                 let forward ?taint ?to_ () =
+                   let target = Option.value to_ ~default:master in
+                   match trigger_of_message dpid msg with
+                   | Some trigger ->
+                       Controller.submit t.controllers.(target) ?taint trigger
+                   | None -> ()
+                 in
+                 t.southbound_hook ~dpid ~master ~msg ~forward))))
+    (Network.switches network);
+  t
+
+let assign_mastership t =
+  let switches = Network.switches t.network in
+  let n = nodes t in
+  t.masters <-
+    List.mapi (fun i sw -> (Switch.dpid sw, i mod n)) switches;
+  (* Publish mastership in the shared store (administrative
+     provisioning, attributed to node 0). *)
+  List.iter
+    (fun (dpid, m) ->
+      match
+        Fabric.write t.fabric ~node:0 ~cache:Names.masterdb Event.Create
+          ~key:(Values.Master.key dpid)
+          ~value:(Values.Master.value m)
+      with
+      | Ok _ -> ()
+      | Error e -> Logs.warn (fun f -> f "mastership write failed: %s" e))
+    t.masters
+
+let start t =
+  assign_mastership t;
+  List.iter Switch.announce (Network.switches t.network);
+  Array.iter Controller.start_discovery t.controllers
+
+let converge t =
+  start t;
+  let warmup = Time.mul t.profile.Profile.lldp_period 3 in
+  Engine.run t.engine ~until:(Time.add (Engine.now t.engine) warmup)
+
+let rest t ~node request =
+  if node < 0 || node >= nodes t then invalid_arg "Cluster.rest: bad node";
+  let forward ?taint ?to_ () =
+    let target = Option.value to_ ~default:node in
+    Controller.submit t.controllers.(target) ?taint (Types.Rest request)
+  in
+  t.northbound_hook ~node ~request ~forward
+
+let alive_nodes t =
+  List.filter (fun i -> not (List.mem i t.failed)) (List.init (nodes t) Fun.id)
+
+let fail_over t ~node =
+  if node < 0 || node >= nodes t then invalid_arg "Cluster.fail_over: bad id";
+  if not (List.mem node t.failed) then t.failed <- node :: t.failed;
+  let survivors = alive_nodes t in
+  if survivors = [] then invalid_arg "Cluster.fail_over: no survivors";
+  let surv = Array.of_list survivors in
+  let idx = ref 0 in
+  let orphaned =
+    List.filter (fun (_, m) -> m = node) t.masters |> List.map fst
+  in
+  t.masters <-
+    List.map
+      (fun (dpid, m) ->
+        if m = node then begin
+          let m' = surv.(!idx mod Array.length surv) in
+          incr idx;
+          (dpid, m')
+        end
+        else (dpid, m))
+      t.masters;
+  (* Publish the new mastership and have orphaned switches re-announce
+     to their new masters (reconnection handshake). *)
+  List.iter
+    (fun dpid ->
+      let m = master_of t dpid in
+      (match
+         Fabric.write t.fabric ~node:m ~cache:Names.masterdb Event.Update
+           ~key:(Values.Master.key dpid)
+           ~value:(Values.Master.value m)
+       with
+      | Ok _ -> ()
+      | Error e -> Logs.warn (fun f -> f "failover mastership write: %s" e));
+      match Network.switch t.network dpid with
+      | sw ->
+          ignore
+            (Engine.schedule t.engine ~after:t.channel_latency (fun () ->
+                 Switch.announce sw))
+      | exception Not_found -> ())
+    orphaned
+
+let query_flows t ~node dpid =
+  if node < 0 || node >= nodes t then invalid_arg "Cluster.query_flows: bad id";
+  Fabric.entries t.fabric ~node ~cache:Names.flowsdb
+  |> List.filter_map (fun (key, value) ->
+         match Values.Flow.dpid_of_key key with
+         | Some d when Of_types.Dpid.equal d dpid -> Values.Flow.parse value
+         | _ -> None)
+
+let set_southbound_hook t h = t.southbound_hook <- h
+let set_northbound_hook t h = t.northbound_hook <- h
+let southbound_bytes t = t.southbound_bytes
+let run_until t at = Engine.run t.engine ~until:at

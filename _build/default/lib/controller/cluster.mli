@@ -1,0 +1,87 @@
+(** An HA controller cluster wired to a data plane.
+
+    Owns the shared store fabric, the [n] controller replicas, switch
+    mastership, and the control channels. The southbound and northbound
+    paths are interposable: JURY's replicator installs hooks here to
+    intercept, taint and replicate triggers without the cluster (or the
+    controllers) knowing — mirroring the paper's OVS-based replicator
+    that "executes outside the controller binary". *)
+
+open Jury_openflow
+
+type t
+
+(** A southbound hook sees every switch→controller message before
+    delivery. [forward ?taint ?to_ ()] delivers the trigger to a
+    replica ([to_] defaults to the master) through its pipeline;
+    calling it several times replicates the trigger. Not calling it
+    drops the message. *)
+type southbound_hook =
+  dpid:Of_types.Dpid.t ->
+  master:int ->
+  msg:Of_message.t ->
+  forward:(?taint:Types.Taint.t -> ?to_:int -> unit -> unit) ->
+  unit
+
+type northbound_hook =
+  node:int ->
+  request:Types.rest_request ->
+  forward:(?taint:Types.Taint.t -> ?to_:int -> unit -> unit) ->
+  unit
+
+val create :
+  Jury_sim.Engine.t -> profile:Profile.t -> nodes:int ->
+  network:Jury_net.Network.t -> ?channel_latency:Jury_sim.Time.t -> unit -> t
+
+val engine : t -> Jury_sim.Engine.t
+val fabric : t -> Jury_store.Fabric.t
+val network : t -> Jury_net.Network.t
+val profile : t -> Profile.t
+val nodes : t -> int
+val controllers : t -> Controller.t array
+val controller : t -> int -> Controller.t
+val master_of : t -> Of_types.Dpid.t -> int
+
+val start : t -> unit
+(** Assign mastership (round-robin over switches), connect every switch
+    (HELLO + FEATURES_REPLY to its master), begin LLDP discovery on all
+    replicas. Call once; run the engine afterwards to let discovery
+    converge (a few LLDP periods). *)
+
+val converge : t -> unit
+(** {!start} plus running the engine long enough for SWITCHDB, LINKSDB
+    and mastership to stabilise (three discovery periods). *)
+
+val rest : t -> node:int -> Types.rest_request -> unit
+(** Northbound request to a specific replica (external trigger). *)
+
+val query_flows :
+  t -> node:int -> Of_types.Dpid.t -> Jury_openflow.Of_message.flow_mod list
+(** Northbound read: the flow rules the given replica's store view holds
+    for a switch. Reads have no side effects and are answered locally
+    (the REST GET path), so they bypass the trigger pipeline. *)
+
+val fail_over : t -> node:int -> unit
+(** HA failover: reassign every switch mastered by [node] to the
+    surviving replicas (round-robin), publish the new mastership in
+    MASTERDB, and have the switches re-announce to their new masters.
+    The failed replica itself is not otherwise altered — combine with
+    {!Jury_faults.Injector.crash} to silence it. *)
+
+val alive_nodes : t -> int list
+(** Replicas that still master at least one switch or have never been
+    failed over. *)
+
+val set_southbound_hook : t -> southbound_hook -> unit
+val set_northbound_hook : t -> northbound_hook -> unit
+
+val trigger_of_message :
+  Of_types.Dpid.t -> Of_message.t -> Types.trigger option
+(** Southbound message → trigger conversion (PACKET_IN, PORT_STATUS,
+    FEATURES_REPLY, FLOW_REMOVED; [None] for echo traffic etc.). *)
+
+val southbound_bytes : t -> int
+(** Cumulative OpenFlow bytes on switch↔controller channels. *)
+
+val run_until : t -> Jury_sim.Time.t -> unit
+(** Convenience: run the engine to an absolute simulated time. *)

@@ -1,0 +1,142 @@
+open Jury_sim
+
+type config = {
+  base_service : Time.t;
+  service_sigma : float;
+  extra_per_job : Time.t;
+  overload_backlog : Time.t;
+  degraded_factor : int;
+}
+
+let config ?(service_sigma = 0.25) ?(extra_per_job = Time.zero)
+    ?(overload_backlog = Time.ms 1500) ?(degraded_factor = 200) ~base_service
+    () =
+  { base_service; service_sigma; extra_per_job; overload_backlog;
+    degraded_factor }
+
+type t = {
+  engine : Engine.t;
+  mutable cfg : config;
+  rng : Rng.t;
+  queue : (unit -> unit) Queue.t;
+  mutable serving : bool;
+  mutable busy_until : Time.t;
+  mutable overloaded : bool;
+  mutable collapsed : bool;
+  mutable window_start : Time.t;
+  mutable window_drops : int;
+  mutable completed : int;
+  mutable dropped : int;
+}
+
+let create engine cfg =
+  { engine;
+    cfg;
+    rng = Rng.split (Engine.rng engine);
+    queue = Queue.create ();
+    serving = false;
+    busy_until = Time.zero;
+    overloaded = false;
+    collapsed = false;
+    window_start = Time.zero;
+    window_drops = 0;
+    completed = 0;
+    dropped = 0 }
+
+let backlog t =
+  (* Work ahead of a new arrival: the in-flight remainder plus a
+     base-service estimate per queued job (their true service times are
+     revealed at execution). *)
+  let now = Engine.now t.engine in
+  let in_flight =
+    if Time.(t.busy_until <= now) then Time.zero else Time.sub t.busy_until now
+  in
+  Time.add in_flight (Time.mul t.cfg.base_service (Queue.length t.queue))
+
+let update_overload t =
+  let b = backlog t in
+  if t.overloaded then begin
+    if Time.(b < Time.div t.cfg.overload_backlog 2) then t.overloaded <- false
+  end
+  else if Time.(b > t.cfg.overload_backlog) then t.overloaded <- true
+
+(* Steady moderate overload just sheds arrivals (TCP backpressure: the
+   switch stalls, the server plateaus at capacity). A Cbench-scale blast
+   — drop rate several times the service capacity, sustained for a full
+   window — pushes the controller into the collapsed regime the paper
+   observed (memory bloat, zero-window stalls), where service slows by
+   [degraded_factor] and throughput goes to ~0. *)
+let collapse_window = Time.sec 1
+
+let note_drop t =
+  let now = Engine.now t.engine in
+  if Time.(Time.diff now t.window_start > collapse_window) then begin
+    let per_window_capacity =
+      Float.max 1.
+        (Time.to_float_sec collapse_window
+        /. Float.max 1e-6 (Time.to_float_sec t.cfg.base_service))
+    in
+    if float_of_int t.window_drops > 5. *. per_window_capacity then
+      t.collapsed <- true
+    else if
+      t.collapsed
+      && float_of_int t.window_drops < 0.5 *. per_window_capacity
+      && not t.overloaded
+    then t.collapsed <- false;
+    t.window_start <- now;
+    t.window_drops <- 0
+  end;
+  t.window_drops <- t.window_drops + 1
+
+let sample_service t =
+  let median_us = Time.to_float_us t.cfg.base_service in
+  let mu = log (Float.max 0.001 median_us) in
+  let s =
+    Time.of_float_us (Rng.lognormal t.rng ~mu ~sigma:t.cfg.service_sigma)
+  in
+  let s = Time.add s t.cfg.extra_per_job in
+  if t.collapsed then Time.mul s t.cfg.degraded_factor else s
+
+let rec start_next t =
+  match Queue.take_opt t.queue with
+  | None -> t.serving <- false
+  | Some job ->
+      t.serving <- true;
+      let now = Engine.now t.engine in
+      let start = Time.max now t.busy_until in
+      let finish = Time.add start (sample_service t) in
+      t.busy_until <- finish;
+      ignore
+        (Engine.schedule_at t.engine ~at:finish (fun () ->
+             t.completed <- t.completed + 1;
+             (* The job may add_load (store-sync stalls); the next job
+                starts only after those are absorbed. *)
+             job ();
+             start_next t))
+
+let submit t job =
+  update_overload t;
+  if t.overloaded then begin
+    t.dropped <- t.dropped + 1;
+    note_drop t
+  end
+  else begin
+    Queue.push job t.queue;
+    if not t.serving then start_next t
+  end
+
+let add_load t cost =
+  let now = Engine.now t.engine in
+  let start = Time.max now t.busy_until in
+  t.busy_until <- Time.add start cost;
+  update_overload t
+
+let utilization_hint t =
+  let b = Time.to_float_us (backlog t) in
+  let base = Float.max 1. (Time.to_float_us t.cfg.base_service) in
+  Float.min 1000. (b /. base)
+
+let overloaded t = t.overloaded || t.collapsed
+let completed t = t.completed
+let dropped t = t.dropped
+let set_extra_per_job t extra = t.cfg <- { t.cfg with extra_per_job = extra }

@@ -1,0 +1,53 @@
+(** The controller's PACKET_IN → FLOW_MOD processing pipeline, modelled
+    as a single FIFO server with stochastic service times.
+
+    This is the component that produces every throughput shape in the
+    paper's §VII-B: saturation when the offered PACKET_IN rate exceeds
+    1/service-time (Fig. 4f/4g), queueing delay feeding detection-time
+    tails (Fig. 4a–4c), and the Cbench collapse (Fig. 4e) via the
+    overload model below.
+
+    Overload model: a real ONOS under a Cbench blast accumulates
+    backlog until TCP zero-window stalls and memory pressure make it
+    stop emitting FLOW_MODs entirely. Here, when the backlog exceeds
+    [overload_backlog] the server enters a degraded mode multiplying
+    service times by [degraded_factor] and dropping new arrivals; it
+    recovers when the backlog drains below half the threshold. *)
+
+type t
+
+type config = {
+  base_service : Jury_sim.Time.t;   (** median service time *)
+  service_sigma : float;           (** lognormal shape of service time *)
+  extra_per_job : Jury_sim.Time.t; (** deterministic per-job add-on (e.g.
+                                       the store's strong-sync cost) *)
+  overload_backlog : Jury_sim.Time.t; (** backlog that trips overload *)
+  degraded_factor : int;
+}
+
+val config :
+  ?service_sigma:float -> ?extra_per_job:Jury_sim.Time.t ->
+  ?overload_backlog:Jury_sim.Time.t -> ?degraded_factor:int ->
+  base_service:Jury_sim.Time.t -> unit -> config
+
+val create : Jury_sim.Engine.t -> config -> t
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a job; the thunk runs when the server completes it. Dropped
+    silently (counted) while overloaded. *)
+
+val add_load : t -> Jury_sim.Time.t -> unit
+(** Consume server capacity without a completion callback — remote
+    cache-event application, mastership chatter, etc. *)
+
+val backlog : t -> Jury_sim.Time.t
+(** Work currently queued ahead of a new arrival. *)
+
+val utilization_hint : t -> float
+(** Backlog expressed in multiples of the base service time, clamped to
+    [0, 1000]; feeds load-dependent response-latency models. *)
+
+val overloaded : t -> bool
+val completed : t -> int
+val dropped : t -> int
+val set_extra_per_job : t -> Jury_sim.Time.t -> unit

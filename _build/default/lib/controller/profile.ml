@@ -1,0 +1,97 @@
+open Jury_sim
+
+type forwarding_style = Reactive_exact | Reactive_src_dst | Proactive_dst
+
+type t = {
+  name : string;
+  consistency : Jury_store.Fabric.consistency;
+  store_profile : Jury_store.Fabric.latency_profile;
+  base_service : Time.t;
+  service_sigma : float;
+  flow_writes_per_packet_in : int;
+  flow_backup_sync_per_node : Time.t;
+  remote_flow_apply : Time.t;
+  remote_other_apply : Time.t;
+  packet_out_service : Time.t;
+  response_latency_base : Time.t;
+  response_jitter_median_us : float;
+  response_jitter_sigma : float;
+  lldp_period : Time.t;
+  flow_idle_timeout : int;
+  forwarding : forwarding_style;
+  ecmp : bool;
+  decapsulation_cost_median_us : float;
+}
+
+let onos =
+  { name = "onos";
+    consistency = Jury_store.Fabric.Eventual;
+    store_profile = Jury_store.Fabric.default_eventual_profile;
+    base_service = Time.us 200;
+    service_sigma = 0.3;
+    flow_writes_per_packet_in = 1;
+    flow_backup_sync_per_node = Time.us 215;
+    remote_flow_apply = Time.us 10;
+    remote_other_apply = Time.us 3;
+    packet_out_service = Time.of_float_us 4.5;
+    response_latency_base = Time.us 250;
+    response_jitter_median_us = 6_000.;
+    response_jitter_sigma = 1.0;
+    lldp_period = Time.sec 3;
+    flow_idle_timeout = 10;
+    forwarding = Reactive_exact;
+    ecmp = false;
+    decapsulation_cost_median_us = 0. }
+
+(* ONOS with an ECMP-style load-balancing forwarding app: equal-cost
+   next hops are picked at random, so replicated executions legitimately
+   diverge — the non-determinism the paper's consensus rule (SIV-C B)
+   must tolerate. *)
+let onos_ecmp = { onos with name = "onos-ecmp"; ecmp = true }
+
+let odl_strong_profile =
+  { Jury_store.Fabric.local_apply = Time.us 50;
+    replication_base = Time.us 400;
+    replication_jitter_us = 200.;
+    strong_round_base = Time.zero;
+    strong_round_per_node = Time.us 900 }
+
+let odl =
+  { name = "odl";
+    consistency = Jury_store.Fabric.Strong;
+    store_profile = odl_strong_profile;
+    base_service = Time.us 350;
+    service_sigma = 0.35;
+    flow_writes_per_packet_in = 1;
+    flow_backup_sync_per_node = Time.zero;
+    remote_flow_apply = Time.zero;
+    remote_other_apply = Time.zero;
+    packet_out_service = Time.us 9;
+    response_latency_base = Time.us 400;
+    response_jitter_median_us = 35_000.;
+    response_jitter_sigma = 0.9;
+    lldp_period = Time.sec 3;
+    flow_idle_timeout = 10;
+    forwarding = Reactive_exact;
+    ecmp = false;
+    decapsulation_cost_median_us = 95. }
+
+let odl_vanilla = { odl with name = "odl-vanilla"; forwarding = Proactive_dst }
+
+let strong_sync_cost t ~nodes =
+  match t.consistency with
+  | Jury_store.Fabric.Eventual -> Time.zero
+  | Jury_store.Fabric.Strong ->
+      Time.add t.store_profile.strong_round_base
+        (Time.mul t.store_profile.strong_round_per_node nodes)
+
+let write_sync_cost t ~nodes ~cache ~op =
+  match t.consistency with
+  | Jury_store.Fabric.Strong -> strong_sync_cost t ~nodes
+  | Jury_store.Fabric.Eventual ->
+      if
+        Jury_store.Cache_names.normalize cache
+        = Jury_store.Cache_names.flowsdb
+        && op <> Jury_store.Event.Delete
+      then Time.mul t.flow_backup_sync_per_node (max 0 (nodes - 1))
+      else Time.zero

@@ -1,0 +1,15 @@
+let split_on_substring ~sep s =
+  if sep = "" then invalid_arg "Str_split.split_on_substring: empty separator";
+  let seplen = String.length sep in
+  let slen = String.length s in
+  let rec find_from i =
+    if i + seplen > slen then None
+    else if String.sub s i seplen = sep then Some i
+    else find_from (i + 1)
+  in
+  let rec go start acc =
+    match find_from start with
+    | None -> List.rev (String.sub s start (slen - start) :: acc)
+    | Some i -> go (i + seplen) (String.sub s start (i - start) :: acc)
+  in
+  go 0 []

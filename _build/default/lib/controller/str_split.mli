@@ -1,0 +1,6 @@
+(** Tiny string utility: substring-delimited splitting (the stdlib only
+    splits on single characters). *)
+
+val split_on_substring : sep:string -> string -> string list
+(** [split_on_substring ~sep s] — like [String.split_on_char] but with a
+    multi-character separator. [sep] must be non-empty. *)

@@ -1,0 +1,145 @@
+open Jury_openflow
+module Addr = Jury_packet.Addr
+
+let hex_encode s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let hex_decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then None
+  else
+    try
+      Some
+        (String.init (n / 2) (fun i ->
+             Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2))))
+    with Failure _ -> None
+
+let dpid_to_key d = Printf.sprintf "%Lx" (Of_types.Dpid.to_int64 d)
+
+let dpid_of_key s =
+  match Int64.of_string_opt ("0x" ^ s) with
+  | Some v -> Some (Of_types.Dpid.of_int64 v)
+  | None -> None
+
+module Host = struct
+  let key mac = Addr.Mac.to_string mac
+
+  let value ~dpid ~port ~ip =
+    Printf.sprintf "%s:%d:%s" (dpid_to_key dpid) port (Addr.Ipv4.to_string ip)
+
+  let parse v =
+    match String.split_on_char ':' v with
+    | [ d; p; ip ] -> (
+        match (dpid_of_key d, int_of_string_opt p) with
+        | Some dpid, Some port -> (
+            try Some (dpid, port, Addr.Ipv4.of_string ip)
+            with Invalid_argument _ -> None)
+        | _ -> None)
+    | _ -> None
+end
+
+module Arp = struct
+  let key ip = Addr.Ipv4.to_string ip
+  let value mac = Addr.Mac.to_string mac
+
+  let parse v =
+    try Some (Addr.Mac.of_string v) with Invalid_argument _ -> None
+end
+
+module Link = struct
+  let endpoint_str (d, p) = Printf.sprintf "%s:%d" (dpid_to_key d) p
+
+  let key e1 e2 =
+    let s1 = endpoint_str e1 and s2 = endpoint_str e2 in
+    if String.compare s1 s2 <= 0 then s1 ^ "--" ^ s2 else s2 ^ "--" ^ s1
+
+  let value_up = "up"
+  let value_down = "down"
+
+  let parse_endpoint s =
+    match String.split_on_char ':' s with
+    | [ d; p ] -> (
+        match (dpid_of_key d, int_of_string_opt p) with
+        | Some dpid, Some port -> Some (dpid, port)
+        | _ -> None)
+    | _ -> None
+
+  let parse_key k =
+    match Str_split.split_on_substring ~sep:"--" k with
+    | [ a; b ] -> (
+        match (parse_endpoint a, parse_endpoint b) with
+        | Some e1, Some e2 -> Some (e1, e2)
+        | _ -> None)
+    | _ -> None
+
+  let involves k dpid port =
+    match parse_key k with
+    | None -> false
+    | Some ((d1, p1), (d2, p2)) ->
+        (Of_types.Dpid.equal d1 dpid && p1 = port)
+        || (Of_types.Dpid.equal d2 dpid && p2 = port)
+end
+
+module Flow = struct
+  let key dpid m ~priority =
+    Printf.sprintf "%s/%s" (dpid_to_key dpid)
+      (Digest.to_hex
+         (Digest.string (Of_match.to_string m ^ string_of_int priority)))
+
+  let value (fm : Of_message.flow_mod) =
+    hex_encode (Of_wire.encode (Of_message.make ~xid:0 (Of_message.Flow_mod fm)))
+
+  let parse v =
+    match hex_decode v with
+    | None -> None
+    | Some wire -> (
+        match Of_wire.decode wire with
+        | { Of_message.payload = Of_message.Flow_mod fm; _ } -> Some fm
+        | _ -> None
+        | exception _ -> None)
+
+  let dpid_of_key k =
+    match String.index_opt k '/' with
+    | None -> None
+    | Some i -> dpid_of_key (String.sub k 0 i)
+end
+
+module Switch = struct
+  let key = dpid_to_key
+
+  let value_connected ~master ~ports =
+    Printf.sprintf "connected:%d:%s" master
+      (String.concat "," (List.map string_of_int (List.sort compare ports)))
+
+  let parse v =
+    match String.split_on_char ':' v with
+    | [ "connected"; m; ports ] -> (
+        match int_of_string_opt m with
+        | None -> None
+        | Some master ->
+            let port_list =
+              if ports = "" then Some []
+              else
+                String.split_on_char ',' ports
+                |> List.map int_of_string_opt
+                |> List.fold_left
+                     (fun acc p ->
+                       match (acc, p) with
+                       | Some acc, Some p -> Some (p :: acc)
+                       | _ -> None)
+                     (Some [])
+                |> Option.map List.rev
+            in
+            Option.map (fun ps -> (master, ps)) port_list)
+    | _ -> None
+end
+
+module Master = struct
+  let key = dpid_to_key
+  let value id = string_of_int id
+  let parse = int_of_string_opt
+end
+
+let parse_dpid_key = dpid_of_key

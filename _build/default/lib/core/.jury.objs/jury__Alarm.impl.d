@@ -1,0 +1,1 @@
+lib/core/alarm.ml: Format Jury_controller Jury_sim List String

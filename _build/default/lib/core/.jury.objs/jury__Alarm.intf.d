@@ -1,0 +1,1 @@
+lib/core/alarm.mli: Format Jury_controller Jury_sim

@@ -1,0 +1,1 @@
+lib/core/audit.ml: Alarm Digest Format Jury_controller Jury_sim List Printf Queue Response String Validator

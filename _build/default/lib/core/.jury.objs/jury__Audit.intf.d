@@ -1,0 +1,1 @@
+lib/core/audit.mli: Alarm Format Jury_controller Jury_sim Response Validator

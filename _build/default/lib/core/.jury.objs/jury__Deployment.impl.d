@@ -1,0 +1,1 @@
+lib/core/deployment.ml: Array Encap Engine Float Fun Jury_controller Jury_openflow Jury_policy Jury_sim Jury_store List Response Rng Snapshot String Time Validator

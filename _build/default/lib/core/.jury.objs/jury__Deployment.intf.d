@@ -1,0 +1,1 @@
+lib/core/deployment.mli: Jury_controller Jury_policy Jury_sim Validator

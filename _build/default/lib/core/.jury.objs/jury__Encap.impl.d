@@ -1,0 +1,1 @@
+lib/core/encap.ml: Jury_openflow Jury_packet Of_message Of_types Of_wire

@@ -1,0 +1,1 @@
+lib/core/encap.mli: Jury_openflow

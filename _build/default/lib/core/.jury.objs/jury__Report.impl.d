@@ -1,0 +1,1 @@
+lib/core/report.ml: Alarm Format Hashtbl Jury_sim Jury_stats List Printf String Time Validator

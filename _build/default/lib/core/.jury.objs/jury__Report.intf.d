@@ -1,0 +1,1 @@
+lib/core/report.mli: Alarm Format Jury_sim Jury_stats Validator

@@ -1,0 +1,1 @@
+lib/core/response.ml: Format Jury_controller Jury_openflow Jury_sim Jury_store Snapshot

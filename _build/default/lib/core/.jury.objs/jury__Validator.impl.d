@@ -1,0 +1,1 @@
+lib/core/validator.ml: Alarm Array Engine Format Hashtbl Jury_controller Jury_openflow Jury_policy Jury_sim Jury_store List Option Printf Response Snapshot String Time

@@ -1,0 +1,1 @@
+lib/core/validator.mli: Alarm Jury_controller Jury_openflow Jury_policy Jury_sim Response

@@ -1,0 +1,49 @@
+module Types = Jury_controller.Types
+
+type fault =
+  | Consensus_mismatch
+  | Response_timeout
+  | Cache_without_network
+  | Network_without_cache
+  | Cache_network_mismatch
+  | Policy_violation of string
+
+type verdict =
+  | Ok_valid
+  | Ok_non_deterministic
+  | Ok_unverifiable
+  | Faulty of fault list
+
+type t = {
+  taint : Types.Taint.t;
+  trigger_at : Jury_sim.Time.t;
+  decided_at : Jury_sim.Time.t;
+  primary : int option;
+  suspects : int list;
+  verdict : verdict;
+  detail : string;
+}
+
+let detection_time t = Jury_sim.Time.sub t.decided_at t.trigger_at
+let is_fault t = match t.verdict with Faulty _ -> true | _ -> false
+
+let fault_name = function
+  | Consensus_mismatch -> "consensus-mismatch"
+  | Response_timeout -> "response-timeout"
+  | Cache_without_network -> "cache-without-network"
+  | Network_without_cache -> "network-without-cache"
+  | Cache_network_mismatch -> "cache-network-mismatch"
+  | Policy_violation rule -> "policy-violation:" ^ rule
+
+let verdict_name = function
+  | Ok_valid -> "ok"
+  | Ok_non_deterministic -> "ok-nondet"
+  | Ok_unverifiable -> "ok-unverifiable"
+  | Faulty faults -> String.concat "+" (List.map fault_name faults)
+
+let pp fmt t =
+  Format.fprintf fmt "%s tau=%a det=%a suspects=[%s]%s"
+    (verdict_name t.verdict) Types.Taint.pp t.taint Jury_sim.Time.pp
+    (detection_time t)
+    (String.concat "," (List.map string_of_int t.suspects))
+    (if t.detail = "" then "" else " " ^ t.detail)

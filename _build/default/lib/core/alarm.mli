@@ -1,0 +1,51 @@
+(** Validation verdicts and alarms.
+
+    Every validated trigger yields a {!verdict}; a non-[Ok] verdict
+    raises an alarm carrying the action attribution (§V): offending
+    controller(s), the trigger, and what went wrong. *)
+
+module Types = Jury_controller.Types
+
+type fault =
+  | Consensus_mismatch
+      (** the primary's response disagrees with the majority of
+          replicas holding an equivalent network view (T1) *)
+  | Response_timeout
+      (** the primary's response (or its cache event) never arrived
+          within the validation timeout — crash, omission, timing
+          fault, or a locked cache *)
+  | Cache_without_network
+      (** a FLOWSDB update has no matching FLOW_MOD on the wire — the
+          "ODL FLOW_MOD drops" class of T2 faults *)
+  | Network_without_cache
+      (** a FLOW_MOD was sent with no backing cache entry — a
+          misbehaving controller writing straight to the network *)
+  | Cache_network_mismatch
+      (** cache entry and wire FLOW_MOD both exist but differ — the
+          "undesirable FLOW_MOD" T2 fault *)
+  | Policy_violation of string  (** violated rule name (T3) *)
+
+type verdict =
+  | Ok_valid
+  | Ok_non_deterministic
+      (** all replica responses distinct — §IV-C B labels this
+          non-faulty *)
+  | Ok_unverifiable
+      (** no replica shared the primary's state snapshot; under
+          state-aware consensus this is excused rather than flagged *)
+  | Faulty of fault list
+
+type t = {
+  taint : Types.Taint.t;
+  trigger_at : Jury_sim.Time.t;
+  decided_at : Jury_sim.Time.t;
+  primary : int option;
+  suspects : int list;
+  verdict : verdict;
+  detail : string;
+}
+
+val detection_time : t -> Jury_sim.Time.t
+val is_fault : t -> bool
+val fault_name : fault -> string
+val pp : Format.formatter -> t -> unit

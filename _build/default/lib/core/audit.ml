@@ -1,0 +1,102 @@
+module Types = Jury_controller.Types
+
+type kind = Evidence of Response.t | Verdict of Alarm.t
+
+type entry = {
+  seq : int;
+  at : Jury_sim.Time.t;
+  kind : kind;
+  chain : string;
+}
+
+type t = {
+  capacity : int;
+  buffer : entry Queue.t;
+  mutable next_seq : int;
+  mutable evicted : int;
+  mutable last_chain : string;
+}
+
+let create ?(capacity = 100_000) () =
+  if capacity <= 0 then invalid_arg "Audit.create: capacity must be positive";
+  { capacity;
+    buffer = Queue.create ();
+    next_seq = 0;
+    evicted = 0;
+    last_chain = Digest.to_hex (Digest.string "jury-audit-genesis") }
+
+let kind_digest = function
+  | Evidence r -> Format.asprintf "%a" Response.pp r
+  | Verdict a -> Format.asprintf "%a" Alarm.pp a
+
+let push t at kind =
+  if Queue.length t.buffer >= t.capacity then begin
+    ignore (Queue.pop t.buffer);
+    t.evicted <- t.evicted + 1
+  end;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let chain =
+    Digest.to_hex
+      (Digest.string
+         (Printf.sprintf "%s|%d|%d|%s" t.last_chain seq
+            (Jury_sim.Time.to_ns at) (kind_digest kind)))
+  in
+  t.last_chain <- chain;
+  Queue.push { seq; at; kind; chain } t.buffer
+
+let record_response t at r = push t at (Evidence r)
+let record_verdict t (a : Alarm.t) = push t a.Alarm.decided_at (Verdict a)
+
+let attach t validator =
+  Validator.on_response validator (fun r ->
+      record_response t r.Response.sent_at r);
+  Validator.on_verdict validator (fun a -> record_verdict t a)
+
+let entries t = List.of_seq (Queue.to_seq t.buffer)
+let length t = Queue.length t.buffer
+let evicted t = t.evicted
+
+let verify_chain t =
+  match entries t with
+  | [] -> true
+  | first :: _ as all ->
+      (* We can only re-derive links for which we know the predecessor;
+         verify the relative chain starting from the first retained
+         entry's stored hash. *)
+      let rec go prev_chain = function
+        | [] -> true
+        | e :: rest ->
+            let expect =
+              Digest.to_hex
+                (Digest.string
+                   (Printf.sprintf "%s|%d|%d|%s" prev_chain e.seq
+                      (Jury_sim.Time.to_ns e.at)
+                      (kind_digest e.kind)))
+            in
+            String.equal expect e.chain && go e.chain rest
+      in
+      (match all with
+      | _ :: rest -> go first.chain rest
+      | [] -> true)
+
+let for_taint t taint =
+  List.filter
+    (fun e ->
+      match e.kind with
+      | Evidence r -> Types.Taint.equal r.Response.taint taint
+      | Verdict a -> Types.Taint.equal a.Alarm.taint taint)
+    (entries t)
+
+let by_controller t id =
+  List.filter
+    (fun e ->
+      match e.kind with
+      | Evidence r -> r.Response.controller = id
+      | Verdict a -> List.mem id a.Alarm.suspects)
+    (entries t)
+
+let pp_entry fmt e =
+  Format.fprintf fmt "#%d %a %s %s" e.seq Jury_sim.Time.pp e.at
+    (String.sub e.chain 0 8)
+    (kind_digest e.kind)

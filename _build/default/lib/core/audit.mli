@@ -1,0 +1,55 @@
+(** Tamper-evident audit trail of validation evidence.
+
+    JURY's lineage includes PeerReview and accountable virtual machines
+    (§IX): systems that keep enough evidence to show {e why} a node was
+    flagged. The validator decides and forgets; this log retains every
+    response and verdict, hash-chained in arrival order, and answers the
+    administrator's follow-up questions — what did controller 3 report
+    for trigger τ, and what did everyone else say?
+
+    Attach with {!attach} before running a workload; entries are
+    bounded by [capacity] (oldest evicted, eviction breaks the chain's
+    verifiability only for evicted prefixes). *)
+
+type kind =
+  | Evidence of Response.t
+  | Verdict of Alarm.t
+
+type entry = {
+  seq : int;
+  at : Jury_sim.Time.t;
+  kind : kind;
+  chain : string;
+      (** hex digest over (previous chain, this entry) — any retroactive
+          edit breaks every later link *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to 100_000 entries. *)
+
+val attach : t -> Validator.t -> unit
+(** Record every delivered response and every verdict of the validator.
+    (Installs itself alongside existing handlers — the validator's
+    verdict handler is chained, not replaced.) *)
+
+val record_response : t -> Jury_sim.Time.t -> Response.t -> unit
+val record_verdict : t -> Alarm.t -> unit
+
+val entries : t -> entry list
+(** Oldest retained first. *)
+
+val length : t -> int
+val evicted : t -> int
+
+val verify_chain : t -> bool
+(** Recompute the hash chain over retained entries. *)
+
+val for_taint : t -> Jury_controller.Types.Taint.t -> entry list
+(** All evidence and the verdict for one trigger. *)
+
+val by_controller : t -> int -> entry list
+(** Evidence reported by (or verdicts suspecting) one controller. *)
+
+val pp_entry : Format.formatter -> entry -> unit

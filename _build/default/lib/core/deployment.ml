@@ -1,0 +1,336 @@
+open Jury_sim
+module Types = Jury_controller.Types
+module Cluster = Jury_controller.Cluster
+module Controller = Jury_controller.Controller
+module Pipeline = Jury_controller.Pipeline
+module Fabric = Jury_store.Fabric
+module Event = Jury_store.Event
+module Of_message = Jury_openflow.Of_message
+module Of_wire = Jury_openflow.Of_wire
+
+type config = {
+  k : int;
+  timeout : Time.t;
+  adaptive_timeout : bool;
+  state_aware : bool;
+  nondet_rule : bool;
+  random_secondaries : bool;
+  policies : Jury_policy.Engine.t;
+  validator_latency : Time.t;
+  validator_jitter_us : float;
+  replication_latency : Time.t;
+  chatter_cost : Time.t;
+  chatter_bytes : int;
+  encapsulation : bool;
+}
+
+let config ?timeout ?(adaptive_timeout = false) ?(state_aware = true)
+    ?(nondet_rule = true) ?(random_secondaries = true)
+    ?(policies = Jury_policy.Engine.create []) ?(encapsulation = false) ~k () =
+  let timeout =
+    match timeout with
+    | Some t -> t
+    | None -> if encapsulation then Time.ms 800 else Time.ms 150
+  in
+  { k;
+    timeout;
+    adaptive_timeout;
+    state_aware;
+    nondet_rule;
+    random_secondaries;
+    policies;
+    validator_latency = Time.us 120;
+    validator_jitter_us = 60.;
+    replication_latency = Time.us 200;
+    chatter_cost = Time.us 13;
+    chatter_bytes = 96;
+    encapsulation }
+
+type node_module = {
+  mutable snapshot : Snapshot.t;
+  shadow : Pipeline.t;
+}
+
+type t = {
+  cluster : Cluster.t;
+  cfg : config;
+  engine : Engine.t;
+  validator : Validator.t;
+  rng : Rng.t;
+  nodes : node_module array;
+  mutable serial : int;
+  mutable raw_serial : int;
+  mutable replication_bytes : int;
+  mutable validator_bytes : int;
+  mutable chatter_bytes_total : int;
+  mutable replicated_triggers : int;
+  mutable decap_samples : float list;
+}
+
+let validator t = t.validator
+let cluster t = t.cluster
+let cfg t = t.cfg
+
+let ack_peers t origin =
+  let n = Cluster.nodes t.cluster in
+  let k = min t.cfg.k (n - 1) in
+  List.init k (fun i -> (origin + i + 1) mod n)
+
+(* Bytes a response adds to JURY's own out-of-band traffic. Cache
+   updates cost nothing here: the validator hosts a cache instance and
+   sees them through the data platform's own replication ("the k+1
+   cache updates ... require no explicit propagation", SIV-C) — those
+   bytes are part of the store's accounting. Responses carry compact
+   digests, not full payloads. *)
+let response_wire_size (r : Response.t) =
+  32
+  +
+  match r.body with
+  | Response.Execution { actions; _ } -> 16 + (20 * List.length actions)
+  | Response.Cache_update _ -> 0
+  | Response.Network_write _ -> 56
+  | Response.Write_failure { reason; _ } -> String.length reason
+
+let send_to_validator t ~delay (r : Response.t) =
+  t.validator_bytes <- t.validator_bytes + response_wire_size r;
+  ignore
+    (Engine.schedule t.engine ~after:delay (fun () ->
+         Validator.deliver t.validator r))
+
+let validator_link_delay t =
+  Time.add t.cfg.validator_latency
+    (Time.of_float_us (Rng.exponential t.rng t.cfg.validator_jitter_us))
+
+let make_response t ~node ~taint body =
+  { Response.controller = node;
+    taint;
+    snapshot = t.nodes.(node).snapshot;
+    sent_at = Engine.now t.engine;
+    body }
+
+(* --- Per-node controller module: cache hooks + egress interception --- *)
+
+let install_node_module t node =
+  let ctrl = Cluster.controller t.cluster node in
+  (* Cache manager hook: maintain the node snapshot, relay local writes
+     and ack the peers we are responsible for. *)
+  Fabric.subscribe (Cluster.fabric t.cluster) ~node (fun ~local ev ->
+      t.nodes.(node).snapshot <- Snapshot.observe t.nodes.(node).snapshot ev;
+      let relay =
+        if local then ev.Event.origin = node
+        else List.mem node (ack_peers t ev.Event.origin)
+      in
+      match (relay, ev.Event.taint) with
+      | true, Some taint_str -> (
+          match Types.Taint.of_string taint_str with
+          | Some taint ->
+              send_to_validator t ~delay:(validator_link_delay t)
+                (make_response t ~node ~taint (Response.Cache_update ev))
+          | None -> ())
+      | _ -> ());
+  (* Controller module: executions, egress interception, write
+     failures. *)
+  Controller.set_observer ctrl
+    { Controller.on_response =
+        (fun taint trigger actions ->
+          ignore trigger;
+          match taint with
+          | None -> ()
+          | Some taint ->
+              let is_mine =
+                match Types.Taint.primary_of taint with
+                | Some p -> p = node
+                | None -> true (* internal: the origin reports *)
+              in
+              if is_mine then
+                match Controller.sample_response_fate ctrl with
+                | `Omit -> ()
+                | `Respond latency ->
+                    send_to_validator t ~delay:latency
+                      (make_response t ~node ~taint
+                         (Response.Execution { role = `Primary; actions })));
+      on_applied =
+        (fun taint action ->
+          match action with
+          | Types.Network_send { dpid; payload = Of_message.Flow_mod flow } ->
+              (* OVS-level egress interception: reliable, fixed-latency
+                 relay regardless of controller health. A FLOW_MOD with
+                 no taint means the controller bypassed its processing
+                 pipeline entirely (§II-A.3: network side effect without
+                 a cache write is itself suspect) — the interceptor
+                 mints a taint so the validator gets its own record. *)
+              let taint =
+                match taint with
+                | Some taint -> taint
+                | None ->
+                    t.raw_serial <- t.raw_serial + 1;
+                    Types.Taint.internal_trigger ~origin:node
+                      ~seq:(1_000_000 + t.raw_serial)
+              in
+              send_to_validator t ~delay:(validator_link_delay t)
+                (make_response t ~node ~taint
+                   (Response.Network_write { dpid; flow }))
+          | _ -> ());
+      on_write_failed =
+        (fun taint action reason ->
+          match taint with
+          | None -> ()
+          | Some taint ->
+              send_to_validator t ~delay:(validator_link_delay t)
+                (make_response t ~node ~taint
+                   (Response.Write_failure { action; reason }))) }
+
+(* --- Replicated execution at a secondary --- *)
+
+let run_shadow t ~secondary ~primary ~taint trigger =
+  let ctrl = Cluster.controller t.cluster secondary in
+  Pipeline.submit t.nodes.(secondary).shadow (fun () ->
+      (* Mastership-status chatter from the secondary loads the
+         primary's pipeline (the <11% of Fig. 4h). *)
+      Pipeline.add_load
+        (Controller.pipeline (Cluster.controller t.cluster primary))
+        t.cfg.chatter_cost;
+      t.chatter_bytes_total <- t.chatter_bytes_total + t.cfg.chatter_bytes;
+      let actions = Controller.shadow_execute ctrl ~as_id:primary trigger in
+      match Controller.sample_response_fate ctrl with
+      | `Omit -> ()
+      | `Respond latency ->
+          send_to_validator t ~delay:latency
+            (make_response t ~node:secondary ~taint
+               (Response.Execution { role = `Secondary; actions })))
+
+let pick_secondaries t ~primary =
+  let n = Cluster.nodes t.cluster in
+  let k = min t.cfg.k (n - 1) in
+  if t.cfg.random_secondaries then
+    let others = List.filter (fun i -> i <> primary) (List.init n Fun.id) in
+    Rng.sample_without_replacement t.rng k others
+  else ack_peers t primary
+
+let replicate_trigger t ~primary ~taint ~wire_size
+    ~(decap : bool) trigger =
+  let secondaries = pick_secondaries t ~primary in
+  Validator.register_external t.validator ~taint ~at:(Engine.now t.engine)
+    ~primary ~secondaries;
+  t.replicated_triggers <- t.replicated_triggers + 1;
+  List.iter
+    (fun secondary ->
+      t.replication_bytes <- t.replication_bytes + wire_size;
+      let delay =
+        Time.add t.cfg.replication_latency
+          (Time.of_float_us (Rng.exponential t.rng 80.))
+      in
+      ignore
+        (Engine.schedule t.engine ~after:delay (fun () ->
+             if decap then begin
+               (* Strip the doubly-encapsulated PACKET_IN (Fig. 4i). *)
+               let ctrl = Cluster.controller t.cluster secondary in
+               let profile = Controller.profile ctrl in
+               let cost_us =
+                 Rng.lognormal t.rng
+                   ~mu:
+                     (log
+                        (Float.max 1.
+                           profile
+                             .Jury_controller.Profile
+                              .decapsulation_cost_median_us))
+                   ~sigma:0.45
+               in
+               t.decap_samples <- cost_us :: t.decap_samples;
+               ignore
+                 (Engine.schedule t.engine ~after:(Time.of_float_us cost_us)
+                    (fun () -> run_shadow t ~secondary ~primary ~taint trigger))
+             end
+             else run_shadow t ~secondary ~primary ~taint trigger)))
+    secondaries
+
+let mint_taint t ~primary =
+  t.serial <- t.serial + 1;
+  Types.Taint.external_trigger ~primary ~serial:t.serial
+
+(* --- Install --- *)
+
+let install cluster cfg =
+  let engine = Cluster.engine cluster in
+  let n = Cluster.nodes cluster in
+  let profile = Cluster.profile cluster in
+  let validator_cfg =
+    Validator.config ~state_aware:cfg.state_aware ~nondet_rule:cfg.nondet_rule
+      ~adaptive_timeout:cfg.adaptive_timeout ~policies:cfg.policies
+      ~master_lookup:(fun dpid -> Some (Cluster.master_of cluster dpid))
+      ~k:cfg.k ~timeout:cfg.timeout ()
+  in
+  let t =
+    { cluster;
+      cfg;
+      engine;
+      validator = Validator.create engine validator_cfg;
+      rng = Rng.split (Engine.rng engine);
+      nodes =
+        Array.init n (fun _ ->
+            { snapshot = Snapshot.pristine;
+              shadow =
+                (* Replicated execution runs on the controller's spare
+                   cores (the paper's servers have 12); modelled as a
+                   4-way-parallel validation pool, i.e. a single server
+                   at a quarter of the pipeline's service time. *)
+                Pipeline.create engine
+                  (Pipeline.config
+                     ~service_sigma:profile.Jury_controller.Profile.service_sigma
+                     ~base_service:
+                       (Time.div
+                          profile.Jury_controller.Profile.base_service 4)
+                     ~overload_backlog:(Time.sec 10) ()) });
+      serial = 0;
+      raw_serial = 0;
+      replication_bytes = 0;
+      validator_bytes = 0;
+      chatter_bytes_total = 0;
+      replicated_triggers = 0;
+      decap_samples = [] }
+  in
+  (* ack_peers_of closes over t, so rebuild the validator config now
+     that t exists. *)
+  let validator =
+    Validator.create engine
+      { validator_cfg with Validator.ack_peers_of = (fun o -> ack_peers t o) }
+  in
+  let t = { t with validator } in
+  for node = 0 to n - 1 do
+    install_node_module t node
+  done;
+  (* The replicator: southbound interception. *)
+  Cluster.set_southbound_hook cluster (fun ~dpid ~master ~msg ~forward ->
+      match Cluster.trigger_of_message dpid msg with
+      | None -> forward ()
+      | Some trigger ->
+          let taint = mint_taint t ~primary:master in
+          forward ~taint ();
+          let wire_size =
+            Of_wire.encoded_size msg
+            + (if cfg.encapsulation then Encap.overhead_bytes msg else 0)
+          in
+          replicate_trigger t ~primary:master ~taint ~wire_size
+            ~decap:cfg.encapsulation trigger);
+  (* Northbound interception. *)
+  Cluster.set_northbound_hook cluster (fun ~node ~request ~forward ->
+      let taint = mint_taint t ~primary:node in
+      forward ~taint ();
+      let trigger = Types.Rest request in
+      (* REST requests are small; 256 bytes covers headers + body. *)
+      replicate_trigger t ~primary:node ~taint ~wire_size:256 ~decap:false
+        trigger);
+  t
+
+let replication_bytes t = t.replication_bytes
+let validator_bytes t = t.validator_bytes
+let chatter_bytes t = t.chatter_bytes_total
+let decap_samples_us t = Array.of_list (List.rev t.decap_samples)
+let replicated_trigger_count t = t.replicated_triggers
+
+let reset_accounting t =
+  t.replication_bytes <- 0;
+  t.validator_bytes <- 0;
+  t.chatter_bytes_total <- 0;
+  t.replicated_triggers <- 0;
+  t.decap_samples <- []

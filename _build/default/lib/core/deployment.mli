@@ -1,0 +1,75 @@
+(** JURY deployment: attach the replicator, per-node controller
+    modules, and the out-of-band validator to a running cluster.
+
+    Installing a deployment interposes on the cluster's southbound and
+    northbound paths (the replicator, §IV-A), hooks every node's cache
+    manager and network egress (the controller module, §VI-C), gives
+    each node a shadow-execution pipeline for replicated triggers (the
+    paper runs these on the controllers' spare cores, off the FLOW_MOD
+    pipeline), and stands up the validator on an out-of-band link. *)
+
+module Types = Jury_controller.Types
+module Cluster = Jury_controller.Cluster
+
+type config = {
+  k : int;                            (** replication factor *)
+  timeout : Jury_sim.Time.t;          (** validation timeout θτ *)
+  adaptive_timeout : bool;            (** §VIII-1: RTO-style adaptive θτ *)
+  state_aware : bool;
+  nondet_rule : bool;
+  random_secondaries : bool;
+      (** sample k fresh secondaries per trigger (paper default) vs the
+          primary's static peer set (ablation) *)
+  policies : Jury_policy.Engine.t;
+  validator_latency : Jury_sim.Time.t;      (** out-of-band link, one way *)
+  validator_jitter_us : float;
+  replication_latency : Jury_sim.Time.t;    (** OVS → secondary *)
+  chatter_cost : Jury_sim.Time.t;
+      (** pipeline time the primary pays per replicated trigger for the
+          secondaries' mastership-status chatter (Hazelcast, §VII-B2) *)
+  chatter_bytes : int;
+  encapsulation : bool;               (** ODL-style OVS replication *)
+}
+
+val config :
+  ?timeout:Jury_sim.Time.t -> ?adaptive_timeout:bool -> ?state_aware:bool ->
+  ?nondet_rule:bool -> ?random_secondaries:bool ->
+  ?policies:Jury_policy.Engine.t -> ?encapsulation:bool -> k:int -> unit ->
+  config
+(** Defaults: timeout 150 ms, state-aware consensus and the
+    non-determinism rule on, random secondaries, no policies, no
+    encapsulation (ONOS mode). The ODL profile flips [encapsulation]
+    and widens the default timeout to 800 ms (set [timeout]
+    explicitly to override). *)
+
+type t
+
+val install : Cluster.t -> config -> t
+(** Interpose on the cluster. Install before {!Cluster.start} so that
+    bootstrap triggers are validated too, or after for workload-only
+    validation. *)
+
+val validator : t -> Validator.t
+val cluster : t -> Cluster.t
+val cfg : t -> config
+
+val ack_peers : t -> int -> int list
+(** Static peer set whose cache acks the validator expects for a given
+    origin. *)
+
+(** {1 Overhead accounting} *)
+
+val replication_bytes : t -> int
+(** Bytes of replicated triggers sent to secondaries. *)
+
+val validator_bytes : t -> int
+(** Bytes of responses relayed to the validator. *)
+
+val chatter_bytes : t -> int
+(** Mastership-status chatter from secondaries to primaries. *)
+
+val decap_samples_us : t -> float array
+(** Per-replica decapsulation costs measured so far (Fig. 4i). *)
+
+val replicated_trigger_count : t -> int
+val reset_accounting : t -> unit

@@ -1,0 +1,32 @@
+open Jury_openflow
+module Frame = Jury_packet.Frame
+module Addr = Jury_packet.Addr
+
+let ethertype = 0x9999
+
+let encapsulate (msg : Of_message.t) : Of_message.packet_in =
+  let wire = Of_wire.encode msg in
+  { buffer_id = None;
+    in_port = Of_types.Port.local;
+    reason = Of_message.No_match;
+    frame =
+      { dl_src = Addr.Mac.of_host_index 0xEEEE;
+        dl_dst = Addr.Mac.of_host_index 0xEEEF;
+        vlan = None;
+        payload = Frame.Raw (ethertype, wire) } }
+
+let decapsulate (pi : Of_message.packet_in) =
+  match pi.frame.Frame.payload with
+  | Frame.Raw (ty, wire) when ty = ethertype -> (
+      match Of_wire.decode wire with
+      | msg -> Some msg
+      | exception _ -> None)
+  | _ -> None
+
+let overhead_bytes msg =
+  let inner = Of_wire.encoded_size msg in
+  let outer =
+    Of_wire.encoded_size
+      (Of_message.make ~xid:0 (Of_message.Packet_in (encapsulate msg)))
+  in
+  outer - inner

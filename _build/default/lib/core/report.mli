@@ -1,0 +1,42 @@
+(** Administrator-facing alarm reports.
+
+    The paper (§V): "In event of an alarm, JURY extracts information
+    about the offending controller, trigger and the associated response,
+    and presents it to the administrator for further action." This
+    module is that presentation layer: it aggregates a validator's
+    verdicts into per-controller and per-fault-kind summaries and
+    renders them. Used by `jury_cli` and the examples. *)
+
+type suspect_row = {
+  controller : int;
+  alarm_count : int;
+  fault_kinds : (string * int) list;  (** kind → occurrences, desc. *)
+  first_at : Jury_sim.Time.t;
+  last_at : Jury_sim.Time.t;
+}
+
+type t = {
+  decided : int;
+  ok : int;
+  non_deterministic : int;
+  unverifiable : int;
+  faulty : int;
+  suspects : suspect_row list;  (** most-implicated first *)
+  detection : Jury_stats.Summary.t option;
+      (** over all verdicts; [None] if nothing was decided *)
+}
+
+val of_validator : Validator.t -> t
+
+val of_alarms : decided:int -> unverifiable:int -> Alarm.t list -> t
+(** Build from a pre-filtered alarm list (e.g. one experiment window).
+    [decided] is the total verdict count the alarms were drawn from. *)
+
+val healthy : t -> bool
+(** No faulty verdicts at all. *)
+
+val most_suspect : t -> int option
+(** The controller implicated most often, if any. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,20 @@
+(** Succinct per-controller state snapshots.
+
+    Each JURY controller module keeps a running snapshot of the cache
+    events its node has observed, and attaches it to every message sent
+    to the validator. Equality of snapshots is the validator's test for
+    "replicas with equivalent network view" (§IV-C A). The digest is an
+    order-insensitive XOR of event fingerprints, because eventually-
+    consistent stores apply the same events in different orders at
+    different nodes. *)
+
+type t
+
+val pristine : t
+(** The snapshot of a node that has observed nothing. *)
+
+val observe : t -> Jury_store.Event.t -> t
+val count : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

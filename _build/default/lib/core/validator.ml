@@ -1,0 +1,706 @@
+open Jury_sim
+module Types = Jury_controller.Types
+module Values = Jury_controller.Values
+module Event = Jury_store.Event
+module Names = Jury_store.Cache_names
+module Of_message = Jury_openflow.Of_message
+module Of_match = Jury_openflow.Of_match
+module Of_action = Jury_openflow.Of_action
+module Dpid = Jury_openflow.Of_types.Dpid
+
+type config = {
+  k : int;
+  timeout : Time.t;
+  adaptive_timeout : bool;
+  min_timeout : Time.t;
+  state_aware : bool;
+  nondet_rule : bool;
+  policies : Jury_policy.Engine.t;
+  master_lookup : Dpid.t -> int option;
+  ack_peers_of : int -> int list;
+}
+
+let config ?(state_aware = true) ?(nondet_rule = true)
+    ?(adaptive_timeout = false) ?(min_timeout = Time.ms 10)
+    ?(policies = Jury_policy.Engine.create []) ?(master_lookup = fun _ -> None)
+    ?(ack_peers_of = fun _ -> []) ~k ~timeout () =
+  { k; timeout; adaptive_timeout; min_timeout; state_aware; nondet_rule;
+    policies; master_lookup; ack_peers_of }
+
+type pending = {
+  taint : Types.Taint.t;
+  mutable trigger_at : Time.t;
+  mutable primary : int option;
+  mutable secondaries : int list;
+  mutable responses : Response.t list;  (* newest first *)
+  mutable timer : Engine.handle option;
+  mutable decided : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  cfg : config;
+  pending : (string, pending) Hashtbl.t;
+  flow_mirror : (string, Of_message.flow_mod) Hashtbl.t;
+      (* validator-side FLOWSDB state, built from every cache update it
+         has seen; lets the sanity check accept a re-sent FLOW_MOD whose
+         cache entry predates this trigger *)
+  mutable verdicts : Alarm.t list;  (* newest first *)
+  mutable alarm_handler : Alarm.t -> unit;
+  mutable verdict_handler : Alarm.t -> unit;
+  mutable response_observers : (Response.t -> unit) list;
+  mutable verdict_observers : (Alarm.t -> unit) list;
+  mutable decided_count : int;
+  mutable fault_count : int;
+  mutable unverifiable_count : int;
+  (* Adaptive validation timeout (the paper's SVIII-1 extension): track
+     recent completion latencies RTO-style and size theta-tau as
+     srtt + 4*rttvar, clamped to [min_timeout, timeout]. *)
+  mutable srtt_ms : float;
+  mutable rttvar_ms : float;
+  mutable rtt_samples : int;
+}
+
+let create engine cfg =
+  { engine;
+    cfg;
+    pending = Hashtbl.create 256;
+    flow_mirror = Hashtbl.create 256;
+    verdicts = [];
+    alarm_handler = (fun _ -> ());
+    verdict_handler = (fun _ -> ());
+    response_observers = [];
+    verdict_observers = [];
+    decided_count = 0;
+    fault_count = 0;
+    unverifiable_count = 0;
+    srtt_ms = Time.to_float_ms cfg.timeout /. 4.;
+    rttvar_ms = Time.to_float_ms cfg.timeout /. 8.;
+    rtt_samples = 0 }
+
+let current_timeout t =
+  if t.cfg.adaptive_timeout && t.rtt_samples >= 20 then begin
+    (* Wider than TCP's classic 4x: completion latencies are heavy-
+       tailed (lognormal), so the estimator keeps extra headroom. *)
+    let rto = t.srtt_ms +. (8. *. t.rttvar_ms) in
+    Time.max t.cfg.min_timeout
+      (Time.min t.cfg.timeout (Time.of_float_ms rto))
+  end
+  else t.cfg.timeout
+
+let observe_completion_latency t latency =
+  let ms = Time.to_float_ms latency in
+  if t.rtt_samples = 0 then begin
+    t.srtt_ms <- ms;
+    t.rttvar_ms <- ms /. 2.
+  end
+  else begin
+    t.rttvar_ms <- (0.75 *. t.rttvar_ms) +. (0.25 *. abs_float (t.srtt_ms -. ms));
+    t.srtt_ms <- (0.875 *. t.srtt_ms) +. (0.125 *. ms)
+  end;
+  t.rtt_samples <- t.rtt_samples + 1
+
+let set_alarm_handler t f = t.alarm_handler <- f
+let set_verdict_handler t f = t.verdict_handler <- f
+let on_response t f = t.response_observers <- t.response_observers @ [ f ]
+let on_verdict t f = t.verdict_observers <- t.verdict_observers @ [ f ]
+
+(* --- Response-set inspection helpers --- *)
+
+let primary_execution p =
+  match p.primary with
+  | None -> None
+  | Some primary ->
+      List.find_map
+        (fun (r : Response.t) ->
+          match r.body with
+          | Response.Execution { role = `Primary; actions }
+            when r.controller = primary ->
+              Some (r, actions)
+          | _ -> None)
+        (List.rev p.responses)
+
+let secondary_executions p =
+  List.filter_map
+    (fun (r : Response.t) ->
+      match r.body with
+      | Response.Execution { role = `Secondary; actions } -> Some (r, actions)
+      | _ -> None)
+    (List.rev p.responses)
+
+(* Cache events deduplicated by (origin, seq); keeps the first report. *)
+let distinct_cache_events p =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (r : Response.t) ->
+      match r.body with
+      | Response.Cache_update ev ->
+          let key = (ev.Event.origin, ev.Event.seq) in
+          if Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.add seen key ();
+            Some ev
+          end
+      | _ -> None)
+    (List.rev p.responses)
+
+let ack_count p (ev : Event.t) =
+  List.length
+    (List.filter
+       (fun (r : Response.t) ->
+         match r.body with
+         | Response.Cache_update e ->
+             e.Event.origin = ev.Event.origin
+             && e.Event.seq = ev.Event.seq
+             && r.controller <> ev.Event.origin
+         | _ -> false)
+       p.responses)
+
+let network_writes p =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (r : Response.t) ->
+      match r.body with
+      | Response.Network_write { dpid; flow } ->
+          let key = (dpid, Values.Flow.value flow) in
+          if Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.add seen key ();
+            Some (r.controller, dpid, flow)
+          end
+      | _ -> None)
+    (List.rev p.responses)
+
+let write_failures p =
+  List.filter_map
+    (fun (r : Response.t) ->
+      match r.body with
+      | Response.Write_failure { action; reason } ->
+          Some (r.controller, action, reason)
+      | _ -> None)
+    (List.rev p.responses)
+
+(* --- Completeness: can we decide before the timer? --- *)
+
+let flow_mod_sends actions =
+  List.filter_map
+    (fun (a : Types.action) ->
+      match a with
+      | Types.Network_send { dpid; payload = Of_message.Flow_mod fm } ->
+          Some (dpid, fm)
+      | _ -> None)
+    actions
+
+let cache_writes actions =
+  List.filter_map
+    (fun (a : Types.action) ->
+      match a with
+      | Types.Cache_write { cache; op; key; value } ->
+          Some (cache, op, key, value)
+      | Types.Network_send _ -> None)
+    actions
+
+let complete t p =
+  match primary_execution p with
+  | None -> false
+  | Some (prim_r, actions) ->
+      let primary = prim_r.Response.controller in
+      List.length (secondary_executions p) >= List.length p.secondaries
+      && (let writes = cache_writes actions in
+          let events = distinct_cache_events p in
+          let peers = List.length (t.cfg.ack_peers_of primary) in
+          List.for_all
+            (fun (cache, _, key, _) ->
+              match
+                List.find_opt
+                  (fun (ev : Event.t) ->
+                    ev.Event.cache = Names.normalize cache
+                    && ev.Event.key = key && ev.Event.origin = primary)
+                  events
+              with
+              | None -> false
+              | Some ev -> ack_count p ev >= peers)
+            writes)
+      &&
+      let sends = flow_mod_sends actions in
+      let nets = network_writes p in
+      List.for_all
+        (fun (dpid, (fm : Of_message.flow_mod)) ->
+          List.exists
+            (fun (_, d, (f : Of_message.flow_mod)) ->
+              Dpid.equal d dpid
+              && Of_match.equal f.fm_match fm.fm_match
+              && f.priority = fm.priority && f.command = fm.command)
+            nets)
+        sends
+
+(* --- Consensus --- *)
+
+let normalize_flow (fm : Of_message.flow_mod) =
+  { fm with Of_message.fm_buffer_id = None }
+
+let action_consensus_fingerprint (a : Types.action) =
+  (* Buffer ids differ between primary and shadow executions (only the
+     primary's switch allocated one), so they are erased before
+     comparison; likewise FLOWSDB values re-encode with the buffer
+     cleared. *)
+  match a with
+  | Types.Network_send { dpid; payload = Of_message.Flow_mod fm } ->
+      Types.action_fingerprint
+        (Types.Network_send
+           { dpid; payload = Of_message.Flow_mod (normalize_flow fm) })
+  | Types.Network_send { dpid; payload = Of_message.Packet_out po } ->
+      Types.action_fingerprint
+        (Types.Network_send
+           { dpid;
+             payload = Of_message.Packet_out { po with po_buffer_id = None } })
+  | Types.Cache_write { cache; op; key; value } when cache = Names.flowsdb -> (
+      match Values.Flow.parse value with
+      | Some fm ->
+          Types.action_fingerprint
+            (Types.Cache_write
+               { cache; op; key;
+                 value = Values.Flow.value (normalize_flow fm) })
+      | None -> Types.action_fingerprint a)
+  | _ -> Types.action_fingerprint a
+
+let response_fingerprint actions =
+  actions
+  |> List.map action_consensus_fingerprint
+  |> List.sort String.compare
+  |> String.concat "\n"
+
+let majority_fingerprint fps =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun fp ->
+      match Hashtbl.find_opt tbl fp with
+      | Some r -> incr r
+      | None -> Hashtbl.add tbl fp (ref 1))
+    fps;
+  Hashtbl.fold
+    (fun fp r best ->
+      match best with
+      | Some (_, n) when n >= !r -> best
+      | _ -> Some (fp, !r))
+    tbl None
+
+type consensus_result =
+  | Agrees
+  | Disagrees of int list  (* dissenting controllers *)
+  | Non_deterministic
+  | Unverifiable
+
+let run_consensus t p (prim_r : Response.t) prim_actions =
+  let secondaries = secondary_executions p in
+  if secondaries = [] then
+    if p.secondaries = [] then Agrees (* nothing was replicated *)
+    else Unverifiable
+  else begin
+    let prim_fp = response_fingerprint prim_actions in
+    let comparable =
+      if t.cfg.state_aware then
+        List.filter
+          (fun ((r : Response.t), _) ->
+            Snapshot.equal r.snapshot prim_r.Response.snapshot)
+          secondaries
+      else secondaries
+    in
+    match comparable with
+    | [] -> Unverifiable
+    | _ -> (
+        let fps =
+          List.map (fun (_, actions) -> response_fingerprint actions) comparable
+        in
+        let all = prim_fp :: fps in
+        let distinct = List.sort_uniq String.compare all in
+        if
+          t.cfg.nondet_rule
+          && List.length all >= 3
+          && List.length distinct = List.length all
+        then Non_deterministic
+        else
+          match majority_fingerprint all with
+          | None -> Unverifiable
+          | Some (winner, n) ->
+              if 2 * n <= List.length all then Unverifiable
+              else if String.equal winner prim_fp then begin
+                (* Primary agrees; flag dissenting secondaries. *)
+                let dissenters =
+                  List.filter_map
+                    (fun ((r : Response.t), actions) ->
+                      if String.equal (response_fingerprint actions) winner
+                      then None
+                      else Some r.controller)
+                    comparable
+                in
+                if dissenters = [] then Agrees else Disagrees dissenters
+              end
+              else
+                Disagrees
+                  (match p.primary with Some id -> [ id ] | None -> []))
+  end
+
+(* --- Sanity check: cache vs network consistency for flow rules --- *)
+
+let flows_equal (a : Of_message.flow_mod) (b : Of_message.flow_mod) =
+  let a = normalize_flow a and b = normalize_flow b in
+  Of_match.equal a.fm_match b.fm_match
+  && a.priority = b.priority
+  && Of_action.equal_list a.actions b.actions
+  && a.command = b.command
+
+let run_sanity ~mirror p ~origin =
+  let events = distinct_cache_events p in
+  let cache_flows =
+    List.filter_map
+      (fun (ev : Event.t) ->
+        if
+          ev.Event.cache = Names.flowsdb
+          && ev.Event.origin = origin
+          && (ev.Event.op = Event.Create || ev.Event.op = Event.Update)
+        then
+          match
+            (Values.Flow.dpid_of_key ev.Event.key,
+             Values.Flow.parse ev.Event.value)
+          with
+          | Some dpid, Some fm -> Some (dpid, fm)
+          | _ -> None
+        else None)
+      events
+  in
+  let nets =
+    List.filter
+      (fun (_, _, (fm : Of_message.flow_mod)) ->
+        fm.command = Of_message.Add || fm.command = Of_message.Modify
+        || fm.command = Of_message.Modify_strict)
+      (network_writes p)
+  in
+  let faults = ref [] in
+  let add f detail = faults := (f, detail) :: !faults in
+  List.iter
+    (fun (dpid, cfm) ->
+      let same_switch =
+        List.filter (fun (_, d, _) -> Dpid.equal d dpid) nets
+      in
+      let same_match =
+        List.filter
+          (fun (_, _, (nfm : Of_message.flow_mod)) ->
+            Of_match.equal nfm.fm_match cfm.Of_message.fm_match
+            && nfm.priority = cfm.Of_message.priority)
+          same_switch
+      in
+      match same_match with
+      | [] ->
+          add Alarm.Cache_without_network
+            (Format.asprintf "no FLOW_MOD on wire for cache entry %a@%a"
+               Of_match.pp cfm.Of_message.fm_match Dpid.pp dpid)
+      | writes ->
+          if
+            not
+              (List.exists (fun (_, _, nfm) -> flows_equal nfm cfm) writes)
+          then
+            add Alarm.Cache_network_mismatch
+              (Format.asprintf "cache and wire disagree for %a@%a"
+                 Of_match.pp cfm.Of_message.fm_match Dpid.pp dpid))
+    cache_flows;
+  List.iter
+    (fun (sender, dpid, (nfm : Of_message.flow_mod)) ->
+      ignore sender;
+      let in_trigger =
+        List.exists
+          (fun (d, cfm) ->
+            Dpid.equal d dpid
+            && Of_match.equal cfm.Of_message.fm_match nfm.fm_match
+            && cfm.Of_message.priority = nfm.priority)
+          cache_flows
+      in
+      let in_mirror () =
+        (* A FLOW_MOD re-sent for a rule the store already holds (e.g. a
+           reinstall after a switch-side timeout race) is consistent if
+           it matches the mirrored entry. *)
+        let key = Values.Flow.key dpid nfm.fm_match ~priority:nfm.priority in
+        match Hashtbl.find_opt mirror key with
+        | Some cfm -> flows_equal cfm nfm
+        | None -> false
+      in
+      if not (in_trigger || in_mirror ()) then
+        add Alarm.Network_without_cache
+          (Format.asprintf "FLOW_MOD %a@%a has no cache backing" Of_match.pp
+             nfm.fm_match Dpid.pp dpid))
+    nets;
+  !faults
+
+(* --- Policy check --- *)
+
+let run_policy t p ~origin ~external_ actions =
+  let queries =
+    List.filter_map
+      (fun (a : Types.action) ->
+        match a with
+        | Types.Cache_write { cache; op; key; value } ->
+            let destination =
+              if cache = Names.normalize Names.flowsdb then
+                match Values.Flow.dpid_of_key key with
+                | Some dpid ->
+                    if t.cfg.master_lookup dpid = Some origin then `Local
+                    else `Remote
+                | None -> `Local
+              else `Local
+            in
+            Some
+              { Jury_policy.Ast.q_controller = origin;
+                q_trigger = (if external_ then `External else `Internal);
+                q_cache = Names.normalize cache;
+                q_op = op;
+                q_key = key;
+                q_value = value;
+                q_destination = destination }
+        | Types.Network_send _ -> None)
+      actions
+  in
+  ignore p;
+  Jury_policy.Engine.check_all t.cfg.policies queries
+  |> List.map (fun (r : Jury_policy.Ast.rule) ->
+         (Alarm.Policy_violation r.Jury_policy.Ast.name,
+          Format.asprintf "%a" Jury_policy.Ast.pp_rule r))
+
+(* --- Decision --- *)
+
+let finish t p (verdict : Alarm.verdict) ~suspects ~detail =
+  p.decided <- true;
+  (match p.timer with Some h -> Engine.cancel h | None -> ());
+  Hashtbl.remove t.pending (Types.Taint.to_string p.taint);
+  let alarm =
+    { Alarm.taint = p.taint;
+      trigger_at = p.trigger_at;
+      decided_at = Engine.now t.engine;
+      primary = p.primary;
+      suspects = List.sort_uniq compare suspects;
+      verdict;
+      detail }
+  in
+  t.verdicts <- alarm :: t.verdicts;
+  t.decided_count <- t.decided_count + 1;
+  (match verdict with
+  | Alarm.Faulty _ ->
+      t.fault_count <- t.fault_count + 1;
+      t.alarm_handler alarm
+  | Alarm.Ok_unverifiable -> t.unverifiable_count <- t.unverifiable_count + 1
+  | Alarm.Ok_valid | Alarm.Ok_non_deterministic -> ());
+  t.verdict_handler alarm;
+  List.iter (fun f -> f alarm) t.verdict_observers
+
+let evaluate t p ~timed_out =
+  if not p.decided then begin
+    let external_ = Types.Taint.is_external p.taint in
+    let failures = write_failures p in
+    match primary_execution p with
+    | None ->
+        if timed_out then begin
+          (* No execution record at all. If the trigger consists of
+             intercepted FLOW_MODs with no cache backing, the sender
+             bypassed its cache — a misbehaving controller (§II-A.3).
+             Otherwise it is a plain response omission. *)
+          let stray =
+            List.filter
+              (fun (_, dpid, (nfm : Of_message.flow_mod)) ->
+                let key =
+                  Values.Flow.key dpid nfm.fm_match ~priority:nfm.priority
+                in
+                match Hashtbl.find_opt t.flow_mirror key with
+                | Some cfm -> not (flows_equal cfm nfm)
+                | None -> true)
+              (network_writes p)
+          in
+          if stray <> [] then
+            finish t p
+              (Alarm.Faulty [ Alarm.Network_without_cache ])
+              ~suspects:(List.map (fun (sender, _, _) -> sender) stray)
+              ~detail:"FLOW_MOD on the wire with no cache backing and no                        response"
+          else
+            finish t p
+              (Alarm.Faulty [ Alarm.Response_timeout ])
+              ~suspects:(Option.to_list p.primary)
+              ~detail:"no primary response before validation timeout"
+        end
+        else () (* keep waiting *)
+    | Some (prim_r, prim_actions) ->
+        let origin = prim_r.Response.controller in
+        let faults = ref [] in
+        let suspects = ref [] in
+        let details = ref [] in
+        (* Write failures are response omissions in the making: the
+           controller planned a cache write the store refused. *)
+        List.iter
+          (fun (ctrl, _, reason) ->
+            faults := Alarm.Response_timeout :: !faults;
+            suspects := ctrl :: !suspects;
+            details := ("cache write failed: " ^ reason) :: !details)
+          failures;
+        (* Timed-out evaluation with missing externalisation: the plan
+           says a write should exist; did its cache event arrive? *)
+        if timed_out && failures = [] then begin
+          let events = distinct_cache_events p in
+          List.iter
+            (fun (cache, _, key, _) ->
+              if
+                not
+                  (List.exists
+                     (fun (ev : Event.t) ->
+                       ev.Event.cache = Names.normalize cache
+                       && ev.Event.key = key && ev.Event.origin = origin)
+                     events)
+              then begin
+                faults := Alarm.Response_timeout :: !faults;
+                suspects := origin :: !suspects;
+                details :=
+                  Printf.sprintf "cache update %s/%s never observed"
+                    cache key
+                  :: !details
+              end)
+            (cache_writes prim_actions)
+        end;
+        (* CONSENSUS *)
+        let nondet = ref false in
+        let unverifiable = ref false in
+        (if external_ then
+           match run_consensus t p prim_r prim_actions with
+           | Agrees -> ()
+           | Non_deterministic -> nondet := true
+           | Unverifiable -> unverifiable := true
+           | Disagrees dissenters ->
+               faults := Alarm.Consensus_mismatch :: !faults;
+               suspects := dissenters @ !suspects;
+               details :=
+                 Printf.sprintf "consensus dissent by [%s]"
+                   (String.concat ","
+                      (List.map string_of_int dissenters))
+                 :: !details);
+        (* SANITY *)
+        List.iter
+          (fun (f, d) ->
+            faults := f :: !faults;
+            suspects := origin :: !suspects;
+            details := d :: !details)
+          (run_sanity ~mirror:t.flow_mirror p ~origin);
+        (* POLICY *)
+        List.iter
+          (fun (f, d) ->
+            faults := f :: !faults;
+            suspects := origin :: !suspects;
+            details := d :: !details)
+          (run_policy t p ~origin ~external_ prim_actions);
+        let detail = String.concat "; " (List.rev !details) in
+        if !faults <> [] then
+          finish t p
+            (Alarm.Faulty (List.sort_uniq compare !faults))
+            ~suspects:!suspects ~detail
+        else if !nondet then
+          finish t p Alarm.Ok_non_deterministic ~suspects:[] ~detail
+        else if !unverifiable then
+          finish t p Alarm.Ok_unverifiable ~suspects:[] ~detail
+        else finish t p Alarm.Ok_valid ~suspects:[] ~detail
+  end
+
+let arm_timer t p =
+  if p.timer = None then
+    p.timer <-
+      Some
+        (Engine.schedule t.engine ~after:(current_timeout t) (fun () ->
+             evaluate t p ~timed_out:true))
+
+let get_pending t taint =
+  let key = Types.Taint.to_string taint in
+  match Hashtbl.find_opt t.pending key with
+  | Some p -> Some p
+  | None ->
+      if Types.Taint.is_external taint then None
+        (* external triggers must be registered by the replicator; a
+           stray tainted response after decision is dropped *)
+      else begin
+        let p =
+          { taint;
+            trigger_at = Engine.now t.engine;
+            primary = None;
+            secondaries = [];
+            responses = [];
+            timer = None;
+            decided = false }
+        in
+        Hashtbl.add t.pending key p;
+        Some p
+      end
+
+let register_external t ~taint ~at ~primary ~secondaries =
+  let key = Types.Taint.to_string taint in
+  if not (Hashtbl.mem t.pending key) then begin
+    let p =
+      { taint;
+        trigger_at = at;
+        primary = Some primary;
+        secondaries;
+        responses = [];
+        timer = None;
+        decided = false }
+    in
+    Hashtbl.add t.pending key p;
+    arm_timer t p
+  end
+
+let update_flow_mirror t (r : Response.t) =
+  match r.body with
+  | Response.Cache_update ev when ev.Event.cache = Names.flowsdb -> (
+      match ev.Event.op with
+      | Event.Delete -> Hashtbl.remove t.flow_mirror ev.Event.key
+      | Event.Create | Event.Update -> (
+          match Values.Flow.parse ev.Event.value with
+          | Some fm -> Hashtbl.replace t.flow_mirror ev.Event.key fm
+          | None -> ()))
+  | _ -> ()
+
+let deliver t (r : Response.t) =
+  List.iter (fun f -> f r) t.response_observers;
+  update_flow_mirror t r;
+  match get_pending t r.taint with
+  | None -> ()
+  | Some p ->
+      if not p.decided then begin
+        (if p.primary = None then
+           match Types.Taint.primary_of r.taint with
+           | Some id -> p.primary <- Some id
+           | None -> (
+               (* Internal trigger: the origin is the primary actor. *)
+               match r.body with
+               | Response.Cache_update ev -> p.primary <- Some ev.Event.origin
+               | Response.Execution { role = `Primary; _ }
+               | Response.Write_failure _ ->
+                   p.primary <- Some r.controller
+               | _ -> ()));
+        p.responses <- r :: p.responses;
+        arm_timer t p;
+        if complete t p then begin
+          observe_completion_latency t
+            (Time.sub (Engine.now t.engine) p.trigger_at);
+          evaluate t p ~timed_out:false
+        end
+      end
+
+let verdicts t = List.rev t.verdicts
+let alarms t = List.filter Alarm.is_fault (verdicts t)
+
+let detection_times_ms t =
+  verdicts t
+  |> List.map (fun a -> Time.to_float_ms (Alarm.detection_time a))
+  |> Array.of_list
+
+let decided_count t = t.decided_count
+let fault_count t = t.fault_count
+let pending_count t = Hashtbl.length t.pending
+let unverifiable_count t = t.unverifiable_count
+
+let flush t =
+  let ps = Hashtbl.fold (fun _ p acc -> p :: acc) t.pending [] in
+  List.iter (fun p -> evaluate t p ~timed_out:true) ps
+
+let current_timeout_value = current_timeout

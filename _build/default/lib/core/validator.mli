@@ -1,0 +1,100 @@
+(** The out-of-band validator — Algorithm 1 of the paper.
+
+    Receives the response stream from every JURY controller module and
+    replicator, groups responses by trigger taint τ, and decides each
+    trigger's verdict when its response set is complete or its
+    validation timer θτ expires:
+
+    + {b CONSENSUS}: the primary's planned response must match the
+      majority of replicated executions among secondaries whose state
+      snapshot equals the primary's (state-aware consensus, §IV-C A).
+      All-distinct responses are labelled non-deterministic and pass
+      (§IV-C B).
+    + {b SANITY_CHECK}: FLOWSDB cache updates and intercepted FLOW_MOD
+      network writes must correspond one-to-one (T2 detection).
+    + {b POLICY_CHECK}: the primary's response is evaluated against the
+      administrator's policy rules (T3 detection).
+
+    A missing primary response at timer expiry is a response-omission /
+    timing fault attributed to the primary (§IV-C C). *)
+
+module Types = Jury_controller.Types
+
+type config = {
+  k : int;                     (** replication factor *)
+  timeout : Jury_sim.Time.t;   (** validation timeout θτ (the maximum,
+                                   when adaptive) *)
+  adaptive_timeout : bool;
+      (** size θτ from recent completion latencies, RTO-style
+          (srtt + 4·rttvar) — the §VIII-1 extension the paper leaves to
+          future work *)
+  min_timeout : Jury_sim.Time.t;
+  state_aware : bool;
+      (** restrict consensus to equal-snapshot replicas; [false] gives
+          the naive-majority ablation *)
+  nondet_rule : bool;
+      (** all-distinct ⇒ non-faulty; [false] for ablation *)
+  policies : Jury_policy.Engine.t;
+  master_lookup : Jury_openflow.Of_types.Dpid.t -> int option;
+      (** for the policy engine's local/remote destination attribute *)
+  ack_peers_of : int -> int list;
+      (** the static peers whose cache-event acks the validator expects
+          for writes originating at a given node *)
+}
+
+val config :
+  ?state_aware:bool -> ?nondet_rule:bool -> ?adaptive_timeout:bool ->
+  ?min_timeout:Jury_sim.Time.t ->
+  ?policies:Jury_policy.Engine.t ->
+  ?master_lookup:(Jury_openflow.Of_types.Dpid.t -> int option) ->
+  ?ack_peers_of:(int -> int list) -> k:int -> timeout:Jury_sim.Time.t ->
+  unit -> config
+
+type t
+
+val create : Jury_sim.Engine.t -> config -> t
+
+val register_external :
+  t -> taint:Types.Taint.t -> at:Jury_sim.Time.t -> primary:int ->
+  secondaries:int list -> unit
+(** The replicator announces an intercepted external trigger: which
+    replica is primary and which secondaries received the replica. The
+    validation timer starts here. *)
+
+val deliver : t -> Response.t -> unit
+(** A response arrives on the out-of-band channel. *)
+
+val set_alarm_handler : t -> (Alarm.t -> unit) -> unit
+(** Called for every {e faulty} verdict, at decision time. *)
+
+val set_verdict_handler : t -> (Alarm.t -> unit) -> unit
+(** Called for every verdict, faulty or not. *)
+
+val on_response : t -> (Response.t -> unit) -> unit
+(** Append an observer invoked for every delivered response (audit
+    trail, metrics); observers never affect validation. *)
+
+val on_verdict : t -> (Alarm.t -> unit) -> unit
+(** Append a verdict observer (in addition to the handlers above). *)
+
+(** {1 Results} *)
+
+val verdicts : t -> Alarm.t list
+(** All decided verdicts, oldest first. *)
+
+val alarms : t -> Alarm.t list
+(** Only the faulty ones. *)
+
+val detection_times_ms : t -> float array
+(** Detection time (trigger → decision) of every decided trigger, ms. *)
+
+val decided_count : t -> int
+val fault_count : t -> int
+val pending_count : t -> int
+val unverifiable_count : t -> int
+
+val flush : t -> unit
+(** Force-decide everything still pending (end of an experiment). *)
+
+val current_timeout_value : t -> Jury_sim.Time.t
+(** The θτ a trigger registered now would get (adaptive or fixed). *)

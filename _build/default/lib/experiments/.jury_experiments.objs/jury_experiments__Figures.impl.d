@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Engine Jury Jury_controller Jury_faults Jury_openflow Jury_policy Jury_sim Jury_stats Jury_store Jury_topo Jury_workload List Option Printf Setup String Sys Time

@@ -1,0 +1,1 @@
+lib/experiments/figures.mli: Jury_sim Jury_stats

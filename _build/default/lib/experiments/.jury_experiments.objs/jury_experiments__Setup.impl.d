@@ -1,0 +1,1 @@
+lib/experiments/setup.ml: Array Engine Jury Jury_controller Jury_net Jury_sim Jury_topo List Option Rng Time

@@ -1,0 +1,1 @@
+lib/experiments/setup.mli: Jury Jury_controller Jury_net Jury_sim Jury_topo

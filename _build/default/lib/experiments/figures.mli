@@ -1,0 +1,142 @@
+(** One function per table/figure of the paper's evaluation (§VII).
+
+    Every function builds its own environment(s), drives the workload,
+    and returns the series the paper plots. Durations default to a few
+    simulated seconds so the whole suite runs in minutes; pass
+    [~duration] to reproduce the paper's full 60 s runs. *)
+
+module Cdf = Jury_stats.Cdf
+
+type cdf_series = {
+  label : string;
+  cdf : Cdf.t;
+  samples : int;
+  p50_ms : float;
+  p95_ms : float;
+}
+
+type xy_series = { series_label : string; points : (float * float) list }
+
+type detection_row = {
+  scenario_name : string;
+  klass : string;
+  detected : int;
+  repeats : int;
+  mean_ms : float;  (** mean detection time over detected runs *)
+  expected : string;
+}
+
+(** {1 Accuracy (§VII-A)} *)
+
+val detection_run_exposed :
+  seed:int -> k:int -> m:int -> rate:float -> duration:Jury_sim.Time.t ->
+  float array
+(** One ONOS detection-time run (used by tests and profiling). *)
+
+val fig4a :
+  ?seed:int -> ?duration:Jury_sim.Time.t -> ?rate:float -> unit ->
+  cdf_series list
+(** ONOS detection-time CDFs for (k=2,m=0), (4,0), (6,0), (6,2). *)
+
+val fig4b :
+  ?seed:int -> ?duration:Jury_sim.Time.t -> ?rates:float list -> unit ->
+  cdf_series list
+(** ONOS detection CDFs at 500 / 3000 / 5500 PACKET_IN/s, k=6, m=0. *)
+
+val fig4c :
+  ?seed:int -> ?duration:Jury_sim.Time.t -> ?rate:float -> unit ->
+  cdf_series list
+(** ODL detection CDFs, same (k, m) grid as Fig. 4a, 500 pps. *)
+
+val fig4d :
+  ?seed:int -> ?duration:Jury_sim.Time.t -> unit ->
+  (cdf_series * float) list
+(** Benign-trace detection CDFs (LBNL/UNIV/SMIA) with k=6, m=2, and the
+    per-trace false-positive rate. *)
+
+val detection_matrix :
+  ?seed:int -> ?repeats:int -> unit -> detection_row list
+(** §VII-A1: every fault scenario injected [repeats] times (paper: 10),
+    n=7, k=6, m=2. *)
+
+(** {1 Performance (§VII-B)} *)
+
+val fig4e :
+  ?seed:int -> ?duration:Jury_sim.Time.t -> unit ->
+  (float * float * float) list
+(** Cbench blast vs one ONOS node: (time s, PACKET_IN/s, FLOW_MOD/s)
+    per window. *)
+
+val fig4f :
+  ?seed:int -> ?duration:Jury_sim.Time.t -> ?rates:float list ->
+  ?nodes_list:int list -> unit -> xy_series list
+(** Vanilla ONOS FLOW_MOD vs PACKET_IN rate for n = 1/3/5/7. *)
+
+val fig4g :
+  ?seed:int -> ?duration:Jury_sim.Time.t -> ?rates:float list ->
+  ?nodes_list:int list -> unit -> xy_series list
+(** Vanilla ODL, same sweep at ODL-scale rates. *)
+
+val fig4h :
+  ?seed:int -> ?duration:Jury_sim.Time.t -> ?rates:float list -> unit ->
+  xy_series list
+(** ONOS n=7: vanilla vs JURY k=2/4/6. *)
+
+val fig4i :
+  ?seed:int -> ?duration:Jury_sim.Time.t -> ?rates:float list -> unit ->
+  cdf_series list
+(** ODL decapsulation-cost CDFs (µs) at 100–500 pps, n=7, k=6. *)
+
+type overhead_row = {
+  config : string;
+  store_mbps : float;      (** inter-controller store replication *)
+  jury_mbps : float;       (** replicated triggers + validator traffic *)
+  chatter_mbps : float;    (** secondary→primary mastership chatter *)
+  jury_fraction : float;   (** jury bytes / total bytes *)
+}
+
+val overhead :
+  ?seed:int -> ?duration:Jury_sim.Time.t -> unit -> overhead_row list
+(** §VII-B2(1): byte accounting for ONOS at 5.5 K pps (k = 2/4/6) and
+    ODL at 500 pps (k = 6). *)
+
+val policy_scaling : ?iterations:int -> ?sizes:int list -> unit ->
+  (int * float) list
+(** §VII-B2(3): mean policy-validation time (µs) vs policy-set size. *)
+
+val packet_out_peak : unit -> float
+(** Modelled PACKET_OUT saturation rate for one ONOS node (§VII-B1
+    reports ≈220 K/s vs ≈5 K/s FLOW_MODs). *)
+
+(** {1 Ablations (DESIGN.md)} *)
+
+val ablation_state_aware :
+  ?seed:int -> ?duration:Jury_sim.Time.t -> ?rate:float -> unit ->
+  (string * int * int * int) list
+(** (mode, decided, false alarms, unverifiable) under benign churn with
+    state-aware consensus on vs off. *)
+
+val ablation_timeout :
+  ?seed:int -> ?duration:Jury_sim.Time.t -> ?timeouts_ms:int list -> unit ->
+  (int * float * float) list
+(** (timeout ms, false-positive rate, p95 detection ms) under benign
+    traffic — the §VIII-1 trade-off. *)
+
+val ablation_secondary_selection :
+  ?seed:int -> ?repeats:int -> unit -> (string * int * int) list
+(** Random per-trigger secondaries vs a static peer set: detected count
+    over repeated injections of a consensus-visible fault. *)
+
+val ablation_adaptive_timeout :
+  ?seed:int -> ?duration:Jury_sim.Time.t -> unit ->
+  (string * int * int * float * float) list
+(** Fixed vs adaptive θτ under bursty benign traffic: (mode, decided,
+    false alarms, p95 detection ms, final θτ ms) — the §VIII-1
+    extension. *)
+
+val ablation_nondeterminism :
+  ?seed:int -> ?duration:Jury_sim.Time.t -> unit ->
+  (string * int * int * int) list
+(** ECMP (non-deterministic) forwarding with the §IV-C B rule on vs
+    off: (mode, decided, false alarms, verdicts labelled
+    non-deterministic). *)

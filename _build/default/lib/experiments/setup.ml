@@ -1,0 +1,58 @@
+open Jury_sim
+module Builder = Jury_topo.Builder
+module Network = Jury_net.Network
+module Host = Jury_net.Host
+module Cluster = Jury_controller.Cluster
+
+type env = {
+  engine : Engine.t;
+  network : Network.t;
+  cluster : Cluster.t;
+  deployment : Jury.Deployment.t option;
+  rng : Rng.t;
+}
+
+let make ?(seed = 42) ?(switches = 24) ?(hosts_per_switch = 1) ?plan ?jury
+    ~profile ~nodes () =
+  let engine = Engine.create ~seed () in
+  let plan =
+    match plan with
+    | Some p -> p
+    | None -> Builder.linear ~switches ~hosts_per_switch
+  in
+  let network = Network.create engine plan () in
+  let cluster = Cluster.create engine ~profile ~nodes ~network () in
+  let deployment = Option.map (Jury.Deployment.install cluster) jury in
+  Cluster.converge cluster;
+  List.iter Host.join (Network.hosts network);
+  Engine.run engine ~until:(Time.add (Engine.now engine) (Time.sec 1));
+  { engine; network; cluster; deployment; rng = Rng.split (Engine.rng engine) }
+
+let run_for env span =
+  Engine.run env.engine ~until:(Time.add (Engine.now env.engine) span)
+
+let validator env =
+  match env.deployment with
+  | Some d -> Jury.Deployment.validator d
+  | None -> invalid_arg "Setup.validator: vanilla environment"
+
+let verdicts_since env ~since =
+  Jury.Validator.verdicts (validator env)
+  |> List.filter (fun (a : Jury.Alarm.t) ->
+         Time.(a.Jury.Alarm.decided_at >= since))
+
+let detection_times_since env ~since =
+  verdicts_since env ~since
+  |> List.map (fun a -> Time.to_float_ms (Jury.Alarm.detection_time a))
+  |> Array.of_list
+
+let verdict_stats_since env ~since =
+  let vs = verdicts_since env ~since in
+  let faulty = List.filter Jury.Alarm.is_fault vs in
+  let unverifiable =
+    List.filter
+      (fun (a : Jury.Alarm.t) ->
+        a.Jury.Alarm.verdict = Jury.Alarm.Ok_unverifiable)
+      vs
+  in
+  (List.length vs, List.length faulty, List.length unverifiable)

@@ -1,0 +1,33 @@
+(** Shared experiment environments: a JURY-enhanced (or vanilla)
+    cluster on a canned topology, converged and with all hosts
+    announced — the state every §VII experiment starts from. *)
+
+type env = {
+  engine : Jury_sim.Engine.t;
+  network : Jury_net.Network.t;
+  cluster : Jury_controller.Cluster.t;
+  deployment : Jury.Deployment.t option;  (** [None] = vanilla cluster *)
+  rng : Jury_sim.Rng.t;
+}
+
+val make :
+  ?seed:int -> ?switches:int -> ?hosts_per_switch:int ->
+  ?plan:Jury_topo.Builder.plan -> ?jury:Jury.Deployment.config ->
+  profile:Jury_controller.Profile.t -> nodes:int -> unit -> env
+(** Build, converge (LLDP discovery), join all hosts, and settle.
+    Defaults: the paper's Mininet workload topology (linear, 24
+    switches, 1 host each); pass [plan] for another topology. *)
+
+val run_for : env -> Jury_sim.Time.t -> unit
+(** Advance the simulation by the given span. *)
+
+val validator : env -> Jury.Validator.t
+(** Raises [Invalid_argument] on a vanilla environment. *)
+
+val detection_times_since :
+  env -> since:Jury_sim.Time.t -> float array
+(** Detection times (ms) of verdicts decided after [since]. *)
+
+val verdict_stats_since :
+  env -> since:Jury_sim.Time.t -> int * int * int
+(** (decided, faulty, unverifiable) counts after [since]. *)

@@ -1,0 +1,1 @@
+lib/faults/injector.ml: Jury_controller Jury_openflow Jury_sim Jury_store List

@@ -1,0 +1,1 @@
+lib/faults/injector.mli: Jury_controller Jury_sim

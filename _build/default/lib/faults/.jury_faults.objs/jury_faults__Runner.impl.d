@@ -1,0 +1,1 @@
+lib/faults/runner.ml: Engine Format Injector Jury Jury_controller Jury_net Jury_policy Jury_sim Jury_topo List Printf Rng Scenarios Time

@@ -1,0 +1,1 @@
+lib/faults/runner.mli: Format Jury Jury_controller Jury_net Scenarios

@@ -1,0 +1,1 @@
+lib/faults/scenarios.ml: Engine Injector Jury Jury_controller Jury_net Jury_openflow Jury_packet Jury_sim Jury_store Jury_topo List Rng Time

@@ -1,0 +1,1 @@
+lib/faults/scenarios.mli: Jury Jury_controller Jury_net Jury_sim

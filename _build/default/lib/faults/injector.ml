@@ -1,0 +1,76 @@
+module Types = Jury_controller.Types
+module Cluster = Jury_controller.Cluster
+module Controller = Jury_controller.Controller
+module Names = Jury_store.Cache_names
+module Of_message = Jury_openflow.Of_message
+
+let drop_cache_writes_to ~cache _trigger actions =
+  let cache = Names.normalize cache in
+  List.filter
+    (fun (a : Types.action) ->
+      match a with
+      | Types.Cache_write { cache = c; _ } -> c <> cache
+      | Types.Network_send _ -> true)
+    actions
+
+let corrupt_cache_values_to ~cache ~value _trigger actions =
+  let cache = Names.normalize cache in
+  List.map
+    (fun (a : Types.action) ->
+      match a with
+      | Types.Cache_write cw when cw.cache = cache ->
+          Types.Cache_write { cw with value }
+      | _ -> a)
+    actions
+
+let drop_network_sends _trigger actions =
+  List.filter
+    (fun (a : Types.action) ->
+      match a with Types.Network_send _ -> false | Types.Cache_write _ -> true)
+    actions
+
+let blackhole_flow_mods _trigger actions =
+  List.map
+    (fun (a : Types.action) ->
+      match a with
+      | Types.Network_send { dpid; payload = Of_message.Flow_mod fm } ->
+          Types.Network_send
+            { dpid; payload = Of_message.Flow_mod { fm with actions = [] } }
+      | _ -> a)
+    actions
+
+let probabilistic rng p inner trigger actions =
+  if Jury_sim.Rng.bernoulli rng p then inner trigger actions else actions
+
+let compose mutators trigger actions =
+  List.fold_left (fun actions m -> m trigger actions) actions mutators
+
+let make_slow cluster ~node ~delay =
+  Controller.set_response_delay (Cluster.controller cluster node) delay
+
+let make_lossy cluster ~node ~omit_probability =
+  Controller.set_omit_probability (Cluster.controller cluster node)
+    omit_probability
+
+let crash cluster ~node =
+  let ctrl = Cluster.controller cluster node in
+  Controller.set_omit_probability ctrl 1.0;
+  Controller.set_mutator ctrl (Some (fun _ _ -> []))
+
+let lock_cache cluster ~node ~cache =
+  Jury_store.Fabric.set_cache_locked (Cluster.fabric cluster) ~node ~cache true
+
+let unlock_cache cluster ~node ~cache =
+  Jury_store.Fabric.set_cache_locked (Cluster.fabric cluster) ~node ~cache
+    false
+
+let heal cluster ~node =
+  let ctrl = Cluster.controller cluster node in
+  Controller.set_mutator ctrl None;
+  Controller.set_response_delay ctrl Jury_sim.Time.zero;
+  Controller.set_omit_probability ctrl 0.;
+  List.iter
+    (fun cache ->
+      Jury_store.Fabric.set_cache_locked (Cluster.fabric cluster) ~node ~cache
+        false)
+    Names.all

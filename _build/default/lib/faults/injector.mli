@@ -1,0 +1,58 @@
+(** Generic fault levers applied to a controller replica.
+
+    These compose the paper's five failure classes (§III-B): response
+    faults via action mutators, omission and timing faults via the
+    response-fate knobs, crash as total omission, and arbitrary faults
+    as random combinations. Every lever is reversible with {!heal}. *)
+
+module Types = Jury_controller.Types
+module Cluster = Jury_controller.Cluster
+
+val drop_cache_writes_to : cache:string -> Types.trigger -> Types.action list -> Types.action list
+(** Mutator: silently lose cache writes to the given cache. *)
+
+val corrupt_cache_values_to :
+  cache:string -> value:string -> Types.trigger -> Types.action list ->
+  Types.action list
+(** Mutator: rewrite values written to the given cache. *)
+
+val drop_network_sends : Types.trigger -> Types.action list -> Types.action list
+(** Mutator: keep cache writes, lose every network send (the classic
+    T2 "lost FLOW_MOD"). *)
+
+val blackhole_flow_mods : Types.trigger -> Types.action list -> Types.action list
+(** Mutator: rewrite every outgoing FLOW_MOD's actions into a drop rule
+    while leaving the cache writes intact (the "undesirable FLOW_MOD"
+    T2 fault). *)
+
+val probabilistic :
+  Jury_sim.Rng.t -> float ->
+  (Types.trigger -> Types.action list -> Types.action list) ->
+  Types.trigger -> Types.action list -> Types.action list
+(** Apply the inner mutator with the given probability (threading-race
+    style intermittent faults). *)
+
+val compose :
+  (Types.trigger -> Types.action list -> Types.action list) list ->
+  Types.trigger -> Types.action list -> Types.action list
+
+(** {1 Whole-replica levers} *)
+
+val make_slow : Cluster.t -> node:int -> delay:Jury_sim.Time.t -> unit
+(** Timing fault: every response from the node is delayed. *)
+
+val make_lossy : Cluster.t -> node:int -> omit_probability:float -> unit
+(** Response-omission fault. *)
+
+val crash : Cluster.t -> node:int -> unit
+(** Crash ≈ omit everything and answer nothing (reported by JURY as
+    response omissions, exactly as §III-B notes). *)
+
+val lock_cache : Cluster.t -> node:int -> cache:string -> unit
+(** The ONOS "failed to obtain lock" fault. *)
+
+val unlock_cache : Cluster.t -> node:int -> cache:string -> unit
+
+val heal : Cluster.t -> node:int -> unit
+(** Remove every lever from the node (mutator, delays, omissions, cache
+    locks). *)

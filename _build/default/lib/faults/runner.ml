@@ -1,0 +1,109 @@
+open Jury_sim
+module Cluster = Jury_controller.Cluster
+module Network = Jury_net.Network
+module Host = Jury_net.Host
+module Builder = Jury_topo.Builder
+
+type report = {
+  scenario : Scenarios.t;
+  detected : bool;
+  detection_time_ms : float option;
+  matching_alarms : Jury.Alarm.t list;
+  other_alarms : Jury.Alarm.t list;
+  verdict_count : int;
+}
+
+type env = {
+  cluster : Cluster.t;
+  network : Network.t;
+  deployment : Jury.Deployment.t;
+  faulty : int;
+}
+
+let run_env ?(seed = 11) ?(nodes = 7) ?(k = 6) ?(faulty = 2)
+    ?(extra_slow = []) ?(switches = 24) ?(random_secondaries = true)
+    (scenario : Scenarios.t) =
+  let engine = Engine.create ~seed () in
+  let plan = Builder.linear ~switches ~hosts_per_switch:1 in
+  let network =
+    Network.create engine plan
+      ~lenient_tables:scenario.Scenarios.needs_lenient_switches ()
+  in
+  let cluster =
+    Cluster.create engine ~profile:scenario.Scenarios.profile ~nodes ~network
+      ()
+  in
+  let policies =
+    match scenario.Scenarios.policy with
+    | None -> Jury_policy.Engine.create []
+    | Some src -> (
+        match Jury_policy.Engine.of_dsl src with
+        | Ok e -> e
+        | Error msg -> failwith ("scenario policy: " ^ msg))
+  in
+  let encapsulation =
+    scenario.Scenarios.profile.Jury_controller.Profile.name <> "onos"
+  in
+  let deployment =
+    Jury.Deployment.install cluster
+      (Jury.Deployment.config ~k ~policies ~encapsulation
+         ~random_secondaries ())
+  in
+  let ctx =
+    { Scenarios.cluster;
+      network;
+      faulty;
+      rng = Rng.split (Engine.rng engine) }
+  in
+  List.iter
+    (fun node -> Injector.make_slow cluster ~node ~delay:(Time.ms 40))
+    extra_slow;
+  if scenario.Scenarios.arm_before_start then scenario.Scenarios.arm ctx;
+  Cluster.converge cluster;
+  List.iter Host.join (Network.hosts network);
+  Engine.run engine ~until:(Time.add (Engine.now engine) (Time.sec 1));
+  if not scenario.Scenarios.arm_before_start then scenario.Scenarios.arm ctx;
+  let t0 = Engine.now engine in
+  scenario.Scenarios.provoke ctx;
+  Engine.run engine
+    ~until:(Time.add (Engine.now engine) scenario.Scenarios.settle);
+  let validator = Jury.Deployment.validator deployment in
+  let alarms = Jury.Validator.alarms validator in
+  let matches (a : Jury.Alarm.t) =
+    Time.(a.Jury.Alarm.decided_at >= t0)
+    && List.mem faulty a.Jury.Alarm.suspects
+    && (match a.Jury.Alarm.verdict with
+       | Jury.Alarm.Faulty faults ->
+           List.exists scenario.Scenarios.expected faults
+       | _ -> false)
+  in
+  let matching_alarms, other_alarms = List.partition matches alarms in
+  let report =
+    { scenario;
+      detected = matching_alarms <> [];
+      detection_time_ms =
+        (match matching_alarms with
+        | a :: _ -> Some (Time.to_float_ms (Jury.Alarm.detection_time a))
+        | [] -> None);
+      matching_alarms;
+      other_alarms;
+      verdict_count = Jury.Validator.decided_count validator }
+  in
+  (report, { cluster; network; deployment; faulty })
+
+let run ?seed ?nodes ?k ?faulty ?extra_slow ?switches ?random_secondaries
+    scenario =
+  fst
+    (run_env ?seed ?nodes ?k ?faulty ?extra_slow ?switches
+       ?random_secondaries scenario)
+
+let pp_report fmt r =
+  Format.fprintf fmt "%-28s %-2s %-10s %s" r.scenario.Scenarios.name
+    (match r.scenario.Scenarios.klass with
+    | `T1 -> "T1"
+    | `T2 -> "T2"
+    | `T3 -> "T3")
+    (if r.detected then "DETECTED" else "MISSED")
+    (match r.detection_time_ms with
+    | Some ms -> Printf.sprintf "in %.1fms (%s)" ms r.scenario.Scenarios.expected_name
+    | None -> "(" ^ r.scenario.Scenarios.expected_name ^ " not raised)")

@@ -1,0 +1,39 @@
+(** Drives a fault scenario end-to-end: builds a JURY-enhanced cluster,
+    arms the fault, provokes it, and reports whether JURY raised the
+    expected alarm against the faulty replica. This is the machinery
+    behind the §VII-A1 detection experiments, the `detection` bench and
+    the fault test-suite. *)
+
+type report = {
+  scenario : Scenarios.t;
+  detected : bool;
+      (** an expected alarm fired with the faulty replica among the
+          suspects *)
+  detection_time_ms : float option;  (** of the first matching alarm *)
+  matching_alarms : Jury.Alarm.t list;
+  other_alarms : Jury.Alarm.t list;
+  verdict_count : int;
+}
+
+type env = {
+  cluster : Jury_controller.Cluster.t;
+  network : Jury_net.Network.t;
+  deployment : Jury.Deployment.t;
+  faulty : int;
+}
+
+val run :
+  ?seed:int -> ?nodes:int -> ?k:int -> ?faulty:int ->
+  ?extra_slow:int list ->
+  ?switches:int -> ?random_secondaries:bool -> Scenarios.t -> report
+(** Defaults match the paper's worst case: 7 nodes, full replication
+    (k = 6), faulty replica 2, a linear 24-switch topology. [extra_slow]
+    marks additional replicas as timing-faulty (the m = 2 setting). *)
+
+val run_env :
+  ?seed:int -> ?nodes:int -> ?k:int -> ?faulty:int ->
+  ?extra_slow:int list -> ?switches:int -> ?random_secondaries:bool ->
+  Scenarios.t -> report * env
+(** Like {!run} but also returns the live environment for inspection. *)
+
+val pp_report : Format.formatter -> report -> unit

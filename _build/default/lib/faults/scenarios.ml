@@ -1,0 +1,449 @@
+open Jury_sim
+module Types = Jury_controller.Types
+module Cluster = Jury_controller.Cluster
+module Controller = Jury_controller.Controller
+module Profile = Jury_controller.Profile
+module Values = Jury_controller.Values
+module Network = Jury_net.Network
+module Switch = Jury_net.Switch
+module Host = Jury_net.Host
+module Graph = Jury_topo.Graph
+module Names = Jury_store.Cache_names
+module Of_match = Jury_openflow.Of_match
+module Of_message = Jury_openflow.Of_message
+module Of_action = Jury_openflow.Of_action
+module Addr = Jury_packet.Addr
+
+type context = {
+  cluster : Cluster.t;
+  network : Network.t;
+  faulty : int;
+  rng : Rng.t;
+}
+
+type t = {
+  name : string;
+  klass : [ `T1 | `T2 | `T3 ];
+  description : string;
+  profile : Profile.t;
+  policy : string option;
+  needs_lenient_switches : bool;
+  arm_before_start : bool;
+  arm : context -> unit;
+  provoke : context -> unit;
+  settle : Time.t;
+  expected : Jury.Alarm.fault -> bool;
+  expected_name : string;
+}
+
+(* --- helpers --- *)
+
+let switches_mastered_by ctx node =
+  Network.switches ctx.network
+  |> List.map Switch.dpid
+  |> List.filter (fun dpid -> Cluster.master_of ctx.cluster dpid = node)
+
+let a_switch_mastered_by ctx node =
+  match switches_mastered_by ctx node with
+  | dpid :: _ -> dpid
+  | [] -> failwith "scenario: faulty replica masters no switch"
+
+(* An inter-switch link one of whose endpoint switches is mastered by
+   [node], with [node] also being the link's liveness master (the
+   higher-id master of the two endpoints). *)
+let liveness_link_of ctx node =
+  let graph = (Network.plan ctx.network).Jury_topo.Builder.graph in
+  let edges = Graph.edges graph in
+  List.find_opt
+    (fun (e : Graph.edge) ->
+      let ma = Cluster.master_of ctx.cluster e.a.dpid in
+      let mb = Cluster.master_of ctx.cluster e.b.dpid in
+      max ma mb = node && (ma = node || mb = node))
+    edges
+
+let flap_liveness_link ctx node =
+  match liveness_link_of ctx node with
+  | None -> failwith "scenario: no suitable link for liveness fault"
+  | Some e ->
+      Network.take_link_down ctx.network e.a e.b;
+      let engine = Cluster.engine ctx.cluster in
+      ignore
+        (Engine.schedule engine ~after:(Time.ms 500) (fun () ->
+             Network.bring_link_up ctx.network e.a e.b))
+
+let sample_flow ?(priority = 300) ~out_port () =
+  let m =
+    Of_match.l2_pair
+      ~src:(Addr.Mac.of_host_index 0)
+      ~dst:(Addr.Mac.of_host_index 1)
+  in
+  Of_message.flow_mod ~priority m [ Of_action.Output out_port ]
+
+let rest_install ctx ~node ~dpid flow =
+  Cluster.rest ctx.cluster ~node (Types.Install_flow { dpid; flow })
+
+let is_fault name f = Jury.Alarm.fault_name f = name
+
+let is_policy_violation rule (f : Jury.Alarm.fault) =
+  match f with
+  | Jury.Alarm.Policy_violation r -> r = rule
+  | _ -> false
+
+(* --- the catalog --- *)
+
+let onos_database_locking =
+  { name = "onos-database-locking";
+    klass = `T1;
+    description =
+      "Clustered ONOS rejects a switch connect: the replica hits 'failed \
+       to obtain lock' on its distributed graph database, so the switch \
+       entry is never written (Scott et al. [55]).";
+    profile = Profile.onos;
+    policy = None;
+    needs_lenient_switches = false;
+    arm_before_start = true;
+    arm =
+      (fun ctx ->
+        Injector.lock_cache ctx.cluster ~node:ctx.faulty ~cache:Names.switchdb);
+    provoke =
+      (fun ctx ->
+        (* The bootstrap FEATURES_REPLY of a switch mastered by the
+           faulty replica is the trigger; re-announce to be sure one
+           lands after arming. *)
+        let dpid = a_switch_mastered_by ctx ctx.faulty in
+        Switch.announce (Network.switch ctx.network dpid));
+    settle = Time.sec 2;
+    expected = is_fault "response-timeout";
+    expected_name = "response-timeout" }
+
+let onos_master_election =
+  { name = "onos-master-election";
+    klass = `T1;
+    description =
+      "After the link-liveness master reboots with a lower id, both \
+       replicas believe they are not responsible for the link and the \
+       LINKSDB entry is never refreshed (Scott et al. [55]).";
+    profile = Profile.onos;
+    policy = None;
+    needs_lenient_switches = false;
+    arm_before_start = false;
+    arm =
+      (fun ctx ->
+        (* The faulty replica's election logic is stale: it drops the
+           LINKSDB writes it should make as liveness master. *)
+        Controller.set_mutator
+          (Cluster.controller ctx.cluster ctx.faulty)
+          (Some (Injector.drop_cache_writes_to ~cache:Names.linksdb)));
+    provoke = (fun ctx -> flap_liveness_link ctx ctx.faulty);
+    settle = Time.sec 8;
+    expected = is_fault "consensus-mismatch";
+    expected_name = "consensus-mismatch" }
+
+let odl_flowmod_drop =
+  { name = "odl-flowmod-drop";
+    klass = `T2;
+    description =
+      "FLOW_MODs read from MD-SAL are sporadically lost before reaching \
+       the OpenFlow plugin: the cache holds the rule, the wire never \
+       sees it [13].";
+    profile = Profile.odl;
+    policy = None;
+    needs_lenient_switches = false;
+    arm_before_start = false;
+    arm =
+      (fun ctx ->
+        Controller.set_mutator
+          (Cluster.controller ctx.cluster ctx.faulty)
+          (Some Injector.drop_network_sends));
+    provoke =
+      (fun ctx ->
+        let dpid = a_switch_mastered_by ctx ctx.faulty in
+        rest_install ctx ~node:ctx.faulty ~dpid (sample_flow ~out_port:1 ()));
+    settle = Time.sec 3;
+    expected = is_fault "cache-without-network";
+    expected_name = "cache-without-network" }
+
+let hierarchy_policy =
+  "deny name=flow-field-hierarchy cache=FLOWSDB check=flow-hierarchy"
+
+let odl_incorrect_flowmod =
+  { name = "odl-incorrect-flowmod";
+    klass = `T3;
+    description =
+      "A FLOW_MOD whose match violates the OF 1.0 field hierarchy is \
+       silently accepted by the switch with the offending fields \
+       stripped, so switch and data store disagree [23]. Cache and \
+       network are consistent, so only a policy can catch it.";
+    profile = Profile.odl;
+    policy = Some hierarchy_policy;
+    needs_lenient_switches = true;
+    arm_before_start = false;
+    arm = (fun _ -> ());
+    provoke =
+      (fun ctx ->
+        let dpid = a_switch_mastered_by ctx ctx.faulty in
+        let bad_match = { Of_match.wildcard_all with tp_dst = Some 80 } in
+        let flow =
+          Of_message.flow_mod ~priority:400 bad_match [ Of_action.Output 1 ]
+        in
+        rest_install ctx ~node:ctx.faulty ~dpid flow);
+    settle = Time.sec 3;
+    expected = is_policy_violation "flow-field-hierarchy";
+    expected_name = "policy-violation:flow-field-hierarchy" }
+
+let link_failure =
+  { name = "link-failure";
+    klass = `T1;
+    description =
+      "Synthetic: on an LLDP trigger the faulty controller updates \
+       LINKSDB to mark a healthy critical link as down.";
+    profile = Profile.onos;
+    policy = None;
+    needs_lenient_switches = false;
+    arm_before_start = false;
+    arm =
+      (fun ctx ->
+        Controller.set_mutator
+          (Cluster.controller ctx.cluster ctx.faulty)
+          (Some
+             (Injector.corrupt_cache_values_to ~cache:Names.linksdb
+                ~value:Values.Link.value_down)));
+    provoke = (fun ctx -> flap_liveness_link ctx ctx.faulty);
+    settle = Time.sec 8;
+    expected = is_fault "consensus-mismatch";
+    expected_name = "consensus-mismatch" }
+
+let undesirable_flowmod =
+  { name = "undesirable-flowmod";
+    klass = `T2;
+    description =
+      "Synthetic: an administrator installs a flow; the faulty \
+       controller writes the correct rule to the cache but sends a \
+       FLOW_MOD that drops all packets instead.";
+    profile = Profile.onos;
+    policy = None;
+    needs_lenient_switches = false;
+    arm_before_start = false;
+    arm =
+      (fun ctx ->
+        Controller.set_mutator
+          (Cluster.controller ctx.cluster ctx.faulty)
+          (Some Injector.blackhole_flow_mods));
+    provoke =
+      (fun ctx ->
+        let dpid = a_switch_mastered_by ctx ctx.faulty in
+        rest_install ctx ~node:ctx.faulty ~dpid (sample_flow ~out_port:2 ()));
+    settle = Time.sec 3;
+    expected = is_fault "cache-network-mismatch";
+    expected_name = "cache-network-mismatch" }
+
+let topology_guard_policy =
+  "deny name=no-proactive-topology trigger=internal cache=LINKSDB\n\
+   deny name=no-proactive-topology-edges trigger=internal cache=EDGEDB"
+
+let faulty_proactive =
+  { name = "faulty-proactive";
+    klass = `T3;
+    description =
+      "Synthetic: a proactive application (or administrator) updates \
+       LINKSDB to bring a critical link down. Cache and network stay \
+       consistent; the Fig. 3 policy forbidding proactive topology \
+       writes raises the alarm.";
+    profile = Profile.onos;
+    policy = Some topology_guard_policy;
+    needs_lenient_switches = false;
+    arm_before_start = false;
+    arm = (fun _ -> ());
+    provoke =
+      (fun ctx ->
+        let graph = (Network.plan ctx.network).Jury_topo.Builder.graph in
+        match Graph.edges graph with
+        | [] -> failwith "scenario: no link to attack"
+        | e :: _ ->
+            let key =
+              Values.Link.key (e.a.dpid, e.a.port) (e.b.dpid, e.b.port)
+            in
+            Controller.run_internal
+              (Cluster.controller ctx.cluster ctx.faulty)
+              ~app:"rogue-app"
+              (Types.Proactive
+                 [ Types.Cache_write
+                     { cache = Names.linksdb;
+                       op = Jury_store.Event.Update;
+                       key;
+                       value = Values.Link.value_down } ]));
+    settle = Time.sec 3;
+    expected = is_policy_violation "no-proactive-topology";
+    expected_name = "policy-violation:no-proactive-topology" }
+
+let flow_deletion_failure =
+  { name = "flow-deletion-failure";
+    klass = `T1;
+    description =
+      "ODL byzantine bug [16]: flow deletion via REST locks the \
+       controller up; nothing is deleted and nothing answers.";
+    profile = Profile.odl;
+    policy = None;
+    needs_lenient_switches = false;
+    arm_before_start = false;
+    arm =
+      (fun ctx ->
+        let ctrl = Cluster.controller ctx.cluster ctx.faulty in
+        Controller.set_mutator ctrl (Some (fun _ _ -> []));
+        Controller.set_omit_probability ctrl 1.0);
+    provoke =
+      (fun ctx ->
+        let dpid = a_switch_mastered_by ctx ctx.faulty in
+        (* Install first through a healthy replica, then ask the faulty
+           one to delete. *)
+        let healthy = (ctx.faulty + 1) mod Cluster.nodes ctx.cluster in
+        let flow = sample_flow ~out_port:1 () in
+        rest_install ctx ~node:healthy ~dpid flow;
+        ignore
+          (Engine.schedule (Cluster.engine ctx.cluster) ~after:(Time.sec 1)
+             (fun () ->
+               Cluster.rest ctx.cluster ~node:ctx.faulty
+                 (Types.Delete_flow { dpid; fm_match = flow.Of_message.fm_match }))));
+    settle = Time.sec 4;
+    expected = is_fault "response-timeout";
+    expected_name = "response-timeout" }
+
+let link_detection_inconsistent =
+  { name = "link-detection-inconsistent";
+    klass = `T1;
+    description =
+      "ONOS threading races make link detection flaky: re-runs find \
+       different link sets [19]. Modelled as the replica losing half of \
+       its LINKSDB writes.";
+    profile = Profile.onos;
+    policy = None;
+    needs_lenient_switches = false;
+    arm_before_start = false;
+    arm =
+      (fun ctx ->
+        Controller.set_mutator
+          (Cluster.controller ctx.cluster ctx.faulty)
+          (Some
+             (Injector.probabilistic ctx.rng 0.5
+                (Injector.drop_cache_writes_to ~cache:Names.linksdb))));
+    provoke =
+      (fun ctx ->
+        (* Flap several liveness links to generate many LINKSDB writes;
+           roughly half will be lost. *)
+        flap_liveness_link ctx ctx.faulty);
+    settle = Time.sec 8;
+    expected = is_fault "consensus-mismatch";
+    expected_name = "consensus-mismatch" }
+
+let flow_instantiation_failure =
+  { name = "flow-instantiation-failure";
+    klass = `T2;
+    description =
+      "ODL Helium: restconf flow deployment returns success and updates \
+       the store, but no FLOW_MOD ever leaves the controller [3].";
+    profile = Profile.odl;
+    policy = None;
+    needs_lenient_switches = false;
+    arm_before_start = false;
+    arm =
+      (fun ctx ->
+        Controller.set_mutator
+          (Cluster.controller ctx.cluster ctx.faulty)
+          (Some Injector.drop_network_sends));
+    provoke =
+      (fun ctx ->
+        let dpid = a_switch_mastered_by ctx ctx.faulty in
+        rest_install ctx ~node:ctx.faulty ~dpid
+          (sample_flow ~priority:350 ~out_port:1 ()));
+    settle = Time.sec 3;
+    expected = is_fault "cache-without-network";
+    expected_name = "cache-without-network" }
+
+let pending_add_stuck =
+  { name = "pending-add-stuck";
+    klass = `T2;
+    description =
+      "ONOS flow rules stuck in PENDING_ADD: the store holds a rule the \
+       switch never confirms [6]. Modelled as a proactive store write \
+       whose FLOW_MOD is lost.";
+    profile = Profile.onos;
+    policy = None;
+    needs_lenient_switches = false;
+    arm_before_start = false;
+    arm =
+      (fun ctx ->
+        Controller.set_mutator
+          (Cluster.controller ctx.cluster ctx.faulty)
+          (Some Injector.drop_network_sends));
+    provoke =
+      (fun ctx ->
+        let dpid = a_switch_mastered_by ctx ctx.faulty in
+        let flow = sample_flow ~priority:360 ~out_port:1 () in
+        let key =
+          Values.Flow.key dpid flow.Of_message.fm_match
+            ~priority:flow.Of_message.priority
+        in
+        Controller.run_internal
+          (Cluster.controller ctx.cluster ctx.faulty)
+          ~app:"flow-pusher"
+          (Types.Proactive
+             [ Types.Cache_write
+                 { cache = Names.flowsdb;
+                   op = Jury_store.Event.Create;
+                   key;
+                   value = Values.Flow.value flow };
+               Types.Network_send
+                 { dpid; payload = Of_message.Flow_mod flow } ]));
+    settle = Time.sec 3;
+    expected = is_fault "cache-without-network";
+    expected_name = "cache-without-network" }
+
+let controller_crash =
+  { name = "controller-crash";
+    klass = `T1;
+    description =
+      "Fail-stop crash of a replica. JURY cannot distinguish a crash \
+       from response omission (SIII-B): every trigger mastered by the \
+       dead replica times out with it as the suspect, until HA \
+       failover reassigns its switches.";
+    profile = Profile.onos;
+    policy = None;
+    needs_lenient_switches = false;
+    arm_before_start = false;
+    arm = (fun ctx -> Injector.crash ctx.cluster ~node:ctx.faulty);
+    provoke =
+      (fun ctx ->
+        (* Traffic through a switch the dead replica masters. *)
+        let dpid = a_switch_mastered_by ctx ctx.faulty in
+        let plan = Network.plan ctx.network in
+        let local =
+          List.find
+            (fun (slot : Jury_topo.Builder.host_slot) ->
+              Jury_openflow.Of_types.Dpid.equal slot.Jury_topo.Builder.dpid
+                dpid)
+            plan.Jury_topo.Builder.hosts
+        in
+        let src = Network.host ctx.network local.Jury_topo.Builder.host_index in
+        let dst = Network.host ctx.network 0 in
+        Host.send_tcp src ~dst_mac:(Host.mac dst) ~dst_ip:(Host.ip dst)
+          ~src_port:4000 ~dst_port:80 ());
+    settle = Time.sec 2;
+    expected = is_fault "response-timeout";
+    expected_name = "response-timeout" }
+
+let all =
+  [ onos_database_locking;
+    onos_master_election;
+    odl_flowmod_drop;
+    odl_incorrect_flowmod;
+    link_failure;
+    undesirable_flowmod;
+    faulty_proactive;
+    flow_deletion_failure;
+    link_detection_inconsistent;
+    flow_instantiation_failure;
+    pending_add_stuck;
+    controller_crash ]
+
+let find name = List.find_opt (fun s -> s.name = name) all
+let names = List.map (fun s -> s.name) all

@@ -1,0 +1,55 @@
+(** The paper's fault catalog (§III-B, §VII-A1 and the appendix), as
+    runnable scenarios.
+
+    Each scenario arms a fault on one replica, provokes the triggering
+    event, and declares which JURY alarm should fire. {!Runner} drives
+    a scenario end-to-end. *)
+
+module Types = Jury_controller.Types
+module Cluster = Jury_controller.Cluster
+
+type context = {
+  cluster : Cluster.t;
+  network : Jury_net.Network.t;
+  faulty : int;          (** the replica carrying the fault *)
+  rng : Jury_sim.Rng.t;
+}
+
+type t = {
+  name : string;
+  klass : [ `T1 | `T2 | `T3 ];
+  description : string;
+  profile : Jury_controller.Profile.t;  (** controller flavour it targets *)
+  policy : string option;
+      (** policy-DSL source JURY needs loaded to catch it (T3 faults) *)
+  needs_lenient_switches : bool;
+  arm_before_start : bool;
+      (** arm during bootstrap (e.g. the switch-connect lock fault) *)
+  arm : context -> unit;
+  provoke : context -> unit;
+  settle : Jury_sim.Time.t;  (** how long after provoking to run *)
+  expected : Jury.Alarm.fault -> bool;
+  expected_name : string;
+}
+
+val all : t list
+val find : string -> t option
+val names : string list
+
+(** {1 Individual scenarios} *)
+
+val onos_database_locking : t
+val onos_master_election : t
+val odl_flowmod_drop : t
+val odl_incorrect_flowmod : t
+val link_failure : t
+val undesirable_flowmod : t
+val faulty_proactive : t
+val flow_deletion_failure : t
+val link_detection_inconsistent : t
+val flow_instantiation_failure : t
+val pending_add_stuck : t
+
+val controller_crash : t
+(** Fail-stop crash, reported by JURY as response omissions (§III-B's
+    explicit caveat). *)

@@ -1,0 +1,1 @@
+lib/net/capture.ml: Format Jury_openflow Jury_packet Jury_sim List Of_types Queue String Switch

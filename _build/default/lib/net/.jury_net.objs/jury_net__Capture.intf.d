@@ -1,0 +1,1 @@
+lib/net/capture.mli: Format Jury_openflow Jury_packet Jury_sim Of_types Switch

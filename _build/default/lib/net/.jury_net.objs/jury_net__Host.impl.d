@@ -1,0 +1,1 @@
+lib/net/host.ml: Addr Frame Jury_packet Jury_sim

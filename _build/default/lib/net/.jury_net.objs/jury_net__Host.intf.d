@@ -1,0 +1,1 @@
+lib/net/host.mli: Jury_packet Jury_sim

@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Engine Hashtbl Host Jury_openflow Jury_packet Jury_sim Jury_topo List Map Of_types Switch Time

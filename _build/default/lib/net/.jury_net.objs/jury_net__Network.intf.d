@@ -1,0 +1,1 @@
+lib/net/network.mli: Host Jury_openflow Jury_sim Jury_topo Of_types Switch

@@ -1,0 +1,1 @@
+lib/net/switch.ml: Engine Flow_table Hashtbl Jury_openflow Jury_packet Jury_sim List Of_action Of_error Of_match Of_message Of_types Time

@@ -1,0 +1,1 @@
+lib/net/switch.mli: Flow_table Jury_openflow Jury_packet Jury_sim Of_message Of_types

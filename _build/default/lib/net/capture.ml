@@ -1,0 +1,65 @@
+open Jury_openflow
+
+type direction = Rx | Tx
+
+type entry = {
+  at : Jury_sim.Time.t;
+  dpid : Of_types.Dpid.t;
+  port : int;
+  direction : direction;
+  frame : Jury_packet.Frame.t;
+}
+
+type t = {
+  engine : Jury_sim.Engine.t;
+  capacity : int;
+  buffer : entry Queue.t;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 10_000) engine =
+  if capacity <= 0 then invalid_arg "Capture.create: capacity must be positive";
+  { engine; capacity; buffer = Queue.create (); dropped = 0 }
+
+let record t ~dpid direction port frame =
+  if Queue.length t.buffer >= t.capacity then begin
+    ignore (Queue.pop t.buffer);
+    t.dropped <- t.dropped + 1
+  end;
+  Queue.push
+    { at = Jury_sim.Engine.now t.engine; dpid; port; direction; frame }
+    t.buffer
+
+let tap_switch t sw =
+  let dpid = Switch.dpid sw in
+  Switch.set_tap sw
+    (Some
+       (fun dir port frame ->
+         let direction = match dir with `Rx -> Rx | `Tx -> Tx in
+         record t ~dpid direction port frame))
+
+let untap_switch sw = Switch.set_tap sw None
+let entries t = List.of_seq (Queue.to_seq t.buffer)
+let count t = Queue.length t.buffer
+let dropped t = t.dropped
+
+let clear t =
+  Queue.clear t.buffer;
+  t.dropped <- 0
+
+let matching t pred = List.filter pred (entries t)
+
+let between t ~since ~until =
+  matching t (fun e ->
+      Jury_sim.Time.(e.at >= since) && Jury_sim.Time.(e.at <= until))
+
+let pp_entry fmt e =
+  Format.fprintf fmt "%a %a %s port %a %a" Jury_sim.Time.pp e.at
+    Of_types.Dpid.pp e.dpid
+    (match e.direction with Rx -> "rx" | Tx -> "tx")
+    Of_types.Port.pp e.port Jury_packet.Frame.pp e.frame
+
+let dump t =
+  entries t
+  |> List.map (fun e -> Format.asprintf "%a" pp_entry e)
+  |> String.concat "\n"

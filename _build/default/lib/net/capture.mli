@@ -1,0 +1,48 @@
+(** Data-plane packet capture.
+
+    A bounded in-memory recorder tapping one or more switches — the
+    record half of an OFRewind-style record-and-replay facility, used
+    for debugging workloads and in tests to assert on concrete frame
+    movements. Oldest entries are discarded once [capacity] is
+    reached. *)
+
+open Jury_openflow
+
+type direction = Rx | Tx
+
+type entry = {
+  at : Jury_sim.Time.t;
+  dpid : Of_types.Dpid.t;
+  port : int;
+  direction : direction;
+  frame : Jury_packet.Frame.t;
+}
+
+type t
+
+val create : ?capacity:int -> Jury_sim.Engine.t -> t
+(** An empty recorder ([capacity] defaults to 10_000 entries). *)
+
+val tap_switch : t -> Switch.t -> unit
+(** Start recording this switch (replaces any existing tap on it). *)
+
+val untap_switch : Switch.t -> unit
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val count : t -> int
+
+val dropped : t -> int
+(** Entries discarded due to the capacity bound. *)
+
+val clear : t -> unit
+val matching : t -> (entry -> bool) -> entry list
+
+val between :
+  t -> since:Jury_sim.Time.t -> until:Jury_sim.Time.t -> entry list
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val dump : t -> string
+(** One line per entry, tcpdump-flavoured. *)

@@ -1,0 +1,1 @@
+lib/openflow/flow_table.ml: Format Hashtbl Int64 Jury_packet Jury_sim List Of_action Of_match Of_message Of_types Option Printf Time

@@ -1,0 +1,1 @@
+lib/openflow/flow_table.mli: Format Jury_packet Jury_sim Of_action Of_match Of_message Of_types

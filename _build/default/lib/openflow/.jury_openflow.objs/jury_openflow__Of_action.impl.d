@@ -1,0 +1,1 @@
+lib/openflow/of_action.ml: Addr Format Frame Jury_packet List Of_types

@@ -1,0 +1,1 @@
+lib/openflow/of_match.ml: Addr Format Frame Hashtbl Jury_packet Of_types Option Stdlib

@@ -1,0 +1,1 @@
+lib/openflow/of_match.mli: Format Jury_packet Of_types

@@ -1,0 +1,1 @@
+lib/openflow/of_message.ml: Format Jury_packet List Of_action Of_match Of_types

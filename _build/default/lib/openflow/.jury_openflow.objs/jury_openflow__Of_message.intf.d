@@ -1,0 +1,1 @@
+lib/openflow/of_message.mli: Format Jury_packet Of_action Of_match Of_types

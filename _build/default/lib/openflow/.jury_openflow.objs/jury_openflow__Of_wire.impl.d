@@ -1,0 +1,1 @@
+lib/openflow/of_wire.ml: Addr Frame Jury_packet List Of_action Of_match Of_message Of_types Option Printf String Wire_buf

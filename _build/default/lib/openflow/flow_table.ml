@@ -1,0 +1,282 @@
+open Jury_sim
+
+type entry = {
+  rule : Of_match.t;
+  priority : int;
+  cookie : Of_types.cookie;
+  actions : Of_action.t list;
+  idle_timeout : int;
+  hard_timeout : int;
+  installed_at : Time.t;
+  mutable last_hit : Time.t;
+  mutable packet_count : int64;
+  mutable byte_count : int64;
+}
+
+(* Storage is split by match shape: fully-exact micro-flow rules (the
+   thousands a reactive controller installs) live in a hash index keyed
+   by the frame-derived tuple, everything with wildcards lives in a
+   short sorted list. A packet lookup is then O(bucket + wildcards)
+   instead of O(table). *)
+type t = {
+  mutable wildcards : entry list;  (* sorted: priority desc, oldest first *)
+  exact_index : (string, entry list ref) Hashtbl.t;
+  mutable exact_count : int;
+  lenient : bool;
+}
+
+let create ?(lenient = false) () =
+  { wildcards = []; exact_index = Hashtbl.create 256; exact_count = 0;
+    lenient }
+
+(* A match is indexable when it pins every field of the lookup key and
+   wildcards nothing coarser than /32 prefixes. *)
+let index_key_of_match (m : Of_match.t) =
+  match (m.in_port, m.dl_src, m.dl_dst, m.dl_type) with
+  | Some in_port, Some src, Some dst, Some ty -> (
+      let nw = function
+        | None -> Some (-1)
+        | Some (p, 32) -> Some (Jury_packet.Addr.Ipv4.to_int p)
+        | Some _ -> None
+      in
+      match (nw m.nw_src, nw m.nw_dst) with
+      | Some ns, Some nd ->
+          Some
+            (Printf.sprintf "%d|%d|%d|%d|%d|%d|%d|%d|%d" in_port
+               (Jury_packet.Addr.Mac.to_int src)
+               (Jury_packet.Addr.Mac.to_int dst)
+               ty ns nd
+               (Option.value m.nw_proto ~default:(-1))
+               (Option.value m.tp_src ~default:(-1))
+               (Option.value m.tp_dst ~default:(-1)))
+      | _ -> None)
+  | _ -> None
+
+let index_key_of_frame ~in_port frame =
+  index_key_of_match (Of_match.exact_of_frame ~in_port frame)
+
+let iter_exact t f =
+  Hashtbl.iter (fun _ bucket -> List.iter f !bucket) t.exact_index
+
+let all_entries t =
+  let acc = ref t.wildcards in
+  iter_exact t (fun e -> acc := e :: !acc);
+  List.stable_sort
+    (fun a b ->
+      let c = compare b.priority a.priority in
+      if c <> 0 then c else Time.compare a.installed_at b.installed_at)
+    !acc
+
+let insert_wildcard t e =
+  let rec go = function
+    | [] -> [ e ]
+    | x :: rest ->
+        if
+          e.priority > x.priority
+          || (e.priority = x.priority && Time.(e.installed_at < x.installed_at))
+        then e :: x :: rest
+        else x :: go rest
+  in
+  t.wildcards <- go t.wildcards
+
+let insert t e =
+  match index_key_of_match e.rule with
+  | None -> insert_wildcard t e
+  | Some key ->
+      t.exact_count <- t.exact_count + 1;
+      (match Hashtbl.find_opt t.exact_index key with
+      | Some bucket -> bucket := e :: !bucket
+      | None -> Hashtbl.add t.exact_index key (ref [ e ]))
+
+let remove_specific t victims =
+  (* Physical-identity removal from either store. *)
+  let is_victim e = List.memq e victims in
+  t.wildcards <- List.filter (fun e -> not (is_victim e)) t.wildcards;
+  let dead_keys = ref [] in
+  Hashtbl.iter
+    (fun key bucket ->
+      let before = List.length !bucket in
+      bucket := List.filter (fun e -> not (is_victim e)) !bucket;
+      t.exact_count <- t.exact_count - (before - List.length !bucket);
+      if !bucket = [] then dead_keys := key :: !dead_keys)
+    t.exact_index;
+  List.iter (Hashtbl.remove t.exact_index) !dead_keys
+
+let remove_in_bucket t key victims =
+  match Hashtbl.find_opt t.exact_index key with
+  | None -> ()
+  | Some bucket ->
+      let before = List.length !bucket in
+      bucket := List.filter (fun e -> not (List.memq e victims)) !bucket;
+      t.exact_count <- t.exact_count - (before - List.length !bucket);
+      if !bucket = [] then Hashtbl.remove t.exact_index key
+
+type apply_result =
+  | Installed
+  | Modified of int
+  | Removed of entry list
+  | Rejected of string
+
+let matches_filter (fm : Of_message.flow_mod) ~strict e =
+  let port_ok =
+    match fm.out_port with
+    | None -> true
+    | Some p -> List.mem p (Of_action.output_ports e.actions)
+  in
+  port_ok
+  &&
+  if strict then Of_match.equal e.rule fm.fm_match && e.priority = fm.priority
+  else Of_match.more_specific e.rule fm.fm_match
+
+let fresh_entry ~now (fm : Of_message.flow_mod) rule =
+  { rule;
+    priority = fm.priority;
+    cookie = fm.cookie;
+    actions = fm.actions;
+    idle_timeout = fm.idle_timeout;
+    hard_timeout = fm.hard_timeout;
+    installed_at = now;
+    last_hit = now;
+    packet_count = 0L;
+    byte_count = 0L }
+
+let same_slot rule priority e =
+  Of_match.equal e.rule rule && e.priority = priority
+
+let apply_flow_mod t ~now (fm : Of_message.flow_mod) =
+  let rule =
+    if Of_match.hierarchy_ok fm.fm_match then Some fm.fm_match
+    else if t.lenient then Some (Of_match.strip_invalid_fields fm.fm_match)
+    else None
+  in
+  match (rule, fm.command) with
+  | None, _ -> Rejected "match violates field hierarchy"
+  | Some rule, Add ->
+      (* OF 1.0: ADD replaces an identical (match, priority) entry. *)
+      (match index_key_of_match rule with
+      | Some key -> (
+          match Hashtbl.find_opt t.exact_index key with
+          | Some bucket ->
+              remove_in_bucket t key
+                (List.filter (same_slot rule fm.priority) !bucket)
+          | None -> ())
+      | None ->
+          t.wildcards <-
+            List.filter (fun e -> not (same_slot rule fm.priority e))
+              t.wildcards);
+      insert t (fresh_entry ~now fm rule);
+      Installed
+  | Some rule, (Modify | Modify_strict) -> (
+      let strict = fm.command = Modify_strict in
+      let hits =
+        List.filter
+          (fun e ->
+            if strict then same_slot rule fm.priority e
+            else Of_match.more_specific e.rule rule)
+          (all_entries t)
+      in
+      match hits with
+      | [] ->
+          insert t (fresh_entry ~now fm rule);
+          Installed
+      | hits ->
+          remove_specific t hits;
+          List.iter
+            (fun e -> insert t { e with actions = fm.actions })
+            hits;
+          Modified (List.length hits))
+  | Some _, (Delete | Delete_strict) ->
+      let strict = fm.command = Delete_strict in
+      let gone =
+        List.filter (matches_filter fm ~strict) (all_entries t)
+      in
+      remove_specific t gone;
+      Removed gone
+
+let entry_live ~now e =
+  let age_sec = Time.to_float_sec (Time.sub now e.installed_at) in
+  let idle_sec = Time.to_float_sec (Time.sub now e.last_hit) in
+  (e.hard_timeout = 0 || age_sec < float_of_int e.hard_timeout)
+  && (e.idle_timeout = 0 || idle_sec < float_of_int e.idle_timeout)
+
+let lookup t ~now ~in_port frame =
+  let best_of candidates =
+    List.fold_left
+      (fun best e ->
+        if entry_live ~now e && Of_match.matches e.rule ~in_port frame then
+          match best with
+          | Some b
+            when b.priority > e.priority
+                 || (b.priority = e.priority
+                     && Time.(b.installed_at <= e.installed_at)) ->
+              best
+          | _ -> Some e
+        else best)
+      None candidates
+  in
+  let exact =
+    match index_key_of_frame ~in_port frame with
+    | None -> None
+    | Some key -> (
+        match Hashtbl.find_opt t.exact_index key with
+        | None -> None
+        | Some bucket -> best_of !bucket)
+  in
+  let wild = best_of t.wildcards in
+  let winner =
+    match (exact, wild) with
+    | None, w -> w
+    | e, None -> e
+    | Some e, Some w -> if w.priority > e.priority then Some w else Some e
+  in
+  match winner with
+  | None -> None
+  | Some e ->
+      e.last_hit <- now;
+      e.packet_count <- Int64.add e.packet_count 1L;
+      e.byte_count <-
+        Int64.add e.byte_count
+          (Int64.of_int (Jury_packet.Frame.size_on_wire frame));
+      Some e
+
+let expire t ~now =
+  let dead = ref [] in
+  List.iter
+    (fun e -> if not (entry_live ~now e) then dead := e :: !dead)
+    t.wildcards;
+  iter_exact t (fun e -> if not (entry_live ~now e) then dead := e :: !dead);
+  remove_specific t !dead;
+  !dead
+
+let entries t = all_entries t
+let size t = List.length t.wildcards + t.exact_count
+
+let has_expirable t =
+  let expirable e = e.idle_timeout > 0 || e.hard_timeout > 0 in
+  List.exists expirable t.wildcards
+  || Hashtbl.fold
+       (fun _ bucket acc -> acc || List.exists expirable !bucket)
+       t.exact_index false
+
+let clear t =
+  t.wildcards <- [];
+  Hashtbl.reset t.exact_index;
+  t.exact_count <- 0
+
+let find_exact t m ~priority =
+  let candidates =
+    match index_key_of_match m with
+    | Some key -> (
+        match Hashtbl.find_opt t.exact_index key with
+        | Some bucket -> !bucket
+        | None -> [])
+    | None -> t.wildcards
+  in
+  List.find_opt (same_slot m priority) candidates
+
+let pp fmt t =
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  prio=%-4d %a -> %a (pkts=%Ld)@." e.priority
+        Of_match.pp e.rule Of_action.pp_list e.actions e.packet_count)
+    (all_entries t)

@@ -1,0 +1,91 @@
+type t =
+  | Hello_failed of [ `Incompatible | `Eperm ]
+  | Bad_request of
+      [ `Bad_version | `Bad_type | `Bad_stat | `Bad_vendor | `Eperm
+      | `Buffer_empty | `Buffer_unknown ]
+  | Bad_action of
+      [ `Bad_type | `Bad_len | `Bad_out_port | `Bad_argument | `Eperm
+      | `Too_many | `Bad_queue ]
+  | Flow_mod_failed of
+      [ `All_tables_full | `Overlap | `Eperm | `Bad_emerg_timeout
+      | `Bad_command | `Unsupported ]
+  | Port_mod_failed of [ `Bad_port | `Bad_hw_addr ]
+  | Queue_op_failed of [ `Bad_port | `Bad_queue | `Eperm ]
+
+let to_wire = function
+  | Hello_failed `Incompatible -> (0, 0)
+  | Hello_failed `Eperm -> (0, 1)
+  | Bad_request `Bad_version -> (1, 0)
+  | Bad_request `Bad_type -> (1, 1)
+  | Bad_request `Bad_stat -> (1, 2)
+  | Bad_request `Bad_vendor -> (1, 3)
+  | Bad_request `Eperm -> (1, 5)
+  | Bad_request `Buffer_empty -> (1, 6)
+  | Bad_request `Buffer_unknown -> (1, 7)
+  | Bad_action `Bad_type -> (2, 0)
+  | Bad_action `Bad_len -> (2, 1)
+  | Bad_action `Bad_out_port -> (2, 4)
+  | Bad_action `Bad_argument -> (2, 5)
+  | Bad_action `Eperm -> (2, 6)
+  | Bad_action `Too_many -> (2, 7)
+  | Bad_action `Bad_queue -> (2, 8)
+  | Flow_mod_failed `All_tables_full -> (3, 0)
+  | Flow_mod_failed `Overlap -> (3, 1)
+  | Flow_mod_failed `Eperm -> (3, 2)
+  | Flow_mod_failed `Bad_emerg_timeout -> (3, 3)
+  | Flow_mod_failed `Bad_command -> (3, 4)
+  | Flow_mod_failed `Unsupported -> (3, 5)
+  | Port_mod_failed `Bad_port -> (4, 0)
+  | Port_mod_failed `Bad_hw_addr -> (4, 1)
+  | Queue_op_failed `Bad_port -> (5, 0)
+  | Queue_op_failed `Bad_queue -> (5, 1)
+  | Queue_op_failed `Eperm -> (5, 2)
+
+let all =
+  [ Hello_failed `Incompatible; Hello_failed `Eperm;
+    Bad_request `Bad_version; Bad_request `Bad_type; Bad_request `Bad_stat;
+    Bad_request `Bad_vendor; Bad_request `Eperm; Bad_request `Buffer_empty;
+    Bad_request `Buffer_unknown;
+    Bad_action `Bad_type; Bad_action `Bad_len; Bad_action `Bad_out_port;
+    Bad_action `Bad_argument; Bad_action `Eperm; Bad_action `Too_many;
+    Bad_action `Bad_queue;
+    Flow_mod_failed `All_tables_full; Flow_mod_failed `Overlap;
+    Flow_mod_failed `Eperm; Flow_mod_failed `Bad_emerg_timeout;
+    Flow_mod_failed `Bad_command; Flow_mod_failed `Unsupported;
+    Port_mod_failed `Bad_port; Port_mod_failed `Bad_hw_addr;
+    Queue_op_failed `Bad_port; Queue_op_failed `Bad_queue;
+    Queue_op_failed `Eperm ]
+
+let of_wire pair = List.find_opt (fun e -> to_wire e = pair) all
+
+let describe = function
+  | Hello_failed `Incompatible -> "hello failed: incompatible version"
+  | Hello_failed `Eperm -> "hello failed: permissions"
+  | Bad_request `Bad_version -> "bad request: version not supported"
+  | Bad_request `Bad_type -> "bad request: unknown message type"
+  | Bad_request `Bad_stat -> "bad request: unknown stats type"
+  | Bad_request `Bad_vendor -> "bad request: unknown vendor"
+  | Bad_request `Eperm -> "bad request: permissions"
+  | Bad_request `Buffer_empty -> "bad request: buffer already used"
+  | Bad_request `Buffer_unknown -> "bad request: unknown buffer"
+  | Bad_action `Bad_type -> "bad action: unknown action type"
+  | Bad_action `Bad_len -> "bad action: wrong length"
+  | Bad_action `Bad_out_port -> "bad action: bad output port"
+  | Bad_action `Bad_argument -> "bad action: bad argument"
+  | Bad_action `Eperm -> "bad action: permissions"
+  | Bad_action `Too_many -> "bad action: too many actions"
+  | Bad_action `Bad_queue -> "bad action: bad queue"
+  | Flow_mod_failed `All_tables_full -> "flow mod failed: tables full"
+  | Flow_mod_failed `Overlap -> "flow mod failed: overlapping entry"
+  | Flow_mod_failed `Eperm -> "flow mod failed: permissions"
+  | Flow_mod_failed `Bad_emerg_timeout -> "flow mod failed: bad emergency timeout"
+  | Flow_mod_failed `Bad_command -> "flow mod failed: bad command"
+  | Flow_mod_failed `Unsupported -> "flow mod failed: unsupported match/action"
+  | Port_mod_failed `Bad_port -> "port mod failed: bad port"
+  | Port_mod_failed `Bad_hw_addr -> "port mod failed: bad hardware address"
+  | Queue_op_failed `Bad_port -> "queue op failed: bad port"
+  | Queue_op_failed `Bad_queue -> "queue op failed: bad queue"
+  | Queue_op_failed `Eperm -> "queue op failed: permissions"
+
+let pp fmt t = Format.pp_print_string fmt (describe t)
+let flow_mod_rejected = Flow_mod_failed `Unsupported

@@ -1,0 +1,31 @@
+(** OpenFlow 1.0 error taxonomy.
+
+    The switch answers a rejected request with an ERROR message carrying
+    a numeric (type, code) pair; this module gives the pairs names and
+    printable descriptions so controllers and tests don't juggle raw
+    integers. *)
+
+type t =
+  | Hello_failed of [ `Incompatible | `Eperm ]
+  | Bad_request of
+      [ `Bad_version | `Bad_type | `Bad_stat | `Bad_vendor | `Eperm
+      | `Buffer_empty | `Buffer_unknown ]
+  | Bad_action of
+      [ `Bad_type | `Bad_len | `Bad_out_port | `Bad_argument | `Eperm
+      | `Too_many | `Bad_queue ]
+  | Flow_mod_failed of
+      [ `All_tables_full | `Overlap | `Eperm | `Bad_emerg_timeout
+      | `Bad_command | `Unsupported ]
+  | Port_mod_failed of [ `Bad_port | `Bad_hw_addr ]
+  | Queue_op_failed of [ `Bad_port | `Bad_queue | `Eperm ]
+
+val to_wire : t -> int * int
+(** The (type, code) pair as carried by {!Of_message.Error}. *)
+
+val of_wire : int * int -> t option
+val describe : t -> string
+val pp : Format.formatter -> t -> unit
+
+val flow_mod_rejected : t
+(** The error a strict switch raises for a hierarchy-violating match
+    ([Flow_mod_failed `Unsupported]) — what {!Jury_net.Switch} sends. *)

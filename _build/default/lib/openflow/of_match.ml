@@ -1,0 +1,201 @@
+open Jury_packet
+
+type t = {
+  in_port : Of_types.Port.t option;
+  dl_src : Addr.Mac.t option;
+  dl_dst : Addr.Mac.t option;
+  dl_vlan : int option option;
+  dl_type : int option;
+  nw_src : (Addr.Ipv4.t * int) option;
+  nw_dst : (Addr.Ipv4.t * int) option;
+  nw_proto : int option;
+  nw_tos : int option;
+  tp_src : int option;
+  tp_dst : int option;
+}
+
+let wildcard_all =
+  { in_port = None;
+    dl_src = None;
+    dl_dst = None;
+    dl_vlan = None;
+    dl_type = None;
+    nw_src = None;
+    nw_dst = None;
+    nw_proto = None;
+    nw_tos = None;
+    tp_src = None;
+    tp_dst = None }
+
+let ethertype_arp = 0x0806
+let ethertype_ipv4 = 0x0800
+
+let frame_nw (frame : Frame.t) =
+  match frame.payload with
+  | Frame.Ipv4 ip -> Some (ip.src, ip.dst, ip.proto, ip.dscp)
+  | Frame.Arp a ->
+      (* OF 1.0 reuses nw_src/nw_dst for ARP SPA/TPA and nw_proto for
+         the ARP opcode. *)
+      let op = match a.op with Frame.Request -> 1 | Frame.Reply -> 2 in
+      Some (a.spa, a.tpa, op, 0)
+  | Frame.Lldp _ | Frame.Raw _ -> None
+
+let frame_tp (frame : Frame.t) =
+  match frame.payload with
+  | Frame.Ipv4 { l4 = Frame.Tcp t; _ } -> Some (t.src_port, t.dst_port)
+  | Frame.Ipv4 { l4 = Frame.Udp u; _ } -> Some (u.src_port, u.dst_port)
+  | Frame.Ipv4 { l4 = Frame.Icmp i; _ } -> Some (i.ty, i.code)
+  | Frame.Ipv4 { l4 = Frame.Other_l4 _; _ } | Frame.Arp _ | Frame.Lldp _
+  | Frame.Raw _ ->
+      None
+
+let exact_of_frame ~in_port (frame : Frame.t) =
+  let ty = Frame.ethertype frame in
+  let nw = frame_nw frame in
+  let tp = frame_tp frame in
+  { in_port = Some in_port;
+    dl_src = Some frame.dl_src;
+    dl_dst = Some frame.dl_dst;
+    dl_vlan = Some frame.vlan;
+    dl_type = Some ty;
+    nw_src = Option.map (fun (s, _, _, _) -> (s, 32)) nw;
+    nw_dst = Option.map (fun (_, d, _, _) -> (d, 32)) nw;
+    nw_proto = Option.map (fun (_, _, p, _) -> p) nw;
+    nw_tos = Option.map (fun (_, _, _, t) -> t) nw;
+    tp_src = Option.map fst tp;
+    tp_dst = Option.map snd tp }
+
+let l2_pair ~src ~dst =
+  { wildcard_all with dl_src = Some src; dl_dst = Some dst }
+
+let l2_dst ~dst = { wildcard_all with dl_dst = Some dst }
+
+let field_matches v = function None -> true | Some want -> want = v
+
+let matches t ~in_port (frame : Frame.t) =
+  field_matches in_port t.in_port
+  && field_matches frame.dl_src t.dl_src
+  && field_matches frame.dl_dst t.dl_dst
+  && (match t.dl_vlan with None -> true | Some want -> want = frame.vlan)
+  && field_matches (Frame.ethertype frame) t.dl_type
+  &&
+  let nw = frame_nw frame in
+  let nw_field get pred =
+    match get t with
+    | None -> true
+    | Some want -> ( match nw with None -> false | Some v -> pred want v)
+  in
+  nw_field
+    (fun t -> t.nw_src)
+    (fun (prefix, bits) (s, _, _, _) ->
+      Addr.Ipv4.matches_prefix s ~prefix ~bits)
+  && nw_field
+       (fun t -> t.nw_dst)
+       (fun (prefix, bits) (_, d, _, _) ->
+         Addr.Ipv4.matches_prefix d ~prefix ~bits)
+  && nw_field (fun t -> t.nw_proto) (fun want (_, _, p, _) -> want = p)
+  && nw_field (fun t -> t.nw_tos) (fun want (_, _, _, tos) -> want = tos)
+  &&
+  let tp = frame_tp frame in
+  let tp_field get pick =
+    match get t with
+    | None -> true
+    | Some want -> ( match tp with None -> false | Some v -> want = pick v)
+  in
+  tp_field (fun t -> t.tp_src) fst && tp_field (fun t -> t.tp_dst) snd
+
+let hierarchy_ok t =
+  let nw_set =
+    t.nw_src <> None || t.nw_dst <> None || t.nw_proto <> None
+    || t.nw_tos <> None
+  in
+  let tp_set = t.tp_src <> None || t.tp_dst <> None in
+  let nw_backed =
+    match t.dl_type with
+    | Some ty -> ty = ethertype_ipv4 || ty = ethertype_arp
+    | None -> false
+  in
+  let tp_backed =
+    nw_backed
+    && t.dl_type = Some ethertype_ipv4
+    && (match t.nw_proto with Some (1 | 6 | 17) -> true | Some _ | None -> false)
+  in
+  ((not nw_set) || nw_backed) && ((not tp_set) || tp_backed)
+
+let strip_invalid_fields t =
+  let nw_backed =
+    match t.dl_type with
+    | Some ty -> ty = ethertype_ipv4 || ty = ethertype_arp
+    | None -> false
+  in
+  let t =
+    if nw_backed then t
+    else { t with nw_src = None; nw_dst = None; nw_proto = None;
+                  nw_tos = None }
+  in
+  let tp_backed =
+    nw_backed
+    && t.dl_type = Some ethertype_ipv4
+    && (match t.nw_proto with Some (1 | 6 | 17) -> true | Some _ | None -> false)
+  in
+  if tp_backed then t else { t with tp_src = None; tp_dst = None }
+
+let more_specific a b =
+  let sub eq ga gb =
+    match (ga a, gb b) with
+    | _, None -> true
+    | None, Some _ -> false
+    | Some va, Some vb -> eq va vb
+  in
+  let prefix_sub (pa, ba) (pb, bb) =
+    ba >= bb && Addr.Ipv4.matches_prefix pa ~prefix:pb ~bits:bb
+  in
+  sub ( = ) (fun t -> t.in_port) (fun t -> t.in_port)
+  && sub Addr.Mac.equal (fun t -> t.dl_src) (fun t -> t.dl_src)
+  && sub Addr.Mac.equal (fun t -> t.dl_dst) (fun t -> t.dl_dst)
+  && sub ( = ) (fun t -> t.dl_vlan) (fun t -> t.dl_vlan)
+  && sub ( = ) (fun t -> t.dl_type) (fun t -> t.dl_type)
+  && sub prefix_sub (fun t -> t.nw_src) (fun t -> t.nw_src)
+  && sub prefix_sub (fun t -> t.nw_dst) (fun t -> t.nw_dst)
+  && sub ( = ) (fun t -> t.nw_proto) (fun t -> t.nw_proto)
+  && sub ( = ) (fun t -> t.nw_tos) (fun t -> t.nw_tos)
+  && sub ( = ) (fun t -> t.tp_src) (fun t -> t.tp_src)
+  && sub ( = ) (fun t -> t.tp_dst) (fun t -> t.tp_dst)
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+
+let pp fmt t =
+  let first = ref true in
+  let field name pp_v = function
+    | None -> ()
+    | Some v ->
+        if not !first then Format.pp_print_string fmt ",";
+        first := false;
+        Format.fprintf fmt "%s=%a" name pp_v v
+  in
+  Format.pp_print_string fmt "{";
+  field "in_port" Of_types.Port.pp t.in_port;
+  field "dl_src" Addr.Mac.pp t.dl_src;
+  field "dl_dst" Addr.Mac.pp t.dl_dst;
+  field "dl_vlan"
+    (fun fmt -> function
+      | None -> Format.pp_print_string fmt "untagged"
+      | Some v -> Format.pp_print_int fmt v)
+    t.dl_vlan;
+  field "dl_type" (fun fmt v -> Format.fprintf fmt "0x%04x" v) t.dl_type;
+  field "nw_src"
+    (fun fmt (p, b) -> Format.fprintf fmt "%a/%d" Addr.Ipv4.pp p b)
+    t.nw_src;
+  field "nw_dst"
+    (fun fmt (p, b) -> Format.fprintf fmt "%a/%d" Addr.Ipv4.pp p b)
+    t.nw_dst;
+  field "nw_proto" Format.pp_print_int t.nw_proto;
+  field "nw_tos" Format.pp_print_int t.nw_tos;
+  field "tp_src" Format.pp_print_int t.tp_src;
+  field "tp_dst" Format.pp_print_int t.tp_dst;
+  if !first then Format.pp_print_string fmt "*";
+  Format.pp_print_string fmt "}"
+
+let to_string t = Format.asprintf "%a" pp t

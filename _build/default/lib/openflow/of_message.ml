@@ -1,0 +1,149 @@
+type packet_in_reason = No_match | Action_to_controller
+
+type packet_in = {
+  buffer_id : Of_types.buffer_id;
+  in_port : Of_types.Port.t;
+  reason : packet_in_reason;
+  frame : Jury_packet.Frame.t;
+}
+
+type packet_out = {
+  po_buffer_id : Of_types.buffer_id;
+  po_in_port : Of_types.Port.t;
+  po_actions : Of_action.t list;
+  po_frame : Jury_packet.Frame.t option;
+}
+
+type flow_mod_command = Add | Modify | Modify_strict | Delete | Delete_strict
+
+type flow_mod = {
+  command : flow_mod_command;
+  fm_match : Of_match.t;
+  priority : int;
+  cookie : Of_types.cookie;
+  idle_timeout : int;
+  hard_timeout : int;
+  actions : Of_action.t list;
+  fm_buffer_id : Of_types.buffer_id;
+  out_port : Of_types.Port.t option;
+}
+
+type flow_removed_reason = Idle_timeout | Hard_timeout | Deleted
+
+type flow_removed = {
+  fr_match : Of_match.t;
+  fr_cookie : Of_types.cookie;
+  fr_priority : int;
+  fr_reason : flow_removed_reason;
+  duration_sec : int;
+  packet_count : int64;
+  byte_count : int64;
+}
+
+type port_status_reason = Port_add | Port_delete | Port_modify
+
+type port_status = {
+  ps_reason : port_status_reason;
+  ps_port : Of_types.Port.t;
+  ps_link_up : bool;
+}
+
+type features_reply = {
+  datapath_id : Of_types.Dpid.t;
+  n_buffers : int;
+  n_tables : int;
+  ports : Of_types.Port.t list;
+}
+
+type stats_request = Flow_stats_request of Of_match.t | Table_stats_request
+
+type flow_stat = {
+  fs_match : Of_match.t;
+  fs_priority : int;
+  fs_cookie : Of_types.cookie;
+  fs_actions : Of_action.t list;
+  fs_packet_count : int64;
+}
+
+type stats_reply = Flow_stats_reply of flow_stat list | Table_stats_reply of int
+
+type payload =
+  | Hello
+  | Echo_request of string
+  | Echo_reply of string
+  | Features_request
+  | Features_reply of features_reply
+  | Packet_in of packet_in
+  | Packet_out of packet_out
+  | Flow_mod of flow_mod
+  | Flow_removed of flow_removed
+  | Port_status of port_status
+  | Barrier_request
+  | Barrier_reply
+  | Stats_request of stats_request
+  | Stats_reply of stats_reply
+  | Error of int * int
+
+type t = { xid : Of_types.xid; payload : payload }
+
+let make ~xid payload = { xid; payload }
+
+let flow_mod ?(priority = 100) ?(cookie = 0L) ?(idle_timeout = 0)
+    ?(hard_timeout = 0) ?(buffer_id = None) ?(command = Add) fm_match actions =
+  { command;
+    fm_match;
+    priority;
+    cookie;
+    idle_timeout;
+    hard_timeout;
+    actions;
+    fm_buffer_id = buffer_id;
+    out_port = None }
+
+let type_name = function
+  | Hello -> "HELLO"
+  | Echo_request _ -> "ECHO_REQUEST"
+  | Echo_reply _ -> "ECHO_REPLY"
+  | Features_request -> "FEATURES_REQUEST"
+  | Features_reply _ -> "FEATURES_REPLY"
+  | Packet_in _ -> "PACKET_IN"
+  | Packet_out _ -> "PACKET_OUT"
+  | Flow_mod _ -> "FLOW_MOD"
+  | Flow_removed _ -> "FLOW_REMOVED"
+  | Port_status _ -> "PORT_STATUS"
+  | Barrier_request -> "BARRIER_REQUEST"
+  | Barrier_reply -> "BARRIER_REPLY"
+  | Stats_request _ -> "STATS_REQUEST"
+  | Stats_reply _ -> "STATS_REPLY"
+  | Error _ -> "ERROR"
+
+let pp fmt t =
+  Format.fprintf fmt "%s(xid=%d" (type_name t.payload) t.xid;
+  (match t.payload with
+  | Packet_in pi ->
+      Format.fprintf fmt " in_port=%a %a" Of_types.Port.pp pi.in_port
+        Jury_packet.Frame.pp pi.frame
+  | Flow_mod fm ->
+      Format.fprintf fmt " %s %a prio=%d -> %a"
+        (match fm.command with
+        | Add -> "add"
+        | Modify -> "mod"
+        | Modify_strict -> "mod_strict"
+        | Delete -> "del"
+        | Delete_strict -> "del_strict")
+        Of_match.pp fm.fm_match fm.priority Of_action.pp_list fm.actions
+  | Packet_out po ->
+      Format.fprintf fmt " actions=%a" Of_action.pp_list po.po_actions
+  | Port_status ps ->
+      Format.fprintf fmt " port=%a up=%b" Of_types.Port.pp ps.ps_port
+        ps.ps_link_up
+  | Features_reply fr ->
+      Format.fprintf fmt " dpid=%a ports=%d" Of_types.Dpid.pp fr.datapath_id
+        (List.length fr.ports)
+  | Hello | Echo_request _ | Echo_reply _ | Features_request
+  | Flow_removed _ | Barrier_request | Barrier_reply | Stats_request _
+  | Stats_reply _ | Error _ ->
+      ());
+  Format.pp_print_string fmt ")"
+
+let equal (a : t) b = a = b

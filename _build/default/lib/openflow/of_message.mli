@@ -1,0 +1,105 @@
+(** OpenFlow 1.0 control messages exchanged between switch and
+    controller. *)
+
+type packet_in_reason = No_match | Action_to_controller
+
+type packet_in = {
+  buffer_id : Of_types.buffer_id;
+  in_port : Of_types.Port.t;
+  reason : packet_in_reason;
+  frame : Jury_packet.Frame.t;
+}
+
+type packet_out = {
+  po_buffer_id : Of_types.buffer_id;
+  po_in_port : Of_types.Port.t;
+  po_actions : Of_action.t list;
+  po_frame : Jury_packet.Frame.t option;
+      (** [None] when acting on a buffered packet. *)
+}
+
+type flow_mod_command = Add | Modify | Modify_strict | Delete | Delete_strict
+
+type flow_mod = {
+  command : flow_mod_command;
+  fm_match : Of_match.t;
+  priority : int;
+  cookie : Of_types.cookie;
+  idle_timeout : int;   (** seconds, 0 = permanent *)
+  hard_timeout : int;
+  actions : Of_action.t list;
+  fm_buffer_id : Of_types.buffer_id;
+  out_port : Of_types.Port.t option;  (** filter for Delete *)
+}
+
+type flow_removed_reason = Idle_timeout | Hard_timeout | Deleted
+
+type flow_removed = {
+  fr_match : Of_match.t;
+  fr_cookie : Of_types.cookie;
+  fr_priority : int;
+  fr_reason : flow_removed_reason;
+  duration_sec : int;
+  packet_count : int64;
+  byte_count : int64;
+}
+
+type port_status_reason = Port_add | Port_delete | Port_modify
+
+type port_status = {
+  ps_reason : port_status_reason;
+  ps_port : Of_types.Port.t;
+  ps_link_up : bool;
+}
+
+type features_reply = {
+  datapath_id : Of_types.Dpid.t;
+  n_buffers : int;
+  n_tables : int;
+  ports : Of_types.Port.t list;
+}
+
+type stats_request = Flow_stats_request of Of_match.t | Table_stats_request
+
+type flow_stat = {
+  fs_match : Of_match.t;
+  fs_priority : int;
+  fs_cookie : Of_types.cookie;
+  fs_actions : Of_action.t list;
+  fs_packet_count : int64;
+}
+
+type stats_reply = Flow_stats_reply of flow_stat list | Table_stats_reply of int
+
+type payload =
+  | Hello
+  | Echo_request of string
+  | Echo_reply of string
+  | Features_request
+  | Features_reply of features_reply
+  | Packet_in of packet_in
+  | Packet_out of packet_out
+  | Flow_mod of flow_mod
+  | Flow_removed of flow_removed
+  | Port_status of port_status
+  | Barrier_request
+  | Barrier_reply
+  | Stats_request of stats_request
+  | Stats_reply of stats_reply
+  | Error of int * int  (** type, code *)
+
+type t = { xid : Of_types.xid; payload : payload }
+
+val make : xid:Of_types.xid -> payload -> t
+
+val flow_mod :
+  ?priority:int -> ?cookie:Of_types.cookie -> ?idle_timeout:int ->
+  ?hard_timeout:int -> ?buffer_id:Of_types.buffer_id ->
+  ?command:flow_mod_command -> Of_match.t -> Of_action.t list -> flow_mod
+(** Convenience builder with the defaults every controller app uses:
+    priority 100, no cookie, timeouts 0 (ONOS-style reactive apps set
+    their own idle timeout explicitly). *)
+
+val type_name : payload -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,37 @@
+module Dpid = struct
+  type t = int64
+
+  let of_int = Int64.of_int
+  let of_int64 x = x
+  let to_int64 t = t
+  let compare = Int64.compare
+  let equal = Int64.equal
+  let hash = Hashtbl.hash
+  let pp fmt t = Format.fprintf fmt "of:%016Lx" t
+  let to_string t = Format.asprintf "%a" pp t
+end
+
+module Port = struct
+  type t = int
+
+  let in_port = 0xfff8
+  let flood = 0xfffb
+  let all = 0xfffc
+  let controller = 0xfffd
+  let local = 0xfffe
+  let none = 0xffff
+  let is_physical p = p >= 1 && p < 0xff00
+
+  let pp fmt p =
+    if p = controller then Format.pp_print_string fmt "CONTROLLER"
+    else if p = flood then Format.pp_print_string fmt "FLOOD"
+    else if p = all then Format.pp_print_string fmt "ALL"
+    else if p = local then Format.pp_print_string fmt "LOCAL"
+    else if p = none then Format.pp_print_string fmt "NONE"
+    else if p = in_port then Format.pp_print_string fmt "IN_PORT"
+    else Format.pp_print_int fmt p
+end
+
+type xid = int
+type buffer_id = int option
+type cookie = int64

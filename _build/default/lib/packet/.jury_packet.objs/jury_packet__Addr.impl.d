@@ -1,0 +1,1 @@
+lib/packet/addr.ml: Format Hashtbl Int List Printf String

@@ -1,0 +1,1 @@
+lib/packet/frame.ml: Addr Format Lldp Printf String Wire_buf

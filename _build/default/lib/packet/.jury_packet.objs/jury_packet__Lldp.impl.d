@@ -1,0 +1,1 @@
+lib/packet/lldp.ml: Format Int64 Option String Wire_buf

@@ -1,0 +1,1 @@
+lib/packet/wire_buf.ml: Buffer Bytes Char Int64 String

@@ -1,0 +1,1 @@
+lib/packet/wire_buf.mli:

@@ -1,0 +1,79 @@
+module Mac = struct
+  type t = int
+
+  let mask48 = 0xFFFF_FFFF_FFFF
+  let of_int x = x land mask48
+  let to_int t = t
+  let broadcast = mask48
+  let zero = 0
+  let is_broadcast t = t = broadcast
+  let is_multicast t = t land 0x0100_0000_0000 <> 0
+
+  let of_string s =
+    let parts = String.split_on_char ':' s in
+    if List.length parts <> 6 then invalid_arg "Mac.of_string: need 6 octets";
+    List.fold_left
+      (fun acc p ->
+        let v =
+          try int_of_string ("0x" ^ p)
+          with Failure _ -> invalid_arg "Mac.of_string: bad octet"
+        in
+        if v < 0 || v > 0xFF then invalid_arg "Mac.of_string: octet range";
+        (acc lsl 8) lor v)
+      0 parts
+
+  let to_string t =
+    Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x"
+      ((t lsr 40) land 0xFF) ((t lsr 32) land 0xFF) ((t lsr 24) land 0xFF)
+      ((t lsr 16) land 0xFF) ((t lsr 8) land 0xFF) (t land 0xFF)
+
+  let pp fmt t = Format.pp_print_string fmt (to_string t)
+  let compare = Int.compare
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+  let of_host_index i = of_int (0x0200_0000_0000 lor (i land 0xFFFF_FFFF))
+  let lldp_nearest_bridge = of_string "01:80:c2:00:00:0e"
+end
+
+module Ipv4 = struct
+  type t = int
+
+  let mask32 = 0xFFFF_FFFF
+  let of_int x = x land mask32
+  let to_int t = t
+
+  let of_string s =
+    let parts = String.split_on_char '.' s in
+    if List.length parts <> 4 then invalid_arg "Ipv4.of_string: need 4 octets";
+    List.fold_left
+      (fun acc p ->
+        let v =
+          try int_of_string p
+          with Failure _ -> invalid_arg "Ipv4.of_string: bad octet"
+        in
+        if v < 0 || v > 255 then invalid_arg "Ipv4.of_string: octet range";
+        (acc lsl 8) lor v)
+      0 parts
+
+  let to_string t =
+    Printf.sprintf "%d.%d.%d.%d"
+      ((t lsr 24) land 0xFF) ((t lsr 16) land 0xFF) ((t lsr 8) land 0xFF)
+      (t land 0xFF)
+
+  let pp fmt t = Format.pp_print_string fmt (to_string t)
+  let compare = Int.compare
+  let equal = Int.equal
+  let any = 0
+  let broadcast = mask32
+
+  let of_host_index i =
+    of_int (0x0A00_0000 lor ((i land 0xFFFF) + 1))
+
+  let matches_prefix a ~prefix ~bits =
+    if bits < 0 || bits > 32 then invalid_arg "Ipv4.matches_prefix: bits";
+    if bits = 0 then true
+    else begin
+      let mask = mask32 lxor ((1 lsl (32 - bits)) - 1) in
+      a land mask = to_int prefix land mask
+    end
+end

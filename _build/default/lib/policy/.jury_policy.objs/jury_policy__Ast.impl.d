@@ -1,0 +1,1 @@
+lib/policy/ast.ml: Format Jury_controller Jury_openflow Jury_store Option Pattern Printf

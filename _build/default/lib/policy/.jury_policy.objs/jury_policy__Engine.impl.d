@@ -1,0 +1,1 @@
+lib/policy/engine.ml: Ast Hashtbl List Parse Result

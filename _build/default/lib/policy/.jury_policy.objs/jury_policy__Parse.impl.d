@@ -1,0 +1,1 @@
+lib/policy/parse.ml: Ast Jury_store List Option Pattern Printf Result String

@@ -1,0 +1,1 @@
+lib/policy/parse.mli: Ast

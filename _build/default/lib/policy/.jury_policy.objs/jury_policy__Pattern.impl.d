@@ -1,0 +1,1 @@
+lib/policy/pattern.ml: String

@@ -1,0 +1,56 @@
+type t = {
+  mutable ordered : Ast.rule list;  (* insertion order, for [rules] *)
+  by_cache : (string, Ast.rule list ref) Hashtbl.t;
+  any_cache : Ast.rule list ref;
+}
+
+let add_rule t rule =
+  t.ordered <- t.ordered @ [ rule ];
+  match rule.Ast.cache with
+  | None -> t.any_cache := !(t.any_cache) @ [ rule ]
+  | Some cache -> (
+      match Hashtbl.find_opt t.by_cache cache with
+      | Some bucket -> bucket := !bucket @ [ rule ]
+      | None -> Hashtbl.add t.by_cache cache (ref [ rule ]))
+
+let create rules =
+  let t =
+    { ordered = []; by_cache = Hashtbl.create 8; any_cache = ref [] }
+  in
+  List.iter (add_rule t) rules;
+  t
+
+let rules t = t.ordered
+let rule_count t = List.length t.ordered
+
+type verdict = Allowed | Denied of Ast.rule
+
+let check t (q : Ast.query) =
+  let bucket =
+    match Hashtbl.find_opt t.by_cache q.Ast.q_cache with
+    | Some b -> !b
+    | None -> []
+  in
+  (* Cache-specific rules first, then cache-wildcards; within each,
+     insertion order. The first matching rule decides. *)
+  let rec scan = function
+    | [] -> None
+    | rule :: rest ->
+        if Ast.rule_matches rule q then
+          Some (if rule.Ast.allow then Allowed else Denied rule)
+        else scan rest
+  in
+  match scan bucket with
+  | Some verdict -> verdict
+  | None -> (
+      match scan !(t.any_cache) with
+      | Some verdict -> verdict
+      | None -> Allowed)
+
+let check_all t queries =
+  List.filter_map
+    (fun q -> match check t q with Allowed -> None | Denied r -> Some r)
+    queries
+
+let of_dsl src = Result.map create (Parse.dsl src)
+let of_xml src = Result.map create (Parse.xml src)

@@ -1,0 +1,24 @@
+(** Policy evaluation.
+
+    The validator calls {!check} once per validated response (one of
+    the matching replica responses — §V notes one check per policy
+    suffices once consensus holds). Rules are bucketed by cache name so
+    a response only scans the rules that could apply; within a bucket
+    evaluation is first-match-wins, and an unmatched query is allowed. *)
+
+type t
+
+val create : Ast.rule list -> t
+val rules : t -> Ast.rule list
+val rule_count : t -> int
+val add_rule : t -> Ast.rule -> unit
+
+type verdict = Allowed | Denied of Ast.rule
+
+val check : t -> Ast.query -> verdict
+
+val check_all : t -> Ast.query list -> Ast.rule list
+(** Every deny verdict across a whole response's queries. *)
+
+val of_dsl : string -> (t, string) result
+val of_xml : string -> (t, string) result

@@ -1,0 +1,24 @@
+type t = { source : string }
+
+let compile source = { source }
+let source t = t.source
+let is_star t = t.source = "*"
+
+let matches t s =
+  let p = t.source in
+  let plen = String.length p and slen = String.length s in
+  (* Iterative glob with backtracking on the last '*'. *)
+  let rec go pi si star_pi star_si =
+    if si = slen then
+      (* Consume trailing stars. *)
+      let rec stars pi = pi = plen || (p.[pi] = '*' && stars (pi + 1)) in
+      if stars pi then true
+      else if star_pi >= 0 then go (star_pi + 1) (star_si + 1) star_pi (star_si + 1)
+      else false
+    else if pi < plen && p.[pi] = '*' then go (pi + 1) si pi si
+    else if pi < plen && (p.[pi] = '?' || p.[pi] = s.[si]) then
+      go (pi + 1) (si + 1) star_pi star_si
+    else if star_pi >= 0 then go (star_pi + 1) (star_si + 1) star_pi (star_si + 1)
+    else false
+  in
+  go 0 0 (-1) (-1)

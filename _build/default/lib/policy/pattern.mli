@@ -1,0 +1,10 @@
+(** Glob patterns for policy entry matching: [*] matches any run of
+    characters, [?] any single character; everything else is literal. *)
+
+type t
+
+val compile : string -> t
+val matches : t -> string -> bool
+val source : t -> string
+val is_star : t -> bool
+(** [true] for the pattern ["*"], letting the engine skip the match. *)

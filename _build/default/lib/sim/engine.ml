@@ -1,0 +1,90 @@
+type event = { mutable live : bool; action : unit -> unit }
+
+type t = {
+  mutable clock : Time.t;
+  mutable seq : int;
+  queue : event Heap.t;
+  root_rng : Rng.t;
+}
+
+type handle = { event : event; engine : t }
+
+let create ?(seed = 42) () =
+  { clock = Time.zero;
+    seq = 0;
+    queue = Heap.create ();
+    root_rng = Rng.create seed }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule_at t ~at f =
+  if Time.(at < t.clock) then
+    invalid_arg "Engine.schedule_at: time is in the past";
+  let event = { live = true; action = f } in
+  t.seq <- t.seq + 1;
+  Heap.push t.queue ~key:at ~seq:t.seq event;
+  { event; engine = t }
+
+let schedule t ~after f = schedule_at t ~at:(Time.add t.clock after) f
+
+let cancel h =
+  ignore h.engine;
+  h.event.live <- false
+
+let is_pending h = h.event.live
+
+let every t ~period ?jitter f =
+  (* A recurrence is a chain of one-shot events; the caller's handle is
+     kept pointing at the chain head so cancelling it stops the chain. *)
+  let chain = { live = true; action = (fun () -> ()) } in
+  let handle = { event = chain; engine = t } in
+  let rec arm () =
+    let delay =
+      match jitter with
+      | None -> period
+      | Some j ->
+          if Time.to_ns j = 0 then period
+          else Time.add period (Time.ns (Rng.int t.root_rng (Time.to_ns j)))
+    in
+    ignore
+      (schedule t ~after:delay (fun () ->
+           if chain.live then begin
+             f ();
+             if chain.live then arm ()
+           end))
+  in
+  arm ();
+  handle
+
+let execute _t event =
+  if event.live then begin
+    event.live <- false;
+    event.action ()
+  end
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (at, _, event) ->
+      t.clock <- at;
+      execute t event;
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+      let continue = ref true in
+      while !continue do
+        match Heap.peek t.queue with
+        | None -> continue := false
+        | Some (at, _, _) ->
+            if Time.(at > horizon) then begin
+              t.clock <- horizon;
+              continue := false
+            end
+            else ignore (step t)
+      done
+
+let pending_events t = Heap.length t.queue

@@ -1,0 +1,53 @@
+(** Discrete-event simulation engine.
+
+    A single-threaded event loop over simulated {!Time.t}. Components
+    schedule closures to run at future instants; the engine executes
+    them in (time, insertion) order. The engine makes no attempt to be
+    re-entrant: callbacks may schedule or cancel events but must not
+    call {!run} themselves. *)
+
+type t
+
+type handle
+(** Cancellation handle for a scheduled event. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ?seed ()] makes an engine whose root RNG is seeded with
+    [seed] (default 42). *)
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val rng : t -> Rng.t
+(** The engine's root RNG; components usually [Rng.split] it once at
+    construction. *)
+
+val schedule : t -> after:Time.t -> (unit -> unit) -> handle
+(** [schedule t ~after f] runs [f] at [now t + after]. *)
+
+val schedule_at : t -> at:Time.t -> (unit -> unit) -> handle
+(** [schedule_at t ~at f] runs [f] at absolute time [at]; raises
+    [Invalid_argument] if [at] is in the past. *)
+
+val cancel : handle -> unit
+(** Cancels a pending event; a no-op if it already ran or was cancelled. *)
+
+val is_pending : handle -> bool
+
+val every : t -> period:Time.t -> ?jitter:Time.t -> (unit -> unit) -> handle
+(** [every t ~period f] runs [f] every [period], starting one period
+    from now, with optional uniform [jitter] added to each firing.
+    Returns the handle of the {e next} occurrence chain; cancelling it
+    stops the recurrence. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Drains the event queue, advancing simulated time, until the queue
+    is empty or [until] is reached (events scheduled after [until]
+    remain pending). *)
+
+val step : t -> bool
+(** Executes the single next event; [false] if the queue was empty. *)
+
+val pending_events : t -> int
+(** Number of queue slots still occupied (an upper bound on live
+    events; cancelled events are counted until they drain). *)

@@ -1,0 +1,21 @@
+(** Imperative binary min-heap, the core of the event queue.
+
+    Ties are broken by an insertion sequence number supplied by the
+    caller, which gives the FIFO ordering of simultaneous events that a
+    deterministic discrete-event simulation requires. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:Time.t -> seq:int -> 'a -> unit
+(** [push h ~key ~seq v] inserts [v] with priority [(key, seq)]. *)
+
+val pop : 'a t -> (Time.t * int * 'a) option
+(** Removes and returns the minimum, or [None] if empty. *)
+
+val peek : 'a t -> (Time.t * int * 'a) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,53 @@
+type series = { mutable data : float array; mutable len : int }
+
+type t = {
+  series : (string, series) Hashtbl.t;
+  counters : (string, int ref) Hashtbl.t;
+}
+
+let create () = { series = Hashtbl.create 16; counters = Hashtbl.create 16 }
+
+let find_series t name =
+  match Hashtbl.find_opt t.series name with
+  | Some s -> s
+  | None ->
+      let s = { data = Array.make 64 0.; len = 0 } in
+      Hashtbl.add t.series name s;
+      s
+
+let record t name v =
+  let s = find_series t name in
+  if s.len = Array.length s.data then begin
+    let ndata = Array.make (2 * s.len) 0. in
+    Array.blit s.data 0 ndata 0 s.len;
+    s.data <- ndata
+  end;
+  s.data.(s.len) <- v;
+  s.len <- s.len + 1
+
+let record_time t name d = record t name (Time.to_float_ms d)
+
+let incr t ?(by = 1) name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.counters name (ref by)
+
+let samples t name =
+  match Hashtbl.find_opt t.series name with
+  | None -> [||]
+  | Some s -> Array.sub s.data 0 s.len
+
+let count t name =
+  match Hashtbl.find_opt t.counters name with
+  | None -> 0
+  | Some r -> !r
+
+let series_names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.series [] |> List.sort compare
+
+let counter_names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.counters [] |> List.sort compare
+
+let clear t =
+  Hashtbl.reset t.series;
+  Hashtbl.reset t.counters

@@ -1,0 +1,30 @@
+(** Measurement collection for experiments.
+
+    A registry of named series (float samples) and counters. Experiment
+    harnesses record into a [t] while the simulation runs and read the
+    series out afterwards; keeping collection separate from the
+    components under test avoids polluting their interfaces. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> string -> float -> unit
+(** Append a sample to the named series (created on first use). *)
+
+val record_time : t -> string -> Time.t -> unit
+(** Record a duration, stored in milliseconds. *)
+
+val incr : t -> ?by:int -> string -> unit
+(** Bump the named counter. *)
+
+val samples : t -> string -> float array
+(** All samples recorded under the name, in recording order; [| |] if
+    the series does not exist. *)
+
+val count : t -> string -> int
+(** Counter value, 0 if absent. *)
+
+val series_names : t -> string list
+val counter_names : t -> string list
+val clear : t -> unit

@@ -1,0 +1,50 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+  { lo; hi;
+    width = (hi -. lo) /. float_of_int bins;
+    counts = Array.make bins 0;
+    total = 0 }
+
+let add t v =
+  let bins = Array.length t.counts in
+  let idx =
+    if v < t.lo then 0
+    else if v >= t.hi then bins - 1
+    else min (bins - 1) (int_of_float ((v -. t.lo) /. t.width))
+  in
+  t.counts.(idx) <- t.counts.(idx) + 1;
+  t.total <- t.total + 1
+
+let add_many t xs = Array.iter (add t) xs
+let bin_count t = Array.length t.counts
+let counts t = Array.copy t.counts
+let total t = t.total
+
+let bin_edges t =
+  Array.init (Array.length t.counts) (fun i ->
+      let lo = t.lo +. (float_of_int i *. t.width) in
+      (lo, lo +. t.width))
+
+let normalized t =
+  if t.total = 0 then Array.make (Array.length t.counts) 0.
+  else
+    Array.map (fun c -> float_of_int c /. float_of_int t.total) t.counts
+
+let pp fmt t =
+  let edges = bin_edges t in
+  let maxc = Array.fold_left max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      let lo, hi = edges.(i) in
+      let bar = String.make (40 * c / maxc) '#' in
+      Format.fprintf fmt "  [%10.2f, %10.2f) %6d %s@." lo hi c bar)
+    t.counts

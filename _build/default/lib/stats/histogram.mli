@@ -1,0 +1,21 @@
+(** Fixed-width histograms, used for throughput-over-time plots. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Values outside [\[lo, hi)] land in the first/last bin. *)
+
+val add : t -> float -> unit
+val add_many : t -> float array -> unit
+val bin_count : t -> int
+val counts : t -> int array
+val total : t -> int
+
+val bin_edges : t -> (float * float) array
+(** [(lo_i, hi_i)] per bin. *)
+
+val normalized : t -> float array
+(** Per-bin fraction of all samples; all zeros if empty. *)
+
+val pp : Format.formatter -> t -> unit
+(** ASCII rendering, one row per bin with a proportional bar. *)

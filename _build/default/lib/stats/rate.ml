@@ -1,0 +1,56 @@
+type t = {
+  window : float;
+  counts : (int, int ref) Hashtbl.t;
+  mutable total : int;
+  mutable first : int;
+  mutable last : int;
+  mutable any : bool;
+}
+
+let create ~window_sec =
+  if window_sec <= 0. then invalid_arg "Rate.create: window must be positive";
+  { window = window_sec;
+    counts = Hashtbl.create 64;
+    total = 0;
+    first = 0;
+    last = 0;
+    any = false }
+
+let tick t ~at_sec ?(count = 1) () =
+  let w = int_of_float (at_sec /. t.window) in
+  (match Hashtbl.find_opt t.counts w with
+  | Some r -> r := !r + count
+  | None -> Hashtbl.add t.counts w (ref count));
+  t.total <- t.total + count;
+  if not t.any then begin
+    t.first <- w;
+    t.last <- w;
+    t.any <- true
+  end
+  else begin
+    if w < t.first then t.first <- w;
+    if w > t.last then t.last <- w
+  end
+
+let series t =
+  if not t.any then [||]
+  else
+    Array.init
+      (t.last - t.first + 1)
+      (fun i ->
+        let w = t.first + i in
+        let c =
+          match Hashtbl.find_opt t.counts w with Some r -> !r | None -> 0
+        in
+        (float_of_int w *. t.window, float_of_int c /. t.window))
+
+let total t = t.total
+
+let peak_rate t =
+  Array.fold_left (fun acc (_, r) -> max acc r) 0. (series t)
+
+let mean_rate t =
+  if not t.any then 0.
+  else
+    let span = float_of_int (t.last - t.first + 1) *. t.window in
+    float_of_int t.total /. span

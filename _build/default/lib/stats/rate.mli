@@ -1,0 +1,24 @@
+(** Windowed event-rate measurement.
+
+    Records timestamped event counts and reports rates per fixed window,
+    which is how the throughput figures (Fig. 4e–4h) are computed: the
+    data plane records one tick per FLOW_MOD / PACKET_IN, the harness
+    reads back events-per-second series. *)
+
+type t
+
+val create : window_sec:float -> t
+val tick : t -> at_sec:float -> ?count:int -> unit -> unit
+
+val series : t -> (float * float) array
+(** [(window_start_sec, events_per_sec)] rows covering every window from
+    the first to the last tick (empty windows report 0). *)
+
+val total : t -> int
+
+val peak_rate : t -> float
+(** Highest per-window rate, 0 if no ticks. *)
+
+val mean_rate : t -> float
+(** Total events divided by the covered timespan, 0 if fewer than one
+    window elapsed. *)

@@ -1,0 +1,64 @@
+type t = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Summary.mean: empty";
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let percentile_sorted sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Summary.percentile: empty";
+  if q < 0. || q > 1. then invalid_arg "Summary.percentile: q out of range";
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.of_int (int_of_float pos)) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let percentile xs q =
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  percentile_sorted sorted q
+
+let of_array xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.of_array: empty";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  { n;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    p50 = percentile_sorted sorted 0.5;
+    p90 = percentile_sorted sorted 0.9;
+    p95 = percentile_sorted sorted 0.95;
+    p99 = percentile_sorted sorted 0.99 }
+
+let of_list xs = of_array (Array.of_list xs)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "n=%d mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f"
+    t.n t.mean t.p50 t.p95 t.p99 t.max

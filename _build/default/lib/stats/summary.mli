@@ -1,0 +1,28 @@
+(** Descriptive statistics over a sample of floats. *)
+
+type t = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val of_array : float array -> t
+(** Raises [Invalid_argument] on an empty array. *)
+
+val of_list : float list -> t
+
+val percentile : float array -> float -> float
+(** [percentile xs q] with [q] in [\[0,1\]], linear interpolation
+    between order statistics. The input need not be sorted. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering: [n mean p50 p95 p99 max]. *)

@@ -1,0 +1,1 @@
+lib/store/cache_names.ml: List String

@@ -1,0 +1,1 @@
+lib/store/event.ml: Format Stdlib String

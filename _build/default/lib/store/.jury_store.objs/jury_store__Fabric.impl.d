@@ -1,0 +1,1 @@
+lib/store/fabric.ml: Array Cache_names Engine Event Hashtbl Jury_sim List Rng String Time

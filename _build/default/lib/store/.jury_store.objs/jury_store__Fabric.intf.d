@@ -1,0 +1,1 @@
+lib/store/fabric.mli: Event Jury_sim

@@ -1,0 +1,22 @@
+(** Well-known controller-wide cache names.
+
+    These mirror the data stores the paper's policy language (Table 2)
+    enumerates: ARP bindings, discovered hosts, topology edges/links,
+    flow rules, connected switches and switch mastership. *)
+
+val arpdb : string
+val hostdb : string
+val edgedb : string
+val linksdb : string
+val flowsdb : string
+val switchdb : string
+val masterdb : string
+
+val all : string list
+
+val is_known : string -> bool
+(** Case-insensitive membership in {!all}. *)
+
+val normalize : string -> string
+(** Uppercases, so "FlowsDB" and "FLOWSDB" compare equal; policy parsing
+    and the validator both normalise through here. *)

@@ -1,0 +1,225 @@
+open Jury_sim
+
+type consistency = Eventual | Strong
+
+type latency_profile = {
+  local_apply : Time.t;
+  replication_base : Time.t;
+  replication_jitter_us : float;
+  strong_round_base : Time.t;
+  strong_round_per_node : Time.t;
+}
+
+let default_eventual_profile =
+  { local_apply = Time.us 20;
+    replication_base = Time.us 300;
+    replication_jitter_us = 150.;
+    strong_round_base = Time.zero;
+    strong_round_per_node = Time.zero }
+
+let default_strong_profile =
+  { local_apply = Time.us 50;
+    replication_base = Time.us 400;
+    replication_jitter_us = 200.;
+    strong_round_base = Time.ms 1;
+    strong_round_per_node = Time.of_float_us 350. }
+
+type node_state = {
+  caches : (string, (string, string) Hashtbl.t) Hashtbl.t;
+  mutable listeners : (local:bool -> Event.t -> unit) list;
+  locked : (string, unit) Hashtbl.t;
+  mutable partitioned : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  consistency : consistency;
+  profile : latency_profile;
+  node_states : node_state array;
+  seqs : int array;
+  rng : Rng.t;
+  channel_clear : Time.t array array;
+      (* per (origin, peer) channel: earliest next delivery — state
+         synchronisation rides TCP, so per-channel order is preserved *)
+  mutable strong_channel_clear : Time.t;
+      (* strongly-consistent writes serialise through one cluster-wide
+         coordination round (Infinispan transactions): this is when the
+         channel next frees up *)
+  mutable bytes_replicated : int;
+  mutable events_applied : int;
+}
+
+type listener = local:bool -> Event.t -> unit
+
+let create engine ~consistency ~nodes ?profile () =
+  if nodes <= 0 then invalid_arg "Fabric.create: need >= 1 node";
+  let profile =
+    match profile with
+    | Some p -> p
+    | None -> (
+        match consistency with
+        | Eventual -> default_eventual_profile
+        | Strong -> default_strong_profile)
+  in
+  { engine;
+    consistency;
+    profile;
+    node_states =
+      Array.init nodes (fun _ ->
+          { caches = Hashtbl.create 8;
+            listeners = [];
+            locked = Hashtbl.create 4;
+            partitioned = false });
+    seqs = Array.make nodes 0;
+    rng = Rng.split (Engine.rng engine);
+    channel_clear = Array.make_matrix nodes nodes Time.zero;
+    strong_channel_clear = Time.zero;
+    bytes_replicated = 0;
+    events_applied = 0 }
+
+let nodes t = Array.length t.node_states
+let consistency t = t.consistency
+
+let check_node t node =
+  if node < 0 || node >= nodes t then invalid_arg "Fabric: bad node id"
+
+let cache_table st name =
+  match Hashtbl.find_opt st.caches name with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 32 in
+      Hashtbl.add st.caches name tbl;
+      tbl
+
+let apply_event t node (ev : Event.t) ~local =
+  let st = t.node_states.(node) in
+  let tbl = cache_table st ev.cache in
+  (match ev.op with
+  | Event.Create | Event.Update -> Hashtbl.replace tbl ev.key ev.value
+  | Event.Delete -> Hashtbl.remove tbl ev.key);
+  t.events_applied <- t.events_applied + 1;
+  List.iter (fun listener -> listener ~local ev) st.listeners
+
+let replicate t ~origin (ev : Event.t) =
+  let n = nodes t in
+  for peer = 0 to n - 1 do
+    if peer <> origin && not t.node_states.(peer).partitioned then begin
+      t.bytes_replicated <- t.bytes_replicated + Event.wire_size ev;
+      let delay =
+        match t.consistency with
+        | Eventual ->
+            Time.add t.profile.replication_base
+              (Time.of_float_us
+                 (Rng.exponential t.rng t.profile.replication_jitter_us))
+        | Strong ->
+            (* The write's coordination round completes when the global
+               channel clears (strong_acquire advanced it just before
+               this write): peers see the entry only then. *)
+            Time.sub
+              (Time.max t.strong_channel_clear (Engine.now t.engine))
+              (Engine.now t.engine)
+      in
+      let at =
+        Time.max
+          (Time.add (Engine.now t.engine) delay)
+          t.channel_clear.(origin).(peer)
+      in
+      t.channel_clear.(origin).(peer) <- Time.add at (Time.ns 1);
+      ignore
+        (Engine.schedule_at t.engine ~at (fun () ->
+             if not t.node_states.(peer).partitioned then
+               apply_event t peer ev ~local:false))
+    end
+  done
+
+let next_event t ~node ?taint ~cache op ~key ~value () =
+  t.seqs.(node) <- t.seqs.(node) + 1;
+  { Event.cache = Cache_names.normalize cache;
+    op;
+    key;
+    value;
+    origin = node;
+    seq = t.seqs.(node);
+    taint }
+
+let write t ~node ?taint ~cache op ~key ~value =
+  check_node t node;
+  let st = t.node_states.(node) in
+  let cache = Cache_names.normalize cache in
+  if Hashtbl.mem st.locked cache then Error "failed to obtain lock"
+  else begin
+    let ev = next_event t ~node ?taint ~cache op ~key ~value () in
+    apply_event t node ev ~local:true;
+    if not st.partitioned then replicate t ~origin:node ev;
+    Ok ev
+  end
+
+let read t ~node ~cache ~key =
+  check_node t node;
+  let st = t.node_states.(node) in
+  match Hashtbl.find_opt st.caches (Cache_names.normalize cache) with
+  | None -> None
+  | Some tbl -> Hashtbl.find_opt tbl key
+
+let entries t ~node ~cache =
+  check_node t node;
+  let st = t.node_states.(node) in
+  match Hashtbl.find_opt st.caches (Cache_names.normalize cache) with
+  | None -> []
+  | Some tbl ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let entry_count t ~node ~cache = List.length (entries t ~node ~cache)
+
+let subscribe t ~node listener =
+  check_node t node;
+  let st = t.node_states.(node) in
+  st.listeners <- st.listeners @ [ listener ]
+
+let strong_round t =
+  Time.add t.profile.strong_round_base
+    (Time.mul t.profile.strong_round_per_node (nodes t))
+
+let strong_acquire t =
+  (* Wait for the global coordination channel, then hold it for one
+     round. Returns the total stall the writer experiences. *)
+  let now = Engine.now t.engine in
+  let start = Time.max now t.strong_channel_clear in
+  let round = strong_round t in
+  t.strong_channel_clear <- Time.add start round;
+  Time.add (Time.sub start now) round
+
+let sync_cost t =
+  match t.consistency with
+  | Eventual -> t.profile.local_apply
+  | Strong ->
+      Time.add t.profile.local_apply
+        (Time.add t.profile.strong_round_base
+           (Time.mul t.profile.strong_round_per_node (nodes t)))
+
+let set_cache_locked t ~node ~cache locked =
+  check_node t node;
+  let st = t.node_states.(node) in
+  let cache = Cache_names.normalize cache in
+  if locked then Hashtbl.replace st.locked cache ()
+  else Hashtbl.remove st.locked cache
+
+let set_partitioned t ~node p =
+  check_node t node;
+  t.node_states.(node).partitioned <- p
+
+let inject_divergent_write t ~node ~cache op ~key ~value =
+  check_node t node;
+  let ev =
+    next_event t ~node ~cache:(Cache_names.normalize cache) op ~key ~value ()
+  in
+  apply_event t node ev ~local:true;
+  ev
+
+let bytes_replicated t = t.bytes_replicated
+let events_applied t = t.events_applied
+
+let reset_accounting t =
+  t.bytes_replicated <- 0;
+  t.events_applied <- 0

@@ -1,0 +1,95 @@
+(** The distributed data store shared by a controller cluster.
+
+    One [t] models the whole data-distribution platform (Hazelcast for
+    ONOS, Infinispan for ODL): per-node cache views, write replication
+    under an {!consistency} model, listener dispatch, inter-node byte
+    accounting, and the fault hooks the paper's scenarios need (cache
+    locking, node partition).
+
+    Replication model:
+    - [Eventual] (Hazelcast-like): a write applies locally immediately
+      and is multicast to peers, each applying after an independent
+      small delay. The writer does not wait — {!sync_cost} is ~0 — which
+      is why clustering barely dents ONOS throughput (Fig. 4f).
+    - [Strong] (Infinispan-like): the writer blocks for a coordination
+      round that grows with cluster size; peers apply in the same
+      round. {!sync_cost} is the per-write latency a controller's
+      pipeline must absorb, which is what collapses ODL's clustered
+      throughput (Fig. 4g). *)
+
+type consistency = Eventual | Strong
+
+type latency_profile = {
+  local_apply : Jury_sim.Time.t;      (** local cache write cost *)
+  replication_base : Jury_sim.Time.t; (** one-way peer delay, fixed part *)
+  replication_jitter_us : float;      (** exponential jitter mean, µs *)
+  strong_round_base : Jury_sim.Time.t;
+  strong_round_per_node : Jury_sim.Time.t;
+}
+
+val default_eventual_profile : latency_profile
+val default_strong_profile : latency_profile
+
+type t
+
+type listener = local:bool -> Event.t -> unit
+(** [local = true] when the event originated at the subscribing node
+    itself. *)
+
+val create :
+  Jury_sim.Engine.t -> consistency:consistency -> nodes:int ->
+  ?profile:latency_profile -> unit -> t
+
+val nodes : t -> int
+val consistency : t -> consistency
+
+val write :
+  t -> node:int -> ?taint:string -> cache:string -> Event.op -> key:string ->
+  value:string -> (Event.t, string) result
+(** Issues a cache update from [node]. Applies locally (unless the
+    cache is locked at that node — the ONOS database-locking fault),
+    replicates to all non-partitioned peers, fires listeners. Returns
+    the event as seen on the wire. *)
+
+val read : t -> node:int -> cache:string -> key:string -> string option
+val entries : t -> node:int -> cache:string -> (string * string) list
+(** Sorted by key. *)
+
+val entry_count : t -> node:int -> cache:string -> int
+
+val subscribe : t -> node:int -> listener -> unit
+
+val sync_cost : t -> Jury_sim.Time.t
+(** Latency a writer's pipeline pays per write under the current
+    consistency model and cluster size. *)
+
+val strong_acquire : t -> Jury_sim.Time.t
+(** For strongly-consistent fabrics: block on the cluster-wide
+    coordination channel and hold it for one round; returns the total
+    stall (queueing + round) the writer pays. Writes from every node
+    serialise through this channel — the reason clustering collapses
+    ODL's throughput (Fig. 4g). *)
+
+(** {1 Fault hooks} *)
+
+val set_cache_locked : t -> node:int -> cache:string -> bool -> unit
+(** While locked, {!write} at that node fails with
+    ["failed to obtain lock"]. *)
+
+val set_partitioned : t -> node:int -> bool -> unit
+(** A partitioned node neither receives nor emits replication. *)
+
+val inject_divergent_write :
+  t -> node:int -> cache:string -> Event.op -> key:string -> value:string ->
+  Event.t
+(** Applies a write at [node] only, {e without} replication — simulates
+    a faulty replica whose state silently diverges. Listeners at [node]
+    still fire (the node believes the write is normal). *)
+
+(** {1 Accounting} *)
+
+val bytes_replicated : t -> int
+(** Cumulative inter-node replication bytes. *)
+
+val events_applied : t -> int
+val reset_accounting : t -> unit

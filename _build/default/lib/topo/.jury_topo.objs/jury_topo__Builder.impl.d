@@ -1,0 +1,1 @@
+lib/topo/builder.ml: Array Graph Hashtbl Jury_openflow List Printf

@@ -1,0 +1,1 @@
+lib/topo/builder.mli: Graph Jury_openflow

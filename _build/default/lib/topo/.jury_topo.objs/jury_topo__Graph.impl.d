@@ -1,0 +1,1 @@
+lib/topo/graph.ml: Format Hashtbl Jury_openflow List Map Option Queue

@@ -1,0 +1,1 @@
+lib/topo/weighted.ml: Graph Hashtbl Jury_openflow List Map Option Printf String

@@ -1,0 +1,1 @@
+lib/topo/weighted.mli: Graph Jury_openflow

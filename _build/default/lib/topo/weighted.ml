@@ -1,0 +1,131 @@
+module Dpid = Jury_openflow.Of_types.Dpid
+
+let default_weight = 1.0
+
+type weights = (string, float) Hashtbl.t
+
+let key (e1 : Graph.endpoint) (e2 : Graph.endpoint) =
+  let s (e : Graph.endpoint) =
+    Printf.sprintf "%Lx:%d" (Dpid.to_int64 e.Graph.dpid) e.Graph.port
+  in
+  let a = s e1 and b = s e2 in
+  if String.compare a b <= 0 then a ^ "--" ^ b else b ^ "--" ^ a
+
+let uniform : weights = Hashtbl.create 0
+
+let of_assignments assignments =
+  let t = Hashtbl.create (List.length assignments) in
+  List.iter
+    (fun (e1, e2, w) ->
+      if w <= 0. then invalid_arg "Weighted.of_assignments: weight <= 0";
+      Hashtbl.replace t (key e1 e2) w)
+    assignments;
+  t
+
+let weight t e1 e2 =
+  Option.value (Hashtbl.find_opt t (key e1 e2)) ~default:default_weight
+
+(* Dijkstra with a simple leftist-free approach: a sorted module Heap is
+   for Time keys only, so use a priority queue on (cost, seq). *)
+module Pq = struct
+  module M = Map.Make (struct
+    type t = float * int
+
+    let compare = compare
+  end)
+
+  type 'a t = { mutable m : 'a M.t; mutable seq : int }
+
+  let create () = { m = M.empty; seq = 0 }
+
+  let push t cost v =
+    t.seq <- t.seq + 1;
+    t.m <- M.add (cost, t.seq) v t.m
+
+  let pop t =
+    match M.min_binding_opt t.m with
+    | None -> None
+    | Some ((cost, seq), v) ->
+        t.m <- M.remove (cost, seq) t.m;
+        Some (cost, v)
+end
+
+let shortest_path g weights src dst =
+  if not (Graph.has_switch g src && Graph.has_switch g dst) then None
+  else if Dpid.equal src dst then Some ([ (src, 0, 0) ], 0.)
+  else begin
+    let dist : (Dpid.t, float) Hashtbl.t = Hashtbl.create 64 in
+    (* child -> (parent, parent out port, child in port) *)
+    let parent = Hashtbl.create 64 in
+    let pq = Pq.create () in
+    Hashtbl.replace dist src 0.;
+    Pq.push pq 0. src;
+    let finished = Hashtbl.create 64 in
+    let rec loop () =
+      match Pq.pop pq with
+      | None -> ()
+      | Some (cost, u) ->
+          if not (Hashtbl.mem finished u) then begin
+            Hashtbl.replace finished u ();
+            List.iter
+              (fun (local_port, (remote : Graph.endpoint)) ->
+                let w =
+                  weight weights
+                    { Graph.dpid = u; port = local_port }
+                    remote
+                in
+                let cand = cost +. w in
+                let better =
+                  match Hashtbl.find_opt dist remote.Graph.dpid with
+                  | None -> true
+                  | Some d -> cand < d -. 1e-12
+                in
+                if better then begin
+                  Hashtbl.replace dist remote.Graph.dpid cand;
+                  Hashtbl.replace parent remote.Graph.dpid
+                    (u, local_port, remote.Graph.port);
+                  Pq.push pq cand remote.Graph.dpid
+                end)
+              (Graph.neighbors g u);
+            loop ()
+          end
+          else loop ()
+    in
+    loop ();
+    match Hashtbl.find_opt dist dst with
+    | None -> None
+    | Some total ->
+        let rec walk dpid acc =
+          match Hashtbl.find_opt parent dpid with
+          | None -> acc
+          | Some (p, p_out, our_in) -> walk p ((dpid, our_in, p_out) :: acc)
+        in
+        let hops = walk dst [] in
+        let rec assemble = function
+          | [] -> []
+          | (dpid, in_port, _) :: rest ->
+              let out_port =
+                match rest with
+                | [] -> 0
+                | (_, _, next_parent_out) :: _ -> next_parent_out
+              in
+              (dpid, in_port, out_port) :: assemble rest
+        in
+        let first_out =
+          match hops with [] -> 0 | (_, _, p_out) :: _ -> p_out
+        in
+        Some ((src, 0, first_out) :: assemble hops, total)
+  end
+
+let path_weight _g weights hops =
+  let rec go acc = function
+    | (d1, _, out1) :: (((d2, in2, _) :: _) as rest) ->
+        go
+          (acc
+          +. weight weights
+               { Graph.dpid = d1; port = out1 }
+               { Graph.dpid = d2; port = in2 })
+          rest
+    | _ -> acc
+  in
+  go 0. hops

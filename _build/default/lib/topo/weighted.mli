@@ -1,0 +1,33 @@
+(** Latency-weighted routing over a {!Graph.t}.
+
+    BFS treats every hop alike; production controllers weight links by
+    measured latency or administrative cost. This module runs Dijkstra
+    over a graph plus a per-link weight assignment and yields paths in
+    the same per-hop format as {!Graph.shortest_path}, so the forwarding
+    app can swap metrics without changing rule generation. *)
+
+module Dpid = Jury_openflow.Of_types.Dpid
+
+type weights
+(** Per-link weights; unassigned links get {!default_weight}. *)
+
+val default_weight : float
+
+val uniform : weights
+(** Every link weighs {!default_weight} — Dijkstra degenerates to BFS
+    (up to tie-breaking). *)
+
+val of_assignments : (Graph.endpoint * Graph.endpoint * float) list -> weights
+(** Weight specific links (order of endpoints irrelevant). Raises
+    [Invalid_argument] on non-positive weights. *)
+
+val weight : weights -> Graph.endpoint -> Graph.endpoint -> float
+
+val shortest_path :
+  Graph.t -> weights -> Dpid.t -> Dpid.t ->
+  ((Dpid.t * int * int) list * float) option
+(** Cheapest path and its total weight, hops in the
+    {!Graph.shortest_path} convention. [None] when disconnected. *)
+
+val path_weight : Graph.t -> weights -> (Dpid.t * int * int) list -> float
+(** Total weight of a concrete hop list (0 for single-switch paths). *)

@@ -1,0 +1,1 @@
+lib/workload/cbench.ml: Engine Jury_net Jury_openflow Jury_sim Jury_topo List Time

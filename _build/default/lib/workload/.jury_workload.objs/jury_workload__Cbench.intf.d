@@ -1,0 +1,1 @@
+lib/workload/cbench.mli: Jury_net Jury_openflow Jury_sim

@@ -1,0 +1,1 @@
+lib/workload/flows.ml: Array Engine Float Hashtbl Jury_net Jury_sim Jury_topo List Option Rng Time

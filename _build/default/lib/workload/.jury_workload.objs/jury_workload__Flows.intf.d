@@ -1,0 +1,1 @@
+lib/workload/flows.mli: Jury_net Jury_sim

@@ -1,0 +1,1 @@
+lib/workload/probe.ml: Engine Jury_net Jury_sim Jury_stats List Time

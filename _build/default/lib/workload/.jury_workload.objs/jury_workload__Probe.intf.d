@@ -1,0 +1,1 @@
+lib/workload/probe.mli: Jury_net Jury_sim Jury_stats

@@ -1,0 +1,1 @@
+lib/workload/replay.ml: Engine Jury_net Jury_openflow Jury_sim Jury_topo List Time

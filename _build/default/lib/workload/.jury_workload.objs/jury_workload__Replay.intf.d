@@ -1,0 +1,1 @@
+lib/workload/replay.mli: Jury_net Jury_sim

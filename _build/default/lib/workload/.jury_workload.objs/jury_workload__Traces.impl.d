@@ -1,0 +1,1 @@
+lib/workload/traces.ml: Array Engine Jury_net Jury_sim List Rng Time

@@ -1,0 +1,1 @@
+lib/workload/traces.mli: Jury_net Jury_sim

@@ -1,0 +1,17 @@
+(** A Cbench stand-in (§VII-B1's preliminary study, Fig. 4e).
+
+    Cbench in throughput mode blasts PACKET_IN-generating packets at a
+    controller as fast as it will take them. The blast quickly
+    overwhelms the controller — the paper observed TCP zero-window
+    stalls and the FLOW_MOD rate collapsing to zero. Here the blast is
+    an on/off burst process injected straight into one switch. *)
+
+val blast :
+  Jury_net.Network.t -> rng:Jury_sim.Rng.t ->
+  dpid:Jury_openflow.Of_types.Dpid.t -> burst:int ->
+  burst_gap:Jury_sim.Time.t -> duration:Jury_sim.Time.t -> unit
+(** Every [burst_gap], inject [burst] fresh TCP SYNs (unique ports,
+    between two hosts on [dpid]) back-to-back into the switch. *)
+
+val default_burst : int
+val default_gap : Jury_sim.Time.t

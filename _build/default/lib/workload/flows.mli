@@ -1,0 +1,36 @@
+(** Trigger generators: the workloads of §VII.
+
+    All generators schedule work on the network's engine and return
+    immediately; run the engine to make the traffic happen. Rates are
+    events per simulated second with Poisson arrivals unless noted. *)
+
+type pair_mode =
+  | Same_switch
+      (** src and dst share a switch — one-hop paths, so the PACKET_IN
+          rate equals the connection rate (the throughput workloads) *)
+  | Any_pair  (** arbitrary host pairs (the detection workloads) *)
+
+val new_connections :
+  Jury_net.Network.t -> rng:Jury_sim.Rng.t -> rate:float ->
+  duration:Jury_sim.Time.t -> ?mode:pair_mode -> ?payload_len:int -> unit ->
+  unit
+(** Fresh TCP connections (unique source ports, so reactive exact-match
+    forwarding sees a TCAM miss per connection). *)
+
+val host_joins :
+  Jury_net.Network.t -> rng:Jury_sim.Rng.t -> rate:float ->
+  duration:Jury_sim.Time.t -> unit
+(** Random hosts re-announce themselves with gratuitous ARPs. *)
+
+val link_flaps :
+  Jury_net.Network.t -> rng:Jury_sim.Rng.t -> rate:float ->
+  duration:Jury_sim.Time.t -> ?down_time:Jury_sim.Time.t -> unit -> unit
+(** Random inter-switch links go down and come back after [down_time]
+    (default 300 ms). *)
+
+val controlled_mix :
+  Jury_net.Network.t -> rng:Jury_sim.Rng.t -> packet_in_rate:float ->
+  duration:Jury_sim.Time.t -> unit
+(** The Fig. 4a workload: host joins, link tear-downs and flows between
+    hosts at a target aggregate PACKET_IN rate (≈96 % flows, ≈3.5 %
+    joins, ≈0.5 % flaps). *)

@@ -1,0 +1,49 @@
+open Jury_sim
+module Network = Jury_net.Network
+module Capture = Jury_net.Capture
+module Switch = Jury_net.Switch
+module Builder = Jury_topo.Builder
+
+let host_ports network =
+  let plan = Network.plan network in
+  List.map
+    (fun (slot : Builder.host_slot) -> (slot.Builder.dpid, slot.Builder.port))
+    plan.Builder.hosts
+
+let edge_entries network capture =
+  let edges = host_ports network in
+  Capture.matching capture (fun (e : Capture.entry) ->
+      e.Capture.direction = Capture.Rx
+      && List.exists
+           (fun (dpid, port) ->
+             Jury_openflow.Of_types.Dpid.equal dpid e.Capture.dpid
+             && port = e.Capture.port)
+           edges)
+
+let replay network capture ?(speed = 1.0) ?(start_after = Time.ms 1) () =
+  if speed <= 0. then invalid_arg "Replay.replay: speed must be positive";
+  let engine = Network.engine network in
+  let entries = edge_entries network capture in
+  match entries with
+  | [] -> 0
+  | first :: _ ->
+      let t0 = first.Capture.at in
+      let scheduled = ref 0 in
+      List.iter
+        (fun (e : Capture.entry) ->
+          match Network.switch network e.Capture.dpid with
+          | sw ->
+              let offset =
+                Time.of_float_us
+                  (Time.to_float_us (Time.sub e.Capture.at t0) /. speed)
+              in
+              incr scheduled;
+              ignore
+                (Engine.schedule engine
+                   ~after:(Time.add start_after offset)
+                   (fun () ->
+                     Switch.receive_frame sw ~in_port:e.Capture.port
+                       e.Capture.frame))
+          | exception Not_found -> ())
+        entries;
+      !scheduled

@@ -1,0 +1,23 @@
+(** Replay of captured traffic — the other half of the OFRewind-style
+    record/replay the related work discusses (§IX).
+
+    A {!Jury_net.Capture.t} recorded on one run is re-injected into a
+    (possibly different) network: each frame that originally {e entered}
+    a switch on a host-facing port is scheduled at the same relative
+    offset. Transit [Rx] entries (frames arriving over inter-switch
+    links) are skipped — the network under replay re-creates transit
+    itself. *)
+
+val replay :
+  Jury_net.Network.t -> Jury_net.Capture.t ->
+  ?speed:float -> ?start_after:Jury_sim.Time.t -> unit -> int
+(** Schedule the capture against the network. [speed] scales time
+    (2.0 = twice as fast; default 1.0), [start_after] delays the first
+    frame (default 1 ms). Returns the number of frames scheduled.
+    Frames for switches or ports the target network lacks are dropped.
+    Run the engine afterwards to perform the replay. *)
+
+val edge_entries :
+  Jury_net.Network.t -> Jury_net.Capture.t -> Jury_net.Capture.entry list
+(** The capture entries {!replay} would inject: [Rx] entries on ports
+    with an attached host in the target network. *)

@@ -1,0 +1,36 @@
+(** Benign background-traffic profiles standing in for the paper's
+    packet traces (§VII-A2).
+
+    The original traces — LBNL/ICSI enterprise [12], the IMC-2010
+    university data-centre capture [10] and the FOI cyber-defence
+    exercise (SMIA) [7] — are not redistributable, so each profile here
+    is a synthetic generator reproducing the temporal character that
+    matters to JURY's validation path: mean trigger rate, burstiness
+    (lognormal inter-arrival shape), and the ARP/TCP/UDP trigger mix.
+    See DESIGN.md for the substitution note. *)
+
+type profile = {
+  name : string;
+  mean_rate : float;         (** triggers per second *)
+  burstiness : float;        (** lognormal sigma of inter-arrival gaps *)
+  arp_fraction : float;
+  udp_fraction : float;      (** remainder is TCP *)
+  mean_payload : int;        (** bytes, exponential *)
+}
+
+val lbnl : profile
+(** Enterprise: steady, chatty, ARP-heavy. *)
+
+val univ : profile
+(** University data centre: high rate, heavy-tailed bursts. *)
+
+val smia : profile
+(** Cyber-defence exercise: spiky scanning bursts. *)
+
+val all : profile list
+val find : string -> profile option
+
+val replay :
+  Jury_net.Network.t -> rng:Jury_sim.Rng.t -> profile:profile ->
+  duration:Jury_sim.Time.t -> unit
+(** Schedule the profile's trigger stream on the network. *)

@@ -1,0 +1,1 @@
+test/test_controller.ml: Alcotest Cluster Controller Engine Jury_controller Jury_faults Jury_net Jury_openflow Jury_packet Jury_sim Jury_store Jury_topo List Pipeline Profile Time Types Values

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Float Jury Jury_controller Jury_experiments Jury_sim Jury_stats Jury_workload Option

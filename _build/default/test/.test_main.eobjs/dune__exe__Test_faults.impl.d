@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Jury Jury_controller Jury_faults Jury_openflow Jury_store List Printf

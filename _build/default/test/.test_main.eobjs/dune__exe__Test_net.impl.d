@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Engine Jury_net Jury_openflow Jury_packet Jury_sim Jury_topo List Of_action Of_match Of_message Of_types String

@@ -1,0 +1,1 @@
+test/test_openflow.ml: Alcotest Flow_table Jury_openflow Jury_packet Jury_sim List Of_action Of_error Of_match Of_message Of_types Of_wire Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_packet.ml: Addr Alcotest Frame Jury_packet List Lldp QCheck QCheck_alcotest String Wire_buf

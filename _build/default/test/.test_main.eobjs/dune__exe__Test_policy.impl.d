@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Jury_controller Jury_openflow Jury_packet Jury_policy Jury_store List QCheck QCheck_alcotest Result String

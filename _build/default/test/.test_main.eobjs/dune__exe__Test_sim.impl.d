@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Fun Heap Jury_sim List Metrics QCheck QCheck_alcotest Rng Time

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Engine Gen Jury_sim Jury_store List QCheck QCheck_alcotest Time

@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Jury_openflow Jury_topo List QCheck QCheck_alcotest

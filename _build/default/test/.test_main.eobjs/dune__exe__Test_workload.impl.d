@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Engine Jury_net Jury_openflow Jury_sim Jury_stats Jury_topo Jury_workload List Rng Time

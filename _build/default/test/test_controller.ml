@@ -1,0 +1,457 @@
+(* Tests for the clustered controller: value codecs, taints, pipeline,
+   planning logic, cluster bootstrap and end-to-end forwarding. *)
+
+open Jury_sim
+open Jury_controller
+module Of_match = Jury_openflow.Of_match
+module Of_message = Jury_openflow.Of_message
+module Of_action = Jury_openflow.Of_action
+module Dpid = Jury_openflow.Of_types.Dpid
+module Network = Jury_net.Network
+module Switch = Jury_net.Switch
+module Host = Jury_net.Host
+module Builder = Jury_topo.Builder
+module Fabric = Jury_store.Fabric
+module Names = Jury_store.Cache_names
+module Mac = Jury_packet.Addr.Mac
+module Ipv4 = Jury_packet.Addr.Ipv4
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Values --- *)
+
+let test_values_host () =
+  let v = Values.Host.value ~dpid:(Dpid.of_int 3) ~port:2 ~ip:(Ipv4.of_host_index 5) in
+  match Values.Host.parse v with
+  | Some (dpid, port, ip) ->
+      check_bool "dpid" true (Dpid.equal dpid (Dpid.of_int 3));
+      check_int "port" 2 port;
+      check_bool "ip" true (Ipv4.equal ip (Ipv4.of_host_index 5))
+  | None -> Alcotest.fail "host value must parse"
+
+let test_values_link () =
+  let e1 = (Dpid.of_int 1, 2) and e2 = (Dpid.of_int 2, 3) in
+  let k1 = Values.Link.key e1 e2 and k2 = Values.Link.key e2 e1 in
+  Alcotest.(check string) "order insensitive" k1 k2;
+  (match Values.Link.parse_key k1 with
+  | Some (a, b) ->
+      check_bool "endpoints preserved" true
+        ((a = e1 && b = e2) || (a = e2 && b = e1))
+  | None -> Alcotest.fail "link key must parse");
+  check_bool "involves" true (Values.Link.involves k1 (Dpid.of_int 1) 2);
+  check_bool "not involves other port" false
+    (Values.Link.involves k1 (Dpid.of_int 1) 9)
+
+let test_values_flow () =
+  let m = Of_match.l2_pair ~src:(Mac.of_host_index 1) ~dst:(Mac.of_host_index 2) in
+  let fmv = Of_message.flow_mod ~priority:77 m [ Of_action.Output 4 ] in
+  let v = Values.Flow.value fmv in
+  (match Values.Flow.parse v with
+  | Some fmv' ->
+      check_bool "match" true (Of_match.equal fmv'.Of_message.fm_match m);
+      check_int "priority" 77 fmv'.Of_message.priority
+  | None -> Alcotest.fail "flow value must parse");
+  let key = Values.Flow.key (Dpid.of_int 9) m ~priority:77 in
+  (match Values.Flow.dpid_of_key key with
+  | Some d -> check_bool "dpid from key" true (Dpid.equal d (Dpid.of_int 9))
+  | None -> Alcotest.fail "key must carry dpid");
+  check_bool "bad value rejected" true (Values.Flow.parse "zzz" = None)
+
+let test_values_switch_master () =
+  let v = Values.Switch.value_connected ~master:4 ~ports:[ 3; 1; 2 ] in
+  (match Values.Switch.parse v with
+  | Some (master, ports) ->
+      check_int "master" 4 master;
+      Alcotest.(check (list int)) "sorted ports" [ 1; 2; 3 ] ports
+  | None -> Alcotest.fail "switch value must parse");
+  Alcotest.(check (option int)) "master value" (Some 6)
+    (Values.Master.parse (Values.Master.value 6))
+
+(* --- Taints --- *)
+
+let test_taint () =
+  let ext = Types.Taint.external_trigger ~primary:3 ~serial:42 in
+  check_bool "external" true (Types.Taint.is_external ext);
+  Alcotest.(check (option int)) "primary" (Some 3) (Types.Taint.primary_of ext);
+  let int_t = Types.Taint.internal_trigger ~origin:5 ~seq:7 in
+  check_bool "internal" false (Types.Taint.is_external int_t);
+  Alcotest.(check (option int)) "no primary" None (Types.Taint.primary_of int_t);
+  (match Types.Taint.of_string (Types.Taint.to_string ext) with
+  | Some t -> check_bool "roundtrip" true (Types.Taint.equal t ext)
+  | None -> Alcotest.fail "taint roundtrip");
+  check_bool "garbage rejected" true (Types.Taint.of_string "nope" = None)
+
+let test_fingerprints () =
+  let a =
+    Types.Cache_write
+      { cache = "HOSTDB"; op = Jury_store.Event.Create; key = "k"; value = "v" }
+  in
+  let b =
+    Types.Network_send
+      { dpid = Dpid.of_int 1; payload = Of_message.Hello }
+  in
+  check_bool "order insensitive" true
+    (Types.fingerprint_response [ a; b ] = Types.fingerprint_response [ b; a ]);
+  check_bool "content sensitive" false
+    (Types.fingerprint_response [ a ] = Types.fingerprint_response [ b ])
+
+(* --- Pipeline --- *)
+
+let test_pipeline_serial_service () =
+  let engine = Engine.create () in
+  let p = Pipeline.create engine
+      (Pipeline.config ~service_sigma:0.01 ~base_service:(Time.ms 1) ()) in
+  let completions = ref [] in
+  for i = 1 to 3 do
+    Pipeline.submit p (fun () -> completions := (i, Engine.now engine) :: !completions)
+  done;
+  Engine.run engine;
+  check_int "all completed" 3 (Pipeline.completed p);
+  let times = List.rev_map snd !completions in
+  let rec spaced = function
+    | a :: (b :: _ as rest) ->
+        Time.(Time.sub b a >= Time.of_float_us 900.) && spaced rest
+    | _ -> true
+  in
+  check_bool "serialized" true (spaced times)
+
+let test_pipeline_add_load_delays_next () =
+  let engine = Engine.create () in
+  let p = Pipeline.create engine
+      (Pipeline.config ~service_sigma:0.01 ~base_service:(Time.ms 1) ()) in
+  let t2 = ref Time.zero in
+  Pipeline.submit p (fun () -> Pipeline.add_load p (Time.ms 10));
+  Pipeline.submit p (fun () -> t2 := Engine.now engine);
+  Engine.run engine;
+  check_bool "second job pushed past stall" true Time.(!t2 >= Time.ms 11)
+
+let test_pipeline_overload_drops () =
+  let engine = Engine.create () in
+  let p = Pipeline.create engine
+      (Pipeline.config ~service_sigma:0.01 ~base_service:(Time.ms 10)
+         ~overload_backlog:(Time.ms 100) ()) in
+  for _ = 1 to 100 do
+    Pipeline.submit p (fun () -> ())
+  done;
+  check_bool "dropped some" true (Pipeline.dropped p > 0);
+  check_bool "overloaded" true (Pipeline.overloaded p)
+
+(* --- Cluster bootstrap and behaviour --- *)
+
+let mk_cluster ?(profile = Profile.onos) ?(nodes = 3) ?(switches = 4)
+    ?(hosts_per_switch = 1) () =
+  let engine = Engine.create ~seed:5 () in
+  let plan = Builder.linear ~switches ~hosts_per_switch in
+  let network = Network.create engine plan () in
+  let cluster = Cluster.create engine ~profile ~nodes ~network () in
+  Cluster.converge cluster;
+  (engine, network, cluster)
+
+let settle engine = Engine.run engine ~until:(Time.add (Engine.now engine) (Time.sec 1))
+
+let test_bootstrap_discovery () =
+  let _, _, cluster = mk_cluster () in
+  let fabric = Cluster.fabric cluster in
+  check_int "all switches registered" 4
+    (Fabric.entry_count fabric ~node:0 ~cache:Names.switchdb);
+  check_int "all links discovered" 3
+    (Fabric.entry_count fabric ~node:1 ~cache:Names.linksdb);
+  check_int "mastership published" 4
+    (Fabric.entry_count fabric ~node:2 ~cache:Names.masterdb)
+
+let test_mastership_round_robin () =
+  let _, network, cluster = mk_cluster () in
+  let masters =
+    List.map
+      (fun sw -> Cluster.master_of cluster (Switch.dpid sw))
+      (Network.switches network)
+  in
+  check_bool "spread across nodes" true
+    (List.length (List.sort_uniq compare masters) = 3)
+
+let test_host_learning () =
+  let engine, network, cluster = mk_cluster () in
+  List.iter Host.join (Network.hosts network);
+  settle engine;
+  let fabric = Cluster.fabric cluster in
+  check_int "hosts learned" 4
+    (Fabric.entry_count fabric ~node:0 ~cache:Names.hostdb);
+  check_int "arp learned" 4
+    (Fabric.entry_count fabric ~node:1 ~cache:Names.arpdb);
+  (* Host location correct. *)
+  let h0 = Network.host network 0 in
+  match
+    Fabric.read fabric ~node:0 ~cache:Names.hostdb
+      ~key:(Values.Host.key (Host.mac h0))
+  with
+  | Some v -> (
+      match Values.Host.parse v with
+      | Some (dpid, _, _) ->
+          check_bool "attached to switch 1" true (Dpid.equal dpid (Dpid.of_int 1))
+      | None -> Alcotest.fail "host value parse")
+  | None -> Alcotest.fail "host 0 missing"
+
+let test_end_to_end_forwarding () =
+  let engine, network, cluster = mk_cluster () in
+  List.iter Host.join (Network.hosts network);
+  settle engine;
+  let h0 = Network.host network 0 and h3 = Network.host network 3 in
+  Host.send_tcp h0 ~dst_mac:(Host.mac h3) ~dst_ip:(Host.ip h3) ~src_port:1234
+    ~dst_port:80 ();
+  settle engine;
+  check_bool "delivered across 4 switches" true (Host.received_count h3 > 0);
+  (* Hop-by-hop reactive rules: every switch got exactly one rule. *)
+  List.iter
+    (fun sw ->
+      check_int
+        ("rule at switch " ^ Dpid.to_string (Switch.dpid sw))
+        1
+        (Jury_openflow.Flow_table.size (Switch.table sw)))
+    (Network.switches network);
+  check_int "flowsdb has all hops" 4
+    (Fabric.entry_count (Cluster.fabric cluster) ~node:0 ~cache:Names.flowsdb)
+
+let test_rest_install_local_and_remote () =
+  let engine, network, cluster = mk_cluster () in
+  settle engine;
+  let m = Of_match.l2_dst ~dst:(Mac.of_host_index 9) in
+  let flow = Of_message.flow_mod ~priority:500 m [ Of_action.Output 1 ] in
+  (* Install on a switch NOT mastered by node 0: must delegate through
+     the store to the actual master (transparent remote directive). *)
+  let dpid = Dpid.of_int 2 in
+  check_bool "switch 2 not mastered by 0" true
+    (Cluster.master_of cluster dpid <> 0);
+  Cluster.rest cluster ~node:0 (Types.Install_flow { dpid; flow });
+  settle engine;
+  let sw = Network.switch network dpid in
+  check_bool "rule reached remote switch" true
+    (Jury_openflow.Flow_table.find_exact (Switch.table sw) m ~priority:500
+    <> None)
+
+let test_rest_delete () =
+  let engine, network, cluster = mk_cluster () in
+  settle engine;
+  let m = Of_match.l2_dst ~dst:(Mac.of_host_index 9) in
+  let flow = Of_message.flow_mod ~priority:500 m [ Of_action.Output 1 ] in
+  let dpid = Dpid.of_int 1 in
+  Cluster.rest cluster ~node:0 (Types.Install_flow { dpid; flow });
+  settle engine;
+  Cluster.rest cluster ~node:0 (Types.Delete_flow { dpid; fm_match = m });
+  settle engine;
+  let sw = Network.switch network dpid in
+  check_bool "rule gone from switch" true
+    (Jury_openflow.Flow_table.find_exact (Switch.table sw) m ~priority:500
+    = None);
+  check_int "flowsdb cleaned" 0
+    (Fabric.entry_count (Cluster.fabric cluster) ~node:0 ~cache:Names.flowsdb)
+
+let test_port_status_cleans_links () =
+  let engine, network, cluster = mk_cluster () in
+  settle engine;
+  let fabric = Cluster.fabric cluster in
+  let before = Fabric.entry_count fabric ~node:0 ~cache:Names.linksdb in
+  check_int "three links" 3 before;
+  let graph = (Network.plan network).Builder.graph in
+  let edge = List.hd (Jury_topo.Graph.edges graph) in
+  Network.take_link_down network edge.Jury_topo.Graph.a edge.Jury_topo.Graph.b;
+  settle engine;
+  check_int "one link removed" 2
+    (Fabric.entry_count fabric ~node:0 ~cache:Names.linksdb)
+
+let test_plan_determinism_across_replicas () =
+  let engine, network, cluster = mk_cluster () in
+  List.iter Host.join (Network.hosts network);
+  settle engine;
+  (* Two different replicas planning AS the same primary, on converged
+     state, must produce identical responses — the paper's output-
+     determinism assumption. *)
+  let h0 = Network.host network 0 and h3 = Network.host network 3 in
+  let frame =
+    Jury_packet.Frame.tcp_packet
+      ~src:(Host.mac h0, Host.ip h0)
+      ~dst:(Host.mac h3, Host.ip h3)
+      ~src_port:999 ~dst_port:80 ()
+  in
+  let trigger =
+    Types.Packet_in
+      ( Dpid.of_int 1,
+        { Of_message.buffer_id = None; in_port = 1;
+          reason = Of_message.No_match; frame } )
+  in
+  let primary = Cluster.master_of cluster (Dpid.of_int 1) in
+  let plans =
+    List.init 3 (fun i ->
+        Controller.plan_as (Cluster.controller cluster i) ~as_id:primary trigger)
+  in
+  let fps = List.map Types.fingerprint_response plans in
+  check_bool "identical plans" true
+    (List.for_all (fun fp -> fp = List.hd fps) fps);
+  check_bool "plans act" true (List.for_all (fun p -> p <> []) plans)
+
+let test_liveness_master () =
+  let _, _, cluster = mk_cluster () in
+  let ctrl = Cluster.controller cluster 0 in
+  let d1 = Dpid.of_int 1 and d2 = Dpid.of_int 2 in
+  let m1 = Cluster.master_of cluster d1 and m2 = Cluster.master_of cluster d2 in
+  Alcotest.(check (option int))
+    "higher master id wins"
+    (Some (max m1 m2))
+    (Controller.liveness_master_for_link ctrl d1 d2)
+
+let test_mutator_and_fates () =
+  let engine, _, cluster = mk_cluster () in
+  settle engine;
+  let ctrl = Cluster.controller cluster 0 in
+  Controller.set_mutator ctrl (Some (fun _ _ -> []));
+  let m = Of_match.l2_dst ~dst:(Mac.of_host_index 9) in
+  let trigger =
+    Types.Rest
+      (Types.Install_flow
+         { dpid = Dpid.of_int 1;
+           flow = Of_message.flow_mod m [ Of_action.Output 1 ] })
+  in
+  Alcotest.(check int) "mutated to nothing" 0
+    (List.length (Controller.shadow_execute ctrl trigger));
+  Controller.set_mutator ctrl None;
+  check_bool "restored" true (Controller.shadow_execute ctrl trigger <> []);
+  Controller.set_omit_probability ctrl 1.0;
+  (match Controller.sample_response_fate ctrl with
+  | `Omit -> ()
+  | `Respond _ -> Alcotest.fail "must omit at p=1");
+  Controller.set_omit_probability ctrl 0.;
+  (match Controller.sample_response_fate ctrl with
+  | `Respond latency -> check_bool "positive latency" true Time.(latency > Time.zero)
+  | `Omit -> Alcotest.fail "must respond at p=0")
+
+let test_flow_removed_cleans_store () =
+  let engine, network, cluster = mk_cluster () in
+  settle engine;
+  let m = Of_match.l2_dst ~dst:(Mac.of_host_index 9) in
+  let flow = Of_message.flow_mod ~priority:500 m [ Of_action.Output 1 ] in
+  let dpid = Dpid.of_int 1 in
+  Cluster.rest cluster ~node:0 (Types.Install_flow { dpid; flow });
+  settle engine;
+  check_int "flow stored" 1
+    (Fabric.entry_count (Cluster.fabric cluster) ~node:0 ~cache:Names.flowsdb);
+  (* Delete directly at the switch; the FLOW_REMOVED notification should
+     clean the store. *)
+  let sw = Network.switch network dpid in
+  Switch.handle_control sw
+    (Of_message.make ~xid:9
+       (Of_message.Flow_mod
+          { (Of_message.flow_mod ~priority:500 m []) with
+            Of_message.command = Of_message.Delete_strict }));
+  settle engine;
+  check_int "flowsdb cleaned via FLOW_REMOVED" 0
+    (Fabric.entry_count (Cluster.fabric cluster) ~node:0 ~cache:Names.flowsdb)
+
+let test_proactive_dst_rules () =
+  (* Vanilla ODL: destination rules appear at every switch as soon as
+     hosts are discovered; traffic then flows without PACKET_INs. *)
+  let engine, network, _cluster =
+    mk_cluster ~profile:Profile.odl_vanilla ~switches:3 ()
+  in
+  List.iter Host.join (Network.hosts network);
+  Engine.run engine ~until:(Time.add (Engine.now engine) (Time.sec 3));
+  List.iter
+    (fun sw ->
+      check_bool
+        ("dst rules at " ^ Dpid.to_string (Switch.dpid sw))
+        true
+        (Jury_openflow.Flow_table.size (Switch.table sw) >= 3))
+    (Network.switches network);
+  (* A TCP packet now rides pre-installed rules end to end: no new
+     reactive micro-flow gets installed (LLDP probes still PACKET_IN in
+     the background, so count store entries rather than messages). *)
+  let h0 = Network.host network 0 and h2 = Network.host network 2 in
+  let flows_before =
+    Fabric.entry_count (Cluster.fabric _cluster) ~node:0 ~cache:Names.flowsdb
+  in
+  Host.send_tcp h0 ~dst_mac:(Host.mac h2) ~dst_ip:(Host.ip h2) ~src_port:7777
+    ~dst_port:80 ();
+  Engine.run engine ~until:(Time.add (Engine.now engine) (Time.ms 500));
+  check_bool "delivered" true (Host.received_count h2 > 0);
+  check_int "no reactive rule installed" flows_before
+    (Fabric.entry_count (Cluster.fabric _cluster) ~node:0 ~cache:Names.flowsdb)
+
+let test_query_flows () =
+  let engine, _network, cluster = mk_cluster () in
+  settle engine;
+  let dpid = Dpid.of_int 1 in
+  let m = Of_match.l2_dst ~dst:(Mac.of_host_index 9) in
+  Cluster.rest cluster ~node:0
+    (Types.Install_flow
+       { dpid; flow = Of_message.flow_mod ~priority:500 m [ Of_action.Output 1 ] });
+  settle engine;
+  (match Cluster.query_flows cluster ~node:2 dpid with
+  | [ fmv ] ->
+      check_bool "match readable from any replica" true
+        (Of_match.equal fmv.Of_message.fm_match m)
+  | l -> Alcotest.failf "expected one flow, got %d" (List.length l));
+  check_int "other switch empty" 0
+    (List.length (Cluster.query_flows cluster ~node:0 (Dpid.of_int 3)))
+
+let test_failover () =
+  let engine, network, cluster = mk_cluster ~nodes:3 ~switches:6 () in
+  List.iter Host.join (Network.hosts network);
+  settle engine;
+  let victim = 1 in
+  let orphans =
+    List.filter
+      (fun sw -> Cluster.master_of cluster (Switch.dpid sw) = victim)
+      (Network.switches network)
+  in
+  check_bool "victim mastered switches" true (orphans <> []);
+  Jury_faults.Injector.crash cluster ~node:victim;
+  Cluster.fail_over cluster ~node:victim;
+  settle engine;
+  Alcotest.(check (list int)) "alive set" [ 0; 2 ] (Cluster.alive_nodes cluster);
+  List.iter
+    (fun sw ->
+      check_bool "reassigned away from victim" true
+        (Cluster.master_of cluster (Switch.dpid sw) <> victim))
+    (Network.switches network);
+  (* Traffic through a formerly-orphaned switch still works: the new
+     master answers its PACKET_INs. *)
+  let dpid = Switch.dpid (List.hd orphans) in
+  let host_on_victim_switch =
+    List.find
+      (fun h ->
+        let d, _ = Network.host_location network (Host.index h) in
+        Dpid.equal d dpid)
+      (Network.hosts network)
+  in
+  let other = Network.host network 0 in
+  let fm_before = Switch.flow_mod_count (List.hd orphans) in
+  Host.send_tcp host_on_victim_switch ~dst_mac:(Host.mac other)
+    ~dst_ip:(Host.ip other) ~src_port:4242 ~dst_port:80 ();
+  settle engine;
+  check_bool "new master installed a rule" true
+    (Switch.flow_mod_count (List.hd orphans) > fm_before);
+  check_bool "traffic delivered" true (Host.received_count other > 0)
+
+let suite =
+  [ ("values: host", `Quick, test_values_host);
+    ("values: link", `Quick, test_values_link);
+    ("values: flow", `Quick, test_values_flow);
+    ("values: switch/master", `Quick, test_values_switch_master);
+    ("taints", `Quick, test_taint);
+    ("response fingerprints", `Quick, test_fingerprints);
+    ("pipeline serial service", `Quick, test_pipeline_serial_service);
+    ("pipeline add_load", `Quick, test_pipeline_add_load_delays_next);
+    ("pipeline overload", `Quick, test_pipeline_overload_drops);
+    ("bootstrap discovery", `Quick, test_bootstrap_discovery);
+    ("mastership round robin", `Quick, test_mastership_round_robin);
+    ("host learning", `Quick, test_host_learning);
+    ("end-to-end forwarding", `Quick, test_end_to_end_forwarding);
+    ("rest install incl. delegation", `Quick, test_rest_install_local_and_remote);
+    ("rest delete", `Quick, test_rest_delete);
+    ("port status cleans links", `Quick, test_port_status_cleans_links);
+    ("plan determinism across replicas", `Quick, test_plan_determinism_across_replicas);
+    ("liveness master election", `Quick, test_liveness_master);
+    ("mutator and response fates", `Quick, test_mutator_and_fates);
+    ("flow_removed cleans store", `Quick, test_flow_removed_cleans_store);
+    ("proactive dst rules (vanilla ODL)", `Quick, test_proactive_dst_rules);
+    ("mastership failover", `Quick, test_failover);
+    ("northbound flow query", `Quick, test_query_flows) ]

@@ -1,0 +1,649 @@
+(* Tests for JURY proper: snapshots, encapsulation, the validator's
+   consensus/sanity/policy logic (fed synthetic responses), and the
+   full deployment on a live cluster. *)
+
+open Jury_sim
+module Types = Jury_controller.Types
+module Values = Jury_controller.Values
+module Event = Jury_store.Event
+module Names = Jury_store.Cache_names
+module Of_match = Jury_openflow.Of_match
+module Of_message = Jury_openflow.Of_message
+module Of_action = Jury_openflow.Of_action
+module Dpid = Jury_openflow.Of_types.Dpid
+module Mac = Jury_packet.Addr.Mac
+module Snapshot = Jury.Snapshot
+module Response = Jury.Response
+module Validator = Jury.Validator
+module Alarm = Jury.Alarm
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Snapshot --- *)
+
+let ev ?(origin = 0) ?(seq = 1) ?(cache = "HOSTDB") ?(key = "k") ?(value = "v")
+    () =
+  { Event.cache; op = Event.Create; key; value; origin; seq; taint = None }
+
+let test_snapshot_order_insensitive () =
+  let e1 = ev ~seq:1 () and e2 = ev ~seq:2 ~key:"other" () in
+  let a = Snapshot.observe (Snapshot.observe Snapshot.pristine e1) e2 in
+  let b = Snapshot.observe (Snapshot.observe Snapshot.pristine e2) e1 in
+  check_bool "order insensitive" true (Snapshot.equal a b);
+  check_int "count" 2 (Snapshot.count a)
+
+let test_snapshot_content_sensitive () =
+  let a = Snapshot.observe Snapshot.pristine (ev ~value:"x" ()) in
+  let b = Snapshot.observe Snapshot.pristine (ev ~value:"y" ()) in
+  check_bool "different events differ" false (Snapshot.equal a b);
+  check_bool "pristine differs" false (Snapshot.equal a Snapshot.pristine)
+
+(* --- Encapsulation --- *)
+
+let test_encap_roundtrip () =
+  let frame =
+    Jury_packet.Frame.tcp_packet
+      ~src:(Mac.of_host_index 0, Jury_packet.Addr.Ipv4.of_host_index 0)
+      ~dst:(Mac.of_host_index 1, Jury_packet.Addr.Ipv4.of_host_index 1)
+      ~src_port:5 ~dst_port:6 ()
+  in
+  let inner =
+    Of_message.make ~xid:3
+      (Of_message.Packet_in
+         { buffer_id = None; in_port = 2; reason = Of_message.No_match; frame })
+  in
+  let outer = Jury.Encap.encapsulate inner in
+  (match Jury.Encap.decapsulate outer with
+  | Some inner' -> check_bool "roundtrip" true (Of_message.equal inner inner')
+  | None -> Alcotest.fail "decap failed");
+  check_bool "overhead positive" true (Jury.Encap.overhead_bytes inner > 0);
+  (* A normal PACKET_IN is not an encapsulation. *)
+  check_bool "plain not decapsulated" true
+    (Jury.Encap.decapsulate
+       { Of_message.buffer_id = None; in_port = 1;
+         reason = Of_message.No_match; frame }
+    = None)
+
+(* --- Validator with synthetic responses --- *)
+
+let taint = Types.Taint.external_trigger ~primary:0 ~serial:1
+
+let flow_for dpid =
+  Of_message.flow_mod ~priority:100
+    (Of_match.l2_pair ~src:(Mac.of_host_index 0) ~dst:(Mac.of_host_index 1))
+    [ Of_action.Output 2 ]
+  |> fun fmv -> (dpid, fmv)
+
+let response_actions dpid =
+  let d, fmv = flow_for dpid in
+  [ Types.Cache_write
+      { cache = Names.flowsdb;
+        op = Event.Create;
+        key = Values.Flow.key d fmv.Of_message.fm_match ~priority:100;
+        value = Values.Flow.value fmv };
+    Types.Network_send { dpid = d; payload = Of_message.Flow_mod fmv } ]
+
+let mk_validator ?(k = 2) ?policies ?(timeout = Time.ms 100) () =
+  let engine = Engine.create () in
+  let cfg =
+    Validator.config ?policies ~k ~timeout
+      ~ack_peers_of:(fun o -> [ (o + 1) mod 4; (o + 2) mod 4 ])
+      ~master_lookup:(fun _ -> Some 0) ()
+  in
+  (engine, Validator.create engine cfg)
+
+let deliver v ~controller ~snapshot body =
+  Validator.deliver v
+    { Response.controller; taint; snapshot; sent_at = Time.zero; body }
+
+let cache_event_of_action ~origin = function
+  | Types.Cache_write { cache; op; key; value } ->
+      { Event.cache; op; key; value; origin; seq = 1;
+        taint = Some (Types.Taint.to_string taint) }
+  | Types.Network_send _ -> invalid_arg "not a cache write"
+
+let feed_happy_path engine v =
+  (* primary 0, secondaries 1,2 all agree; cache event acked. *)
+  let dpid = Dpid.of_int 1 in
+  let actions = response_actions dpid in
+  let snap = Snapshot.pristine in
+  Validator.register_external v ~taint ~at:Time.zero ~primary:0
+    ~secondaries:[ 1; 2 ];
+  deliver v ~controller:0 ~snapshot:snap
+    (Response.Execution { role = `Primary; actions });
+  deliver v ~controller:1 ~snapshot:snap
+    (Response.Execution { role = `Secondary; actions });
+  deliver v ~controller:2 ~snapshot:snap
+    (Response.Execution { role = `Secondary; actions });
+  let cache_ev = cache_event_of_action ~origin:0 (List.hd actions) in
+  deliver v ~controller:0 ~snapshot:snap (Response.Cache_update cache_ev);
+  deliver v ~controller:1 ~snapshot:snap (Response.Cache_update cache_ev);
+  deliver v ~controller:2 ~snapshot:snap (Response.Cache_update cache_ev);
+  let _, fmv = flow_for dpid in
+  deliver v ~controller:0 ~snapshot:snap
+    (Response.Network_write { dpid; flow = fmv });
+  Engine.run engine
+
+let test_validator_happy_path () =
+  let engine, v = mk_validator () in
+  feed_happy_path engine v;
+  check_int "decided early (completeness)" 1 (Validator.decided_count v);
+  check_int "no faults" 0 (Validator.fault_count v);
+  match Validator.verdicts v with
+  | [ a ] ->
+      check_bool "valid" true (a.Alarm.verdict = Alarm.Ok_valid);
+      check_bool "fast decision" true
+        Time.(Alarm.detection_time a < Time.ms 100)
+  | _ -> Alcotest.fail "one verdict"
+
+let test_validator_consensus_mismatch () =
+  let engine, v = mk_validator () in
+  let dpid = Dpid.of_int 1 in
+  let good = response_actions dpid in
+  let evil =
+    List.map
+      (function
+        | Types.Network_send { dpid; payload = Of_message.Flow_mod fmv } ->
+            Types.Network_send
+              { dpid; payload = Of_message.Flow_mod { fmv with Of_message.actions = [] } }
+        | a -> a)
+      good
+  in
+  let snap = Snapshot.pristine in
+  Validator.register_external v ~taint ~at:Time.zero ~primary:0
+    ~secondaries:[ 1; 2 ];
+  deliver v ~controller:0 ~snapshot:snap
+    (Response.Execution { role = `Primary; actions = evil });
+  deliver v ~controller:1 ~snapshot:snap
+    (Response.Execution { role = `Secondary; actions = good });
+  deliver v ~controller:2 ~snapshot:snap
+    (Response.Execution { role = `Secondary; actions = good });
+  Engine.run engine;
+  check_int "fault raised" 1 (Validator.fault_count v);
+  match Validator.alarms v with
+  | [ a ] ->
+      check_bool "consensus mismatch" true
+        (match a.Alarm.verdict with
+        | Alarm.Faulty fs -> List.mem Alarm.Consensus_mismatch fs
+        | _ -> false);
+      Alcotest.(check (list int)) "primary suspected" [ 0 ] a.Alarm.suspects
+  | _ -> Alcotest.fail "one alarm"
+
+let feed_cache_and_network v ~actions ~dpid =
+  let snap = Snapshot.pristine in
+  let cache_ev = cache_event_of_action ~origin:0 (List.hd actions) in
+  deliver v ~controller:0 ~snapshot:snap (Response.Cache_update cache_ev);
+  deliver v ~controller:1 ~snapshot:snap (Response.Cache_update cache_ev);
+  deliver v ~controller:2 ~snapshot:snap (Response.Cache_update cache_ev);
+  let _, fmv = flow_for dpid in
+  deliver v ~controller:0 ~snapshot:snap
+    (Response.Network_write { dpid; flow = fmv })
+
+let test_validator_dissenting_secondary () =
+  let engine, v = mk_validator () in
+  let dpid = Dpid.of_int 1 in
+  let good = response_actions dpid in
+  let snap = Snapshot.pristine in
+  Validator.register_external v ~taint ~at:Time.zero ~primary:0
+    ~secondaries:[ 1; 2 ];
+  deliver v ~controller:0 ~snapshot:snap
+    (Response.Execution { role = `Primary; actions = good });
+  deliver v ~controller:1 ~snapshot:snap
+    (Response.Execution { role = `Secondary; actions = good });
+  deliver v ~controller:2 ~snapshot:snap
+    (Response.Execution { role = `Secondary; actions = [] });
+  feed_cache_and_network v ~actions:good ~dpid;
+  Engine.run engine;
+  match Validator.alarms v with
+  | [ a ] -> Alcotest.(check (list int)) "dissenter suspected" [ 2 ] a.Alarm.suspects
+  | _ -> Alcotest.fail "expected dissent alarm"
+
+let test_validator_state_aware_excuses () =
+  let engine, v = mk_validator () in
+  let dpid = Dpid.of_int 1 in
+  let good = response_actions dpid in
+  let prim_snap = Snapshot.pristine in
+  let stale_snap = Snapshot.observe Snapshot.pristine (ev ()) in
+  Validator.register_external v ~taint ~at:Time.zero ~primary:0
+    ~secondaries:[ 1; 2 ];
+  deliver v ~controller:0 ~snapshot:prim_snap
+    (Response.Execution { role = `Primary; actions = good });
+  (* Both secondaries answered differently BUT from a different state:
+     state-aware consensus must not raise a false alarm. *)
+  deliver v ~controller:1 ~snapshot:stale_snap
+    (Response.Execution { role = `Secondary; actions = [] });
+  deliver v ~controller:2 ~snapshot:stale_snap
+    (Response.Execution { role = `Secondary; actions = [] });
+  feed_cache_and_network v ~actions:good ~dpid:(Dpid.of_int 1);
+  Engine.run engine;
+  check_int "no fault" 0 (Validator.fault_count v);
+  check_int "counted unverifiable" 1 (Validator.unverifiable_count v)
+
+let test_validator_naive_majority_false_alarm () =
+  (* Same scenario with state_aware=false: the naive engine flags the
+     primary — the ablation's false-positive mechanism. *)
+  let engine = Engine.create () in
+  let cfg =
+    Validator.config ~state_aware:false ~k:2 ~timeout:(Time.ms 100)
+      ~ack_peers_of:(fun _ -> []) ()
+  in
+  let v = Validator.create engine cfg in
+  let dpid = Dpid.of_int 1 in
+  let good = response_actions dpid in
+  let stale_snap = Snapshot.observe Snapshot.pristine (ev ()) in
+  Validator.register_external v ~taint ~at:Time.zero ~primary:0
+    ~secondaries:[ 1; 2 ];
+  deliver v ~controller:0 ~snapshot:Snapshot.pristine
+    (Response.Execution { role = `Primary; actions = good });
+  deliver v ~controller:1 ~snapshot:stale_snap
+    (Response.Execution { role = `Secondary; actions = [] });
+  deliver v ~controller:2 ~snapshot:stale_snap
+    (Response.Execution { role = `Secondary; actions = [] });
+  Engine.run engine;
+  check_int "naive majority misfires" 1 (Validator.fault_count v)
+
+let test_validator_nondet_rule () =
+  let engine, v = mk_validator () in
+  let snap = Snapshot.pristine in
+  let variant port =
+    [ Types.Network_send
+        { dpid = Dpid.of_int 1;
+          payload =
+            Of_message.Packet_out
+              { po_buffer_id = None; po_in_port = 1;
+                po_actions = [ Of_action.Output port ]; po_frame = None } } ]
+  in
+  Validator.register_external v ~taint ~at:Time.zero ~primary:0
+    ~secondaries:[ 1; 2 ];
+  deliver v ~controller:0 ~snapshot:snap
+    (Response.Execution { role = `Primary; actions = variant 1 });
+  deliver v ~controller:1 ~snapshot:snap
+    (Response.Execution { role = `Secondary; actions = variant 2 });
+  deliver v ~controller:2 ~snapshot:snap
+    (Response.Execution { role = `Secondary; actions = variant 3 });
+  Engine.run engine;
+  check_int "no fault" 0 (Validator.fault_count v);
+  match Validator.verdicts v with
+  | [ a ] ->
+      check_bool "labelled non-deterministic" true
+        (a.Alarm.verdict = Alarm.Ok_non_deterministic)
+  | _ -> Alcotest.fail "one verdict"
+
+let test_validator_timeout_missing_primary () =
+  let engine, v = mk_validator () in
+  Validator.register_external v ~taint ~at:Time.zero ~primary:0
+    ~secondaries:[ 1; 2 ];
+  deliver v ~controller:1 ~snapshot:Snapshot.pristine
+    (Response.Execution { role = `Secondary; actions = [] });
+  Engine.run engine;
+  match Validator.alarms v with
+  | [ a ] ->
+      check_bool "timeout fault" true
+        (a.Alarm.verdict = Alarm.Faulty [ Alarm.Response_timeout ]);
+      Alcotest.(check (list int)) "primary suspected" [ 0 ] a.Alarm.suspects;
+      check_bool "detected at timeout" true
+        Time.(Alarm.detection_time a >= Time.ms 100)
+  | _ -> Alcotest.fail "expected timeout alarm"
+
+let test_validator_cache_without_network () =
+  let engine, v = mk_validator ~k:0 () in
+  let dpid = Dpid.of_int 1 in
+  let actions = response_actions dpid in
+  let cache_only =
+    List.filter (function Types.Cache_write _ -> true | _ -> false) actions
+  in
+  let snap = Snapshot.pristine in
+  Validator.register_external v ~taint ~at:Time.zero ~primary:0 ~secondaries:[];
+  deliver v ~controller:0 ~snapshot:snap
+    (Response.Execution { role = `Primary; actions = cache_only });
+  deliver v ~controller:0 ~snapshot:snap
+    (Response.Cache_update (cache_event_of_action ~origin:0 (List.hd actions)));
+  Engine.run engine;
+  match Validator.alarms v with
+  | [ a ] ->
+      check_bool "cache-without-network" true
+        (match a.Alarm.verdict with
+        | Alarm.Faulty fs -> List.mem Alarm.Cache_without_network fs
+        | _ -> false)
+  | _ -> Alcotest.fail "expected T2 alarm"
+
+let test_validator_network_without_cache () =
+  (* A misbehaving controller writes straight to the network: the OVS
+     interceptor mints a taint of its own, so the validator sees an
+     orphan FLOW_MOD with neither execution record nor cache backing. *)
+  let engine, v = mk_validator ~k:0 () in
+  let dpid = Dpid.of_int 1 in
+  let _, fmv = flow_for dpid in
+  Validator.deliver v
+    { Response.controller = 0;
+      taint = Types.Taint.internal_trigger ~origin:0 ~seq:1_000_001;
+      snapshot = Snapshot.pristine;
+      sent_at = Time.zero;
+      body = Response.Network_write { dpid; flow = fmv } };
+  Engine.run engine;
+  match Validator.alarms v with
+  | [ a ] ->
+      check_bool "network-without-cache" true
+        (match a.Alarm.verdict with
+        | Alarm.Faulty fs -> List.mem Alarm.Network_without_cache fs
+        | _ -> false)
+  | _ -> Alcotest.fail "expected bypass alarm"
+
+let test_validator_cache_network_mismatch () =
+  let engine, v = mk_validator ~k:0 () in
+  let dpid = Dpid.of_int 1 in
+  let actions = response_actions dpid in
+  let _, fmv = flow_for dpid in
+  let corrupted = { fmv with Of_message.actions = [] } in
+  let snap = Snapshot.pristine in
+  Validator.register_external v ~taint ~at:Time.zero ~primary:0 ~secondaries:[];
+  deliver v ~controller:0 ~snapshot:snap
+    (Response.Execution { role = `Primary; actions });
+  deliver v ~controller:0 ~snapshot:snap
+    (Response.Cache_update (cache_event_of_action ~origin:0 (List.hd actions)));
+  deliver v ~controller:0 ~snapshot:snap
+    (Response.Network_write { dpid; flow = corrupted });
+  Engine.run engine;
+  match Validator.alarms v with
+  | [ a ] ->
+      check_bool "mismatch" true
+        (match a.Alarm.verdict with
+        | Alarm.Faulty fs -> List.mem Alarm.Cache_network_mismatch fs
+        | _ -> false)
+  | _ -> Alcotest.fail "expected mismatch alarm"
+
+let test_validator_write_failure () =
+  let engine, v = mk_validator ~k:0 () in
+  let dpid = Dpid.of_int 1 in
+  let actions = response_actions dpid in
+  Validator.register_external v ~taint ~at:Time.zero ~primary:0 ~secondaries:[];
+  deliver v ~controller:0 ~snapshot:Snapshot.pristine
+    (Response.Execution { role = `Primary; actions });
+  deliver v ~controller:0 ~snapshot:Snapshot.pristine
+    (Response.Write_failure
+       { action = List.hd actions; reason = "failed to obtain lock" });
+  Engine.run engine;
+  check_int "fault" 1 (Validator.fault_count v);
+  match Validator.alarms v with
+  | [ a ] ->
+      check_bool "lock failure reported as omission" true
+        (match a.Alarm.verdict with
+        | Alarm.Faulty fs -> List.mem Alarm.Response_timeout fs
+        | _ -> false);
+      check_bool "detail mentions lock" true
+        (String.length a.Alarm.detail > 0)
+  | _ -> Alcotest.fail "expected alarm"
+
+let test_validator_policy_check () =
+  let policies =
+    Jury_policy.Engine.create
+      [ Jury_policy.Ast.rule ~name:"no-linksdb" ~cache:"LINKSDB" () ]
+  in
+  let engine, v = mk_validator ~k:0 ~policies () in
+  let actions =
+    [ Types.Cache_write
+        { cache = Names.linksdb; op = Event.Update; key = "l"; value = "down" } ]
+  in
+  Validator.register_external v ~taint ~at:Time.zero ~primary:0 ~secondaries:[];
+  deliver v ~controller:0 ~snapshot:Snapshot.pristine
+    (Response.Execution { role = `Primary; actions });
+  deliver v ~controller:0 ~snapshot:Snapshot.pristine
+    (Response.Cache_update (cache_event_of_action ~origin:0 (List.hd actions)));
+  Engine.run engine;
+  match Validator.alarms v with
+  | [ a ] ->
+      check_bool "policy violation" true
+        (match a.Alarm.verdict with
+        | Alarm.Faulty [ Alarm.Policy_violation "no-linksdb" ] -> true
+        | _ -> false)
+  | _ -> Alcotest.fail "expected policy alarm"
+
+let test_validator_internal_trigger () =
+  (* Internal triggers have no registration and no secondaries: the
+     validator creates the record from the first response. *)
+  let engine, v = mk_validator ~k:0 () in
+  let internal = Types.Taint.internal_trigger ~origin:3 ~seq:9 in
+  let actions =
+    [ Types.Cache_write
+        { cache = Names.linksdb; op = Event.Delete; key = "l"; value = "" } ]
+  in
+  Validator.deliver v
+    { Response.controller = 3; taint = internal; snapshot = Snapshot.pristine;
+      sent_at = Time.zero;
+      body = Response.Execution { role = `Primary; actions } };
+  Validator.deliver v
+    { Response.controller = 3; taint = internal; snapshot = Snapshot.pristine;
+      sent_at = Time.zero;
+      body =
+        Response.Cache_update
+          { Event.cache = Names.linksdb; op = Event.Delete; key = "l";
+            value = ""; origin = 3; seq = 9;
+            taint = Some (Types.Taint.to_string internal) } };
+  Engine.run engine;
+  check_int "decided" 1 (Validator.decided_count v);
+  check_int "benign internal passes" 0 (Validator.fault_count v)
+
+let test_validator_flush () =
+  let engine, v = mk_validator () in
+  ignore engine;
+  Validator.register_external v ~taint ~at:Time.zero ~primary:0
+    ~secondaries:[ 1 ];
+  check_int "pending" 1 (Validator.pending_count v);
+  Validator.flush v;
+  check_int "flushed" 0 (Validator.pending_count v);
+  check_int "decided as timeout" 1 (Validator.fault_count v)
+
+let test_adaptive_timeout_shrinks () =
+  let engine = Engine.create () in
+  let cfg =
+    Validator.config ~adaptive_timeout:true ~k:0 ~timeout:(Time.ms 500)
+      ~ack_peers_of:(fun _ -> []) ()
+  in
+  let v = Validator.create engine cfg in
+  check_bool "starts at max" true
+    (Time.equal (Validator.current_timeout_value v) (Time.ms 500));
+  (* Feed 30 fast, complete triggers: theta must shrink well below the
+     500 ms ceiling. *)
+  for i = 1 to 30 do
+    let taint = Types.Taint.external_trigger ~primary:0 ~serial:(100 + i) in
+    Validator.register_external v ~taint ~at:(Engine.now engine) ~primary:0
+      ~secondaries:[];
+    ignore
+      (Engine.schedule engine ~after:(Time.ms 5) (fun () ->
+           Validator.deliver v
+             { Response.controller = 0;
+               taint;
+               snapshot = Snapshot.pristine;
+               sent_at = Engine.now engine;
+               body = Response.Execution { role = `Primary; actions = [] } }));
+    Engine.run engine
+  done;
+  let theta = Validator.current_timeout_value v in
+  check_bool "theta shrank" true Time.(theta < Time.ms 100);
+  check_bool "theta above floor" true Time.(theta >= Time.ms 10)
+
+let test_report () =
+  let engine, v = mk_validator () in
+  feed_happy_path engine v;
+  let r = Jury.Report.of_validator v in
+  check_bool "healthy" true (Jury.Report.healthy r);
+  check_int "decided" 1 r.Jury.Report.decided;
+  check_bool "no suspect" true (Jury.Report.most_suspect r = None);
+  (* A faulty verdict shows up attributed. *)
+  let engine2, v2 = mk_validator () in
+  Validator.register_external v2 ~taint ~at:Time.zero ~primary:0
+    ~secondaries:[ 1; 2 ];
+  deliver v2 ~controller:1 ~snapshot:Snapshot.pristine
+    (Response.Execution { role = `Secondary; actions = [] });
+  Engine.run engine2;
+  let r2 = Jury.Report.of_validator v2 in
+  check_bool "unhealthy" false (Jury.Report.healthy r2);
+  Alcotest.(check (option int)) "primary most suspect" (Some 0)
+    (Jury.Report.most_suspect r2);
+  (match r2.Jury.Report.suspects with
+  | [ row ] ->
+      check_int "one alarm" 1 row.Jury.Report.alarm_count;
+      check_bool "kind recorded" true
+        (List.mem_assoc "response-timeout" row.Jury.Report.fault_kinds)
+  | _ -> Alcotest.fail "one suspect row");
+  check_bool "renders" true (String.length (Jury.Report.to_string r2) > 0)
+
+let test_audit_log () =
+  let engine, v = mk_validator () in
+  let audit = Jury.Audit.create ~capacity:100 () in
+  Jury.Audit.attach audit v;
+  feed_happy_path engine v;
+  check_bool "evidence + verdict recorded" true (Jury.Audit.length audit >= 8);
+  check_bool "chain verifies" true (Jury.Audit.verify_chain audit);
+  let tau_entries = Jury.Audit.for_taint audit taint in
+  check_bool "all entries concern tau" true
+    (List.length tau_entries = Jury.Audit.length audit);
+  check_bool "controller 1 reported" true
+    (Jury.Audit.by_controller audit 1 <> []);
+  (* verdict present *)
+  check_bool "verdict entry exists" true
+    (List.exists
+       (fun (e : Jury.Audit.entry) ->
+         match e.Jury.Audit.kind with
+         | Jury.Audit.Verdict _ -> true
+         | _ -> false)
+       (Jury.Audit.entries audit));
+  (* capacity bound *)
+  let tiny = Jury.Audit.create ~capacity:3 () in
+  for i = 1 to 10 do
+    Jury.Audit.record_verdict tiny
+      { Alarm.taint = Types.Taint.internal_trigger ~origin:0 ~seq:i;
+        trigger_at = Time.zero;
+        decided_at = Time.ms i;
+        primary = Some 0;
+        suspects = [];
+        verdict = Alarm.Ok_valid;
+        detail = "" }
+  done;
+  check_int "bounded" 3 (Jury.Audit.length tiny);
+  check_int "evicted" 7 (Jury.Audit.evicted tiny);
+  check_bool "suffix chain still verifies" true (Jury.Audit.verify_chain tiny)
+
+(* --- Deployment on a live cluster --- *)
+
+let test_deployment_benign_and_faulty () =
+  let engine = Engine.create ~seed:21 () in
+  let plan = Jury_topo.Builder.linear ~switches:6 ~hosts_per_switch:1 in
+  let network = Jury_net.Network.create engine plan () in
+  let cluster =
+    Jury_controller.Cluster.create engine
+      ~profile:Jury_controller.Profile.onos ~nodes:5 ~network ()
+  in
+  let dep = Jury.Deployment.install cluster (Jury.Deployment.config ~k:2 ()) in
+  let v = Jury.Deployment.validator dep in
+  Jury_controller.Cluster.converge cluster;
+  List.iter Jury_net.Host.join (Jury_net.Network.hosts network);
+  Engine.run engine ~until:(Time.add (Engine.now engine) (Time.sec 2));
+  let h0 = Jury_net.Network.host network 0 in
+  let h5 = Jury_net.Network.host network 5 in
+  Jury_net.Host.send_tcp h0 ~dst_mac:(Jury_net.Host.mac h5)
+    ~dst_ip:(Jury_net.Host.ip h5) ~src_port:1000 ~dst_port:80 ();
+  Engine.run engine ~until:(Time.add (Engine.now engine) (Time.sec 2));
+  let benign_verdicts = Validator.decided_count v in
+  let benign_faults = Validator.fault_count v in
+  check_bool "many triggers validated" true (benign_verdicts > 20);
+  check_bool "benign mostly clean" true
+    (float_of_int benign_faults /. float_of_int benign_verdicts < 0.05);
+  check_bool "accounting: replication bytes" true
+    (Jury.Deployment.replication_bytes dep > 0);
+  check_bool "accounting: validator bytes" true
+    (Jury.Deployment.validator_bytes dep > 0);
+  (* Now corrupt a replica and watch JURY attribute the fault: replica
+     1 blackholes the FLOW_MODs it sends while caching correct rules. *)
+  let faulty = 1 in
+  Jury_controller.Controller.set_mutator
+    (Jury_controller.Cluster.controller cluster faulty)
+    (Some Jury_faults.Injector.blackhole_flow_mods);
+  let before = Validator.fault_count v in
+  let dpid = Dpid.of_int 2 in
+  Jury_controller.Cluster.rest cluster ~node:faulty
+    (Types.Install_flow
+       { dpid;
+         flow =
+           Of_message.flow_mod ~priority:300
+             (Of_match.l2_dst ~dst:(Mac.of_host_index 42))
+             [ Of_action.Output 1 ] });
+  Engine.run engine ~until:(Time.add (Engine.now engine) (Time.sec 1));
+  check_bool "fault detected" true (Validator.fault_count v > before);
+  check_bool "faulty node suspected" true
+    (List.exists
+       (fun (a : Alarm.t) -> List.mem faulty a.Alarm.suspects)
+       (Validator.alarms v))
+
+(* Fuzz: arbitrary response multisets never crash the validator, every
+   registered trigger is eventually decided exactly once, and verdicts
+   are deterministic in the input. *)
+let prop_validator_total =
+  QCheck.Test.make ~name:"validator decides everything exactly once"
+    ~count:60
+    QCheck.(list_of_size (Gen.int_range 0 25)
+              (pair (int_bound 3) (int_bound 5)))
+    (fun deliveries ->
+      let engine = Engine.create () in
+      let cfg =
+        Validator.config ~k:2 ~timeout:(Time.ms 50)
+          ~ack_peers_of:(fun o -> [ (o + 1) mod 4 ])
+          ()
+      in
+      let v = Validator.create engine cfg in
+      let taints =
+        Array.init 6 (fun i ->
+            Types.Taint.external_trigger ~primary:(i mod 4) ~serial:i)
+      in
+      Array.iteri
+        (fun i taint ->
+          Validator.register_external v ~taint ~at:Time.zero
+            ~primary:(i mod 4) ~secondaries:[ (i + 1) mod 4 ])
+        taints;
+      List.iter
+        (fun (ctrl, tn) ->
+          let taint = taints.(tn) in
+          let body =
+            if ctrl mod 2 = 0 then
+              Response.Execution
+                { role = (if ctrl = tn mod 4 then `Primary else `Secondary);
+                  actions = response_actions (Dpid.of_int (1 + ctrl)) }
+            else
+              Response.Cache_update
+                { Event.cache = Names.flowsdb; op = Event.Create;
+                  key = Printf.sprintf "k%d" ctrl; value = "v";
+                  origin = ctrl; seq = tn;
+                  taint = Some (Types.Taint.to_string taint) }
+          in
+          Validator.deliver v
+            { Response.controller = ctrl; taint;
+              snapshot = Snapshot.pristine; sent_at = Time.zero; body })
+        deliveries;
+      Engine.run engine;
+      Validator.decided_count v = Array.length taints
+      && Validator.pending_count v = 0)
+
+let suite =
+  [ ("snapshot order-insensitive", `Quick, test_snapshot_order_insensitive);
+    ("snapshot content-sensitive", `Quick, test_snapshot_content_sensitive);
+    ("encapsulation roundtrip", `Quick, test_encap_roundtrip);
+    ("validator happy path", `Quick, test_validator_happy_path);
+    ("validator consensus mismatch", `Quick, test_validator_consensus_mismatch);
+    ("validator dissenting secondary", `Quick, test_validator_dissenting_secondary);
+    ("validator state-aware excuse", `Quick, test_validator_state_aware_excuses);
+    ("validator naive majority FP", `Quick, test_validator_naive_majority_false_alarm);
+    ("validator non-determinism rule", `Quick, test_validator_nondet_rule);
+    ("validator timeout missing primary", `Quick, test_validator_timeout_missing_primary);
+    ("validator cache-without-network", `Quick, test_validator_cache_without_network);
+    ("validator network-without-cache", `Quick, test_validator_network_without_cache);
+    ("validator cache/network mismatch", `Quick, test_validator_cache_network_mismatch);
+    ("validator write failure", `Quick, test_validator_write_failure);
+    ("validator policy check", `Quick, test_validator_policy_check);
+    ("validator internal trigger", `Quick, test_validator_internal_trigger);
+    ("validator flush", `Quick, test_validator_flush);
+    ("adaptive timeout shrinks", `Quick, test_adaptive_timeout_shrinks);
+    ("alarm report", `Quick, test_report);
+    ("audit log", `Quick, test_audit_log);
+    ("deployment benign + faulty", `Slow, test_deployment_benign_and_faulty);
+    QCheck_alcotest.to_alcotest prop_validator_total ]

@@ -1,0 +1,17 @@
+(* Entry point aggregating every suite; `dune runtest` runs this. *)
+
+let () =
+  Alcotest.run "jury-reproduction"
+    [ ("sim", Test_sim.suite);
+      ("stats", Test_stats.suite);
+      ("packet", Test_packet.suite);
+      ("openflow", Test_openflow.suite);
+      ("topo", Test_topo.suite);
+      ("store", Test_store.suite);
+      ("net", Test_net.suite);
+      ("controller", Test_controller.suite);
+      ("policy", Test_policy.suite);
+      ("jury", Test_jury.suite);
+      ("faults", Test_faults.suite);
+      ("workload", Test_workload.suite);
+      ("experiments", Test_experiments.suite) ]

@@ -1,0 +1,276 @@
+(* Tests for the data plane: switches, hosts, links. *)
+
+open Jury_sim
+open Jury_openflow
+module Network = Jury_net.Network
+module Switch = Jury_net.Switch
+module Host = Jury_net.Host
+module Builder = Jury_topo.Builder
+module Frame = Jury_packet.Frame
+module Mac = Jury_packet.Addr.Mac
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk_switch () =
+  let engine = Engine.create () in
+  let sw = Switch.create engine (Of_types.Dpid.of_int 1) () in
+  Switch.register_port sw 1;
+  Switch.register_port sw 2;
+  Switch.register_port sw 3;
+  (engine, sw)
+
+let tcp src dst =
+  Frame.tcp_packet
+    ~src:(Mac.of_host_index src, Jury_packet.Addr.Ipv4.of_host_index src)
+    ~dst:(Mac.of_host_index dst, Jury_packet.Addr.Ipv4.of_host_index dst)
+    ~src_port:1000 ~dst_port:80 ()
+
+let test_miss_raises_packet_in () =
+  let _, sw = mk_switch () in
+  let inbox = ref [] in
+  Switch.set_control_tx sw (fun msg -> inbox := msg :: !inbox);
+  Switch.receive_frame sw ~in_port:1 (tcp 0 1);
+  (match !inbox with
+  | [ { Of_message.payload = Of_message.Packet_in pi; _ } ] ->
+      check_int "in_port" 1 pi.Of_message.in_port;
+      check_bool "buffered" true (pi.Of_message.buffer_id <> None);
+      check_bool "frame carried" true
+        (Frame.equal pi.Of_message.frame (tcp 0 1))
+  | _ -> Alcotest.fail "expected one PACKET_IN");
+  check_int "counter" 1 (Switch.packet_in_count sw)
+
+let test_flow_mod_then_forward () =
+  let _, sw = mk_switch () in
+  let out = ref [] in
+  Switch.set_forwarder sw (fun ~port frame -> out := (port, frame) :: !out);
+  let m = Of_match.l2_dst ~dst:(Mac.of_host_index 1) in
+  Switch.handle_control sw
+    (Of_message.make ~xid:1
+       (Of_message.Flow_mod (Of_message.flow_mod m [ Of_action.Output 2 ])));
+  check_int "flow mod counted" 1 (Switch.flow_mod_count sw);
+  Switch.receive_frame sw ~in_port:1 (tcp 0 1);
+  (match !out with
+  | [ (2, _) ] -> ()
+  | _ -> Alcotest.fail "expected forward out port 2");
+  check_int "no packet_in" 0 (Switch.packet_in_count sw)
+
+let test_buffered_flow_mod_releases_packet () =
+  let _, sw = mk_switch () in
+  let out = ref [] in
+  let inbox = ref [] in
+  Switch.set_forwarder sw (fun ~port frame -> out := (port, frame) :: !out);
+  Switch.set_control_tx sw (fun msg -> inbox := msg :: !inbox);
+  Switch.receive_frame sw ~in_port:1 (tcp 0 1);
+  let buffer_id =
+    match !inbox with
+    | [ { Of_message.payload = Of_message.Packet_in pi; _ } ] ->
+        pi.Of_message.buffer_id
+    | _ -> Alcotest.fail "expected packet_in"
+  in
+  let m = Of_match.exact_of_frame ~in_port:1 (tcp 0 1) in
+  Switch.handle_control sw
+    (Of_message.make ~xid:2
+       (Of_message.Flow_mod
+          (Of_message.flow_mod ~buffer_id m [ Of_action.Output 3 ])));
+  (match !out with
+  | [ (3, f) ] -> check_bool "buffered frame released" true (Frame.equal f (tcp 0 1))
+  | _ -> Alcotest.fail "expected buffered packet out port 3")
+
+let test_flood_excludes_ingress () =
+  let _, sw = mk_switch () in
+  let out = ref [] in
+  Switch.set_forwarder sw (fun ~port _ -> out := port :: !out);
+  Switch.handle_control sw
+    (Of_message.make ~xid:1
+       (Of_message.Packet_out
+          { po_buffer_id = None;
+            po_in_port = 2;
+            po_actions = [ Of_action.Output Of_types.Port.flood ];
+            po_frame = Some (tcp 0 1) }));
+  Alcotest.(check (list int)) "all but ingress" [ 1; 3 ] (List.sort compare !out)
+
+let test_drop_rule () =
+  let _, sw = mk_switch () in
+  let m = Of_match.l2_dst ~dst:(Mac.of_host_index 1) in
+  Switch.handle_control sw
+    (Of_message.make ~xid:1 (Of_message.Flow_mod (Of_message.flow_mod m [])));
+  Switch.receive_frame sw ~in_port:1 (tcp 0 1);
+  check_int "dropped" 1 (Switch.dropped_count sw);
+  check_int "no packet_in" 0 (Switch.packet_in_count sw)
+
+let test_echo_and_features () =
+  let _, sw = mk_switch () in
+  let inbox = ref [] in
+  Switch.set_control_tx sw (fun msg -> inbox := msg :: !inbox);
+  Switch.handle_control sw (Of_message.make ~xid:5 (Of_message.Echo_request "x"));
+  Switch.handle_control sw (Of_message.make ~xid:6 Of_message.Features_request);
+  let payloads = List.rev_map (fun (m : Of_message.t) -> m.payload) !inbox in
+  (match payloads with
+  | [ Of_message.Echo_reply "x"; Of_message.Features_reply fr ] ->
+      check_int "ports" 3 (List.length fr.Of_message.ports)
+  | _ -> Alcotest.fail "expected echo reply + features reply")
+
+let test_port_down_blocks () =
+  let _, sw = mk_switch () in
+  let inbox = ref [] in
+  let out = ref [] in
+  Switch.set_control_tx sw (fun msg -> inbox := msg :: !inbox);
+  Switch.set_forwarder sw (fun ~port _ -> out := port :: !out);
+  let m = Of_match.l2_dst ~dst:(Mac.of_host_index 1) in
+  Switch.handle_control sw
+    (Of_message.make ~xid:1 (Of_message.Flow_mod (Of_message.flow_mod m [ Of_action.Output 2 ])));
+  Switch.port_down sw 2;
+  check_bool "port_status raised" true
+    (List.exists
+       (fun (msg : Of_message.t) ->
+         match msg.payload with
+         | Of_message.Port_status ps -> not ps.Of_message.ps_link_up
+         | _ -> false)
+       !inbox);
+  Switch.receive_frame sw ~in_port:1 (tcp 0 1);
+  check_int "nothing forwarded" 0 (List.length !out);
+  Switch.port_up sw 2;
+  Switch.receive_frame sw ~in_port:1 (tcp 0 1);
+  check_int "forwarded after up" 1 (List.length !out)
+
+let test_stats_request () =
+  let _, sw = mk_switch () in
+  let inbox = ref [] in
+  Switch.set_control_tx sw (fun msg -> inbox := msg :: !inbox);
+  let m = Of_match.l2_dst ~dst:(Mac.of_host_index 1) in
+  Switch.handle_control sw
+    (Of_message.make ~xid:1 (Of_message.Flow_mod (Of_message.flow_mod m [ Of_action.Output 2 ])));
+  Switch.handle_control sw
+    (Of_message.make ~xid:2
+       (Of_message.Stats_request (Of_message.Flow_stats_request Of_match.wildcard_all)));
+  (match !inbox with
+  | { Of_message.payload = Of_message.Stats_reply (Of_message.Flow_stats_reply stats); _ } :: _ ->
+      check_int "one flow" 1 (List.length stats)
+  | _ -> Alcotest.fail "expected stats reply")
+
+(* --- Network-level --- *)
+
+let test_host_arp_reply () =
+  let engine = Engine.create () in
+  let plan = Builder.single ~hosts:2 in
+  let network = Network.create engine plan () in
+  let h0 = Network.host network 0 and h1 = Network.host network 1 in
+  (* With no controller, PACKET_INs go nowhere; wire a tiny hub: flood
+     everything. *)
+  List.iter
+    (fun sw ->
+      Switch.set_control_tx sw (fun msg ->
+          match msg.Of_message.payload with
+          | Of_message.Packet_in pi ->
+              Switch.handle_control sw
+                (Of_message.make ~xid:1
+                   (Of_message.Packet_out
+                      { po_buffer_id = pi.Of_message.buffer_id;
+                        po_in_port = pi.Of_message.in_port;
+                        po_actions = [ Of_action.Output Of_types.Port.flood ];
+                        po_frame = None }))
+          | _ -> ()))
+    (Network.switches network);
+  Host.send_arp_request h0 ~target:(Host.ip h1);
+  Engine.run engine;
+  (* h1 received the request and replied; h0 received the reply. *)
+  check_bool "h1 got request" true (Host.received_count h1 >= 1);
+  check_bool "h0 got reply" true (Host.received_count h0 >= 1)
+
+let test_link_teardown () =
+  let engine = Engine.create () in
+  let plan = Builder.linear ~switches:2 ~hosts_per_switch:1 in
+  let network = Network.create engine plan () in
+  let graph = plan.Builder.graph in
+  let edge = List.hd (Jury_topo.Graph.edges graph) in
+  (* hub behaviour again *)
+  List.iter
+    (fun sw ->
+      Switch.set_control_tx sw (fun msg ->
+          match msg.Of_message.payload with
+          | Of_message.Packet_in pi ->
+              Switch.handle_control sw
+                (Of_message.make ~xid:1
+                   (Of_message.Packet_out
+                      { po_buffer_id = pi.Of_message.buffer_id;
+                        po_in_port = pi.Of_message.in_port;
+                        po_actions = [ Of_action.Output Of_types.Port.flood ];
+                        po_frame = None }))
+          | _ -> ()))
+    (Network.switches network);
+  let h0 = Network.host network 0 and h1 = Network.host network 1 in
+  Host.send_tcp h0 ~dst_mac:(Host.mac h1) ~dst_ip:(Host.ip h1) ~src_port:1
+    ~dst_port:2 ();
+  Engine.run engine;
+  let before = Host.received_count h1 in
+  check_bool "reachable before" true (before >= 1);
+  Network.take_link_down network edge.Jury_topo.Graph.a edge.Jury_topo.Graph.b;
+  Host.send_tcp h0 ~dst_mac:(Host.mac h1) ~dst_ip:(Host.ip h1) ~src_port:3
+    ~dst_port:4 ();
+  Engine.run engine;
+  check_int "unreachable after teardown" before (Host.received_count h1);
+  Network.bring_link_up network edge.Jury_topo.Graph.a edge.Jury_topo.Graph.b;
+  Host.send_tcp h0 ~dst_mac:(Host.mac h1) ~dst_ip:(Host.ip h1) ~src_port:5
+    ~dst_port:6 ();
+  Engine.run engine;
+  check_bool "reachable again" true (Host.received_count h1 > before)
+
+let test_data_plane_bytes () =
+  let engine = Engine.create () in
+  let plan = Builder.single ~hosts:2 in
+  let network = Network.create engine plan () in
+  let h0 = Network.host network 0 and h1 = Network.host network 1 in
+  Host.send_tcp h0 ~dst_mac:(Host.mac h1) ~dst_ip:(Host.ip h1)
+    ~payload_len:100 ~src_port:1 ~dst_port:2 ();
+  Engine.run engine;
+  (* Host->switch hop is accounted at the switch egress only if
+     forwarded; at least the injection reached the switch. *)
+  check_bool "packet_in happened" true
+    (List.exists (fun sw -> Switch.packet_in_count sw = 1) (Network.switches network))
+
+let test_capture () =
+  let engine = Engine.create () in
+  let plan = Builder.single ~hosts:2 in
+  let network = Network.create engine plan () in
+  let cap = Jury_net.Capture.create ~capacity:100 engine in
+  List.iter (Jury_net.Capture.tap_switch cap) (Network.switches network);
+  let h0 = Network.host network 0 and h1 = Network.host network 1 in
+  Host.send_tcp h0 ~dst_mac:(Host.mac h1) ~dst_ip:(Host.ip h1) ~src_port:1
+    ~dst_port:2 ();
+  Engine.run engine;
+  check_bool "frames recorded" true (Jury_net.Capture.count cap >= 1);
+  let rx =
+    Jury_net.Capture.matching cap (fun e ->
+        e.Jury_net.Capture.direction = Jury_net.Capture.Rx)
+  in
+  check_bool "rx entry present" true (List.length rx >= 1);
+  check_bool "dump renders" true
+    (String.length (Jury_net.Capture.dump cap) > 0);
+  (* capacity bound *)
+  let tiny = Jury_net.Capture.create ~capacity:2 engine in
+  List.iter (Jury_net.Capture.tap_switch tiny) (Network.switches network);
+  for i = 1 to 5 do
+    Host.send_tcp h0 ~dst_mac:(Host.mac h1) ~dst_ip:(Host.ip h1)
+      ~src_port:(100 + i) ~dst_port:2 ()
+  done;
+  Engine.run engine;
+  check_int "bounded" 2 (Jury_net.Capture.count tiny);
+  check_bool "dropped counted" true (Jury_net.Capture.dropped tiny > 0);
+  List.iter Jury_net.Capture.untap_switch (Network.switches network);
+  Jury_net.Capture.clear tiny;
+  check_int "cleared" 0 (Jury_net.Capture.count tiny)
+
+let suite =
+  [ ("miss raises packet_in", `Quick, test_miss_raises_packet_in);
+    ("flow_mod then forward", `Quick, test_flow_mod_then_forward);
+    ("buffered packet release", `Quick, test_buffered_flow_mod_releases_packet);
+    ("flood excludes ingress", `Quick, test_flood_excludes_ingress);
+    ("drop rule", `Quick, test_drop_rule);
+    ("echo and features", `Quick, test_echo_and_features);
+    ("port down blocks egress", `Quick, test_port_down_blocks);
+    ("flow stats", `Quick, test_stats_request);
+    ("host arp reply", `Quick, test_host_arp_reply);
+    ("link teardown", `Quick, test_link_teardown);
+    ("frame delivery", `Quick, test_data_plane_bytes);
+    ("packet capture", `Quick, test_capture) ]

@@ -1,0 +1,221 @@
+(* Tests for the policy framework: globs, parsers, evaluation. *)
+
+module Pattern = Jury_policy.Pattern
+module Ast = Jury_policy.Ast
+module Parse = Jury_policy.Parse
+module Engine = Jury_policy.Engine
+module Event = Jury_store.Event
+module Values = Jury_controller.Values
+module Of_match = Jury_openflow.Of_match
+module Of_message = Jury_openflow.Of_message
+module Of_action = Jury_openflow.Of_action
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Patterns --- *)
+
+let test_glob () =
+  let m p s = Pattern.matches (Pattern.compile p) s in
+  check_bool "exact" true (m "abc" "abc");
+  check_bool "exact miss" false (m "abc" "abd");
+  check_bool "star all" true (m "*" "anything");
+  check_bool "star empty" true (m "*" "");
+  check_bool "prefix" true (m "ab*" "abcdef");
+  check_bool "suffix" true (m "*def" "abcdef");
+  check_bool "middle" true (m "a*f" "abcdef");
+  check_bool "two stars" true (m "a*c*e" "abcde");
+  check_bool "question" true (m "a?c" "abc");
+  check_bool "question miss" false (m "a?c" "abbc");
+  check_bool "star backtrack" true (m "*b*c" "abxbc");
+  check_bool "no match" false (m "x*" "abc");
+  check_bool "is_star" true (Pattern.is_star (Pattern.compile "*"))
+
+(* --- DSL parsing --- *)
+
+let test_dsl_line () =
+  match Parse.dsl_line "deny name=r1 ctrl=3 trigger=internal cache=EDGEDB op=update entry=*,down dest=remote" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok r ->
+      check_bool "deny" false r.Ast.allow;
+      Alcotest.(check string) "name" "r1" r.Ast.name;
+      check_bool "ctrl" true (r.Ast.controller = Ast.Controller_id 3);
+      check_bool "trigger" true (r.Ast.trigger = Ast.Internal_only);
+      Alcotest.(check (option string)) "cache" (Some "EDGEDB") r.Ast.cache;
+      check_bool "op" true (r.Ast.operation = Ast.Op_is Event.Update);
+      check_bool "dest" true (r.Ast.destination = Ast.Remote_only)
+
+let test_dsl_document () =
+  let src = "# comment\n\ndeny cache=LINKSDB\nallow cache=FLOWSDB\n" in
+  match Parse.dsl src with
+  | Ok rules -> check_int "two rules" 2 (List.length rules)
+  | Error e -> Alcotest.failf "dsl failed: %s" e
+
+let test_dsl_errors () =
+  check_bool "bad verb" true (Result.is_error (Parse.dsl_line "frobnicate cache=X"));
+  check_bool "bad field" true (Result.is_error (Parse.dsl_line "deny nope=1"));
+  check_bool "bad op" true (Result.is_error (Parse.dsl_line "deny op=explode"))
+
+(* --- XML parsing (the Fig. 3 syntax) --- *)
+
+let fig3 =
+  {|<Policy allow="No" name="no-proactive-edges">
+      <Controller id="*"/>
+      <Action type="Internal"/>
+      <Cache ="EdgesDB" entry="*,*" operation="*"/>
+      <Destination value="*"/>
+    </Policy>|}
+
+let test_xml_fig3 () =
+  match Parse.xml fig3 with
+  | Error e -> Alcotest.failf "fig3 parse failed: %s" e
+  | Ok [ r ] ->
+      check_bool "deny" false r.Ast.allow;
+      check_bool "internal" true (r.Ast.trigger = Ast.Internal_only);
+      Alcotest.(check (option string)) "cache normalised" (Some "EDGESDB")
+        r.Ast.cache;
+      check_bool "any controller" true (r.Ast.controller = Ast.Any_controller)
+  | Ok _ -> Alcotest.fail "expected exactly one rule"
+
+let test_xml_multiple_and_checks () =
+  let src =
+    {|<Policy allow="No" name="hier"><Cache name="FLOWSDB" check="flow-hierarchy"/></Policy>
+      <Policy allow="Yes" name="ok"><Controller id="2"/></Policy>|}
+  in
+  match Parse.xml src with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok [ a; b ] ->
+      check_bool "check entry" true (a.Ast.entry = Ast.Flow_hierarchy_violation);
+      check_bool "allow rule" true b.Ast.allow;
+      check_bool "controller 2" true (b.Ast.controller = Ast.Controller_id 2)
+  | Ok _ -> Alcotest.fail "expected two rules"
+
+let test_xml_errors () =
+  check_bool "mismatched close" true
+    (Result.is_error (Parse.xml "<Policy><Cache name=\"X\"/></Oops>"));
+  check_bool "garbage" true (Result.is_error (Parse.xml "not xml at all"))
+
+(* --- Engine evaluation --- *)
+
+let base_query =
+  { Ast.q_controller = 1;
+    q_trigger = `External;
+    q_cache = "LINKSDB";
+    q_op = Event.Update;
+    q_key = "l1";
+    q_value = "down";
+    q_destination = `Local }
+
+let test_engine_first_match () =
+  let engine =
+    Engine.create
+      [ Ast.rule ~name:"allow-ctrl1" ~allow:true ~controller:(Ast.Controller_id 1)
+          ~cache:"LINKSDB" ();
+        Ast.rule ~name:"deny-all" ~cache:"LINKSDB" () ]
+  in
+  (match Engine.check engine base_query with
+  | Engine.Allowed -> ()
+  | Engine.Denied _ -> Alcotest.fail "allow rule should win (first match)");
+  match Engine.check engine { base_query with Ast.q_controller = 2 } with
+  | Engine.Denied r -> Alcotest.(check string) "deny rule" "deny-all" r.Ast.name
+  | Engine.Allowed -> Alcotest.fail "controller 2 should be denied"
+
+let test_engine_default_allow () =
+  let engine = Engine.create [ Ast.rule ~cache:"FLOWSDB" () ] in
+  match Engine.check engine base_query with
+  | Engine.Allowed -> ()
+  | Engine.Denied _ -> Alcotest.fail "non-matching cache must default-allow"
+
+let test_engine_trigger_and_dest () =
+  let engine =
+    Engine.create
+      [ Ast.rule ~name:"internal-only" ~trigger:Ast.Internal_only
+          ~cache:"LINKSDB" ();
+        Ast.rule ~name:"remote-only" ~destination:Ast.Remote_only
+          ~cache:"FLOWSDB" () ]
+  in
+  check_bool "external passes internal-only rule" true
+    (Engine.check engine base_query = Engine.Allowed);
+  check_bool "internal denied" true
+    (match Engine.check engine { base_query with Ast.q_trigger = `Internal } with
+    | Engine.Denied r -> r.Ast.name = "internal-only"
+    | Engine.Allowed -> false);
+  let flow_q = { base_query with Ast.q_cache = "FLOWSDB" } in
+  check_bool "local passes remote-only" true
+    (Engine.check engine flow_q = Engine.Allowed);
+  check_bool "remote denied" true
+    (Engine.check engine { flow_q with Ast.q_destination = `Remote }
+    <> Engine.Allowed)
+
+let test_engine_flow_checks () =
+  let bad_match = { Of_match.wildcard_all with Of_match.tp_dst = Some 80 } in
+  let bad_flow = Of_message.flow_mod bad_match [ Of_action.Output 1 ] in
+  let drop_flow =
+    Of_message.flow_mod (Of_match.l2_dst ~dst:(Jury_packet.Addr.Mac.of_host_index 1)) []
+  in
+  let engine =
+    Engine.create
+      [ Ast.rule ~name:"hier" ~cache:"FLOWSDB" ~entry:Ast.Flow_hierarchy_violation ();
+        Ast.rule ~name:"nodrop" ~cache:"FLOWSDB" ~entry:Ast.Flow_drops_packets () ]
+  in
+  let q value = { base_query with Ast.q_cache = "FLOWSDB"; q_value = value } in
+  check_bool "bad hierarchy denied" true
+    (match Engine.check engine (q (Values.Flow.value bad_flow)) with
+    | Engine.Denied r -> r.Ast.name = "hier"
+    | Engine.Allowed -> false);
+  check_bool "drop rule denied" true
+    (match Engine.check engine (q (Values.Flow.value drop_flow)) with
+    | Engine.Denied r -> r.Ast.name = "nodrop"
+    | Engine.Allowed -> false);
+  let good = Of_message.flow_mod (Of_match.l2_dst ~dst:(Jury_packet.Addr.Mac.of_host_index 1))
+      [ Of_action.Output 2 ] in
+  check_bool "good flow passes" true
+    (Engine.check engine (q (Values.Flow.value good)) = Engine.Allowed)
+
+let test_check_all () =
+  let engine = Engine.create [ Ast.rule ~name:"d" ~cache:"LINKSDB" () ] in
+  let qs =
+    [ base_query;
+      { base_query with Ast.q_cache = "FLOWSDB" };
+      { base_query with Ast.q_key = "l2" } ]
+  in
+  check_int "two violations" 2 (List.length (Engine.check_all engine qs))
+
+let test_add_rule_and_count () =
+  let engine = Engine.create [] in
+  check_int "empty" 0 (Engine.rule_count engine);
+  Engine.add_rule engine (Ast.rule ());
+  check_int "one" 1 (Engine.rule_count engine);
+  check_bool "denies now" true (Engine.check engine base_query <> Engine.Allowed)
+
+let prop_star_matches_everything =
+  QCheck.Test.make ~name:"'*' matches any string" ~count:200
+    QCheck.printable_string
+    (fun s -> Pattern.matches (Pattern.compile "*") s)
+
+let prop_exact_self_match =
+  QCheck.Test.make ~name:"literal pattern matches itself" ~count:200
+    QCheck.printable_string
+    (fun s ->
+      (* Avoid glob metacharacters in the generated string. *)
+      let clean =
+        String.map (fun c -> if c = '*' || c = '?' then 'x' else c) s
+      in
+      Pattern.matches (Pattern.compile clean) clean)
+
+let suite =
+  [ ("glob patterns", `Quick, test_glob);
+    ("dsl line", `Quick, test_dsl_line);
+    ("dsl document", `Quick, test_dsl_document);
+    ("dsl errors", `Quick, test_dsl_errors);
+    ("xml fig3 policy", `Quick, test_xml_fig3);
+    ("xml multiple + checks", `Quick, test_xml_multiple_and_checks);
+    ("xml errors", `Quick, test_xml_errors);
+    ("engine first match", `Quick, test_engine_first_match);
+    ("engine default allow", `Quick, test_engine_default_allow);
+    ("engine trigger/destination", `Quick, test_engine_trigger_and_dest);
+    ("engine flow checks", `Quick, test_engine_flow_checks);
+    ("check_all", `Quick, test_check_all);
+    ("add_rule", `Quick, test_add_rule_and_count);
+    QCheck_alcotest.to_alcotest prop_star_matches_everything;
+    QCheck_alcotest.to_alcotest prop_exact_self_match ]

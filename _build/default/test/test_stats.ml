@@ -1,0 +1,168 @@
+(* Tests for the statistics helpers the bench harness relies on. *)
+
+module Summary = Jury_stats.Summary
+module Cdf = Jury_stats.Cdf
+module Histogram = Jury_stats.Histogram
+module Rate = Jury_stats.Rate
+module Table = Jury_stats.Table
+
+module Str_contains = struct
+  let contains haystack needle =
+    let hl = String.length haystack and nl = String.length needle in
+    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+    nl = 0 || go 0
+end
+
+let checkf = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_summary_basic () =
+  let s = Summary.of_list [ 1.; 2.; 3.; 4.; 5. ] in
+  checkf "mean" 3. s.Summary.mean;
+  checkf "min" 1. s.Summary.min;
+  checkf "max" 5. s.Summary.max;
+  checkf "p50" 3. s.Summary.p50;
+  check_int "n" 5 s.Summary.n
+
+let test_summary_percentile () =
+  let xs = Array.init 101 float_of_int in
+  checkf "p0" 0. (Summary.percentile xs 0.);
+  checkf "p100" 100. (Summary.percentile xs 1.);
+  checkf "p50" 50. (Summary.percentile xs 0.5);
+  checkf "p95" 95. (Summary.percentile xs 0.95);
+  (* interpolation *)
+  checkf "interp" 0.5 (Summary.percentile [| 0.; 1. |] 0.5)
+
+let test_summary_stddev () =
+  checkf "constant" 0. (Summary.stddev [| 4.; 4.; 4. |]);
+  let s = Summary.stddev [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_bool "known stddev" true (abs_float (s -. 2.138) < 0.01)
+
+let test_summary_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.of_array: empty")
+    (fun () -> ignore (Summary.of_array [||]))
+
+let test_cdf_basic () =
+  let cdf = Cdf.of_samples [| 3.; 1.; 2.; 2. |] in
+  let pts = Cdf.points cdf in
+  check_int "distinct points" 3 (List.length pts);
+  checkf "first x" 1. (List.hd pts).Cdf.x;
+  checkf "first p" 0.25 (List.hd pts).Cdf.p;
+  checkf "last p" 1.0 (List.nth pts 2).Cdf.p;
+  checkf "dup collapsed p" 0.75 (List.nth pts 1).Cdf.p
+
+let test_cdf_queries () =
+  let cdf = Cdf.of_samples (Array.init 100 (fun i -> float_of_int i)) in
+  checkf "quantile 0.5" 49. (Cdf.value_at cdf 0.5);
+  checkf "fraction below" 0.5 (Cdf.fraction_below cdf 49.);
+  checkf "fraction below min" 0. (Cdf.fraction_below cdf (-1.))
+
+let test_cdf_downsample () =
+  let cdf = Cdf.of_samples (Array.init 1000 float_of_int) in
+  let small = Cdf.downsample cdf 10 in
+  check_int "downsampled" 10 (List.length (Cdf.points small));
+  let pts = Cdf.points small in
+  checkf "keeps first" 0. (List.hd pts).Cdf.x;
+  checkf "keeps last" 999. (List.nth pts 9).Cdf.x
+
+let test_histogram () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+  Histogram.add_many h [| 1.; 3.; 5.; 7.; 9.; 11.; -1. |];
+  check_int "total" 7 (Histogram.total h);
+  let counts = Histogram.counts h in
+  check_int "first bin catches underflow" 2 counts.(0);
+  check_int "last bin catches overflow" 2 counts.(4);
+  let norm = Histogram.normalized h in
+  checkf "normalized sums to 1" 1.
+    (Array.fold_left ( +. ) 0. norm)
+
+let test_rate () =
+  let r = Rate.create ~window_sec:1.0 in
+  Rate.tick r ~at_sec:0.5 ();
+  Rate.tick r ~at_sec:0.7 ();
+  Rate.tick r ~at_sec:2.5 ~count:4 ();
+  check_int "total" 6 (Rate.total r);
+  let series = Rate.series r in
+  check_int "covers empty windows" 3 (Array.length series);
+  checkf "first window rate" 2. (snd series.(0));
+  checkf "empty window" 0. (snd series.(1));
+  checkf "last window rate" 4. (snd series.(2));
+  checkf "peak" 4. (Rate.peak_rate r);
+  checkf "mean" 2. (Rate.mean_rate r)
+
+let test_table () =
+  let t = Table.create ~header:[ "a"; "b" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  check_int "rows" 2 (Table.row_count t);
+  let out = Format.asprintf "%a" Table.pp t in
+  check_bool "aligned" true
+    (String.length out > 0
+    && String.split_on_char '\n' out |> List.length >= 4);
+  Alcotest.(check string) "pct" "11.3%" (Table.cell_pct 0.113)
+
+module Ascii_plot = Jury_stats.Ascii_plot
+
+let test_ascii_plot_cdf () =
+  let cdf = Cdf.of_samples (Array.init 100 float_of_int) in
+  let out = Ascii_plot.cdf ~x_label:"ms" [ ("series-a", cdf) ] in
+  check_bool "draws axis" true (String.length out > 200);
+  check_bool "legend present" true
+    (String.length out > 0
+    && Str_contains.contains out "series-a");
+  check_bool "x label present" true (Str_contains.contains out "(ms)");
+  Alcotest.(check string) "empty input" "  (no samples)\n"
+    (Ascii_plot.cdf [ ])
+
+let test_ascii_plot_xy () =
+  let out =
+    Ascii_plot.xy ~x_label:"rate" ~y_label:"tput"
+      [ ("up", [ (0., 0.); (10., 10.) ]); ("flat", [ (0., 5.); (10., 5.) ]) ]
+  in
+  check_bool "renders" true (String.length out > 200);
+  check_bool "both legends" true
+    (Str_contains.contains out "up" && Str_contains.contains out "flat")
+
+let prop_cdf_monotone =
+  QCheck.Test.make ~name:"cdf monotone" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 100) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let cdf = Cdf.of_samples (Array.of_list xs) in
+      let pts = Cdf.points cdf in
+      let rec mono = function
+        | a :: (b :: _ as rest) ->
+            a.Cdf.x < b.Cdf.x && a.Cdf.p < b.Cdf.p && mono rest
+        | _ -> true
+      in
+      mono pts
+      && (match List.rev pts with
+         | last :: _ -> abs_float (last.Cdf.p -. 1.0) < 1e-9
+         | [] -> false))
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentile within min/max" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 50) (float_bound_exclusive 100.))
+              (float_bound_inclusive 1.0))
+    (fun (xs, q) ->
+      let arr = Array.of_list xs in
+      let v = Summary.percentile arr q in
+      let lo = Array.fold_left min arr.(0) arr in
+      let hi = Array.fold_left max arr.(0) arr in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let suite =
+  [ ("summary basic", `Quick, test_summary_basic);
+    ("summary percentile", `Quick, test_summary_percentile);
+    ("summary stddev", `Quick, test_summary_stddev);
+    ("summary empty", `Quick, test_summary_empty);
+    ("cdf basic", `Quick, test_cdf_basic);
+    ("cdf queries", `Quick, test_cdf_queries);
+    ("cdf downsample", `Quick, test_cdf_downsample);
+    ("histogram", `Quick, test_histogram);
+    ("rate windows", `Quick, test_rate);
+    ("table rendering", `Quick, test_table);
+    ("ascii plot cdf", `Quick, test_ascii_plot_cdf);
+    ("ascii plot xy", `Quick, test_ascii_plot_xy);
+    QCheck_alcotest.to_alcotest prop_cdf_monotone;
+    QCheck_alcotest.to_alcotest prop_percentile_bounds ]

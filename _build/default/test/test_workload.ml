@@ -1,0 +1,179 @@
+(* Tests for workload generators and the probe. *)
+
+open Jury_sim
+module Flows = Jury_workload.Flows
+module Traces = Jury_workload.Traces
+module Cbench = Jury_workload.Cbench
+module Probe = Jury_workload.Probe
+module Network = Jury_net.Network
+module Switch = Jury_net.Switch
+module Builder = Jury_topo.Builder
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mk ?(switches = 4) ?(hosts_per_switch = 2) () =
+  let engine = Engine.create ~seed:31 () in
+  let plan = Builder.linear ~switches ~hosts_per_switch in
+  let network = Network.create engine plan () in
+  (engine, network)
+
+let total_packet_ins network =
+  List.fold_left
+    (fun acc sw -> acc + Switch.packet_in_count sw)
+    0 (Network.switches network)
+
+let test_new_connections_rate () =
+  let engine, network = mk () in
+  let rng = Rng.split (Engine.rng engine) in
+  Flows.new_connections network ~rng ~rate:1000. ~duration:(Time.sec 2)
+    ~mode:Flows.Same_switch ();
+  Engine.run engine;
+  let pis = total_packet_ins network in
+  (* Poisson with mean 2000; each same-switch connection misses once. *)
+  check_bool "rate approx" true (pis > 1700 && pis < 2300)
+
+let test_same_switch_stays_local () =
+  let engine, network = mk () in
+  let rng = Rng.split (Engine.rng engine) in
+  Flows.new_connections network ~rng ~rate:200. ~duration:(Time.sec 1)
+    ~mode:Flows.Same_switch ();
+  Engine.run engine;
+  (* No controller: frames die at their first switch as PACKET_INs,
+     never crossing links. *)
+  List.iter
+    (fun sw ->
+      check_int
+        ("no transit at " ^ Jury_openflow.Of_types.Dpid.to_string (Switch.dpid sw))
+        (Switch.packet_in_count sw)
+        (Switch.packet_in_count sw))
+    (Network.switches network);
+  check_bool "some packet_ins" true (total_packet_ins network > 100)
+
+let test_host_joins () =
+  let engine, network = mk () in
+  let rng = Rng.split (Engine.rng engine) in
+  Flows.host_joins network ~rng ~rate:50. ~duration:(Time.sec 1);
+  Engine.run engine;
+  check_bool "gratuitous arps hit switches" true (total_packet_ins network > 20)
+
+let test_link_flaps_recover () =
+  let engine, network = mk () in
+  let rng = Rng.split (Engine.rng engine) in
+  Flows.link_flaps network ~rng ~rate:5. ~duration:(Time.sec 2)
+    ~down_time:(Time.ms 100) ();
+  Engine.run engine;
+  (* After the run every link must be back up: sending across the chain
+     floods PACKET_INs at the far switch. *)
+  let h0 = Network.host network 0 in
+  let far = Network.host network (2 * 4 - 1) in
+  Jury_net.Host.send_tcp h0 ~dst_mac:(Jury_net.Host.mac far)
+    ~dst_ip:(Jury_net.Host.ip far) ~src_port:1 ~dst_port:2 ();
+  Engine.run engine;
+  check_bool "links restored" true (total_packet_ins network > 0)
+
+let test_traces_profiles () =
+  check_int "three traces" 3 (List.length Traces.all);
+  check_bool "find by name" true (Traces.find "LBNL" <> None);
+  check_bool "unknown" true (Traces.find "NOPE" = None);
+  List.iter
+    (fun (p : Traces.profile) ->
+      check_bool (p.Traces.name ^ " sane rate") true (p.Traces.mean_rate > 0.);
+      check_bool (p.Traces.name ^ " sane mix") true
+        (p.Traces.arp_fraction +. p.Traces.udp_fraction < 1.))
+    Traces.all
+
+let test_trace_replay_rate () =
+  let engine, network = mk ~switches:6 ~hosts_per_switch:2 () in
+  let rng = Rng.split (Engine.rng engine) in
+  Traces.replay network ~rng ~profile:Traces.lbnl ~duration:(Time.sec 2);
+  Engine.run engine;
+  let pis = total_packet_ins network in
+  (* LBNL ~700/s for 2s; lognormal gaps make this noisy. *)
+  check_bool "roughly profile rate" true (pis > 600 && pis < 2800)
+
+let test_cbench_blast () =
+  let engine, network = mk () in
+  let rng = Rng.split (Engine.rng engine) in
+  Cbench.blast network ~rng ~dpid:(Jury_openflow.Of_types.Dpid.of_int 1)
+    ~burst:100 ~burst_gap:(Time.ms 100) ~duration:(Time.sec 1);
+  Engine.run engine;
+  let sw1 = Network.switch network (Jury_openflow.Of_types.Dpid.of_int 1) in
+  (* 1 initial + 10 periodic bursts of 100 *)
+  check_bool "bursts injected" true (Switch.packet_in_count sw1 >= 1000)
+
+let test_probe () =
+  let engine, network = mk () in
+  let rng = Rng.split (Engine.rng engine) in
+  let probe = Probe.start network ~window_sec:0.5 ~duration:(Time.sec 2) () in
+  Flows.new_connections network ~rng ~rate:400. ~duration:(Time.sec 2)
+    ~mode:Flows.Same_switch ();
+  Engine.run engine;
+  check_bool "packet_in total counted" true (Probe.total_packet_in probe > 600);
+  check_bool "series non-empty" true
+    (Array.length (Jury_stats.Rate.series (Probe.packet_in probe)) >= 3);
+  (* no controller => no flow mods *)
+  check_int "no flow mods" 0 (Probe.total_flow_mod probe)
+
+let test_record_and_replay () =
+  (* Record a small run, replay it into a fresh network, and check the
+     same host-edge frames arrive again. *)
+  let engine, network = mk ~switches:2 ~hosts_per_switch:1 () in
+  let capture = Jury_net.Capture.create engine in
+  List.iter (Jury_net.Capture.tap_switch capture) (Network.switches network);
+  let h0 = Network.host network 0 and h1 = Network.host network 1 in
+  for i = 1 to 5 do
+    Jury_net.Host.send_tcp h0 ~dst_mac:(Jury_net.Host.mac h1)
+      ~dst_ip:(Jury_net.Host.ip h1) ~src_port:(6000 + i) ~dst_port:80 ()
+  done;
+  Engine.run engine;
+  let recorded =
+    List.length (Jury_workload.Replay.edge_entries network capture)
+  in
+  check_int "five edge frames recorded" 5 recorded;
+  (* Fresh network with the same shape. *)
+  let engine2 = Engine.create ~seed:77 () in
+  let plan2 = Builder.linear ~switches:2 ~hosts_per_switch:1 in
+  let network2 = Network.create engine2 plan2 () in
+  (* The capture came from another engine; re-injection only needs the
+     relative timestamps, so replay accepts it. *)
+  let n = Jury_workload.Replay.replay network2 capture () in
+  check_int "all frames scheduled" 5 n;
+  Engine.run engine2;
+  check_int "replayed frames hit the edge switch" 5
+    (Switch.packet_in_count
+       (Network.switch network2 (Jury_openflow.Of_types.Dpid.of_int 1)))
+
+let test_replay_speed () =
+  let engine, network = mk ~switches:2 ~hosts_per_switch:1 () in
+  let capture = Jury_net.Capture.create engine in
+  List.iter (Jury_net.Capture.tap_switch capture) (Network.switches network);
+  let h0 = Network.host network 0 and h1 = Network.host network 1 in
+  Jury_net.Host.send_tcp h0 ~dst_mac:(Jury_net.Host.mac h1)
+    ~dst_ip:(Jury_net.Host.ip h1) ~src_port:1 ~dst_port:2 ();
+  ignore
+    (Engine.schedule engine ~after:(Time.ms 100) (fun () ->
+         Jury_net.Host.send_tcp h0 ~dst_mac:(Jury_net.Host.mac h1)
+           ~dst_ip:(Jury_net.Host.ip h1) ~src_port:3 ~dst_port:4 ()));
+  Engine.run engine;
+  let engine2 = Engine.create () in
+  let network2 =
+    Network.create engine2 (Builder.linear ~switches:2 ~hosts_per_switch:1) ()
+  in
+  ignore (Jury_workload.Replay.replay network2 capture ~speed:2.0 ());
+  Engine.run engine2;
+  (* 100 ms gap compressed to ~50 ms. *)
+  check_bool "time compressed" true
+    Time.(Engine.now engine2 < Time.ms 80)
+
+let suite =
+  [ ("new connections rate", `Quick, test_new_connections_rate);
+    ("same-switch locality", `Quick, test_same_switch_stays_local);
+    ("host joins", `Quick, test_host_joins);
+    ("link flaps recover", `Quick, test_link_flaps_recover);
+    ("trace profiles", `Quick, test_traces_profiles);
+    ("trace replay rate", `Quick, test_trace_replay_rate);
+    ("cbench blast", `Quick, test_cbench_blast);
+    ("probe", `Quick, test_probe);
+    ("record and replay", `Quick, test_record_and_replay);
+    ("replay speed", `Quick, test_replay_speed) ]
