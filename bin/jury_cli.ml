@@ -173,6 +173,125 @@ let failover_cmd =
        ~doc:"Crash a replica, fail its switches over, verify service")
     Term.(const run $ nodes_arg $ k_arg $ seed_arg $ switches_arg)
 
+(* --- trace --- *)
+
+let trace_cmd =
+  let scenario_arg =
+    Arg.(value & opt (some string) None
+         & info [ "scenario" ]
+             ~doc:"Fault scenario to run under the trace (default: a short \
+                   benign ONOS workload).")
+  in
+  let taint_arg =
+    Arg.(value & opt (some string) None
+         & info [ "taint" ] ~doc:"Focus on one taint, e.g. ext:0:17.")
+  in
+  let node_arg =
+    Arg.(value & opt (some int) None
+         & info [ "node" ] ~doc:"Filter exported events by controller id.")
+  in
+  let phase_arg =
+    Arg.(value & opt (some string) None
+         & info [ "phase" ]
+             ~doc:"Filter exported events by phase (trigger, intercept, \
+                   replicate, pipeline-service, cache-write, net-write, \
+                   validate, verdict).")
+  in
+  let jsonl_arg =
+    Arg.(value & opt (some string) None
+         & info [ "jsonl" ] ~docv:"FILE"
+             ~doc:"Write the (filtered) events to FILE as JSONL.")
+  in
+  let run scenario nodes k seed switches taint_f node_f phase_f jsonl =
+    let trace = Jury_obs.Trace.create ~capacity:500_000 () in
+    let focus =
+      match scenario with
+      | Some name -> (
+          match Jury_faults.Scenarios.find name with
+          | None ->
+              Printf.eprintf "unknown scenario %S; try 'jury-cli list'\n" name;
+              exit 2
+          | Some sc ->
+              let report =
+                Jury_faults.Runner.run ~seed ~nodes ~k ~switches ~trace sc
+              in
+              Format.printf "%a@." Jury_faults.Runner.pp_report report;
+              (match report.Jury_faults.Runner.matching_alarms with
+              | a :: _ ->
+                  Some
+                    (Jury_controller.Types.Taint.to_string a.Jury.Alarm.taint)
+              | [] -> None))
+      | None ->
+          let engine = Jury_sim.Engine.create ~seed () in
+          Jury_sim.Engine.set_trace engine trace;
+          let plan = Jury_topo.Builder.linear ~switches ~hosts_per_switch:1 in
+          let network = Jury_net.Network.create engine plan () in
+          let cluster =
+            Jury_controller.Cluster.create engine
+              ~profile:Jury_controller.Profile.onos ~nodes ~network ()
+          in
+          ignore
+            (Jury.Deployment.install cluster (Jury.Deployment.config ~k ()));
+          Jury_controller.Cluster.converge cluster;
+          List.iter Jury_net.Host.join (Jury_net.Network.hosts network);
+          Jury_sim.Engine.run engine
+            ~until:(Time.add (Jury_sim.Engine.now engine) (Time.sec 1));
+          let rng = Jury_sim.Rng.split (Jury_sim.Engine.rng engine) in
+          Jury_workload.Flows.controlled_mix network ~rng ~packet_in_rate:500.
+            ~duration:(Time.sec 2);
+          Jury_sim.Engine.run engine
+            ~until:(Time.add (Jury_sim.Engine.now engine) (Time.sec 3));
+          None
+    in
+    let events = Jury_obs.Trace.events trace in
+    let phase_f =
+      match phase_f with
+      | None -> None
+      | Some p -> (
+          match Jury_obs.Trace.phase_of_name p with
+          | Some _ as ph -> ph
+          | None ->
+              Printf.eprintf "unknown phase %S\n" p;
+              exit 2)
+    in
+    let filtered =
+      Jury_obs.Export.query ?taint:taint_f ?node:node_f ?phase:phase_f events
+    in
+    let roots = Jury_obs.Span.assemble events in
+    Printf.printf "trace: %d event(s) (%d dropped), %d after filters, %d root \
+                   span(s)\n"
+      (List.length events)
+      (Jury_obs.Trace.dropped trace)
+      (List.length filtered) (List.length roots);
+    (match jsonl with
+    | Some file ->
+        Jury_obs.Export.write_file file filtered;
+        Printf.printf "wrote %d event(s) to %s\n" (List.length filtered) file
+    | None -> ());
+    let target =
+      match (taint_f, focus) with
+      | Some taint, _ | None, Some taint -> Jury_obs.Span.find roots ~taint
+      | None, None ->
+          (* Longest closed root: the most interesting trigger. *)
+          List.fold_left
+            (fun best root ->
+              match (Jury_obs.Span.duration_ns root, best) with
+              | None, _ -> best
+              | Some d, Some (best_d, _) when d <= best_d -> best
+              | Some d, _ -> Some (d, root))
+            None roots
+          |> Option.map snd
+    in
+    match target with
+    | None -> print_endline "no matching root span to render"
+    | Some root -> print_string (Jury_obs.Span.render_timeline root)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run with the causal trace enabled and render a trigger timeline")
+    Term.(const run $ scenario_arg $ nodes_arg $ k_arg $ seed_arg
+          $ switches_arg $ taint_arg $ node_arg $ phase_arg $ jsonl_arg)
+
 (* --- policy --- *)
 
 let policy_cmd =
@@ -212,4 +331,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; scenario_cmd; simulate_cmd; failover_cmd; policy_cmd ]))
+          [ list_cmd; scenario_cmd; simulate_cmd; failover_cmd; trace_cmd;
+            policy_cmd ]))

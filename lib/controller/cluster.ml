@@ -62,6 +62,20 @@ let trigger_of_message dpid (msg : Of_message.t) =
   | Of_message.Stats_reply _ | Of_message.Error _ ->
       None
 
+(* The interception point: where a (possibly tainted) trigger is handed
+   to a concrete controller. Emitting here rather than in the hook lets
+   the trace show exactly when and where the replicator's forward
+   landed, including re-targeted deliveries ([?to_]). *)
+let trace_intercept engine ~taint ~node attrs =
+  match taint with
+  | None -> ()
+  | Some taint ->
+      let tr = Engine.trace engine in
+      if Jury_obs.Trace.enabled tr then
+        Jury_obs.Trace.point tr ~t_ns:(Engine.now_ns engine)
+          ~taint:(Types.Taint.to_string taint)
+          ~phase:Jury_obs.Trace.Intercept ~node attrs
+
 let default_southbound ~dpid ~master ~msg
     ~(forward : ?taint:Types.Taint.t -> ?to_:int -> unit -> unit) =
   ignore dpid;
@@ -123,6 +137,10 @@ let create engine ~profile ~nodes:n ~network
                    let target = Option.value to_ ~default:master in
                    match trigger_of_message dpid msg with
                    | Some trigger ->
+                       trace_intercept engine ~taint ~node:target
+                         [ ("channel", "southbound");
+                           ("dpid", Of_types.Dpid.to_string dpid);
+                           ("msg", Of_message.type_name msg.payload) ];
                        Controller.submit t.controllers.(target) ?taint trigger
                    | None -> ()
                  in
@@ -162,6 +180,9 @@ let rest t ~node request =
   if node < 0 || node >= nodes t then invalid_arg "Cluster.rest: bad node";
   let forward ?taint ?to_ () =
     let target = Option.value to_ ~default:node in
+    trace_intercept t.engine ~taint ~node:target
+      [ ("channel", "northbound");
+        ("msg", Types.trigger_name (Types.Rest request)) ];
     Controller.submit t.controllers.(target) ?taint (Types.Rest request)
   in
   t.northbound_hook ~node ~request ~forward

@@ -615,7 +615,21 @@ let process t taint trigger =
        Time.zero actions)
 
 let submit t ?taint trigger =
-  Pipeline.submit t.pipeline (fun () -> process t taint trigger)
+  (* Tainted submissions get a pipeline-service span (queue wait +
+     service time per trigger); the span is closed by the pipeline. *)
+  let span =
+    match taint with
+    | None -> None
+    | Some taint ->
+        let tr = Engine.trace t.engine in
+        if Jury_obs.Trace.enabled tr then
+          Jury_obs.Trace.open_child tr ~t_ns:(Engine.now_ns t.engine)
+            ~taint:(Types.Taint.to_string taint)
+            ~phase:Jury_obs.Trace.Pipeline_service ~node:t.id
+            [ ("trigger", Types.trigger_name trigger); ("role", "primary") ]
+        else None
+  in
+  Pipeline.submit ?span t.pipeline (fun () -> process t taint trigger)
 
 let run_internal t ~app work =
   submit t (Types.Internal { app; work })

@@ -114,13 +114,33 @@ let rec start_next t =
              job ();
              start_next t))
 
-let submit t job =
+let submit ?span t job =
   update_overload t;
   if t.overloaded then begin
     t.dropped <- t.dropped + 1;
-    note_drop t
+    note_drop t;
+    match span with
+    | None -> ()
+    | Some span ->
+        Jury_obs.Trace.close_span (Engine.trace t.engine)
+          ~t_ns:(Engine.now_ns t.engine) span
+          [ ("dropped", "overload") ]
   end
   else begin
+    let job =
+      match span with
+      | None -> job
+      | Some span ->
+          let enqueued_ns = Engine.now_ns t.engine in
+          fun () ->
+            job ();
+            let now_ns = Engine.now_ns t.engine in
+            Jury_obs.Trace.close_span (Engine.trace t.engine) ~t_ns:now_ns
+              span
+              [ ("queued_us",
+                 Printf.sprintf "%.1f"
+                   (float_of_int (now_ns - enqueued_ns) /. 1e3)) ]
+    in
     Queue.push job t.queue;
     if not t.serving then start_next t
   end

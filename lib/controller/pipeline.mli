@@ -32,9 +32,12 @@ val config :
 
 val create : Jury_sim.Engine.t -> config -> t
 
-val submit : t -> (unit -> unit) -> unit
+val submit : ?span:Jury_obs.Trace.span_id -> t -> (unit -> unit) -> unit
 (** Enqueue a job; the thunk runs when the server completes it. Dropped
-    silently (counted) while overloaded. *)
+    silently (counted) while overloaded. When [span] names an open
+    pipeline-service trace span, it is closed when the job completes
+    (attrs record the queueing delay) or immediately on an overload
+    drop (attr [dropped=overload]). *)
 
 val add_load : t -> Jury_sim.Time.t -> unit
 (** Consume server capacity without a completion callback — remote

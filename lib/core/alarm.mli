@@ -48,4 +48,9 @@ type t = {
 val detection_time : t -> Jury_sim.Time.t
 val is_fault : t -> bool
 val fault_name : fault -> string
+
+val verdict_name : verdict -> string
+(** Short stable label: ["ok"], ["ok-nondet"], ["ok-unverifiable"], or
+    the ["+"]-joined fault names of a [Faulty] verdict. *)
+
 val pp : Format.formatter -> t -> unit

@@ -108,6 +108,46 @@ let make_response t ~node ~taint body =
     sent_at = Engine.now t.engine;
     body }
 
+(* --- Trace emission: the replicator is where a trigger's causal tree
+   is rooted and fanned out, so it owns the root/replicate spans. --- *)
+
+let trace_enabled t = Jury_obs.Trace.enabled (Engine.trace t.engine)
+
+let trace_root t ~taint ~node ~channel trigger_name =
+  if trace_enabled t then
+    ignore
+      (Jury_obs.Trace.open_root (Engine.trace t.engine)
+         ~t_ns:(Engine.now_ns t.engine)
+         ~taint:(Types.Taint.to_string taint) ~node
+         [ ("trigger", trigger_name);
+           ("channel", channel);
+           ("primary", string_of_int node) ])
+
+let trace_replica_span t ~taint ~secondary ~wire_size =
+  if trace_enabled t then
+    Jury_obs.Trace.open_child (Engine.trace t.engine)
+      ~t_ns:(Engine.now_ns t.engine)
+      ~taint:(Types.Taint.to_string taint)
+      ~phase:Jury_obs.Trace.Replicate ~node:secondary
+      [ ("wire_bytes", string_of_int wire_size) ]
+  else None
+
+let trace_close_span t span attrs =
+  match span with
+  | None -> ()
+  | Some span ->
+      Jury_obs.Trace.close_span (Engine.trace t.engine)
+        ~t_ns:(Engine.now_ns t.engine) span attrs
+
+let trace_net_write t ~taint ~node ~dpid =
+  if trace_enabled t then
+    Jury_obs.Trace.point (Engine.trace t.engine)
+      ~t_ns:(Engine.now_ns t.engine)
+      ~taint:(Types.Taint.to_string taint)
+      ~phase:Jury_obs.Trace.Net_write ~node
+      [ ("dpid", Jury_openflow.Of_types.Dpid.to_string dpid);
+        ("msg", "FLOW_MOD") ]
+
 (* --- Per-node controller module: cache hooks + egress interception --- *)
 
 let install_node_module t node =
@@ -167,6 +207,7 @@ let install_node_module t node =
                     Types.Taint.internal_trigger ~origin:node
                       ~seq:(1_000_000 + t.raw_serial)
               in
+              trace_net_write t ~taint ~node ~dpid;
               send_to_validator t ~delay:(validator_link_delay t)
                 (make_response t ~node ~taint
                    (Response.Network_write { dpid; flow }))
@@ -184,7 +225,16 @@ let install_node_module t node =
 
 let run_shadow t ~secondary ~primary ~taint trigger =
   let ctrl = Cluster.controller t.cluster secondary in
-  Pipeline.submit t.nodes.(secondary).shadow (fun () ->
+  let span =
+    if trace_enabled t then
+      Jury_obs.Trace.open_child (Engine.trace t.engine)
+        ~t_ns:(Engine.now_ns t.engine)
+        ~taint:(Types.Taint.to_string taint)
+        ~phase:Jury_obs.Trace.Pipeline_service ~node:secondary
+        [ ("role", "secondary"); ("as", string_of_int primary) ]
+    else None
+  in
+  Pipeline.submit ?span t.nodes.(secondary).shadow (fun () ->
       (* Mastership-status chatter from the secondary loads the
          primary's pipeline (the <11% of Fig. 4h). *)
       Pipeline.add_load
@@ -220,6 +270,7 @@ let replicate_trigger t ~primary ~taint ~wire_size
         Time.add t.cfg.replication_latency
           (Time.of_float_us (Rng.exponential t.rng 80.))
       in
+      let rspan = trace_replica_span t ~taint ~secondary ~wire_size in
       ignore
         (Engine.schedule t.engine ~after:delay (fun () ->
              if decap then begin
@@ -239,9 +290,15 @@ let replicate_trigger t ~primary ~taint ~wire_size
                t.decap_samples <- cost_us :: t.decap_samples;
                ignore
                  (Engine.schedule t.engine ~after:(Time.of_float_us cost_us)
-                    (fun () -> run_shadow t ~secondary ~primary ~taint trigger))
+                    (fun () ->
+                      trace_close_span t rspan
+                        [ ("decap_us", Printf.sprintf "%.1f" cost_us) ];
+                      run_shadow t ~secondary ~primary ~taint trigger))
              end
-             else run_shadow t ~secondary ~primary ~taint trigger)))
+             else begin
+               trace_close_span t rspan [];
+               run_shadow t ~secondary ~primary ~taint trigger
+             end)))
     secondaries
 
 let mint_taint t ~primary =
@@ -305,6 +362,8 @@ let install cluster cfg =
       | None -> forward ()
       | Some trigger ->
           let taint = mint_taint t ~primary:master in
+          trace_root t ~taint ~node:master ~channel:"southbound"
+            (Types.trigger_name trigger);
           forward ~taint ();
           let wire_size =
             Of_wire.encoded_size msg
@@ -315,8 +374,10 @@ let install cluster cfg =
   (* Northbound interception. *)
   Cluster.set_northbound_hook cluster (fun ~node ~request ~forward ->
       let taint = mint_taint t ~primary:node in
-      forward ~taint ();
       let trigger = Types.Rest request in
+      trace_root t ~taint ~node ~channel:"northbound"
+        (Types.trigger_name trigger);
+      forward ~taint ();
       (* REST requests are small; 256 bytes covers headers + body. *)
       replicate_trigger t ~primary:node ~taint ~wire_size:256 ~decap:false
         trigger);

@@ -1,0 +1,18 @@
+module Trace = Jury_obs.Trace
+module Span = Jury_obs.Span
+module Metrics = Jury_sim.Metrics
+
+let record_phase_series ?(prefix = "span/") trace metrics =
+  let roots = Span.assemble (Trace.events trace) in
+  List.iter
+    (fun root ->
+      match Span.duration_ns root with
+      | None -> () (* still open: trigger never reached a verdict *)
+      | Some total_ns ->
+          Metrics.record metrics (prefix ^ "total")
+            (float_of_int total_ns /. 1e6);
+          List.iter
+            (fun (phase, ms) ->
+              Metrics.record metrics (prefix ^ Trace.phase_name phase) ms)
+            (Span.phase_breakdown_ms root))
+    roots

@@ -480,6 +480,23 @@ let finish t p (verdict : Alarm.verdict) ~suspects ~detail =
       verdict;
       detail }
   in
+  (let tr = Engine.trace t.engine in
+   if Jury_obs.Trace.enabled tr then begin
+     let taint = Types.Taint.to_string p.taint in
+     let t_ns = Engine.now_ns t.engine in
+     let attrs =
+       [ ("verdict", Alarm.verdict_name verdict);
+         ("detection_ms",
+          Printf.sprintf "%.3f" (Time.to_float_ms (Alarm.detection_time alarm)));
+         ("suspects",
+          String.concat "," (List.map string_of_int alarm.Alarm.suspects)) ]
+     in
+     Jury_obs.Trace.point tr ~t_ns ~taint ~phase:Jury_obs.Trace.Verdict
+       ?node:p.primary
+       (if detail = "" then attrs else ("detail", detail) :: attrs);
+     Jury_obs.Trace.close_root tr ~t_ns ~taint
+       [ ("verdict", Alarm.verdict_name verdict) ]
+   end);
   t.verdicts <- alarm :: t.verdicts;
   t.decided_count <- t.decided_count + 1;
   (match verdict with
@@ -660,6 +677,12 @@ let update_flow_mirror t (r : Response.t) =
   | _ -> ()
 
 let deliver t (r : Response.t) =
+  (let tr = Engine.trace t.engine in
+   if Jury_obs.Trace.enabled tr then
+     Jury_obs.Trace.point tr ~t_ns:(Engine.now_ns t.engine)
+       ~taint:(Types.Taint.to_string r.taint)
+       ~phase:Jury_obs.Trace.Validate ~node:r.controller
+       [ ("body", Response.body_name r.body) ]);
   List.iter (fun f -> f r) t.response_observers;
   update_flow_mirror t r;
   match get_pending t r.taint with

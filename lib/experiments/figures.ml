@@ -65,6 +65,30 @@ let detection_run_exposed ~seed ~k ~m ~rate ~duration =
   detection_run ~seed ~profile:Profile.onos ~k ~m ~rate ~duration
     ~encapsulation:false
 
+let detection_phase_cdfs ?(seed = 42) ?(duration = Time.sec 5)
+    ?(rate = 3000.) () =
+  (* Same setting as Fig. 4a's k=6 series, but with the causal trace
+     attached: each verdict's end-to-end time decomposes into per-phase
+     child-span durations, so we can see where detection time goes. *)
+  let trace = Jury_obs.Trace.create ~capacity:1_000_000 () in
+  let env =
+    Setup.make ~seed ~trace
+      ~jury:(Jury.Deployment.config ~k:6 ())
+      ~profile:Profile.onos ~nodes:7 ()
+  in
+  mark_faulty env [ 2 ];
+  Flows.controlled_mix env.Setup.network ~rng:env.Setup.rng
+    ~packet_in_rate:rate ~duration;
+  Setup.run_for env (Time.add duration (Time.sec 2));
+  let metrics = Jury_sim.Metrics.create () in
+  Jury.Obs_bridge.record_phase_series trace metrics;
+  Jury_sim.Metrics.series_names metrics
+  |> List.sort String.compare
+  |> List.filter_map (fun name ->
+         let samples = Jury_sim.Metrics.samples metrics name in
+         if Array.length samples = 0 then None
+         else Some (cdf_series_of ~label:name samples))
+
 let fig4a ?(seed = 42) ?(duration = Time.sec 10) ?(rate = 5500.) () =
   (* One seed across configurations: every series sees the same
      workload realisation, so the curves differ only by (k, m). *)

@@ -38,6 +38,14 @@ val fig4a :
   cdf_series list
 (** ONOS detection-time CDFs for (k=2,m=0), (4,0), (6,0), (6,2). *)
 
+val detection_phase_cdfs :
+  ?seed:int -> ?duration:Jury_sim.Time.t -> ?rate:float -> unit ->
+  cdf_series list
+(** Per-phase latency CDFs (ms) for the Fig. 4a k=6 setting, derived
+    from the causal trace via {!Jury.Obs_bridge}: one series per span
+    phase (["span/replicate"], ["span/pipeline-service"], ...) plus
+    ["span/total"] end-to-end. *)
+
 val fig4b :
   ?seed:int -> ?duration:Jury_sim.Time.t -> ?rates:float list -> unit ->
   cdf_series list

@@ -13,8 +13,9 @@ type env = {
 }
 
 let make ?(seed = 42) ?(switches = 24) ?(hosts_per_switch = 1) ?plan ?jury
-    ~profile ~nodes () =
+    ?trace ~profile ~nodes () =
   let engine = Engine.create ~seed () in
+  Option.iter (Engine.set_trace engine) trace;
   let plan =
     match plan with
     | Some p -> p

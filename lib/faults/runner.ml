@@ -21,9 +21,10 @@ type env = {
 }
 
 let run_env ?(seed = 11) ?(nodes = 7) ?(k = 6) ?(faulty = 2)
-    ?(extra_slow = []) ?(switches = 24) ?(random_secondaries = true)
+    ?(extra_slow = []) ?(switches = 24) ?(random_secondaries = true) ?trace
     (scenario : Scenarios.t) =
   let engine = Engine.create ~seed () in
+  Option.iter (Engine.set_trace engine) trace;
   let plan = Builder.linear ~switches ~hosts_per_switch:1 in
   let network =
     Network.create engine plan
@@ -92,10 +93,10 @@ let run_env ?(seed = 11) ?(nodes = 7) ?(k = 6) ?(faulty = 2)
   (report, { cluster; network; deployment; faulty })
 
 let run ?seed ?nodes ?k ?faulty ?extra_slow ?switches ?random_secondaries
-    scenario =
+    ?trace scenario =
   fst
     (run_env ?seed ?nodes ?k ?faulty ?extra_slow ?switches
-       ?random_secondaries scenario)
+       ?random_secondaries ?trace scenario)
 
 let pp_report fmt r =
   Format.fprintf fmt "%-28s %-2s %-10s %s" r.scenario.Scenarios.name

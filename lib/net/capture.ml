@@ -26,6 +26,16 @@ let record t ~dpid direction port frame =
     ignore (Queue.pop t.buffer);
     t.dropped <- t.dropped + 1
   end;
+  (* Data-plane frames carry no taint, so they land in the trace's
+     ambient scope — still queryable by node/kind/time to line packet
+     activity up against a trigger's span. *)
+  let tr = Jury_sim.Engine.trace t.engine in
+  if Jury_obs.Trace.enabled tr then
+    Jury_obs.Trace.global_point tr ~t_ns:(Jury_sim.Engine.now_ns t.engine)
+      ~phase:Jury_obs.Trace.Net_write
+      [ ("dpid", Of_types.Dpid.to_string dpid);
+        ("port", string_of_int port);
+        ("dir", match direction with Rx -> "rx" | Tx -> "tx") ];
   Queue.push
     { at = Jury_sim.Engine.now t.engine; dpid; port; direction; frame }
     t.buffer

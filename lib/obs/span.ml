@@ -1,0 +1,229 @@
+type t = {
+  id : Trace.span_id;
+  parent_id : Trace.span_id option;
+  phase : Trace.phase;
+  node : int option;
+  taint : string option;
+  opened_ns : int;
+  mutable closed_ns : int option;
+  open_attrs : (string * string) list;
+  mutable close_attrs : (string * string) list;
+  mutable children : t list;
+  mutable points : Trace.event list;
+}
+
+let assemble events =
+  let by_id : (Trace.span_id, t) Hashtbl.t = Hashtbl.create 64 in
+  let roots = ref [] in
+  List.iter
+    (fun (ev : Trace.event) ->
+      match ev.Trace.kind with
+      | Trace.Open phase ->
+          let span =
+            { id = ev.span;
+              parent_id = ev.parent;
+              phase;
+              node = ev.node;
+              taint = Trace.taint_of ev;
+              opened_ns = ev.t_ns;
+              closed_ns = None;
+              open_attrs = ev.attrs;
+              close_attrs = [];
+              children = [];
+              points = [] }
+          in
+          Hashtbl.replace by_id ev.span span;
+          (match ev.parent with
+          | None -> roots := span :: !roots
+          | Some parent -> (
+              match Hashtbl.find_opt by_id parent with
+              | Some p -> p.children <- span :: p.children
+              | None -> roots := span :: !roots))
+      | Trace.Close -> (
+          match Hashtbl.find_opt by_id ev.span with
+          | Some span ->
+              span.closed_ns <- Some ev.t_ns;
+              span.close_attrs <- ev.attrs
+          | None -> ())
+      | Trace.Point _ -> (
+          match Hashtbl.find_opt by_id ev.span with
+          | Some span -> span.points <- ev :: span.points
+          | None -> ()))
+    events;
+  let rec order span =
+    span.children <- List.rev span.children;
+    span.points <- List.rev span.points;
+    List.iter order span.children
+  in
+  let roots = List.rev !roots in
+  List.iter order roots;
+  roots
+
+let find roots ~taint =
+  List.find_opt (fun s -> s.taint = Some taint) roots
+
+let duration_ns span =
+  Option.map (fun c -> c - span.opened_ns) span.closed_ns
+
+let ns_to_ms ns = float_of_int ns /. 1e6
+
+let span_validate_window root =
+  match root.closed_ns with
+  | None -> None
+  | Some closed ->
+      root.points
+      |> List.find_opt (fun (ev : Trace.event) ->
+             ev.Trace.kind = Trace.Point Trace.Validate)
+      |> Option.map (fun (ev : Trace.event) -> closed - ev.Trace.t_ns)
+
+let phase_breakdown_ms root =
+  let totals = Hashtbl.create 8 in
+  let add phase ns =
+    let cur = Option.value (Hashtbl.find_opt totals phase) ~default:0 in
+    Hashtbl.replace totals phase (cur + ns)
+  in
+  let rec walk span =
+    (match (span.parent_id, duration_ns span) with
+    | Some _, Some d -> add span.phase d
+    | _ -> ());
+    List.iter walk span.children
+  in
+  walk root;
+  (* The validator's own phase: first response delivery to verdict. *)
+  (match span_validate_window root with
+  | Some ns -> add Trace.Validate ns
+  | None -> ());
+  List.filter_map
+    (fun phase ->
+      Option.map
+        (fun ns -> (phase, ns_to_ms ns))
+        (Hashtbl.find_opt totals phase))
+    Trace.all_phases
+
+let critical_path root =
+  let close_of s = Option.value s.closed_ns ~default:s.opened_ns in
+  let rec go span acc =
+    match span.children with
+    | [] -> List.rev acc
+    | children ->
+        let gating =
+          List.fold_left
+            (fun best c ->
+              match best with
+              | Some b when close_of b >= close_of c -> best
+              | _ -> Some c)
+            None children
+        in
+        (match gating with
+        | None -> List.rev acc
+        | Some c -> go c (c :: acc))
+  in
+  if root.closed_ns = None then [] else go root []
+
+(* --- Rendering --- *)
+
+let bar_width = 32
+
+let bar ~t0 ~t1 ~from_ns ~to_ns =
+  (* Proportional [from, to] interval on a fixed-width gutter. *)
+  let span_ns = max 1 (t1 - t0) in
+  let pos ns = bar_width * (ns - t0) / span_ns in
+  let a = max 0 (min (bar_width - 1) (pos from_ns)) in
+  let b = max a (min (bar_width - 1) (pos to_ns)) in
+  String.init bar_width (fun i ->
+      if i < a || i > b then ' '
+      else if a = b then '|'
+      else if i = a || i = b then '+'
+      else '=')
+
+let attr name attrs = List.assoc_opt name attrs
+
+let node_cell = function None -> "-" | Some n -> string_of_int n
+
+let render_timeline root =
+  let buf = Buffer.create 1024 in
+  let t0 = root.opened_ns in
+  let rec max_close span =
+    List.fold_left
+      (fun acc c -> max acc (max_close c))
+      (Option.value span.closed_ns ~default:span.opened_ns)
+      span.children
+  in
+  let t1 = max (t0 + 1) (max_close root) in
+  let verdict =
+    root.points
+    |> List.find_opt (fun (ev : Trace.event) ->
+           ev.Trace.kind = Trace.Point Trace.Verdict)
+    |> Option.map (fun (ev : Trace.event) ->
+           Option.value (attr "verdict" ev.Trace.attrs) ~default:"?")
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "trigger %s (%s)%s%s\n"
+       (Option.value root.taint ~default:"?")
+       (Option.value (attr "trigger" root.open_attrs) ~default:"?")
+       (match verdict with
+       | Some v -> Printf.sprintf " -> %s" v
+       | None -> " -> (undecided)")
+       (match duration_ns root with
+       | Some d -> Printf.sprintf " in %.3fms" (ns_to_ms d)
+       | None -> ""));
+  let table =
+    Jury_stats.Table.create
+      ~header:[ "span"; "node"; "start ms"; "dur ms"; "timeline" ]
+  in
+  let row ?(depth = 0) label node ~from_ns ~to_ns ~closed =
+    Jury_stats.Table.add_row table
+      [ String.make (2 * depth) ' ' ^ label;
+        node_cell node;
+        Printf.sprintf "%.3f" (ns_to_ms (from_ns - t0));
+        (if closed then Printf.sprintf "%.3f" (ns_to_ms (to_ns - from_ns))
+         else "open");
+        bar ~t0 ~t1 ~from_ns ~to_ns ]
+  in
+  let rec render_span depth span =
+    row ~depth
+      (Trace.phase_name span.phase)
+      span.node ~from_ns:span.opened_ns
+      ~to_ns:(Option.value span.closed_ns ~default:t1)
+      ~closed:(span.closed_ns <> None);
+    List.iter
+      (fun (ev : Trace.event) ->
+        match ev.Trace.kind with
+        | Trace.Point phase ->
+            row ~depth:(depth + 1)
+              ("* " ^ Trace.phase_name phase)
+              ev.Trace.node ~from_ns:ev.Trace.t_ns ~to_ns:ev.Trace.t_ns
+              ~closed:true
+        | _ -> ())
+      span.points;
+    List.iter (render_span (depth + 1)) span.children
+  in
+  render_span 0 root;
+  Buffer.add_string buf (Format.asprintf "%a" Jury_stats.Table.pp table);
+  (match phase_breakdown_ms root with
+  | [] -> ()
+  | breakdown ->
+      Buffer.add_string buf "phase breakdown: ";
+      Buffer.add_string buf
+        (String.concat ", "
+           (List.map
+              (fun (phase, ms) ->
+                Printf.sprintf "%s %.3fms" (Trace.phase_name phase) ms)
+              breakdown));
+      Buffer.add_char buf '\n');
+  (match critical_path root with
+  | [] -> ()
+  | path ->
+      Buffer.add_string buf "critical path: ";
+      Buffer.add_string buf
+        (String.concat " -> "
+           (List.map
+              (fun s ->
+                Printf.sprintf "%s@%s%s" (Trace.phase_name s.phase)
+                  (node_cell s.node)
+                  (match duration_ns s with
+                  | Some d -> Printf.sprintf " %.3fms" (ns_to_ms d)
+                  | None -> ""))
+              path));
+      Buffer.add_char buf '\n');
+  Buffer.contents buf

@@ -1,0 +1,44 @@
+(** Span trees assembled from raw trace events.
+
+    {!Trace} records a flat event stream; this module rebuilds the
+    per-trigger tree — one root span per taint with child spans per
+    replica/phase — and derives the per-phase latency breakdown and an
+    ASCII timeline from it. *)
+
+type t = {
+  id : Trace.span_id;
+  parent_id : Trace.span_id option;
+  phase : Trace.phase;
+  node : int option;
+  taint : string option;
+  opened_ns : int;
+  mutable closed_ns : int option;  (** [None] while the span is open *)
+  open_attrs : (string * string) list;
+  mutable close_attrs : (string * string) list;
+  mutable children : t list;  (** ordered by opening time *)
+  mutable points : Trace.event list;  (** ordered by time *)
+}
+
+val assemble : Trace.event list -> t list
+(** Root spans in opening order. Events for spans whose [Open] was
+    overwritten in the ring are dropped. *)
+
+val find : t list -> taint:string -> t option
+(** First root span carrying the taint. *)
+
+val duration_ns : t -> int option
+(** [closed - opened], when closed. *)
+
+val phase_breakdown_ms : t -> (Trace.phase * float) list
+(** Summed child-span durations per phase, in milliseconds. The
+    [Validate] entry is the stretch from the first response reaching
+    the validator to the verdict (the out-of-band decision phase). *)
+
+val critical_path : t -> t list
+(** Children gating the root's close: at each level the child with the
+    latest close time, descending. Empty for an open root. *)
+
+val render_timeline : t -> string
+(** ASCII timeline of one trigger: header with taint/trigger/verdict,
+    one row per span and point with a proportional bar, and the
+    per-phase breakdown. Rendered with {!Jury_stats.Table}. *)

@@ -5,6 +5,7 @@ type t = {
   mutable seq : int;
   queue : event Heap.t;
   root_rng : Rng.t;
+  mutable trace : Jury_obs.Trace.t;
 }
 
 type handle = { event : event; engine : t }
@@ -13,10 +14,14 @@ let create ?(seed = 42) () =
   { clock = Time.zero;
     seq = 0;
     queue = Heap.create ();
-    root_rng = Rng.create seed }
+    root_rng = Rng.create seed;
+    trace = Jury_obs.Trace.null () }
 
 let now t = t.clock
+let now_ns t = Time.to_ns t.clock
 let rng t = t.root_rng
+let trace t = t.trace
+let set_trace t trace = t.trace <- trace
 
 let schedule_at t ~at f =
   if Time.(at < t.clock) then

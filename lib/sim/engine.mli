@@ -18,6 +18,20 @@ val create : ?seed:int -> unit -> t
 val now : t -> Time.t
 (** Current simulated time. *)
 
+val now_ns : t -> int
+(** Current simulated time in nanoseconds — the timestamp base for the
+    {!Jury_obs} trace layer. *)
+
+val trace : t -> Jury_obs.Trace.t
+(** The causal-trace sink components emit into. Defaults to a disabled
+    {!Jury_obs.Trace.null} trace, so emission is a no-op until a caller
+    attaches a real sink with {!set_trace}. *)
+
+val set_trace : t -> Jury_obs.Trace.t -> unit
+(** Attach a trace sink; may be called at any point before or during a
+    run. Tracing consumes no randomness and schedules no events, so it
+    never perturbs a seeded simulation. *)
+
 val rng : t -> Rng.t
 (** The engine's root RNG; components usually [Rng.split] it once at
     construction. *)

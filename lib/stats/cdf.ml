@@ -29,6 +29,7 @@ let downsample t k =
   let n = Array.length arr in
   if k <= 0 then invalid_arg "Cdf.downsample: k must be positive";
   if n <= k then t
+  else if k = 1 then [ arr.(n - 1) ] (* the p = 1 point *)
   else begin
     let out = ref [] in
     for i = k - 1 downto 0 do

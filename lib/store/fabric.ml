@@ -91,6 +91,20 @@ let cache_table st name =
       Hashtbl.add st.caches name tbl;
       tbl
 
+let trace_apply t node (ev : Event.t) ~local =
+  match ev.taint with
+  | None -> ()
+  | Some taint ->
+      let tr = Engine.trace t.engine in
+      if Jury_obs.Trace.enabled tr then
+        Jury_obs.Trace.point tr ~t_ns:(Engine.now_ns t.engine) ~taint
+          ~phase:Jury_obs.Trace.Cache_write ~node
+          [ ("cache", ev.cache);
+            ("op", Event.op_to_string ev.op);
+            ("key", ev.key);
+            ("origin", string_of_int ev.origin);
+            ("apply", if local then "local" else "remote") ]
+
 let apply_event t node (ev : Event.t) ~local =
   let st = t.node_states.(node) in
   let tbl = cache_table st ev.cache in
@@ -98,6 +112,7 @@ let apply_event t node (ev : Event.t) ~local =
   | Event.Create | Event.Update -> Hashtbl.replace tbl ev.key ev.value
   | Event.Delete -> Hashtbl.remove tbl ev.key);
   t.events_applied <- t.events_applied + 1;
+  trace_apply t node ev ~local;
   List.iter (fun listener -> listener ~local ev) st.listeners
 
 let replicate t ~origin (ev : Event.t) =

@@ -55,6 +55,23 @@ let test_detection_run_exposed () =
   let s = Jury_stats.Summary.of_array samples in
   check_bool "median under the timeout" true (s.Jury_stats.Summary.p50 < 150.)
 
+let test_detection_phase_cdfs () =
+  let series =
+    Figures.detection_phase_cdfs ~seed:9 ~rate:400. ~duration:(Time.sec 1) ()
+  in
+  let find label =
+    List.find_opt (fun s -> s.Figures.label = label) series
+  in
+  check_bool "total series present" true (find "span/total" <> None);
+  check_bool "replicate series present" true (find "span/replicate" <> None);
+  check_bool "validate series present" true (find "span/validate" <> None);
+  let total = Option.get (find "span/total") in
+  check_bool "total has samples" true (total.Figures.samples > 10);
+  (* The validator's wait dominates a trigger's end-to-end latency. *)
+  let validate = Option.get (find "span/validate") in
+  check_bool "validate below total p95" true
+    (validate.Figures.p95_ms <= total.Figures.p95_ms +. 1e-6)
+
 let test_packet_out_peak () =
   (* §VII-B1: PACKET_OUT throughput dwarfs the FLOW_MOD pipeline. *)
   check_bool "way above flow-mod rate" true (Figures.packet_out_peak () > 100_000.)
@@ -118,6 +135,7 @@ let suite =
     ("throughput point", `Slow, test_throughput_point_tracks_offered_load);
     ("policy scaling linear", `Quick, test_policy_scaling_linear);
     ("detection run", `Slow, test_detection_run_exposed);
+    ("detection phase cdfs", `Slow, test_detection_phase_cdfs);
     ("packet_out peak", `Quick, test_packet_out_peak);
     ("overhead accounting", `Slow, test_overhead_accounting);
     ("odl encapsulated path", `Slow, test_odl_encapsulated_path);

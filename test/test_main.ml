@@ -4,6 +4,7 @@ let () =
   Alcotest.run "jury-reproduction"
     [ ("sim", Test_sim.suite);
       ("stats", Test_stats.suite);
+      ("obs", Test_obs.suite);
       ("packet", Test_packet.suite);
       ("openflow", Test_openflow.suite);
       ("topo", Test_topo.suite);

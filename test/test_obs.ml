@@ -1,0 +1,180 @@
+(* Tests for the jury_obs causal trace layer: span-tree shape for a
+   PACKET_IN trigger, zero-perturbation when disabled, and the JSONL
+   round-trip (the ISSUE acceptance criteria). *)
+
+module Engine = Jury_sim.Engine
+module Time = Jury_sim.Time
+module Builder = Jury_topo.Builder
+module Network = Jury_net.Network
+module Host = Jury_net.Host
+module Cluster = Jury_controller.Cluster
+module Profile = Jury_controller.Profile
+module Types = Jury_controller.Types
+module Trace = Jury_obs.Trace
+module Span = Jury_obs.Span
+module Export = Jury_obs.Export
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A small ONOS cluster (n=3, k=2, linear 4-switch topology) driven by
+   one TCP connection, so the trace contains both convergence triggers
+   and a data-plane PACKET_IN. Fixed seed: byte-identical across runs. *)
+let run_fixture ?trace () =
+  let engine = Engine.create ~seed:5 () in
+  Option.iter (Engine.set_trace engine) trace;
+  let plan = Builder.linear ~switches:4 ~hosts_per_switch:1 in
+  let network = Network.create engine plan () in
+  let cluster =
+    Cluster.create engine ~profile:Profile.onos ~nodes:3 ~network ()
+  in
+  let deployment =
+    Jury.Deployment.install cluster (Jury.Deployment.config ~k:2 ())
+  in
+  Cluster.converge cluster;
+  List.iter Host.join (Network.hosts network);
+  Engine.run engine ~until:(Time.add (Engine.now engine) (Time.sec 1));
+  let h0 = Network.host network 0 in
+  let h3 = Network.host network 3 in
+  Host.send_tcp h0 ~dst_mac:(Host.mac h3) ~dst_ip:(Host.ip h3) ~src_port:4242
+    ~dst_port:80 ();
+  Engine.run engine ~until:(Time.add (Engine.now engine) (Time.sec 1));
+  deployment
+
+let verdict_signature deployment =
+  Jury.Validator.verdicts (Jury.Deployment.validator deployment)
+  |> List.map (fun (a : Jury.Alarm.t) ->
+         ( Types.Taint.to_string a.Jury.Alarm.taint,
+           Jury.Alarm.verdict_name a.Jury.Alarm.verdict ))
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* (a) one root span per PACKET_IN with k replicate children on
+   distinct secondaries, pipeline-service spans and a verdict point,
+   all time-ordered. *)
+let test_span_tree () =
+  let trace = Trace.create () in
+  ignore (run_fixture ~trace ());
+  let events = Trace.events trace in
+  check_bool "trace nonempty" true (events <> []);
+  check_int "nothing dropped" 0 (Trace.dropped trace);
+  (* Emission order is time order. *)
+  ignore
+    (List.fold_left
+       (fun prev (e : Trace.event) ->
+         check_bool "timestamps non-decreasing" true (e.Trace.t_ns >= prev);
+         e.Trace.t_ns)
+       0 events);
+  (* Exactly one root open per taint. *)
+  let opens = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.Trace.kind = Trace.Open Trace.Trigger then begin
+        let taint = Option.get (Trace.taint_of e) in
+        check_bool ("single root for " ^ taint) false (Hashtbl.mem opens taint);
+        Hashtbl.add opens taint ()
+      end)
+    events;
+  let roots = Span.assemble events in
+  let packet_in (r : Span.t) =
+    match List.assoc_opt "trigger" r.Span.open_attrs with
+    | Some t -> has_prefix ~prefix:"PACKET_IN" t
+    | None -> false
+  in
+  let closed_pkt =
+    List.filter (fun r -> packet_in r && r.Span.closed_ns <> None) roots
+  in
+  check_bool "closed PACKET_IN root exists" true (closed_pkt <> []);
+  let root = List.hd closed_pkt in
+  let closed = Option.get root.Span.closed_ns in
+  let replicas =
+    List.filter (fun (c : Span.t) -> c.Span.phase = Trace.Replicate)
+      root.Span.children
+  in
+  check_int "k=2 replicate children" 2 (List.length replicas);
+  let replica_nodes = List.filter_map (fun c -> c.Span.node) replicas in
+  check_int "replicas on distinct nodes" 2
+    (List.length (List.sort_uniq compare replica_nodes));
+  check_bool "replicas avoid the primary" false
+    (List.exists (fun n -> Some n = root.Span.node) replica_nodes);
+  check_bool "pipeline-service child present" true
+    (List.exists
+       (fun (c : Span.t) -> c.Span.phase = Trace.Pipeline_service)
+       root.Span.children);
+  check_bool "verdict point present" true
+    (List.exists
+       (fun (e : Trace.event) -> e.Trace.kind = Trace.Point Trace.Verdict)
+       root.Span.points);
+  (* Children nest inside the root's interval. *)
+  List.iter
+    (fun (c : Span.t) ->
+      check_bool "child opens after root" true
+        (c.Span.opened_ns >= root.Span.opened_ns);
+      match c.Span.closed_ns with
+      | None -> ()
+      | Some c_closed ->
+          check_bool "child closes after opening" true
+            (c_closed >= c.Span.opened_ns);
+          check_bool "child closes before root" true (c_closed <= closed))
+    root.Span.children
+
+(* (b) tracing disabled adds zero events and perturbs nothing. *)
+let test_determinism () =
+  let baseline = verdict_signature (run_fixture ()) in
+  check_bool "fixture produces verdicts" true (baseline <> []);
+  let disabled = Trace.create ~enabled:false () in
+  let with_disabled = verdict_signature (run_fixture ~trace:disabled ()) in
+  check_int "disabled trace records nothing" 0 (Trace.length disabled);
+  let enabled = Trace.create () in
+  let with_enabled = verdict_signature (run_fixture ~trace:enabled ()) in
+  check_bool "enabled trace records" true (Trace.length enabled > 0);
+  let sig_t = Alcotest.(list (pair string string)) in
+  Alcotest.check sig_t "disabled = no trace" baseline with_disabled;
+  Alcotest.check sig_t "enabled = no trace" baseline with_enabled
+
+(* (c) JSONL export round-trips and queries agree across the trip. *)
+let test_jsonl_roundtrip () =
+  let trace = Trace.create () in
+  ignore (run_fixture ~trace ());
+  let events = Trace.events trace in
+  match Export.of_jsonl (Export.to_jsonl events) with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok events' ->
+      check_int "same cardinality" (List.length events) (List.length events');
+      check_bool "structurally equal" true (events = events');
+      let taint = Option.get (List.find_map Trace.taint_of events) in
+      let q = Export.query ~taint events in
+      check_bool "taint query nonempty" true (q <> []);
+      check_bool "taint query agrees across trip" true
+        (q = Export.query ~taint events');
+      List.iter
+        (fun e -> check_bool "taint stamped" true (Trace.taint_of e = Some taint))
+        q;
+      let opens = Export.query ~kind:`Open events' in
+      check_bool "kind filter nonempty" true (opens <> []);
+      List.iter
+        (fun (e : Trace.event) ->
+          match e.Trace.kind with
+          | Trace.Open _ -> ()
+          | _ -> Alcotest.fail "kind filter leaked a non-open event")
+        opens;
+      let verdicts = Export.query ~phase:Trace.Verdict events' in
+      check_bool "phase filter nonempty" true (verdicts <> []);
+      let t0 = (List.hd events).Trace.t_ns in
+      List.iter
+        (fun (e : Trace.event) -> check_int "window filter" t0 e.Trace.t_ns)
+        (Export.query ~since_ns:t0 ~until_ns:t0 events');
+      (match Export.query ~node:0 events' with
+      | [] -> Alcotest.fail "node filter found nothing for node 0"
+      | es ->
+          List.iter
+            (fun (e : Trace.event) ->
+              check_bool "node filter" true (e.Trace.node = Some 0))
+            es)
+
+let suite =
+  [ ("packet_in span tree", `Quick, test_span_tree);
+    ("disabled trace is inert", `Quick, test_determinism);
+    ("jsonl round-trip + query", `Quick, test_jsonl_roundtrip) ]

@@ -66,6 +66,25 @@ let test_cdf_downsample () =
   checkf "keeps first" 0. (List.hd pts).Cdf.x;
   checkf "keeps last" 999. (List.nth pts 9).Cdf.x
 
+let test_cdf_edge_cases () =
+  (* value_at on an empty CDF refuses rather than inventing a value. *)
+  Alcotest.check_raises "empty value_at"
+    (Invalid_argument "Cdf.value_at: empty CDF") (fun () ->
+      ignore (Cdf.value_at (Cdf.of_samples [||]) 0.5));
+  (* k=1 must not divide by zero: it keeps the p=1 point. *)
+  let cdf = Cdf.of_samples (Array.init 100 float_of_int) in
+  let one = Cdf.points (Cdf.downsample cdf 1) in
+  check_int "k=1 one point" 1 (List.length one);
+  checkf "k=1 keeps last x" 99. (List.hd one).Cdf.x;
+  checkf "k=1 keeps p=1" 1. (List.hd one).Cdf.p;
+  (* fraction_below at exact sample boundaries is inclusive. *)
+  let cdf = Cdf.of_samples [| 1.; 2.; 2.; 3. |] in
+  checkf "at min" 0.25 (Cdf.fraction_below cdf 1.);
+  checkf "below dup run" 0.25 (Cdf.fraction_below cdf 1.999);
+  checkf "at dup run" 0.75 (Cdf.fraction_below cdf 2.);
+  checkf "at max" 1. (Cdf.fraction_below cdf 3.);
+  checkf "below min" 0. (Cdf.fraction_below cdf 0.999)
+
 let test_histogram () =
   let h = Histogram.create ~lo:0. ~hi:10. ~bins:5 in
   Histogram.add_many h [| 1.; 3.; 5.; 7.; 9.; 11.; -1. |];
@@ -159,6 +178,7 @@ let suite =
     ("cdf basic", `Quick, test_cdf_basic);
     ("cdf queries", `Quick, test_cdf_queries);
     ("cdf downsample", `Quick, test_cdf_downsample);
+    ("cdf edge cases", `Quick, test_cdf_edge_cases);
     ("histogram", `Quick, test_histogram);
     ("rate windows", `Quick, test_rate);
     ("table rendering", `Quick, test_table);
