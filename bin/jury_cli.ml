@@ -80,7 +80,37 @@ let simulate_cmd =
   let duration_arg =
     Arg.(value & opt int 5 & info [ "duration" ] ~doc:"Seconds of workload.")
   in
-  let run profile nodes k rate duration seed switches =
+  let drop_arg =
+    Arg.(value & opt float 0.
+         & info [ "drop" ]
+             ~doc:"Per-message loss probability on every replication and \
+                   response link (0 = reliable, seed behaviour).")
+  in
+  let duplicate_arg =
+    Arg.(value & opt float 0.
+         & info [ "duplicate" ]
+             ~doc:"Probability a delivered message is duplicated.")
+  in
+  let jitter_arg =
+    Arg.(value & opt float 0.
+         & info [ "jitter-us" ]
+             ~doc:"Mean exponential reorder jitter (microseconds) added to \
+                   channel delays.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 0
+         & info [ "retries" ]
+             ~doc:"Retransmission rounds per straggling secondary (0 = \
+                   none).")
+  in
+  let degraded_arg =
+    Arg.(value & opt (some int) None
+         & info [ "degraded-quorum" ]
+             ~doc:"Allow reduced-quorum ok-degraded verdicts at this quorum \
+                   size.")
+  in
+  let run profile nodes k rate duration seed switches drop duplicate jitter_us
+      retries degraded_quorum =
     let profile =
       match profile with
       | `Onos -> Jury_controller.Profile.onos
@@ -94,8 +124,18 @@ let simulate_cmd =
     let cluster =
       Jury_controller.Cluster.create engine ~profile ~nodes ~network ()
     in
+    let channel =
+      if drop = 0. && duplicate = 0. && jitter_us = 0. then
+        Jury.Channel.reliable
+      else Jury.Channel.lossy ~drop ~duplicate ~jitter_us ()
+    in
+    let retransmit =
+      if retries > 0 then Some (Jury.Validator.retransmit ~max_retries:retries ())
+      else None
+    in
     let deployment =
-      Jury.Deployment.install cluster (Jury.Deployment.config ~k ())
+      Jury.Deployment.install cluster
+        (Jury.Deployment.config ~k ~channel ?retransmit ?degraded_quorum ())
     in
     let validator = Jury.Deployment.validator deployment in
     Jury_controller.Cluster.converge cluster;
@@ -115,13 +155,27 @@ let simulate_cmd =
       (Jury_store.Fabric.bytes_replicated
          (Jury_controller.Cluster.fabric cluster))
       (Jury.Deployment.replication_bytes deployment)
-      (Jury.Deployment.validator_bytes deployment)
+      (Jury.Deployment.validator_bytes deployment);
+    if not (Jury.Channel.is_reliable channel) || retries > 0 then begin
+      Format.printf "channels (all links): %a@." Jury.Channel.pp_stats
+        (Jury.Deployment.channel_totals deployment);
+      Printf.printf
+        "validator: %d retransmit request(s), %d duplicate(s) discarded, %d \
+         late, %d straggler slot(s), %d degraded verdict(s)\n"
+        (Jury.Validator.retransmit_count validator)
+        (Jury.Validator.duplicate_count validator)
+        (Jury.Validator.late_count validator)
+        (Jury.Validator.straggler_count validator)
+        (Jury.Validator.degraded_count validator)
+    end
   in
   Cmd.v
     (Cmd.info "simulate"
-       ~doc:"Run a benign workload on a JURY-enhanced cluster")
+       ~doc:"Run a benign workload on a JURY-enhanced cluster, optionally \
+             over lossy channels")
     Term.(const run $ profile_arg $ nodes_arg $ k_arg $ rate_arg
-          $ duration_arg $ seed_arg $ switches_arg)
+          $ duration_arg $ seed_arg $ switches_arg $ drop_arg $ duplicate_arg
+          $ jitter_arg $ retries_arg $ degraded_arg)
 
 (* --- failover --- *)
 

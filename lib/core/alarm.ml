@@ -12,6 +12,7 @@ type verdict =
   | Ok_valid
   | Ok_non_deterministic
   | Ok_unverifiable
+  | Ok_degraded
   | Faulty of fault list
 
 type t = {
@@ -39,6 +40,7 @@ let verdict_name = function
   | Ok_valid -> "ok"
   | Ok_non_deterministic -> "ok-nondet"
   | Ok_unverifiable -> "ok-unverifiable"
+  | Ok_degraded -> "ok-degraded"
   | Faulty faults -> String.concat "+" (List.map fault_name faults)
 
 let pp fmt t =

@@ -33,6 +33,11 @@ type verdict =
   | Ok_unverifiable
       (** no replica shared the primary's state snapshot; under
           state-aware consensus this is excused rather than flagged *)
+  | Ok_degraded
+      (** decided with a reduced quorum: stragglers (or their cache
+          events) missed the deadline on a lossy channel, but enough
+          equivalent-view responses agreed to validate the trigger
+          anyway — flagged so operators can audit channel health *)
   | Faulty of fault list
 
 type t = {
@@ -50,7 +55,8 @@ val is_fault : t -> bool
 val fault_name : fault -> string
 
 val verdict_name : verdict -> string
-(** Short stable label: ["ok"], ["ok-nondet"], ["ok-unverifiable"], or
-    the ["+"]-joined fault names of a [Faulty] verdict. *)
+(** Short stable label: ["ok"], ["ok-nondet"], ["ok-unverifiable"],
+    ["ok-degraded"], or the ["+"]-joined fault names of a [Faulty]
+    verdict. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+(** Unreliable message channels between JURY's components.
+
+    The paper assumes the replication and response-collection links are
+    reliable; real deployments are not (message loss, duplication and
+    reordering are first-class transitions in the SDN model-checking
+    literature). A {!t} sits between a sender and [Engine.schedule]:
+    each {!send} may drop the message, delay it by reorder jitter, or
+    deliver a stale duplicate, while keeping per-link health counters
+    the validator and figures read back.
+
+    A channel with the {!reliable} profile is {e guaranteed} to behave
+    bit-for-bit like a bare [Engine.schedule]: exactly one event at
+    exactly the requested delay and no RNG draws, so zero-loss runs
+    reproduce the seed's verdicts and detection times exactly. *)
+
+type profile = {
+  drop : float;        (** per-message loss probability, [0,1] *)
+  duplicate : float;   (** probability a delivered message is duplicated *)
+  jitter_us : float;   (** mean exponential reorder jitter added to the
+                           base delay; 0 = none *)
+}
+
+val reliable : profile
+(** No loss, no duplication, no jitter. *)
+
+val lossy :
+  ?drop:float -> ?duplicate:float -> ?jitter_us:float -> unit -> profile
+(** Validated constructor; raises [Invalid_argument] on probabilities
+    outside [0,1] or negative/NaN jitter. *)
+
+val is_reliable : profile -> bool
+
+type stats = {
+  mutable sent : int;          (** messages offered to the channel *)
+  mutable delivered : int;     (** messages that got through (once each) *)
+  mutable dropped : int;       (** messages lost; sent = delivered + dropped *)
+  mutable duplicated : int;    (** extra stale copies delivered *)
+  mutable retransmitted : int; (** sender-side retries routed through this
+                                   link (counted by the caller via
+                                   {!note_retransmit}; retries also count
+                                   in [sent]) *)
+}
+
+val fresh_stats : unit -> stats
+val add_stats : stats -> stats -> stats
+val total : stats list -> stats
+
+type t
+
+val create :
+  Jury_sim.Engine.t -> rng:Jury_sim.Rng.t -> ?name:string -> profile -> t
+(** The channel shares the caller's RNG: with a reliable profile it
+    never draws from it, so attaching channels does not perturb seeded
+    runs. *)
+
+val name : t -> string
+val stats : t -> stats
+val profile : t -> profile
+
+val send :
+  t -> delay:Jury_sim.Time.t -> (unit -> unit) ->
+  [ `Delivered | `Dropped | `Duplicated ]
+(** Offer a message. [`Dropped] means the callback will never run;
+    [`Duplicated] means it will run twice (once at [delay] + jitter,
+    once later). The delivered-copy count equals
+    [delivered + duplicated]. *)
+
+val note_retransmit : t -> unit
+
+val pp_stats : Format.formatter -> stats -> unit

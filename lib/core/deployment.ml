@@ -22,11 +22,15 @@ type config = {
   chatter_cost : Time.t;
   chatter_bytes : int;
   encapsulation : bool;
+  channel : Channel.profile;
+  retransmit : Validator.retransmit option;
+  degraded_quorum : int option;
 }
 
 let config ?timeout ?(adaptive_timeout = false) ?(state_aware = true)
     ?(nondet_rule = true) ?(random_secondaries = true)
-    ?(policies = Jury_policy.Engine.create []) ?(encapsulation = false) ~k () =
+    ?(policies = Jury_policy.Engine.create []) ?(encapsulation = false)
+    ?(channel = Channel.reliable) ?retransmit ?degraded_quorum ~k () =
   let timeout =
     match timeout with
     | Some t -> t
@@ -44,11 +48,23 @@ let config ?timeout ?(adaptive_timeout = false) ?(state_aware = true)
     replication_latency = Time.us 200;
     chatter_cost = Time.us 13;
     chatter_bytes = 96;
-    encapsulation }
+    encapsulation;
+    channel;
+    retransmit;
+    degraded_quorum }
 
 type node_module = {
   mutable snapshot : Snapshot.t;
   shadow : Pipeline.t;
+}
+
+(* What the replicator must remember to honour a retransmission request:
+   enough to rebuild the replica copy it originally put on the wire. *)
+type inflight = {
+  inf_primary : int;
+  inf_trigger : Types.trigger;
+  inf_wire_size : int;
+  inf_decap : bool;
 }
 
 type t = {
@@ -58,6 +74,11 @@ type t = {
   validator : Validator.t;
   rng : Rng.t;
   nodes : node_module array;
+  replica_links : Channel.t array;
+      (* interception point → secondary i, one per node *)
+  validator_links : Channel.t array;
+      (* replica i → out-of-band validator *)
+  inflight : (string, inflight) Hashtbl.t;
   mutable serial : int;
   mutable raw_serial : int;
   mutable replication_bytes : int;
@@ -91,11 +112,27 @@ let response_wire_size (r : Response.t) =
   | Response.Network_write _ -> 56
   | Response.Write_failure { reason; _ } -> String.length reason
 
+let trace_enabled t = Jury_obs.Trace.enabled (Engine.trace t.engine)
+
+let trace_channel_event t ~taint ~phase ~node ~link event =
+  if trace_enabled t then
+    Jury_obs.Trace.point (Engine.trace t.engine)
+      ~t_ns:(Engine.now_ns t.engine)
+      ~taint:(Types.Taint.to_string taint) ~phase ~node
+      [ ("channel", Channel.name link); ("event", event) ]
+
 let send_to_validator t ~delay (r : Response.t) =
   t.validator_bytes <- t.validator_bytes + response_wire_size r;
-  ignore
-    (Engine.schedule t.engine ~after:delay (fun () ->
-         Validator.deliver t.validator r))
+  let link = t.validator_links.(r.Response.controller) in
+  match Channel.send link ~delay (fun () -> Validator.deliver t.validator r) with
+  | `Delivered -> ()
+  | `Dropped ->
+      trace_channel_event t ~taint:r.Response.taint
+        ~phase:Jury_obs.Trace.Validate ~node:r.Response.controller ~link "drop"
+  | `Duplicated ->
+      trace_channel_event t ~taint:r.Response.taint
+        ~phase:Jury_obs.Trace.Validate ~node:r.Response.controller ~link
+        "duplicate"
 
 let validator_link_delay t =
   Time.add t.cfg.validator_latency
@@ -110,8 +147,6 @@ let make_response t ~node ~taint body =
 
 (* --- Trace emission: the replicator is where a trigger's causal tree
    is rooted and fanned out, so it owns the root/replicate spans. --- *)
-
-let trace_enabled t = Jury_obs.Trace.enabled (Engine.trace t.engine)
 
 let trace_root t ~taint ~node ~channel trigger_name =
   if trace_enabled t then
@@ -257,49 +292,92 @@ let pick_secondaries t ~primary =
     Rng.sample_without_replacement t.rng k others
   else ack_peers t primary
 
+(* One replica copy on the wire towards [secondary]. The span close is
+   idempotent: a duplicated delivery runs the callback twice (and the
+   shadow executes twice — the validator deduplicates), but the causal
+   span closes once, at the first arrival. *)
+let send_replica t ~secondary ~primary ~taint ~(decap : bool) ~rspan trigger =
+  let delay =
+    Time.add t.cfg.replication_latency
+      (Time.of_float_us (Rng.exponential t.rng 80.))
+  in
+  let closed = ref false in
+  let close_span attrs =
+    if not !closed then begin
+      closed := true;
+      trace_close_span t rspan attrs
+    end
+  in
+  let link = t.replica_links.(secondary) in
+  let status =
+    Channel.send link ~delay (fun () ->
+        if decap then begin
+          (* Strip the doubly-encapsulated PACKET_IN (Fig. 4i). *)
+          let ctrl = Cluster.controller t.cluster secondary in
+          let profile = Controller.profile ctrl in
+          let cost_us =
+            Rng.lognormal t.rng
+              ~mu:
+                (log
+                   (Float.max 1.
+                      profile
+                        .Jury_controller.Profile.decapsulation_cost_median_us))
+              ~sigma:0.45
+          in
+          t.decap_samples <- cost_us :: t.decap_samples;
+          ignore
+            (Engine.schedule t.engine ~after:(Time.of_float_us cost_us)
+               (fun () ->
+                 close_span [ ("decap_us", Printf.sprintf "%.1f" cost_us) ];
+                 run_shadow t ~secondary ~primary ~taint trigger))
+        end
+        else begin
+          close_span [];
+          run_shadow t ~secondary ~primary ~taint trigger
+        end)
+  in
+  match status with
+  | `Delivered -> ()
+  | `Dropped ->
+      close_span [ ("dropped", "true") ];
+      trace_channel_event t ~taint ~phase:Jury_obs.Trace.Replicate
+        ~node:secondary ~link "drop"
+  | `Duplicated ->
+      trace_channel_event t ~taint ~phase:Jury_obs.Trace.Replicate
+        ~node:secondary ~link "duplicate"
+
 let replicate_trigger t ~primary ~taint ~wire_size
     ~(decap : bool) trigger =
   let secondaries = pick_secondaries t ~primary in
   Validator.register_external t.validator ~taint ~at:(Engine.now t.engine)
     ~primary ~secondaries;
   t.replicated_triggers <- t.replicated_triggers + 1;
+  if t.cfg.retransmit <> None then
+    Hashtbl.replace t.inflight
+      (Types.Taint.to_string taint)
+      { inf_primary = primary;
+        inf_trigger = trigger;
+        inf_wire_size = wire_size;
+        inf_decap = decap };
   List.iter
     (fun secondary ->
       t.replication_bytes <- t.replication_bytes + wire_size;
-      let delay =
-        Time.add t.cfg.replication_latency
-          (Time.of_float_us (Rng.exponential t.rng 80.))
-      in
       let rspan = trace_replica_span t ~taint ~secondary ~wire_size in
-      ignore
-        (Engine.schedule t.engine ~after:delay (fun () ->
-             if decap then begin
-               (* Strip the doubly-encapsulated PACKET_IN (Fig. 4i). *)
-               let ctrl = Cluster.controller t.cluster secondary in
-               let profile = Controller.profile ctrl in
-               let cost_us =
-                 Rng.lognormal t.rng
-                   ~mu:
-                     (log
-                        (Float.max 1.
-                           profile
-                             .Jury_controller.Profile
-                              .decapsulation_cost_median_us))
-                   ~sigma:0.45
-               in
-               t.decap_samples <- cost_us :: t.decap_samples;
-               ignore
-                 (Engine.schedule t.engine ~after:(Time.of_float_us cost_us)
-                    (fun () ->
-                      trace_close_span t rspan
-                        [ ("decap_us", Printf.sprintf "%.1f" cost_us) ];
-                      run_shadow t ~secondary ~primary ~taint trigger))
-             end
-             else begin
-               trace_close_span t rspan [];
-               run_shadow t ~secondary ~primary ~taint trigger
-             end)))
+      send_replica t ~secondary ~primary ~taint ~decap ~rspan trigger)
     secondaries
+
+(* The validator noticed a straggling secondary: put a fresh replica
+   copy of the stored trigger on the (still lossy) wire. *)
+let handle_retransmit t taint ~secondary =
+  match Hashtbl.find_opt t.inflight (Types.Taint.to_string taint) with
+  | None -> ()
+  | Some inf ->
+      t.replication_bytes <- t.replication_bytes + inf.inf_wire_size;
+      Channel.note_retransmit t.replica_links.(secondary);
+      trace_channel_event t ~taint ~phase:Jury_obs.Trace.Replicate
+        ~node:secondary ~link:t.replica_links.(secondary) "retransmit";
+      send_replica t ~secondary ~primary:inf.inf_primary ~taint
+        ~decap:inf.inf_decap ~rspan:None inf.inf_trigger
 
 let mint_taint t ~primary =
   t.serial <- t.serial + 1;
@@ -315,29 +393,48 @@ let install cluster cfg =
     Validator.config ~state_aware:cfg.state_aware ~nondet_rule:cfg.nondet_rule
       ~adaptive_timeout:cfg.adaptive_timeout ~policies:cfg.policies
       ~master_lookup:(fun dpid -> Some (Cluster.master_of cluster dpid))
+      ?retransmit:cfg.retransmit ?degraded_quorum:cfg.degraded_quorum
       ~k:cfg.k ~timeout:cfg.timeout ()
   in
+  (* RNG-draw order is load-bearing: the shadow pipelines split the
+     engine RNG per node, and the deployment's own split must come
+     after all of them (and before the validator) or every seeded
+     run's event schedule shifts. Channels draw nothing at creation,
+     so they may be built once [rng] exists. *)
+  let nodes =
+    Array.init n (fun _ ->
+        { snapshot = Snapshot.pristine;
+          shadow =
+            (* Replicated execution runs on the controller's spare
+               cores (the paper's servers have 12); modelled as a
+               4-way-parallel validation pool, i.e. a single server
+               at a quarter of the pipeline's service time. *)
+            Pipeline.create engine
+              (Pipeline.config
+                 ~service_sigma:profile.Jury_controller.Profile.service_sigma
+                 ~base_service:
+                   (Time.div profile.Jury_controller.Profile.base_service 4)
+                 ~overload_backlog:(Time.sec 10) ()) })
+  in
+  let rng = Rng.split (Engine.rng engine) in
   let t =
     { cluster;
       cfg;
       engine;
       validator = Validator.create engine validator_cfg;
-      rng = Rng.split (Engine.rng engine);
-      nodes =
-        Array.init n (fun _ ->
-            { snapshot = Snapshot.pristine;
-              shadow =
-                (* Replicated execution runs on the controller's spare
-                   cores (the paper's servers have 12); modelled as a
-                   4-way-parallel validation pool, i.e. a single server
-                   at a quarter of the pipeline's service time. *)
-                Pipeline.create engine
-                  (Pipeline.config
-                     ~service_sigma:profile.Jury_controller.Profile.service_sigma
-                     ~base_service:
-                       (Time.div
-                          profile.Jury_controller.Profile.base_service 4)
-                     ~overload_backlog:(Time.sec 10) ()) });
+      rng;
+      replica_links =
+        Array.init n (fun i ->
+            Channel.create engine ~rng
+              ~name:(Printf.sprintf "replica/%d" i)
+              cfg.channel);
+      validator_links =
+        Array.init n (fun i ->
+            Channel.create engine ~rng
+              ~name:(Printf.sprintf "validator/%d" i)
+              cfg.channel);
+      inflight = Hashtbl.create 256;
+      nodes;
       serial = 0;
       raw_serial = 0;
       replication_bytes = 0;
@@ -353,6 +450,15 @@ let install cluster cfg =
       { validator_cfg with Validator.ack_peers_of = (fun o -> ack_peers t o) }
   in
   let t = { t with validator } in
+  (* The retransmission loop only exists when asked for: registering the
+     handler and verdict observer is gated so a default configuration
+     keeps the validator byte-for-byte on the seed's event schedule. *)
+  if cfg.retransmit <> None then begin
+    Validator.set_retransmit_handler t.validator (fun taint ~secondary ->
+        handle_retransmit t taint ~secondary);
+    Validator.on_verdict t.validator (fun alarm ->
+        Hashtbl.remove t.inflight (Types.Taint.to_string alarm.Alarm.taint))
+  end;
   for node = 0 to n - 1 do
     install_node_module t node
   done;
@@ -388,6 +494,16 @@ let validator_bytes t = t.validator_bytes
 let chatter_bytes t = t.chatter_bytes_total
 let decap_samples_us t = Array.of_list (List.rev t.decap_samples)
 let replicated_trigger_count t = t.replicated_triggers
+
+let channel_stats t =
+  let of_links links =
+    Array.to_list
+      (Array.map (fun c -> (Channel.name c, Channel.stats c)) links)
+  in
+  of_links t.replica_links @ of_links t.validator_links
+
+let channel_totals t =
+  Channel.total (List.map snd (channel_stats t))
 
 let reset_accounting t =
   t.replication_bytes <- 0;

@@ -29,16 +29,29 @@ type config = {
           secondaries' mastership-status chatter (Hazelcast, §VII-B2) *)
   chatter_bytes : int;
   encapsulation : bool;               (** ODL-style OVS replication *)
+  channel : Channel.profile;
+      (** loss model applied to every replication and
+          response-collection link; {!Channel.reliable} reproduces the
+          seed bit-for-bit *)
+  retransmit : Validator.retransmit option;
+      (** re-replicate to straggling secondaries (bounded, with
+          exponential backoff); [None] = no retransmission *)
+  degraded_quorum : int option;
+      (** allow reduced-quorum [Ok_degraded] verdicts on timeout;
+          [None] = seed behaviour *)
 }
 
 val config :
   ?timeout:Jury_sim.Time.t -> ?adaptive_timeout:bool -> ?state_aware:bool ->
   ?nondet_rule:bool -> ?random_secondaries:bool ->
-  ?policies:Jury_policy.Engine.t -> ?encapsulation:bool -> k:int -> unit ->
+  ?policies:Jury_policy.Engine.t -> ?encapsulation:bool ->
+  ?channel:Channel.profile -> ?retransmit:Validator.retransmit ->
+  ?degraded_quorum:int -> k:int -> unit ->
   config
 (** Defaults: timeout 150 ms, state-aware consensus and the
     non-determinism rule on, random secondaries, no policies, no
-    encapsulation (ONOS mode). The ODL profile flips [encapsulation]
+    encapsulation (ONOS mode), reliable channels, no retransmission,
+    no degraded quorum. The ODL profile flips [encapsulation]
     and widens the default timeout to 800 ms (set [timeout]
     explicitly to override). *)
 
@@ -73,3 +86,12 @@ val decap_samples_us : t -> float array
 
 val replicated_trigger_count : t -> int
 val reset_accounting : t -> unit
+
+(** {1 Channel health} *)
+
+val channel_stats : t -> (string * Channel.stats) list
+(** Per-link counters, replica links (["replica/i"]) first, then
+    validator links (["validator/i"]). *)
+
+val channel_totals : t -> Channel.stats
+(** Sum over all links. *)

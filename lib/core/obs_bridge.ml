@@ -16,3 +16,14 @@ let record_phase_series ?(prefix = "span/") trace metrics =
               Metrics.record metrics (prefix ^ Trace.phase_name phase) ms)
             (Span.phase_breakdown_ms root))
     roots
+
+let record_channel_counters ?(prefix = "channel/") stats metrics =
+  List.iter
+    (fun (name, (s : Channel.stats)) ->
+      let bump field v = Metrics.incr metrics ~by:v (prefix ^ name ^ field) in
+      bump "/sent" s.Channel.sent;
+      bump "/delivered" s.Channel.delivered;
+      bump "/dropped" s.Channel.dropped;
+      bump "/duplicated" s.Channel.duplicated;
+      bump "/retransmitted" s.Channel.retransmitted)
+    stats

@@ -13,3 +13,11 @@ val record_phase_series :
     [prefix ^ Jury_obs.Trace.phase_name phase], all in milliseconds.
     Open (never-closed) roots are skipped. [prefix] defaults to
     ["span/"]. *)
+
+val record_channel_counters :
+  ?prefix:string -> (string * Channel.stats) list -> Jury_sim.Metrics.t -> unit
+(** Bump one metrics counter per link per field
+    ([prefix ^ link ^ "/sent"], ["/delivered"], ["/dropped"],
+    ["/duplicated"], ["/retransmitted"]) from a
+    {!Deployment.channel_stats} listing. [prefix] defaults to
+    ["channel/"]. *)

@@ -13,6 +13,7 @@ type t = {
   ok : int;
   non_deterministic : int;
   unverifiable : int;
+  degraded : int;
   faulty : int;
   suspects : suspect_row list;
   detection : Jury_stats.Summary.t option;
@@ -23,7 +24,8 @@ let bump tbl key f init =
   | Some v -> Hashtbl.replace tbl key (f v)
   | None -> Hashtbl.replace tbl key (f init)
 
-let of_verdicts ~decided ~ok ~non_deterministic ~unverifiable verdicts =
+let of_verdicts ~decided ~ok ~non_deterministic ~unverifiable ~degraded
+    verdicts =
   let faulty_alarms = List.filter Alarm.is_fault verdicts in
   let per_suspect = Hashtbl.create 8 in
   List.iter
@@ -72,6 +74,7 @@ let of_verdicts ~decided ~ok ~non_deterministic ~unverifiable verdicts =
     ok;
     non_deterministic;
     unverifiable;
+    degraded;
     faulty = List.length faulty_alarms;
     suspects;
     detection }
@@ -85,13 +88,20 @@ let of_validator v =
     ~non_deterministic:
       (count (fun a -> a.Alarm.verdict = Alarm.Ok_non_deterministic))
     ~unverifiable:(Validator.unverifiable_count v)
+    ~degraded:(Validator.degraded_count v)
     verdicts
 
 let of_alarms ~decided ~unverifiable alarms =
   let faulty = List.length (List.filter Alarm.is_fault alarms) in
+  let degraded =
+    List.length
+      (List.filter
+         (fun (a : Alarm.t) -> a.Alarm.verdict = Alarm.Ok_degraded)
+         alarms)
+  in
   of_verdicts ~decided
-    ~ok:(decided - faulty - unverifiable)
-    ~non_deterministic:0 ~unverifiable alarms
+    ~ok:(decided - faulty - unverifiable - degraded)
+    ~non_deterministic:0 ~unverifiable ~degraded alarms
 
 let healthy t = t.faulty = 0
 
@@ -99,10 +109,19 @@ let most_suspect t =
   match t.suspects with [] -> None | s :: _ -> Some s.controller
 
 let pp fmt t =
-  Format.fprintf fmt
-    "validated %d responses: %d ok, %d non-deterministic, %d unverifiable, \
-     %d faulty@."
-    t.decided t.ok t.non_deterministic t.unverifiable t.faulty;
+  (* The degraded column only appears when degraded verdicts exist, so
+     reports from runs without a lossy channel stay byte-identical to
+     the historical format. *)
+  if t.degraded > 0 then
+    Format.fprintf fmt
+      "validated %d responses: %d ok, %d non-deterministic, %d unverifiable, \
+       %d degraded, %d faulty@."
+      t.decided t.ok t.non_deterministic t.unverifiable t.degraded t.faulty
+  else
+    Format.fprintf fmt
+      "validated %d responses: %d ok, %d non-deterministic, %d unverifiable, \
+       %d faulty@."
+      t.decided t.ok t.non_deterministic t.unverifiable t.faulty;
   (match t.detection with
   | Some s ->
       Format.fprintf fmt "detection time (ms): %a@." Jury_stats.Summary.pp s

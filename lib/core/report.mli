@@ -20,6 +20,7 @@ type t = {
   ok : int;
   non_deterministic : int;
   unverifiable : int;
+  degraded : int;  (** reduced-quorum decisions on a lossy channel *)
   faulty : int;
   suspects : suspect_row list;  (** most-implicated first *)
   detection : Jury_stats.Summary.t option;

@@ -8,6 +8,21 @@ module Of_match = Jury_openflow.Of_match
 module Of_action = Jury_openflow.Of_action
 module Dpid = Jury_openflow.Of_types.Dpid
 
+type retransmit = {
+  fraction : float;
+  backoff : float;
+  max_retries : int;
+}
+
+let retransmit ?(fraction = 0.4) ?(backoff = 2.0) ?(max_retries = 2) () =
+  if not (fraction > 0. && fraction <= 1.) then
+    invalid_arg "Validator.retransmit: fraction must be in (0, 1]";
+  if not (backoff >= 1.) then
+    invalid_arg "Validator.retransmit: backoff must be >= 1";
+  if max_retries < 0 then
+    invalid_arg "Validator.retransmit: max_retries must be >= 0";
+  { fraction; backoff; max_retries }
+
 type config = {
   k : int;
   timeout : Time.t;
@@ -18,14 +33,20 @@ type config = {
   policies : Jury_policy.Engine.t;
   master_lookup : Dpid.t -> int option;
   ack_peers_of : int -> int list;
+  retransmit : retransmit option;
+  degraded_quorum : int option;
 }
 
 let config ?(state_aware = true) ?(nondet_rule = true)
     ?(adaptive_timeout = false) ?(min_timeout = Time.ms 10)
     ?(policies = Jury_policy.Engine.create []) ?(master_lookup = fun _ -> None)
-    ?(ack_peers_of = fun _ -> []) ~k ~timeout () =
+    ?(ack_peers_of = fun _ -> []) ?retransmit ?degraded_quorum ~k ~timeout () =
+  (match degraded_quorum with
+  | Some q when q < 1 ->
+      invalid_arg "Validator.config: degraded_quorum must be >= 1"
+  | _ -> ());
   { k; timeout; adaptive_timeout; min_timeout; state_aware; nondet_rule;
-    policies; master_lookup; ack_peers_of }
+    policies; master_lookup; ack_peers_of; retransmit; degraded_quorum }
 
 type pending = {
   taint : Types.Taint.t;
@@ -35,6 +56,8 @@ type pending = {
   mutable responses : Response.t list;  (* newest first *)
   mutable timer : Engine.handle option;
   mutable decided : bool;
+  mutable retry_round : int;
+  mutable retry_timer : Engine.handle option;
 }
 
 type t = {
@@ -49,10 +72,18 @@ type t = {
   mutable alarm_handler : Alarm.t -> unit;
   mutable verdict_handler : Alarm.t -> unit;
   mutable response_observers : (Response.t -> unit) list;
+      (* newest first; reversed at dispatch so observers run in
+         registration order without quadratic appends *)
   mutable verdict_observers : (Alarm.t -> unit) list;
+  mutable retransmit_handler : Types.Taint.t -> secondary:int -> unit;
   mutable decided_count : int;
   mutable fault_count : int;
   mutable unverifiable_count : int;
+  mutable degraded_count : int;
+  mutable duplicate_count : int;
+  mutable late_count : int;
+  mutable retransmit_count : int;
+  mutable straggler_count : int;
   (* Adaptive validation timeout (the paper's SVIII-1 extension): track
      recent completion latencies RTO-style and size theta-tau as
      srtt + 4*rttvar, clamped to [min_timeout, timeout]. *)
@@ -71,9 +102,15 @@ let create engine cfg =
     verdict_handler = (fun _ -> ());
     response_observers = [];
     verdict_observers = [];
+    retransmit_handler = (fun _ ~secondary:_ -> ());
     decided_count = 0;
     fault_count = 0;
     unverifiable_count = 0;
+    degraded_count = 0;
+    duplicate_count = 0;
+    late_count = 0;
+    retransmit_count = 0;
+    straggler_count = 0;
     srtt_ms = Time.to_float_ms cfg.timeout /. 4.;
     rttvar_ms = Time.to_float_ms cfg.timeout /. 8.;
     rtt_samples = 0 }
@@ -102,8 +139,9 @@ let observe_completion_latency t latency =
 
 let set_alarm_handler t f = t.alarm_handler <- f
 let set_verdict_handler t f = t.verdict_handler <- f
-let on_response t f = t.response_observers <- t.response_observers @ [ f ]
-let on_verdict t f = t.verdict_observers <- t.verdict_observers @ [ f ]
+let set_retransmit_handler t f = t.retransmit_handler <- f
+let on_response t f = t.response_observers <- f :: t.response_observers
+let on_verdict t f = t.verdict_observers <- f :: t.verdict_observers
 
 (* --- Response-set inspection helpers --- *)
 
@@ -144,17 +182,34 @@ let distinct_cache_events p =
       | _ -> None)
     (List.rev p.responses)
 
+(* Acks are counted per distinct controller: a duplicated delivery of
+   the same peer's ack must not satisfy the quorum twice. *)
 let ack_count p (ev : Event.t) =
-  List.length
-    (List.filter
-       (fun (r : Response.t) ->
-         match r.body with
-         | Response.Cache_update e ->
-             e.Event.origin = ev.Event.origin
-             && e.Event.seq = ev.Event.seq
-             && r.controller <> ev.Event.origin
-         | _ -> false)
-       p.responses)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Response.t) ->
+      match r.body with
+      | Response.Cache_update e ->
+          if
+            e.Event.origin = ev.Event.origin
+            && e.Event.seq = ev.Event.seq
+            && r.controller <> ev.Event.origin
+          then Hashtbl.replace seen r.controller ()
+      | _ -> ())
+    p.responses;
+  Hashtbl.length seen
+
+(* Secondaries that never produced an Execution response. *)
+let stragglers p =
+  let execs =
+    List.filter_map
+      (fun (r : Response.t) ->
+        match r.body with
+        | Response.Execution { role = `Secondary; _ } -> Some r.controller
+        | _ -> None)
+      p.responses
+  in
+  List.filter (fun s -> not (List.mem s execs)) p.secondaries
 
 let network_writes p =
   let seen = Hashtbl.create 16 in
@@ -286,7 +341,7 @@ let majority_fingerprint fps =
     tbl None
 
 type consensus_result =
-  | Agrees
+  | Agrees of int  (* agreeing responses, primary included *)
   | Disagrees of int list  (* dissenting controllers *)
   | Non_deterministic
   | Unverifiable
@@ -294,7 +349,7 @@ type consensus_result =
 let run_consensus t p (prim_r : Response.t) prim_actions =
   let secondaries = secondary_executions p in
   if secondaries = [] then
-    if p.secondaries = [] then Agrees (* nothing was replicated *)
+    if p.secondaries = [] then Agrees 1 (* nothing was replicated *)
     else Unverifiable
   else begin
     let prim_fp = response_fingerprint prim_actions in
@@ -334,12 +389,57 @@ let run_consensus t p (prim_r : Response.t) prim_actions =
                       else Some r.controller)
                     comparable
                 in
-                if dissenters = [] then Agrees else Disagrees dissenters
+                if dissenters = [] then Agrees (1 + List.length comparable)
+                else Disagrees dissenters
               end
               else
                 Disagrees
                   (match p.primary with Some id -> [ id ] | None -> []))
   end
+
+(* Best agreeing fingerprint among the secondary executions alone, for
+   deciding a trigger whose primary response was lost in transit. Under
+   state-aware consensus only replicas sharing a network view may form
+   the quorum (§IV-C A still applies, just without the primary). *)
+let secondary_quorum t p =
+  match secondary_executions p with
+  | [] -> None
+  | secs ->
+      let groups =
+        if t.cfg.state_aware then
+          List.fold_left
+            (fun acc ((r : Response.t), actions) ->
+              let rec place = function
+                | [] -> [ (r.Response.snapshot, [ (r, actions) ]) ]
+                | (snap, members) :: rest ->
+                    if Snapshot.equal snap r.Response.snapshot then
+                      (snap, (r, actions) :: members) :: rest
+                    else (snap, members) :: place rest
+              in
+              place acc)
+            [] secs
+          |> List.map snd
+        else [ secs ]
+      in
+      List.fold_left
+        (fun best members ->
+          let fps =
+            List.map (fun (_, actions) -> response_fingerprint actions) members
+          in
+          match majority_fingerprint fps with
+          | None -> best
+          | Some (fp, n) -> (
+              match best with
+              | Some (_, bn) when bn >= n -> best
+              | _ ->
+                  let _, actions =
+                    List.find
+                      (fun (_, a) ->
+                        String.equal (response_fingerprint a) fp)
+                      members
+                  in
+                  Some (actions, n)))
+        None groups
 
 (* --- Sanity check: cache vs network consistency for flow rules --- *)
 
@@ -350,7 +450,13 @@ let flows_equal (a : Of_message.flow_mod) (b : Of_message.flow_mod) =
   && Of_action.equal_list a.actions b.actions
   && a.command = b.command
 
-let run_sanity ~mirror p ~origin =
+(* When [plan] is given (degraded-quorum mode, after a timeout on a
+   lossy channel) an inconsistency that the primary's own execution plan
+   accounts for is excused: the observation was lost in transit, the
+   action was not invented. Excused entries are returned separately so
+   the caller can either degrade the verdict or, if no quorum backs the
+   plan, reinstate them as faults. *)
+let run_sanity ~mirror ?plan p ~origin =
   let events = distinct_cache_events p in
   let cache_flows =
     List.filter_map
@@ -376,8 +482,28 @@ let run_sanity ~mirror p ~origin =
         || fm.command = Of_message.Modify_strict)
       (network_writes p)
   in
+  let planned_sends =
+    match plan with Some actions -> flow_mod_sends actions | None -> []
+  in
+  let planned_cache_flows =
+    match plan with
+    | None -> []
+    | Some actions ->
+        List.filter_map
+          (fun (cache, _, key, value) ->
+            if Names.normalize cache = Names.flowsdb then
+              match
+                (Values.Flow.dpid_of_key key, Values.Flow.parse value)
+              with
+              | Some dpid, Some fm -> Some (dpid, fm)
+              | _ -> None
+            else None)
+          (cache_writes actions)
+  in
   let faults = ref [] in
+  let excused = ref [] in
   let add f detail = faults := (f, detail) :: !faults in
+  let excuse f detail = excused := (f, detail) :: !excused in
   List.iter
     (fun (dpid, cfm) ->
       let same_switch =
@@ -392,7 +518,14 @@ let run_sanity ~mirror p ~origin =
       in
       match same_match with
       | [] ->
-          add Alarm.Cache_without_network
+          let planned =
+            List.exists
+              (fun (d, (pfm : Of_message.flow_mod)) ->
+                Dpid.equal d dpid && flows_equal pfm cfm)
+              planned_sends
+          in
+          let report = if planned then excuse else add in
+          report Alarm.Cache_without_network
             (Format.asprintf "no FLOW_MOD on wire for cache entry %a@%a"
                Of_match.pp cfm.Of_message.fm_match Dpid.pp dpid)
       | writes ->
@@ -424,12 +557,21 @@ let run_sanity ~mirror p ~origin =
         | Some cfm -> flows_equal cfm nfm
         | None -> false
       in
+      let in_plan () =
+        (* The primary's plan includes the backing cache write; only its
+           externalised event was lost. *)
+        List.exists
+          (fun (d, (pfm : Of_message.flow_mod)) ->
+            Dpid.equal d dpid && flows_equal pfm nfm)
+          planned_cache_flows
+      in
       if not (in_trigger || in_mirror ()) then
-        add Alarm.Network_without_cache
+        let report = if in_plan () then excuse else add in
+        report Alarm.Network_without_cache
           (Format.asprintf "FLOW_MOD %a@%a has no cache backing" Of_match.pp
              nfm.fm_match Dpid.pp dpid))
     nets;
-  !faults
+  (!faults, List.rev !excused)
 
 (* --- Policy check --- *)
 
@@ -470,6 +612,10 @@ let run_policy t p ~origin ~external_ actions =
 let finish t p (verdict : Alarm.verdict) ~suspects ~detail =
   p.decided <- true;
   (match p.timer with Some h -> Engine.cancel h | None -> ());
+  (match p.retry_timer with Some h -> Engine.cancel h | None -> ());
+  p.retry_timer <- None;
+  let stragglers = stragglers p in
+  t.straggler_count <- t.straggler_count + List.length stragglers;
   Hashtbl.remove t.pending (Types.Taint.to_string p.taint);
   let alarm =
     { Alarm.taint = p.taint;
@@ -491,6 +637,13 @@ let finish t p (verdict : Alarm.verdict) ~suspects ~detail =
          ("suspects",
           String.concat "," (List.map string_of_int alarm.Alarm.suspects)) ]
      in
+     let attrs =
+       if stragglers = [] then attrs
+       else
+         ("stragglers",
+          String.concat "," (List.map string_of_int stragglers))
+         :: attrs
+     in
      Jury_obs.Trace.point tr ~t_ns ~taint ~phase:Jury_obs.Trace.Verdict
        ?node:p.primary
        (if detail = "" then attrs else ("detail", detail) :: attrs);
@@ -504,9 +657,10 @@ let finish t p (verdict : Alarm.verdict) ~suspects ~detail =
       t.fault_count <- t.fault_count + 1;
       t.alarm_handler alarm
   | Alarm.Ok_unverifiable -> t.unverifiable_count <- t.unverifiable_count + 1
+  | Alarm.Ok_degraded -> t.degraded_count <- t.degraded_count + 1
   | Alarm.Ok_valid | Alarm.Ok_non_deterministic -> ());
   t.verdict_handler alarm;
-  List.iter (fun f -> f alarm) t.verdict_observers
+  List.iter (fun f -> f alarm) (List.rev t.verdict_observers)
 
 let evaluate t p ~timed_out =
   if not p.decided then begin
@@ -518,7 +672,10 @@ let evaluate t p ~timed_out =
           (* No execution record at all. If the trigger consists of
              intercepted FLOW_MODs with no cache backing, the sender
              bypassed its cache — a misbehaving controller (§II-A.3).
-             Otherwise it is a plain response omission. *)
+             Otherwise it is a plain response omission — unless enough
+             equivalent-view replicated executions agree, in which case
+             the lossy channel ate the primary's report and the trigger
+             is decided with a reduced quorum. *)
           let stray =
             List.filter
               (fun (_, dpid, (nfm : Of_message.flow_mod)) ->
@@ -535,11 +692,35 @@ let evaluate t p ~timed_out =
               (Alarm.Faulty [ Alarm.Network_without_cache ])
               ~suspects:(List.map (fun (sender, _, _) -> sender) stray)
               ~detail:"FLOW_MOD on the wire with no cache backing and no                        response"
-          else
-            finish t p
-              (Alarm.Faulty [ Alarm.Response_timeout ])
-              ~suspects:(Option.to_list p.primary)
-              ~detail:"no primary response before validation timeout"
+          else begin
+            let quorum =
+              match t.cfg.degraded_quorum with
+              | Some q when external_ && failures = [] -> (
+                  match secondary_quorum t p with
+                  | Some (actions, n) when n >= q ->
+                      let origin =
+                        match p.primary with Some id -> id | None -> -1
+                      in
+                      if run_policy t p ~origin ~external_ actions = [] then
+                        Some n
+                      else None
+                  | _ -> None)
+              | _ -> None
+            in
+            match quorum with
+            | Some n ->
+                finish t p Alarm.Ok_degraded ~suspects:[]
+                  ~detail:
+                    (Printf.sprintf
+                       "primary response lost; %d equivalent-view replica \
+                        response(s) agree"
+                       n)
+            | None ->
+                finish t p
+                  (Alarm.Faulty [ Alarm.Response_timeout ])
+                  ~suspects:(Option.to_list p.primary)
+                  ~detail:"no primary response before validation timeout"
+          end
         end
         else () (* keep waiting *)
     | Some (prim_r, prim_actions) ->
@@ -547,6 +728,10 @@ let evaluate t p ~timed_out =
         let faults = ref [] in
         let suspects = ref [] in
         let details = ref [] in
+        (* Omissions: observations the plan promises but the validator
+           never saw. They stay separate from hard faults until we know
+           whether a reduced quorum can vouch for the plan. *)
+        let omissions = ref [] in
         (* Write failures are response omissions in the making: the
            controller planned a cache write the store refused. *)
         List.iter
@@ -555,6 +740,9 @@ let evaluate t p ~timed_out =
             suspects := ctrl :: !suspects;
             details := ("cache write failed: " ^ reason) :: !details)
           failures;
+        let degraded_mode =
+          timed_out && external_ && t.cfg.degraded_quorum <> None
+        in
         (* Timed-out evaluation with missing externalisation: the plan
            says a write should exist; did its cache event arrive? *)
         if timed_out && failures = [] then begin
@@ -569,8 +757,8 @@ let evaluate t p ~timed_out =
                        && ev.Event.key = key && ev.Event.origin = origin)
                      events)
               then begin
-                faults := Alarm.Response_timeout :: !faults;
-                suspects := origin :: !suspects;
+                omissions :=
+                  (Alarm.Response_timeout, origin) :: !omissions;
                 details :=
                   Printf.sprintf "cache update %s/%s never observed"
                     cache key
@@ -581,9 +769,10 @@ let evaluate t p ~timed_out =
         (* CONSENSUS *)
         let nondet = ref false in
         let unverifiable = ref false in
+        let agree_n = ref 0 in
         (if external_ then
            match run_consensus t p prim_r prim_actions with
-           | Agrees -> ()
+           | Agrees n -> agree_n := n
            | Non_deterministic -> nondet := true
            | Unverifiable -> unverifiable := true
            | Disagrees dissenters ->
@@ -594,13 +783,24 @@ let evaluate t p ~timed_out =
                    (String.concat ","
                       (List.map string_of_int dissenters))
                  :: !details);
-        (* SANITY *)
+        (* SANITY — with the plan fallback only in degraded mode, so a
+           zero-loss run takes exactly the seed's decision path. *)
+        let sanity_faults, excused =
+          if degraded_mode then
+            run_sanity ~mirror:t.flow_mirror ~plan:prim_actions p ~origin
+          else run_sanity ~mirror:t.flow_mirror p ~origin
+        in
         List.iter
           (fun (f, d) ->
             faults := f :: !faults;
             suspects := origin :: !suspects;
             details := d :: !details)
-          (run_sanity ~mirror:t.flow_mirror p ~origin);
+          sanity_faults;
+        List.iter
+          (fun (_, d) ->
+            omissions := (Alarm.Response_timeout, origin) :: !omissions;
+            details := d :: !details)
+          excused;
         (* POLICY *)
         List.iter
           (fun (f, d) ->
@@ -608,6 +808,23 @@ let evaluate t p ~timed_out =
             suspects := origin :: !suspects;
             details := d :: !details)
           (run_policy t p ~origin ~external_ prim_actions);
+        (* Can a reduced quorum stand behind the plan? Only when no hard
+           fault fired and the responses that did arrive all agree. *)
+        let degraded_ok =
+          degraded_mode && !faults = []
+          && (not !nondet) && not !unverifiable
+          &&
+          match t.cfg.degraded_quorum with
+          | Some q -> !agree_n >= q
+          | None -> false
+        in
+        if not degraded_ok then
+          List.iter
+            (fun (f, ctrl) ->
+              faults := f :: !faults;
+              suspects := ctrl :: !suspects)
+            (List.rev !omissions);
+        let missing = stragglers p in
         let detail = String.concat "; " (List.rev !details) in
         if !faults <> [] then
           finish t p
@@ -617,6 +834,16 @@ let evaluate t p ~timed_out =
           finish t p Alarm.Ok_non_deterministic ~suspects:[] ~detail
         else if !unverifiable then
           finish t p Alarm.Ok_unverifiable ~suspects:[] ~detail
+        else if degraded_ok && (!omissions <> [] || missing <> []) then
+          finish t p Alarm.Ok_degraded ~suspects:[]
+            ~detail:
+              (let quorum_note =
+                 Printf.sprintf
+                   "decided with reduced quorum (%d agreeing, %d straggler(s))"
+                   !agree_n (List.length missing)
+               in
+               if detail = "" then quorum_note
+               else detail ^ "; " ^ quorum_note)
         else finish t p Alarm.Ok_valid ~suspects:[] ~detail
   end
 
@@ -626,6 +853,34 @@ let arm_timer t p =
       Some
         (Engine.schedule t.engine ~after:(current_timeout t) (fun () ->
              evaluate t p ~timed_out:true))
+
+(* --- Bounded retransmission with exponential backoff --- *)
+
+let retry_delay t (rt : retransmit) round =
+  let theta = Time.to_float_ms (current_timeout t) in
+  Time.of_float_ms (theta *. rt.fraction *. (rt.backoff ** float_of_int round))
+
+let rec arm_retry t p rt =
+  p.retry_timer <-
+    Some
+      (Engine.schedule t.engine
+         ~after:(retry_delay t rt p.retry_round)
+         (fun () -> fire_retry t p rt))
+
+and fire_retry t p (rt : retransmit) =
+  p.retry_timer <- None;
+  if not p.decided then begin
+    match stragglers p with
+    | [] -> () (* everyone answered; no more retries needed *)
+    | missing ->
+        List.iter
+          (fun secondary ->
+            t.retransmit_count <- t.retransmit_count + 1;
+            t.retransmit_handler p.taint ~secondary)
+          missing;
+        p.retry_round <- p.retry_round + 1;
+        if p.retry_round < rt.max_retries then arm_retry t p rt
+  end
 
 let get_pending t taint =
   let key = Types.Taint.to_string taint in
@@ -643,7 +898,9 @@ let get_pending t taint =
             secondaries = [];
             responses = [];
             timer = None;
-            decided = false }
+            decided = false;
+            retry_round = 0;
+            retry_timer = None }
         in
         Hashtbl.add t.pending key p;
         Some p
@@ -659,10 +916,16 @@ let register_external t ~taint ~at ~primary ~secondaries =
         secondaries;
         responses = [];
         timer = None;
-        decided = false }
+        decided = false;
+        retry_round = 0;
+        retry_timer = None }
     in
     Hashtbl.add t.pending key p;
-    arm_timer t p
+    arm_timer t p;
+    match t.cfg.retransmit with
+    | Some rt when rt.max_retries > 0 && secondaries <> [] ->
+        arm_retry t p rt
+    | _ -> ()
   end
 
 let update_flow_mirror t (r : Response.t) =
@@ -676,6 +939,22 @@ let update_flow_mirror t (r : Response.t) =
           | None -> ()))
   | _ -> ()
 
+(* A second Execution record from the same (controller, role) — or an
+   exact duplicate of any other body — is a stale channel duplicate: the
+   first delivery wins so a duplicated response can never satisfy
+   consensus twice or double-count toward a quorum. *)
+let duplicate_response p (r : Response.t) =
+  List.exists
+    (fun (q : Response.t) ->
+      q.Response.controller = r.Response.controller
+      &&
+      match (q.Response.body, r.Response.body) with
+      | ( Response.Execution { role = qr; _ },
+          Response.Execution { role = rr; _ } ) ->
+          qr = rr
+      | qb, rb -> qb = rb)
+    p.responses
+
 let deliver t (r : Response.t) =
   (let tr = Engine.trace t.engine in
    if Jury_obs.Trace.enabled tr then
@@ -683,12 +962,14 @@ let deliver t (r : Response.t) =
        ~taint:(Types.Taint.to_string r.taint)
        ~phase:Jury_obs.Trace.Validate ~node:r.controller
        [ ("body", Response.body_name r.body) ]);
-  List.iter (fun f -> f r) t.response_observers;
+  List.iter (fun f -> f r) (List.rev t.response_observers);
   update_flow_mirror t r;
   match get_pending t r.taint with
-  | None -> ()
+  | None -> t.late_count <- t.late_count + 1
   | Some p ->
-      if not p.decided then begin
+      if duplicate_response p r then
+        t.duplicate_count <- t.duplicate_count + 1
+      else if not p.decided then begin
         (if p.primary = None then
            match Types.Taint.primary_of r.taint with
            | Some id -> p.primary <- Some id
@@ -721,6 +1002,11 @@ let decided_count t = t.decided_count
 let fault_count t = t.fault_count
 let pending_count t = Hashtbl.length t.pending
 let unverifiable_count t = t.unverifiable_count
+let degraded_count t = t.degraded_count
+let duplicate_count t = t.duplicate_count
+let late_count t = t.late_count
+let retransmit_count t = t.retransmit_count
+let straggler_count t = t.straggler_count
 
 let flush t =
   let ps = Hashtbl.fold (fun _ p acc -> p :: acc) t.pending [] in

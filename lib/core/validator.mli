@@ -20,6 +20,19 @@
 
 module Types = Jury_controller.Types
 
+type retransmit = {
+  fraction : float;
+      (** first retry fires after [fraction]·θτ; in (0, 1] *)
+  backoff : float;  (** multiplier between retries; >= 1 *)
+  max_retries : int;  (** retry cap per straggling secondary *)
+}
+
+val retransmit :
+  ?fraction:float -> ?backoff:float -> ?max_retries:int -> unit -> retransmit
+(** Defaults: fraction 0.4, backoff 2.0, max_retries 2 — i.e. retries
+    at 0.4·θτ and 1.2·θτ after registration. Raises [Invalid_argument]
+    on out-of-range values. *)
+
 type config = {
   k : int;                     (** replication factor *)
   timeout : Jury_sim.Time.t;   (** validation timeout θτ (the maximum,
@@ -40,6 +53,16 @@ type config = {
   ack_peers_of : int -> int list;
       (** the static peers whose cache-event acks the validator expects
           for writes originating at a given node *)
+  retransmit : retransmit option;
+      (** when set, a secondary that has not responded by
+          [fraction]·θτ gets the trigger re-replicated (via
+          {!set_retransmit_handler}), with exponential backoff up to
+          [max_retries] rounds; [None] = seed behaviour *)
+  degraded_quorum : int option;
+      (** when set, a timed-out external trigger whose arrived
+          equivalent-view responses all agree — and number at least
+          this quorum — is decided [Ok_degraded] instead of raising a
+          response-timeout alarm; [None] = seed behaviour *)
 }
 
 val config :
@@ -47,7 +70,9 @@ val config :
   ?min_timeout:Jury_sim.Time.t ->
   ?policies:Jury_policy.Engine.t ->
   ?master_lookup:(Jury_openflow.Of_types.Dpid.t -> int option) ->
-  ?ack_peers_of:(int -> int list) -> k:int -> timeout:Jury_sim.Time.t ->
+  ?ack_peers_of:(int -> int list) ->
+  ?retransmit:retransmit -> ?degraded_quorum:int ->
+  k:int -> timeout:Jury_sim.Time.t ->
   unit -> config
 
 type t
@@ -69,6 +94,11 @@ val set_alarm_handler : t -> (Alarm.t -> unit) -> unit
 
 val set_verdict_handler : t -> (Alarm.t -> unit) -> unit
 (** Called for every verdict, faulty or not. *)
+
+val set_retransmit_handler : t -> (Types.Taint.t -> secondary:int -> unit) -> unit
+(** Called once per straggling secondary per retry round when
+    [config.retransmit] is set; the deployment re-replicates the stored
+    trigger over its (lossy) channel. Default: no-op. *)
 
 val on_response : t -> (Response.t -> unit) -> unit
 (** Append an observer invoked for every delivered response (audit
@@ -92,6 +122,22 @@ val decided_count : t -> int
 val fault_count : t -> int
 val pending_count : t -> int
 val unverifiable_count : t -> int
+
+val degraded_count : t -> int
+(** Triggers decided [Ok_degraded] (reduced quorum). *)
+
+val duplicate_count : t -> int
+(** Responses discarded as stale channel duplicates. *)
+
+val late_count : t -> int
+(** Responses that arrived after their trigger was already decided. *)
+
+val retransmit_count : t -> int
+(** Retransmission requests issued (per secondary, per round). *)
+
+val straggler_count : t -> int
+(** Secondary slots that never produced an execution response by
+    decision time, summed over all decided triggers. *)
 
 val flush : t -> unit
 (** Force-decide everything still pending (end of an experiment). *)

@@ -509,6 +509,75 @@ let ablation_nondeterminism ?(seed = 57) ?(duration = Time.sec 5) () =
       (Profile.onos_ecmp, true, "ecmp, nondet-rule-on");
       (Profile.onos_ecmp, false, "ecmp, nondet-rule-off") ]
 
+(* --- Lossy-channel study: detection quality when the replication and
+   response-collection links drop, duplicate and reorder messages. --- *)
+
+type channel_row = {
+  mode : string;
+  c_decided : int;
+  c_timeout_alarms : int;  (* verdicts carrying a response-timeout fault *)
+  c_unverifiable : int;
+  c_degraded : int;
+  c_retransmits : int;
+  c_channel : Jury.Channel.stats;  (* summed over every link *)
+  c_detection : cdf_series;
+}
+
+let lossy_channel ?(seed = 58) ?(duration = Time.sec 5) ?(rate = 3000.)
+    ?(drop = 0.1) () =
+  (* Benign ONOS k=2 workload, one seed for all three modes. "clean"
+     is the seed baseline; "lossy" shows how many spurious
+     response-timeout / unverifiable verdicts a lossy channel induces;
+     "lossy+retx" adds bounded retransmission and degraded-quorum
+     decisions, which should claw most of them back. *)
+  let run ~mode ~channel ~retransmit ~degraded_quorum =
+    let env =
+      Setup.make ~seed
+        ~jury:
+          (Jury.Deployment.config ~k:2 ~channel ?retransmit ?degraded_quorum
+             ())
+        ~profile:Profile.onos ~nodes:7 ()
+    in
+    let t0 = Engine.now env.Setup.engine in
+    Flows.controlled_mix env.Setup.network ~rng:env.Setup.rng
+      ~packet_in_rate:rate ~duration;
+    Setup.run_for env (Time.add duration (Time.sec 2));
+    let validator = Setup.validator env in
+    let verdicts =
+      Jury.Validator.verdicts validator
+      |> List.filter (fun (a : Jury.Alarm.t) ->
+             Time.(a.Jury.Alarm.decided_at >= t0))
+    in
+    let count pred = List.length (List.filter pred verdicts) in
+    let deployment = Option.get env.Setup.deployment in
+    { mode;
+      c_decided = List.length verdicts;
+      c_timeout_alarms =
+        count (fun (a : Jury.Alarm.t) ->
+            match a.Jury.Alarm.verdict with
+            | Jury.Alarm.Faulty fs ->
+                List.mem Jury.Alarm.Response_timeout fs
+            | _ -> false);
+      c_unverifiable =
+        count (fun a ->
+            a.Jury.Alarm.verdict = Jury.Alarm.Ok_unverifiable);
+      c_degraded =
+        count (fun a -> a.Jury.Alarm.verdict = Jury.Alarm.Ok_degraded);
+      c_retransmits = Jury.Validator.retransmit_count validator;
+      c_channel = Jury.Deployment.channel_totals deployment;
+      c_detection =
+        cdf_series_of ~label:mode (Setup.detection_times_since env ~since:t0) }
+  in
+  let lossy =
+    Jury.Channel.lossy ~drop ~duplicate:0.02 ~jitter_us:150. ()
+  in
+  [ run ~mode:"clean" ~channel:Jury.Channel.reliable ~retransmit:None
+      ~degraded_quorum:None;
+    run ~mode:"lossy" ~channel:lossy ~retransmit:None ~degraded_quorum:None;
+    run ~mode:"lossy+retx" ~channel:lossy
+      ~retransmit:(Some (Jury.Validator.retransmit ()))
+      ~degraded_quorum:(Some 2) ]
+
 let ablation_secondary_selection ?(seed = 55) ?(repeats = 10) () =
   (* With random per-trigger secondaries every replica eventually
      cross-checks the faulty one; with a static peer set a fault at a

@@ -116,6 +116,30 @@ val packet_out_peak : unit -> float
 (** Modelled PACKET_OUT saturation rate for one ONOS node (§VII-B1
     reports ≈220 K/s vs ≈5 K/s FLOW_MODs). *)
 
+(** {1 Lossy-channel study (DESIGN.md)} *)
+
+type channel_row = {
+  mode : string;
+  c_decided : int;
+  c_timeout_alarms : int;
+      (** verdicts carrying a response-timeout fault *)
+  c_unverifiable : int;
+  c_degraded : int;
+  c_retransmits : int;
+  c_channel : Jury.Channel.stats;  (** summed over every link *)
+  c_detection : cdf_series;
+}
+
+val lossy_channel :
+  ?seed:int -> ?duration:Jury_sim.Time.t -> ?rate:float -> ?drop:float ->
+  unit -> channel_row list
+(** Benign ONOS k=2 workload, one seed, three modes: reliable links
+    ("clean"), a [drop]-probability channel without mitigation
+    ("lossy"), and the same channel with bounded retransmission plus
+    degraded-quorum verdicts ("lossy+retx"). The "clean" row reproduces
+    the seed's verdict counts exactly; the third row should show far
+    fewer spurious timeout/unverifiable verdicts than the second. *)
+
 (** {1 Ablations (DESIGN.md)} *)
 
 val ablation_state_aware :

@@ -22,7 +22,7 @@ type env = {
 
 let run_env ?(seed = 11) ?(nodes = 7) ?(k = 6) ?(faulty = 2)
     ?(extra_slow = []) ?(switches = 24) ?(random_secondaries = true) ?trace
-    (scenario : Scenarios.t) =
+    ?channel ?retransmit ?degraded_quorum (scenario : Scenarios.t) =
   let engine = Engine.create ~seed () in
   Option.iter (Engine.set_trace engine) trace;
   let plan = Builder.linear ~switches ~hosts_per_switch:1 in
@@ -45,10 +45,15 @@ let run_env ?(seed = 11) ?(nodes = 7) ?(k = 6) ?(faulty = 2)
   let encapsulation =
     scenario.Scenarios.profile.Jury_controller.Profile.name <> "onos"
   in
+  let channel =
+    match channel with
+    | Some c -> c
+    | None -> scenario.Scenarios.channel
+  in
   let deployment =
     Jury.Deployment.install cluster
       (Jury.Deployment.config ~k ~policies ~encapsulation
-         ~random_secondaries ())
+         ~random_secondaries ~channel ?retransmit ?degraded_quorum ())
   in
   let ctx =
     { Scenarios.cluster;
@@ -93,10 +98,11 @@ let run_env ?(seed = 11) ?(nodes = 7) ?(k = 6) ?(faulty = 2)
   (report, { cluster; network; deployment; faulty })
 
 let run ?seed ?nodes ?k ?faulty ?extra_slow ?switches ?random_secondaries
-    ?trace scenario =
+    ?trace ?channel ?retransmit ?degraded_quorum scenario =
   fst
     (run_env ?seed ?nodes ?k ?faulty ?extra_slow ?switches
-       ?random_secondaries ?trace scenario)
+       ?random_secondaries ?trace ?channel ?retransmit ?degraded_quorum
+       scenario)
 
 let pp_report fmt r =
   Format.fprintf fmt "%-28s %-2s %-10s %s" r.scenario.Scenarios.name

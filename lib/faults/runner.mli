@@ -26,17 +26,25 @@ val run :
   ?seed:int -> ?nodes:int -> ?k:int -> ?faulty:int ->
   ?extra_slow:int list ->
   ?switches:int -> ?random_secondaries:bool ->
-  ?trace:Jury_obs.Trace.t -> Scenarios.t -> report
+  ?trace:Jury_obs.Trace.t ->
+  ?channel:Jury.Channel.profile ->
+  ?retransmit:Jury.Validator.retransmit ->
+  ?degraded_quorum:int -> Scenarios.t -> report
 (** Defaults match the paper's worst case: 7 nodes, full replication
     (k = 6), faulty replica 2, a linear 24-switch topology. [extra_slow]
     marks additional replicas as timing-faulty (the m = 2 setting).
     [trace], when given, is attached to the engine before anything is
-    scheduled, so it observes the full run. *)
+    scheduled, so it observes the full run. [channel] overrides the
+    scenario's loss model; [retransmit] and [degraded_quorum] pass
+    through to {!Jury.Deployment.config}. *)
 
 val run_env :
   ?seed:int -> ?nodes:int -> ?k:int -> ?faulty:int ->
   ?extra_slow:int list -> ?switches:int -> ?random_secondaries:bool ->
-  ?trace:Jury_obs.Trace.t -> Scenarios.t -> report * env
+  ?trace:Jury_obs.Trace.t ->
+  ?channel:Jury.Channel.profile ->
+  ?retransmit:Jury.Validator.retransmit ->
+  ?degraded_quorum:int -> Scenarios.t -> report * env
 (** Like {!run} but also returns the live environment for inspection. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -32,6 +32,9 @@ type t = {
   arm : context -> unit;
   provoke : context -> unit;
   settle : Time.t;
+  channel : Jury.Channel.profile;
+      (* loss model for the replication/response links; every catalog
+         scenario is reliable — runners override it for lossy studies *)
   expected : Jury.Alarm.fault -> bool;
   expected_name : string;
 }
@@ -113,6 +116,7 @@ let onos_database_locking =
         let dpid = a_switch_mastered_by ctx ctx.faulty in
         Switch.announce (Network.switch ctx.network dpid));
     settle = Time.sec 2;
+    channel = Jury.Channel.reliable;
     expected = is_fault "response-timeout";
     expected_name = "response-timeout" }
 
@@ -136,6 +140,7 @@ let onos_master_election =
           (Some (Injector.drop_cache_writes_to ~cache:Names.linksdb)));
     provoke = (fun ctx -> flap_liveness_link ctx ctx.faulty);
     settle = Time.sec 8;
+    channel = Jury.Channel.reliable;
     expected = is_fault "consensus-mismatch";
     expected_name = "consensus-mismatch" }
 
@@ -160,6 +165,7 @@ let odl_flowmod_drop =
         let dpid = a_switch_mastered_by ctx ctx.faulty in
         rest_install ctx ~node:ctx.faulty ~dpid (sample_flow ~out_port:1 ()));
     settle = Time.sec 3;
+    channel = Jury.Channel.reliable;
     expected = is_fault "cache-without-network";
     expected_name = "cache-without-network" }
 
@@ -188,6 +194,7 @@ let odl_incorrect_flowmod =
         in
         rest_install ctx ~node:ctx.faulty ~dpid flow);
     settle = Time.sec 3;
+    channel = Jury.Channel.reliable;
     expected = is_policy_violation "flow-field-hierarchy";
     expected_name = "policy-violation:flow-field-hierarchy" }
 
@@ -210,6 +217,7 @@ let link_failure =
                 ~value:Values.Link.value_down)));
     provoke = (fun ctx -> flap_liveness_link ctx ctx.faulty);
     settle = Time.sec 8;
+    channel = Jury.Channel.reliable;
     expected = is_fault "consensus-mismatch";
     expected_name = "consensus-mismatch" }
 
@@ -234,6 +242,7 @@ let undesirable_flowmod =
         let dpid = a_switch_mastered_by ctx ctx.faulty in
         rest_install ctx ~node:ctx.faulty ~dpid (sample_flow ~out_port:2 ()));
     settle = Time.sec 3;
+    channel = Jury.Channel.reliable;
     expected = is_fault "cache-network-mismatch";
     expected_name = "cache-network-mismatch" }
 
@@ -273,6 +282,7 @@ let faulty_proactive =
                        key;
                        value = Values.Link.value_down } ]));
     settle = Time.sec 3;
+    channel = Jury.Channel.reliable;
     expected = is_policy_violation "no-proactive-topology";
     expected_name = "policy-violation:no-proactive-topology" }
 
@@ -305,6 +315,7 @@ let flow_deletion_failure =
                Cluster.rest ctx.cluster ~node:ctx.faulty
                  (Types.Delete_flow { dpid; fm_match = flow.Of_message.fm_match }))));
     settle = Time.sec 4;
+    channel = Jury.Channel.reliable;
     expected = is_fault "response-timeout";
     expected_name = "response-timeout" }
 
@@ -332,6 +343,7 @@ let link_detection_inconsistent =
            roughly half will be lost. *)
         flap_liveness_link ctx ctx.faulty);
     settle = Time.sec 8;
+    channel = Jury.Channel.reliable;
     expected = is_fault "consensus-mismatch";
     expected_name = "consensus-mismatch" }
 
@@ -356,6 +368,7 @@ let flow_instantiation_failure =
         rest_install ctx ~node:ctx.faulty ~dpid
           (sample_flow ~priority:350 ~out_port:1 ()));
     settle = Time.sec 3;
+    channel = Jury.Channel.reliable;
     expected = is_fault "cache-without-network";
     expected_name = "cache-without-network" }
 
@@ -395,6 +408,7 @@ let pending_add_stuck =
                Types.Network_send
                  { dpid; payload = Of_message.Flow_mod flow } ]));
     settle = Time.sec 3;
+    channel = Jury.Channel.reliable;
     expected = is_fault "cache-without-network";
     expected_name = "cache-without-network" }
 
@@ -428,6 +442,7 @@ let controller_crash =
         Host.send_tcp src ~dst_mac:(Host.mac dst) ~dst_ip:(Host.ip dst)
           ~src_port:4000 ~dst_port:80 ());
     settle = Time.sec 2;
+    channel = Jury.Channel.reliable;
     expected = is_fault "response-timeout";
     expected_name = "response-timeout" }
 

@@ -28,6 +28,9 @@ type t = {
   arm : context -> unit;
   provoke : context -> unit;
   settle : Jury_sim.Time.t;  (** how long after provoking to run *)
+  channel : Jury.Channel.profile;
+      (** loss model for the replication and response-collection links;
+          [Jury.Channel.reliable] for every catalog scenario *)
   expected : Jury.Alarm.fault -> bool;
   expected_name : string;
 }

@@ -1,6 +1,10 @@
 type 'a cell = { key : Time.t; seq : int; value : 'a }
 
-type 'a t = { mutable data : 'a cell array; mutable size : int }
+(* Slots at indices >= [size] hold [None]. Keeping raw cells there (the
+   previous representation) pinned every popped payload until a later
+   push happened to overwrite its slot — a space leak proportional to
+   the heap's high-water mark. *)
+type 'a t = { mutable data : 'a cell option array; mutable size : int }
 
 let create () = { data = [||]; size = 0 }
 let length h = h.size
@@ -10,27 +14,29 @@ let less a b =
   let c = Time.compare a.key b.key in
   if c <> 0 then c < 0 else a.seq < b.seq
 
+let get h i =
+  match h.data.(i) with Some c -> c | None -> assert false
+
 let grow h =
   let cap = Array.length h.data in
   let ncap = if cap = 0 then 16 else cap * 2 in
-  let ndata = Array.make ncap h.data.(0) in
+  let ndata = Array.make ncap None in
   Array.blit h.data 0 ndata 0 h.size;
   h.data <- ndata
 
 let push h ~key ~seq value =
   let cell = { key; seq; value } in
-  if h.size = 0 && Array.length h.data = 0 then h.data <- Array.make 16 cell;
   if h.size = Array.length h.data then grow h;
   (* Sift up. *)
   let i = ref h.size in
   h.size <- h.size + 1;
-  h.data.(!i) <- cell;
+  h.data.(!i) <- Some cell;
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if less cell h.data.(parent) then begin
+    if less cell (get h parent) then begin
       h.data.(!i) <- h.data.(parent);
-      h.data.(parent) <- cell;
+      h.data.(parent) <- Some cell;
       i := parent
     end
     else continue := false
@@ -38,17 +44,17 @@ let push h ~key ~seq value =
 
 let sift_down h i0 =
   let n = h.size in
-  let cell = h.data.(i0) in
+  let cell = get h i0 in
   let i = ref i0 in
   let continue = ref true in
   while !continue do
     let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
     let smallest = ref !i in
-    if l < n && less h.data.(l) h.data.(!smallest) then smallest := l;
-    if r < n && less h.data.(r) h.data.(!smallest) then smallest := r;
+    if l < n && less (get h l) (get h !smallest) then smallest := l;
+    if r < n && less (get h r) (get h !smallest) then smallest := r;
     if !smallest <> !i then begin
       h.data.(!i) <- h.data.(!smallest);
-      h.data.(!smallest) <- cell;
+      h.data.(!smallest) <- Some cell;
       i := !smallest
     end
     else continue := false
@@ -57,19 +63,21 @@ let sift_down h i0 =
 let pop h =
   if h.size = 0 then None
   else begin
-    let top = h.data.(0) in
+    let top = get h 0 in
     h.size <- h.size - 1;
     if h.size > 0 then begin
       h.data.(0) <- h.data.(h.size);
+      h.data.(h.size) <- None;
       sift_down h 0
-    end;
+    end
+    else h.data.(0) <- None;
     Some (top.key, top.seq, top.value)
   end
 
 let peek h =
   if h.size = 0 then None
   else
-    let top = h.data.(0) in
+    let top = get h 0 in
     Some (top.key, top.seq, top.value)
 
 let clear h =

@@ -17,7 +17,12 @@ let create ~window_sec =
     any = false }
 
 let tick t ~at_sec ?(count = 1) () =
-  let w = int_of_float (at_sec /. t.window) in
+  if not (Float.is_finite at_sec) then
+    invalid_arg "Rate.tick: timestamp must be finite";
+  (* [floor], not truncation: [int_of_float] rounds toward zero, which
+     would merge the windows either side of t = 0 and mis-bucket every
+     negative timestamp. *)
+  let w = int_of_float (Float.floor (at_sec /. t.window)) in
   (match Hashtbl.find_opt t.counts w with
   | Some r -> r := !r + count
   | None -> Hashtbl.add t.counts w (ref count));
@@ -32,17 +37,29 @@ let tick t ~at_sec ?(count = 1) () =
     if w > t.last then t.last <- w
   end
 
+(* Above this many windows a dense series is not materialised: two
+   ticks a million windows apart must not allocate a million rows. *)
+let max_dense_windows = 1 lsl 20
+
+let row t w c = (float_of_int w *. t.window, float_of_int c /. t.window)
+
 let series t =
   if not t.any then [||]
   else
-    Array.init
-      (t.last - t.first + 1)
-      (fun i ->
-        let w = t.first + i in
-        let c =
-          match Hashtbl.find_opt t.counts w with Some r -> !r | None -> 0
-        in
-        (float_of_int w *. t.window, float_of_int c /. t.window))
+    let span = t.last - t.first + 1 in
+    if span >= 1 && span <= max_dense_windows then
+      Array.init span (fun i ->
+          let w = t.first + i in
+          let c =
+            match Hashtbl.find_opt t.counts w with Some r -> !r | None -> 0
+          in
+          row t w c)
+    else begin
+      (* Sparse fallback: only the populated windows, in time order. *)
+      let rows = Hashtbl.fold (fun w r acc -> (w, !r) :: acc) t.counts [] in
+      let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+      Array.of_list (List.map (fun (w, c) -> row t w c) rows)
+    end
 
 let total t = t.total
 

@@ -9,10 +9,15 @@ type t
 
 val create : window_sec:float -> t
 val tick : t -> at_sec:float -> ?count:int -> unit -> unit
+(** Buckets by [floor (at_sec / window)], so negative timestamps land in
+    the window they belong to. Raises [Invalid_argument] if [at_sec] is
+    NaN or infinite. *)
 
 val series : t -> (float * float) array
 (** [(window_start_sec, events_per_sec)] rows covering every window from
-    the first to the last tick (empty windows report 0). *)
+    the first to the last tick (empty windows report 0). When the span
+    exceeds about a million windows, the dense form is not materialised
+    and only the populated windows are returned, still in time order. *)
 
 val total : t -> int
 

@@ -84,10 +84,11 @@ let response_actions dpid =
         value = Values.Flow.value fmv };
     Types.Network_send { dpid = d; payload = Of_message.Flow_mod fmv } ]
 
-let mk_validator ?(k = 2) ?policies ?(timeout = Time.ms 100) () =
+let mk_validator ?(k = 2) ?policies ?(timeout = Time.ms 100) ?retransmit
+    ?degraded_quorum () =
   let engine = Engine.create () in
   let cfg =
-    Validator.config ?policies ~k ~timeout
+    Validator.config ?policies ?retransmit ?degraded_quorum ~k ~timeout
       ~ack_peers_of:(fun o -> [ (o + 1) mod 4; (o + 2) mod 4 ])
       ~master_lookup:(fun _ -> Some 0) ()
   in
@@ -463,6 +464,140 @@ let test_adaptive_timeout_shrinks () =
   check_bool "theta shrank" true Time.(theta < Time.ms 100);
   check_bool "theta above floor" true Time.(theta >= Time.ms 10)
 
+(* --- Lossy-channel hardening (DESIGN.md) --- *)
+
+let test_degraded_instead_of_timeout () =
+  (* The primary's execution response is lost in transit, both
+     secondaries' equivalent views arrive and agree. Seed behaviour
+     raises a response-timeout alarm against the primary; with a
+     degraded quorum of 2 the trigger decides Ok_degraded instead. *)
+  let feed v =
+    let actions = response_actions (Dpid.of_int 1) in
+    let snap = Snapshot.pristine in
+    Validator.register_external v ~taint ~at:Time.zero ~primary:0
+      ~secondaries:[ 1; 2 ];
+    deliver v ~controller:1 ~snapshot:snap
+      (Response.Execution { role = `Secondary; actions });
+    deliver v ~controller:2 ~snapshot:snap
+      (Response.Execution { role = `Secondary; actions })
+  in
+  let engine, v = mk_validator () in
+  feed v;
+  Engine.run engine;
+  check_bool "seed behaviour: timeout alarm" true
+    (match Validator.alarms v with
+    | [ a ] -> (
+        match a.Alarm.verdict with
+        | Alarm.Faulty fs -> List.mem Alarm.Response_timeout fs
+        | _ -> false)
+    | _ -> false);
+  let engine, v = mk_validator ~degraded_quorum:2 () in
+  feed v;
+  Engine.run engine;
+  check_int "no faults" 0 (Validator.fault_count v);
+  check_int "decided degraded" 1 (Validator.degraded_count v);
+  (match Validator.verdicts v with
+  | [ a ] ->
+      check_bool "ok-degraded verdict" true
+        (a.Alarm.verdict = Alarm.Ok_degraded)
+  | _ -> Alcotest.fail "one verdict");
+  (* Straggling-secondary variant: primary + one secondary agree, the
+     other secondary never answers — decided degraded, straggler
+     accounted. *)
+  let engine, v = mk_validator ~degraded_quorum:2 () in
+  let dpid = Dpid.of_int 1 in
+  let actions = response_actions dpid in
+  let snap = Snapshot.pristine in
+  Validator.register_external v ~taint ~at:Time.zero ~primary:0
+    ~secondaries:[ 1; 2 ];
+  deliver v ~controller:0 ~snapshot:snap
+    (Response.Execution { role = `Primary; actions });
+  deliver v ~controller:1 ~snapshot:snap
+    (Response.Execution { role = `Secondary; actions });
+  feed_cache_and_network v ~actions ~dpid;
+  Engine.run engine;
+  check_int "no faults (straggler)" 0 (Validator.fault_count v);
+  check_int "decided degraded (straggler)" 1 (Validator.degraded_count v);
+  check_int "straggler accounted" 1 (Validator.straggler_count v)
+
+let test_duplicate_response_not_double_counted () =
+  (* The primary's response is lost and secondary 1's agreeing response
+     arrives twice. The stale duplicate must not fake a 3-view quorum. *)
+  let engine, v = mk_validator ~degraded_quorum:3 () in
+  let actions = response_actions (Dpid.of_int 1) in
+  let snap = Snapshot.pristine in
+  Validator.register_external v ~taint ~at:Time.zero ~primary:0
+    ~secondaries:[ 1; 2; 3 ];
+  deliver v ~controller:1 ~snapshot:snap
+    (Response.Execution { role = `Secondary; actions });
+  deliver v ~controller:1 ~snapshot:snap
+    (Response.Execution { role = `Secondary; actions });
+  deliver v ~controller:2 ~snapshot:snap
+    (Response.Execution { role = `Secondary; actions });
+  Engine.run engine;
+  check_int "stale duplicate discarded" 1 (Validator.duplicate_count v);
+  check_int "not decided degraded" 0 (Validator.degraded_count v);
+  check_bool "quorum not met by duplicate" true
+    (match Validator.alarms v with
+    | [ a ] -> (
+        match a.Alarm.verdict with
+        | Alarm.Faulty fs -> List.mem Alarm.Response_timeout fs
+        | _ -> false)
+    | _ -> false)
+
+let test_retransmit_backoff_and_cap () =
+  let rt = Validator.retransmit ~fraction:0.2 ~backoff:2.0 ~max_retries:2 () in
+  let engine, v = mk_validator ~retransmit:rt () in
+  let calls = ref [] in
+  Validator.set_retransmit_handler v (fun _taint ~secondary ->
+      calls := (Time.to_float_ms (Engine.now engine), secondary) :: !calls);
+  let actions = response_actions (Dpid.of_int 1) in
+  let snap = Snapshot.pristine in
+  Validator.register_external v ~taint ~at:Time.zero ~primary:0
+    ~secondaries:[ 1; 2 ];
+  deliver v ~controller:0 ~snapshot:snap
+    (Response.Execution { role = `Primary; actions });
+  deliver v ~controller:1 ~snapshot:snap
+    (Response.Execution { role = `Secondary; actions });
+  Engine.run engine;
+  (* Only the straggler (2) is retried: at 0.2·θ = 20 ms, then the
+     backoff doubles the gap (60 ms), then the retry cap stops it. *)
+  Alcotest.(check (list (pair (float 1e-6) int)))
+    "backoff schedule" [ (20., 2); (60., 2) ] (List.rev !calls);
+  check_int "retransmit count" 2 (Validator.retransmit_count v)
+
+let test_channel_counters_reconcile () =
+  let module Channel = Jury.Channel in
+  let engine = Engine.create ~seed:77 () in
+  let rng = Rng.split (Engine.rng engine) in
+  let ch =
+    Channel.create engine ~rng ~name:"test"
+      (Channel.lossy ~drop:0.3 ~duplicate:0.2 ~jitter_us:50. ())
+  in
+  let callbacks = ref 0 in
+  let d = ref 0 and dr = ref 0 and dup = ref 0 in
+  for _ = 1 to 400 do
+    match Channel.send ch ~delay:(Time.ms 1) (fun () -> incr callbacks) with
+    | `Delivered -> incr d
+    | `Dropped -> incr dr
+    | `Duplicated -> incr dup
+  done;
+  Channel.note_retransmit ch;
+  Engine.run engine;
+  let s = Channel.stats ch in
+  check_int "sent all" 400 s.Channel.sent;
+  check_int "sent = delivered + dropped" s.Channel.sent
+    (s.Channel.delivered + s.Channel.dropped);
+  check_int "delivered matches outcomes" (!d + !dup) s.Channel.delivered;
+  check_int "dropped matches outcomes" !dr s.Channel.dropped;
+  check_int "duplicated matches outcomes" !dup s.Channel.duplicated;
+  check_int "one callback per delivered copy"
+    (s.Channel.delivered + s.Channel.duplicated)
+    !callbacks;
+  check_int "retransmit noted" 1 s.Channel.retransmitted;
+  check_bool "loss exercised" true (s.Channel.dropped > 0);
+  check_bool "duplication exercised" true (s.Channel.duplicated > 0)
+
 let test_report () =
   let engine, v = mk_validator () in
   feed_happy_path engine v;
@@ -643,6 +778,12 @@ let suite =
     ("validator internal trigger", `Quick, test_validator_internal_trigger);
     ("validator flush", `Quick, test_validator_flush);
     ("adaptive timeout shrinks", `Quick, test_adaptive_timeout_shrinks);
+    ("degraded quorum instead of timeout", `Quick,
+     test_degraded_instead_of_timeout);
+    ("duplicate response not double-counted", `Quick,
+     test_duplicate_response_not_double_counted);
+    ("retransmit backoff and cap", `Quick, test_retransmit_backoff_and_cap);
+    ("channel counters reconcile", `Quick, test_channel_counters_reconcile);
     ("alarm report", `Quick, test_report);
     ("audit log", `Quick, test_audit_log);
     ("deployment benign + faulty", `Slow, test_deployment_benign_and_faulty);

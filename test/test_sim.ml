@@ -134,6 +134,47 @@ let test_heap_fifo_ties () =
     | None -> Alcotest.fail "heap empty early"
   done
 
+(* Popped payloads must become collectable even while the heap stays
+   live: the backing array must not pin them at vacated slots. *)
+let test_heap_pop_releases () =
+  let h = Heap.create () in
+  let weaks = Weak.create 64 in
+  for i = 0 to 63 do
+    let payload = ref i in
+    Weak.set weaks i (Some payload);
+    Heap.push h ~key:(Time.us i) ~seq:i payload
+  done;
+  (* Drain half, then churn with fresh payloads so the heap keeps a
+     non-trivial live region the whole time. *)
+  for _ = 1 to 32 do
+    ignore (Heap.pop h)
+  done;
+  for i = 64 to 95 do
+    Heap.push h ~key:(Time.us i) ~seq:i (ref i)
+  done;
+  for _ = 1 to 16 do
+    ignore (Heap.pop h)
+  done;
+  Gc.full_major ();
+  (* Tracked payloads 0..47 were popped; 48..63 are still queued and
+     must stay pinned — exactly 16 weak refs survive. *)
+  let pinned = ref 0 in
+  for i = 0 to 63 do
+    if Weak.check weaks i then incr pinned
+  done;
+  check_int "only queued payloads pinned" 16 !pinned;
+  check_int "live region intact" 48 (Heap.length h);
+  (* Drain to empty: the array itself must be dropped. *)
+  while Heap.pop h <> None do
+    ()
+  done;
+  Gc.full_major ();
+  let pinned = ref 0 in
+  for i = 0 to 63 do
+    if Weak.check weaks i then incr pinned
+  done;
+  check_int "empty heap pins nothing" 0 !pinned
+
 (* --- Engine --- *)
 
 let test_engine_ordering () =
@@ -284,6 +325,7 @@ let suite =
     ("rng choice and shuffle", `Quick, test_rng_choice_shuffle);
     ("heap ordering", `Quick, test_heap_ordering);
     ("heap fifo on ties", `Quick, test_heap_fifo_ties);
+    ("heap pop releases payloads", `Quick, test_heap_pop_releases);
     ("engine ordering", `Quick, test_engine_ordering);
     ("engine cancel", `Quick, test_engine_cancel);
     ("engine run until", `Quick, test_engine_until);

@@ -110,6 +110,36 @@ let test_rate () =
   checkf "peak" 4. (Rate.peak_rate r);
   checkf "mean" 2. (Rate.mean_rate r)
 
+let test_rate_negative_timestamps () =
+  let r = Rate.create ~window_sec:1.0 in
+  (* Truncation toward zero would merge these into one window. *)
+  Rate.tick r ~at_sec:(-0.5) ();
+  Rate.tick r ~at_sec:0.5 ();
+  let series = Rate.series r in
+  check_int "windows either side of zero" 2 (Array.length series);
+  checkf "negative window starts at -1" (-1.) (fst series.(0));
+  checkf "negative window rate" 1. (snd series.(0));
+  checkf "positive window rate" 1. (snd series.(1));
+  Alcotest.check_raises "NaN rejected"
+    (Invalid_argument "Rate.tick: timestamp must be finite") (fun () ->
+      Rate.tick r ~at_sec:Float.nan ());
+  Alcotest.check_raises "infinity rejected"
+    (Invalid_argument "Rate.tick: timestamp must be finite") (fun () ->
+      Rate.tick r ~at_sec:Float.infinity ())
+
+let test_rate_huge_span () =
+  let r = Rate.create ~window_sec:1.0 in
+  Rate.tick r ~at_sec:0.5 ();
+  Rate.tick r ~at_sec:0.25e9 ~count:3 ();
+  (* A dense series would need 250 M rows; the sparse fallback returns
+     just the populated windows, in order. *)
+  let series = Rate.series r in
+  check_int "sparse rows only" 2 (Array.length series);
+  checkf "first populated window" 0. (fst series.(0));
+  checkf "second populated window" 0.25e9 (fst series.(1));
+  checkf "peak over sparse series" 3. (Rate.peak_rate r);
+  check_int "total" 4 (Rate.total r)
+
 let test_table () =
   let t = Table.create ~header:[ "a"; "b" ] in
   Table.add_row t [ "1"; "2" ];
@@ -181,6 +211,8 @@ let suite =
     ("cdf edge cases", `Quick, test_cdf_edge_cases);
     ("histogram", `Quick, test_histogram);
     ("rate windows", `Quick, test_rate);
+    ("rate negative timestamps", `Quick, test_rate_negative_timestamps);
+    ("rate huge span stays sparse", `Quick, test_rate_huge_span);
     ("table rendering", `Quick, test_table);
     ("ascii plot cdf", `Quick, test_ascii_plot_cdf);
     ("ascii plot xy", `Quick, test_ascii_plot_xy);
