@@ -5,7 +5,11 @@
    Usage:
      dune exec bench/main.exe                 -- run everything (quick)
      dune exec bench/main.exe -- fig4a fig4f  -- selected experiments
-     dune exec bench/main.exe -- --full       -- paper-length runs *)
+     dune exec bench/main.exe -- --full       -- paper-length runs
+     dune exec bench/main.exe -- --jobs 4     -- fan sweep points out on
+                                                 4 worker domains
+     dune exec bench/main.exe -- --json BENCH_results.json
+                                              -- machine-readable results *)
 
 open Jury_experiments
 module Time = Jury_sim.Time
@@ -41,18 +45,24 @@ let print_xy_series (series : Figures.xy_series list) ~x_label ~y_label =
              (fun (s : Figures.xy_series) -> s.series_label ^ " " ^ y_label)
              series)
   in
-  (match series with
+  (* Index every series into an array once: List.nth per cell would
+     rescan each point list for every row (quadratic in sweep size). *)
+  let columns =
+    List.map
+      (fun (s : Figures.xy_series) -> Array.of_list s.points)
+      series
+  in
+  (match columns with
   | [] -> ()
   | first :: _ ->
-      List.iteri
+      Array.iteri
         (fun i (x, _) ->
           Table.add_row t
             (Printf.sprintf "%.0f" x
             :: List.map
-                 (fun (s : Figures.xy_series) ->
-                   Printf.sprintf "%.0f" (snd (List.nth s.points i)))
-                 series))
-        first.points);
+                 (fun column -> Printf.sprintf "%.0f" (snd column.(i)))
+                 columns))
+        first);
   Table.print t;
   print_string
     (Jury_stats.Ascii_plot.xy ~x_label ~y_label
@@ -318,6 +328,9 @@ let lossy ~full () =
 
 (* --- Bechamel micro-benchmarks --- *)
 
+(* Filled by [micro] so --json can report ns/op figures. *)
+let micro_rows : (string * float) list ref = ref []
+
 let micro ~full:_ () =
   section "Micro-benchmarks (Bechamel): hot paths";
   let open Bechamel in
@@ -405,6 +418,13 @@ let micro ~full:_ () =
     Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
     |> List.sort compare
   in
+  micro_rows :=
+    List.filter_map
+      (fun (name, result) ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Some (name, est)
+        | _ -> None)
+      rows;
   List.iter
     (fun (name, result) ->
       match Analyze.OLS.estimates result with
@@ -429,7 +449,71 @@ let all_experiments =
     ("lossy", lossy);
     ("micro", micro) ]
 
-let run_selected names full =
+(* --- machine-readable results (--json) --- *)
+
+type record = {
+  r_name : string;
+  r_wall_s : float;
+  r_events : int;  (** simulator events executed, summed over domains *)
+  r_verdicts : int;  (** validator verdicts decided, summed over domains *)
+}
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path ~jobs ~full records =
+  let buf = Buffer.create 4096 in
+  let total_wall = List.fold_left (fun a r -> a +. r.r_wall_s) 0. records in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"mode\": \"%s\",\n" (if full then "full" else "quick"));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"total_wall_s\": %.3f,\n" total_wall);
+  Buffer.add_string buf "  \"experiments\": [\n";
+  List.iteri
+    (fun i r ->
+      let rate =
+        if r.r_wall_s > 0. then float_of_int r.r_events /. r.r_wall_s else 0.
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"wall_s\": %.3f, \"events\": %d, \
+            \"events_per_sec\": %.1f, \"verdicts\": %d}%s\n"
+           (json_escape r.r_name) r.r_wall_s r.r_events rate r.r_verdicts
+           (if i = List.length records - 1 then "" else ",")))
+    records;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"micro_ns_per_op\": {";
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\n    \"%s\": %.1f"
+           (if i = 0 then "" else ",")
+           (json_escape name) ns))
+    !micro_rows;
+  Buffer.add_string buf (if !micro_rows = [] then "}\n" else "\n  }\n");
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let run_selected names full jobs json =
+  (match jobs with
+  | Some n -> Jury_par.Pool.set_default_jobs n
+  | None -> ());
   let to_run =
     match names with
     | [] -> all_experiments
@@ -445,12 +529,31 @@ let run_selected names full =
           names
   in
   Printf.printf
-    "JURY reproduction benchmarks (%s mode)\n\
+    "JURY reproduction benchmarks (%s mode, %d worker domain(s))\n\
      Shapes should match the paper; absolute numbers come from the \
      calibrated simulator (see DESIGN.md / EXPERIMENTS.md).\n"
-    (if full then "full" else "quick");
-  List.iter (fun (_, f) -> f ~full ()) to_run;
-  print_newline ()
+    (if full then "full" else "quick")
+    (Jury_par.Pool.jobs (Jury_par.Pool.default ()));
+  let records =
+    List.map
+      (fun (name, f) ->
+        let events0 = Jury_sim.Engine.total_executed () in
+        let verdicts0 = Jury.Validator.total_decided () in
+        let t0 = Unix.gettimeofday () in
+        f ~full ();
+        { r_name = name;
+          r_wall_s = Unix.gettimeofday () -. t0;
+          r_events = Jury_sim.Engine.total_executed () - events0;
+          r_verdicts = Jury.Validator.total_decided () - verdicts0 })
+      to_run
+  in
+  print_newline ();
+  Option.iter
+    (fun path ->
+      write_json path
+        ~jobs:(Jury_par.Pool.jobs (Jury_par.Pool.default ()))
+        ~full records)
+    json
 
 open Cmdliner
 
@@ -464,9 +567,21 @@ let full_arg =
   Arg.(value & flag & info [ "full" ]
          ~doc:"Paper-length runs (60s detection windows, 10 repeats).")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for experiment fan-out (default: \\$JURY_JOBS \
+               if set, else cores - 1; 1 = serial). Results are \
+               byte-identical whatever the value.")
+
+let json_arg =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH"
+         ~doc:"Write machine-readable results (per-experiment wall-clock, \
+               events/sec, verdict counts, micro-bench ns/op) to PATH.")
+
 let cmd =
-  let term = Term.(const (fun names full -> run_selected names full)
-                   $ names_arg $ full_arg) in
+  let term = Term.(const (fun names full jobs json ->
+                       run_selected names full jobs json)
+                   $ names_arg $ full_arg $ jobs_arg $ json_arg) in
   Cmd.v (Cmd.info "jury-bench" ~doc:"Regenerate the JURY paper's tables and figures")
     term
 

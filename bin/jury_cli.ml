@@ -3,6 +3,8 @@
    Subcommands:
      list                         -- list fault scenarios
      scenario NAME [...]          -- run one fault scenario, print forensics
+     matrix [...]                 -- run every scenario N times on a domain
+                                     pool, print the detection matrix
      simulate [...]               -- benign run, print validation stats
      policy FILE                  -- parse and lint a policy file (.xml or DSL)
 *)
@@ -66,6 +68,53 @@ let scenario_cmd =
     (Cmd.info "scenario" ~doc:"Inject one fault scenario and report detection")
     Term.(const run $ name_arg $ nodes_arg $ k_arg $ faulty_arg $ seed_arg
           $ switches_arg)
+
+(* --- matrix --- *)
+
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the scenario fan-out (default: \
+                 \\$JURY_JOBS if set, else cores - 1; 1 = serial). The \
+                 matrix is byte-identical whatever the value.")
+
+let matrix_cmd =
+  let repeats_arg =
+    Arg.(value & opt int 5
+         & info [ "repeats" ] ~doc:"Runs per scenario (paper: 10).")
+  in
+  let run nodes k faulty seed switches repeats jobs =
+    Option.iter Jury_par.Pool.set_default_jobs jobs;
+    let results =
+      Jury_faults.Runner.run_matrix ~seed ~repeats ~nodes ~k ~faulty
+        ~switches Jury_faults.Scenarios.all
+    in
+    let missed = ref 0 in
+    List.iter
+      (fun ((scenario : Jury_faults.Scenarios.t), reports) ->
+        let detected =
+          List.length
+            (List.filter (fun r -> r.Jury_faults.Runner.detected) reports)
+        in
+        if detected < repeats then incr missed;
+        Printf.printf "%-28s %s  %d/%d  %s\n" scenario.Jury_faults.Scenarios.name
+          (match scenario.Jury_faults.Scenarios.klass with
+          | `T1 -> "T1"
+          | `T2 -> "T2"
+          | `T3 -> "T3")
+          detected repeats scenario.Jury_faults.Scenarios.expected_name)
+      results;
+    if !missed > 0 then begin
+      Printf.printf "%d scenario(s) with missed detections\n" !missed;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:"Run every fault scenario repeatedly on a domain pool and \
+             print the detection matrix")
+    Term.(const run $ nodes_arg $ k_arg $ faulty_arg $ seed_arg
+          $ switches_arg $ repeats_arg $ jobs_arg)
 
 (* --- simulate --- *)
 
@@ -385,5 +434,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; scenario_cmd; simulate_cmd; failover_cmd; trace_cmd;
-            policy_cmd ]))
+          [ list_cmd; scenario_cmd; matrix_cmd; simulate_cmd; failover_cmd;
+            trace_cmd; policy_cmd ]))

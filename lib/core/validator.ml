@@ -14,6 +14,13 @@ type retransmit = {
   max_retries : int;
 }
 
+(* Process-wide verdict tally across every validator on every domain —
+   the bench's per-experiment verdict counts come from deltas of this.
+   Verdicts are orders of magnitude rarer than simulation events, so a
+   shared atomic per decision is noise. *)
+let global_decided = Atomic.make 0
+let total_decided () = Atomic.get global_decided
+
 let retransmit ?(fraction = 0.4) ?(backoff = 2.0) ?(max_retries = 2) () =
   if not (fraction > 0. && fraction <= 1.) then
     invalid_arg "Validator.retransmit: fraction must be in (0, 1]";
@@ -652,6 +659,7 @@ let finish t p (verdict : Alarm.verdict) ~suspects ~detail =
    end);
   t.verdicts <- alarm :: t.verdicts;
   t.decided_count <- t.decided_count + 1;
+  ignore (Atomic.fetch_and_add global_decided 1);
   (match verdict with
   | Alarm.Faulty _ ->
       t.fault_count <- t.fault_count + 1;

@@ -119,6 +119,13 @@ val detection_times_ms : t -> float array
 (** Detection time (trigger → decision) of every decided trigger, ms. *)
 
 val decided_count : t -> int
+
+val total_decided : unit -> int
+(** Process-wide decided-verdict count, summed over every validator on
+    every domain (parallel experiment sweeps run one validator per pool
+    task). The bench records per-experiment deltas of this in its
+    [--json] output. *)
+
 val fault_count : t -> int
 val pending_count : t -> int
 val unverifiable_count : t -> int

@@ -27,6 +27,34 @@ type detection_row = {
   expected : string;
 }
 
+(* Every sweep below fans its points out on a Jury_par pool: one task
+   per sweep point, each task building its own engine/RNG/network, so
+   the sweep result is byte-identical whatever the worker count (pass
+   ~pool or set the ambient pool via --jobs / JURY_JOBS; jobs = 1 is
+   plain serial execution). *)
+let get_pool = function
+  | Some pool -> pool
+  | None -> Jury_par.Pool.default ()
+
+let par ?pool xs f = Jury_par.Pool.map_ordered (get_pool pool) xs f
+
+(* Regroup a flattened inner×outer sweep back into per-outer chunks of
+   [n] results, in order. *)
+let rec chunks n = function
+  | [] -> []
+  | xs ->
+      let rec split i ys =
+        if i = 0 then ([], ys)
+        else
+          match ys with
+          | [] -> invalid_arg "Figures.chunks: result underflow"
+          | y :: rest ->
+              let a, b = split (i - 1) rest in
+              (y :: a, b)
+      in
+      let mine, others = split n xs in
+      mine :: chunks n others
+
 let cdf_series_of ~label samples =
   if Array.length samples = 0 then
     { label; cdf = Cdf.of_samples [||]; samples = 0; p50_ms = 0.; p95_ms = 0. }
@@ -89,22 +117,21 @@ let detection_phase_cdfs ?(seed = 42) ?(duration = Time.sec 5)
          if Array.length samples = 0 then None
          else Some (cdf_series_of ~label:name samples))
 
-let fig4a ?(seed = 42) ?(duration = Time.sec 10) ?(rate = 5500.) () =
+let fig4a ?pool ?(seed = 42) ?(duration = Time.sec 10) ?(rate = 5500.) () =
   (* One seed across configurations: every series sees the same
      workload realisation, so the curves differ only by (k, m). *)
-  List.map
+  par ?pool
+    [ (2, 0); (4, 0); (6, 0); (6, 2) ]
     (fun (k, m) ->
       let samples =
         detection_run ~seed ~profile:Profile.onos ~k ~m ~rate ~duration
           ~encapsulation:false
       in
       cdf_series_of ~label:(Printf.sprintf "k=%d, m=%d" k m) samples)
-    [ (2, 0); (4, 0); (6, 0); (6, 2) ]
 
-let fig4b ?(seed = 43) ?(duration = Time.sec 10)
+let fig4b ?pool ?(seed = 43) ?(duration = Time.sec 10)
     ?(rates = [ 500.; 3000.; 5500. ]) () =
-  List.map
-    (fun rate ->
+  par ?pool rates (fun rate ->
       let samples =
         detection_run ~seed:(seed + int_of_float rate) ~profile:Profile.onos
           ~k:6 ~m:0 ~rate ~duration ~encapsulation:false
@@ -112,21 +139,20 @@ let fig4b ?(seed = 43) ?(duration = Time.sec 10)
       cdf_series_of
         ~label:(Printf.sprintf "%.0f PacketIns/sec" rate)
         samples)
-    rates
 
-let fig4c ?(seed = 44) ?(duration = Time.sec 10) ?(rate = 500.) () =
-  List.map
+let fig4c ?pool ?(seed = 44) ?(duration = Time.sec 10) ?(rate = 500.) () =
+  par ?pool
+    [ (2, 0); (4, 0); (6, 0); (6, 2) ]
     (fun (k, m) ->
       let samples =
         detection_run ~seed ~profile:Profile.odl ~k ~m ~rate ~duration
           ~encapsulation:true
       in
       cdf_series_of ~label:(Printf.sprintf "k=%d, m=%d" k m) samples)
-    [ (2, 0); (4, 0); (6, 0); (6, 2) ]
 
-let fig4d ?(seed = 45) ?(duration = Time.sec 10) () =
+let fig4d ?pool ?(seed = 45) ?(duration = Time.sec 10) () =
   let faulty_nodes = [ 2; 3 ] in
-  List.map
+  par ?pool Traces.all
     (fun (profile : Traces.profile) ->
       let env =
         Setup.make ~seed:(seed + String.length profile.Traces.name)
@@ -157,16 +183,11 @@ let fig4d ?(seed = 45) ?(duration = Time.sec 10) () =
         else float_of_int false_alarms /. float_of_int decided
       in
       (cdf_series_of ~label:profile.Traces.name samples, fp_rate))
-    Traces.all
 
-let detection_matrix ?(seed = 46) ?(repeats = 10) () =
-  List.map
-    (fun (scenario : Jury_faults.Scenarios.t) ->
-      let outcomes =
-        List.init repeats (fun i ->
-            Jury_faults.Runner.run ~seed:(seed + (i * 13)) ~switches:12
-              ~extra_slow:[ 5 ] scenario)
-      in
+let detection_matrix ?pool ?(seed = 46) ?(repeats = 10) () =
+  Jury_faults.Runner.run_matrix ?pool ~seed ~repeats ~seed_stride:13
+    ~switches:12 ~extra_slow:[ 5 ] Jury_faults.Scenarios.all
+  |> List.map (fun ((scenario : Jury_faults.Scenarios.t), outcomes) ->
       let detected = List.filter (fun r -> r.Jury_faults.Runner.detected) outcomes in
       let times =
         List.filter_map (fun r -> r.Jury_faults.Runner.detection_time_ms)
@@ -184,7 +205,6 @@ let detection_matrix ?(seed = 46) ?(repeats = 10) () =
           (if times = [] then 0.
            else List.fold_left ( +. ) 0. times /. float_of_int (List.length times));
         expected = scenario.Jury_faults.Scenarios.expected_name })
-    Jury_faults.Scenarios.all
 
 (* --- Fig. 4e: Cbench blast --- *)
 
@@ -227,37 +247,50 @@ let throughput_point ~seed ~profile ~nodes ~jury ~rate ~duration =
   Setup.run_for env (Time.add duration (Time.sec 1));
   Probe.mean_flow_mod_rate probe
 
-let fig4f ?(seed = 48) ?(duration = Time.sec 3)
+(* The nested nodes×rates (or configs×rates) sweeps flatten to one task
+   list so every cell — not just every series — is its own pool task,
+   then chunk back into per-series point lists. *)
+let fig4f ?pool ?(seed = 48) ?(duration = Time.sec 3)
     ?(rates = [ 1000.; 2500.; 4000.; 5500.; 7000.; 8500.; 10000. ])
     ?(nodes_list = [ 1; 3; 5; 7 ]) () =
-  List.map
-    (fun nodes ->
+  let cells =
+    List.concat_map
+      (fun nodes -> List.map (fun rate -> (nodes, rate)) rates)
+      nodes_list
+  in
+  let values =
+    par ?pool cells (fun (nodes, rate) ->
+        throughput_point ~seed:(seed + nodes) ~profile:Profile.onos ~nodes
+          ~jury:None ~rate ~duration)
+  in
+  List.map2
+    (fun nodes vals ->
       { series_label = Printf.sprintf "n = %d" nodes;
-        points =
-          List.map
-            (fun rate ->
-              ( rate,
-                throughput_point ~seed:(seed + nodes) ~profile:Profile.onos
-                  ~nodes ~jury:None ~rate ~duration ))
-            rates })
+        points = List.combine rates vals })
     nodes_list
+    (chunks (List.length rates) values)
 
-let fig4g ?(seed = 49) ?(duration = Time.sec 3)
+let fig4g ?pool ?(seed = 49) ?(duration = Time.sec 3)
     ?(rates = [ 200.; 400.; 600.; 800.; 1000. ]) ?(nodes_list = [ 1; 3; 5; 7 ])
     () =
-  List.map
-    (fun nodes ->
+  let cells =
+    List.concat_map
+      (fun nodes -> List.map (fun rate -> (nodes, rate)) rates)
+      nodes_list
+  in
+  let values =
+    par ?pool cells (fun (nodes, rate) ->
+        throughput_point ~seed:(seed + nodes) ~profile:Profile.odl ~nodes
+          ~jury:None ~rate ~duration)
+  in
+  List.map2
+    (fun nodes vals ->
       { series_label = Printf.sprintf "n = %d" nodes;
-        points =
-          List.map
-            (fun rate ->
-              ( rate,
-                throughput_point ~seed:(seed + nodes) ~profile:Profile.odl
-                  ~nodes ~jury:None ~rate ~duration ))
-            rates })
+        points = List.combine rates vals })
     nodes_list
+    (chunks (List.length rates) values)
 
-let fig4h ?(seed = 50) ?(duration = Time.sec 3)
+let fig4h ?pool ?(seed = 50) ?(duration = Time.sec 3)
     ?(rates = [ 1000.; 2500.; 4000.; 5500.; 7000.; 8500.; 10000. ]) () =
   let configs =
     (None, "Without Jury, n = 7")
@@ -267,22 +300,25 @@ let fig4h ?(seed = 50) ?(duration = Time.sec 3)
              Printf.sprintf "Jury, n = 7, k = %d" k ))
          [ 2; 4; 6 ]
   in
-  List.map
-    (fun (jury, series_label) ->
-      { series_label;
-        points =
-          List.map
-            (fun rate ->
-              ( rate,
-                throughput_point ~seed ~profile:Profile.onos ~nodes:7 ~jury
-                  ~rate ~duration ))
-            rates })
+  let cells =
+    List.concat_map
+      (fun (jury, label) -> List.map (fun rate -> (jury, label, rate)) rates)
+      configs
+  in
+  let values =
+    par ?pool cells (fun (jury, _, rate) ->
+        throughput_point ~seed ~profile:Profile.onos ~nodes:7 ~jury ~rate
+          ~duration)
+  in
+  List.map2
+    (fun (_, series_label) vals ->
+      { series_label; points = List.combine rates vals })
     configs
+    (chunks (List.length rates) values)
 
-let fig4i ?(seed = 51) ?(duration = Time.sec 5)
+let fig4i ?pool ?(seed = 51) ?(duration = Time.sec 5)
     ?(rates = [ 100.; 200.; 300.; 400.; 500. ]) () =
-  List.map
-    (fun rate ->
+  par ?pool rates (fun rate ->
       let env =
         Setup.make ~seed:(seed + int_of_float rate)
           ~jury:(Jury.Deployment.config ~k:6 ~encapsulation:true ())
@@ -296,7 +332,6 @@ let fig4i ?(seed = 51) ?(duration = Time.sec 5)
       cdf_series_of
         ~label:(Printf.sprintf "%.0f messages/sec" rate)
         (Jury.Deployment.decap_samples_us deployment))
-    rates
 
 (* --- §VII-B2(1): network overheads --- *)
 
@@ -338,15 +373,17 @@ let overhead_run ~seed ~profile ~k ~rate ~duration ~encapsulation ~config =
     chatter_mbps = chatter;
     jury_fraction = (if store +. jury > 0. then jury /. (store +. jury) else 0.) }
 
-let overhead ?(seed = 52) ?(duration = Time.sec 5) () =
-  List.map
-    (fun k ->
-      overhead_run ~seed:(seed + k) ~profile:Profile.onos ~k ~rate:5500.
-        ~duration ~encapsulation:false
-        ~config:(Printf.sprintf "ONOS 5.5K pps, k=%d" k))
-    [ 2; 4; 6 ]
-  @ [ overhead_run ~seed:(seed + 60) ~profile:Profile.odl ~k:6 ~rate:500.
-        ~duration ~encapsulation:true ~config:"ODL 500 pps, k=6" ]
+let overhead ?pool ?(seed = 52) ?(duration = Time.sec 5) () =
+  par ?pool
+    [ `Onos 2; `Onos 4; `Onos 6; `Odl ]
+    (function
+      | `Onos k ->
+          overhead_run ~seed:(seed + k) ~profile:Profile.onos ~k ~rate:5500.
+            ~duration ~encapsulation:false
+            ~config:(Printf.sprintf "ONOS 5.5K pps, k=%d" k)
+      | `Odl ->
+          overhead_run ~seed:(seed + 60) ~profile:Profile.odl ~k:6 ~rate:500.
+            ~duration ~encapsulation:true ~config:"ODL 500 pps, k=6")
 
 (* --- §VII-B2(3): policy validation scaling --- *)
 
@@ -398,9 +435,10 @@ let packet_out_peak () =
 
 (* --- Ablations --- *)
 
-let ablation_state_aware ?(seed = 53) ?(duration = Time.sec 8) ?(rate = 3000.)
-    () =
-  List.map
+let ablation_state_aware ?pool ?(seed = 53) ?(duration = Time.sec 8)
+    ?(rate = 3000.) () =
+  par ?pool
+    [ (true, "state-aware"); (false, "naive-majority") ]
     (fun (state_aware, mode) ->
       let env =
         Setup.make ~seed
@@ -415,12 +453,10 @@ let ablation_state_aware ?(seed = 53) ?(duration = Time.sec 8) ?(rate = 3000.)
         Setup.verdict_stats_since env ~since:t0
       in
       (mode, decided, faults, unverifiable))
-    [ (true, "state-aware"); (false, "naive-majority") ]
 
-let ablation_timeout ?(seed = 54) ?(duration = Time.sec 8)
+let ablation_timeout ?pool ?(seed = 54) ?(duration = Time.sec 8)
     ?(timeouts_ms = [ 25; 50; 100; 150; 300; 600 ]) () =
-  List.map
-    (fun timeout_ms ->
+  par ?pool timeouts_ms (fun timeout_ms ->
       let env =
         Setup.make ~seed
           ~jury:(Jury.Deployment.config ~k:6 ~timeout:(Time.ms timeout_ms) ())
@@ -439,9 +475,8 @@ let ablation_timeout ?(seed = 54) ?(duration = Time.sec 8)
         if Array.length samples = 0 then 0. else Summary.percentile samples 0.95
       in
       (timeout_ms, fp, p95))
-    timeouts_ms
 
-let ablation_adaptive_timeout ?(seed = 56) ?(duration = Time.sec 8) () =
+let ablation_adaptive_timeout ?pool ?(seed = 56) ?(duration = Time.sec 8) () =
   (* Bursty benign traffic (the SMIA profile has the heaviest tail)
      under three theta-tau regimes: a conservative fixed 500 ms (no
      false alarms, slow omission detection), an aggressive fixed 60 ms
@@ -449,7 +484,10 @@ let ablation_adaptive_timeout ?(seed = 56) ?(duration = Time.sec 8) () =
      should track close to the aggressive setting's speed at close to
      the conservative setting's false-alarm rate — the SVIII-1
      trade-off. *)
-  List.map
+  par ?pool
+    [ (false, Time.ms 500, "fixed-500ms");
+      (false, Time.ms 60, "fixed-60ms");
+      (true, Time.ms 500, "adaptive") ]
     (fun (adaptive, timeout, label) ->
       let env =
         Setup.make ~seed
@@ -472,11 +510,8 @@ let ablation_adaptive_timeout ?(seed = 56) ?(duration = Time.sec 8) () =
           (Jury.Validator.current_timeout_value (Setup.validator env))
       in
       (label, decided, faults, p95, theta))
-    [ (false, Time.ms 500, "fixed-500ms");
-      (false, Time.ms 60, "fixed-60ms");
-      (true, Time.ms 500, "adaptive") ]
 
-let ablation_nondeterminism ?(seed = 57) ?(duration = Time.sec 5) () =
+let ablation_nondeterminism ?pool ?(seed = 57) ?(duration = Time.sec 5) () =
   (* An ECMP forwarding app picks random equal-cost next hops, so
      replicated executions legitimately diverge on the dual-homed
      three-tier testbed topology. The all-distinct rule (SIV-C B) only
@@ -485,7 +520,10 @@ let ablation_nondeterminism ?(seed = 57) ?(duration = Time.sec 5) () =
      vote misfires, exactly the false-positive exposure the paper
      admits it cannot fully solve (SVIII-2). The deterministic baseline
      shows the same workload is clean without ECMP. *)
-  List.map
+  par ?pool
+    [ (Profile.onos, true, "deterministic baseline");
+      (Profile.onos_ecmp, true, "ecmp, nondet-rule-on");
+      (Profile.onos_ecmp, false, "ecmp, nondet-rule-off") ]
     (fun (profile, nondet_rule, label) ->
       let plan = Jury_topo.Builder.three_tier ~hosts_per_edge:2 () in
       let env =
@@ -505,9 +543,6 @@ let ablation_nondeterminism ?(seed = 57) ?(duration = Time.sec 5) () =
         |> List.length
       in
       (label, decided, faults, nondet_ok))
-    [ (Profile.onos, true, "deterministic baseline");
-      (Profile.onos_ecmp, true, "ecmp, nondet-rule-on");
-      (Profile.onos_ecmp, false, "ecmp, nondet-rule-off") ]
 
 (* --- Lossy-channel study: detection quality when the replication and
    response-collection links drop, duplicate and reorder messages. --- *)
@@ -523,7 +558,7 @@ type channel_row = {
   c_detection : cdf_series;
 }
 
-let lossy_channel ?(seed = 58) ?(duration = Time.sec 5) ?(rate = 3000.)
+let lossy_channel ?pool ?(seed = 58) ?(duration = Time.sec 5) ?(rate = 3000.)
     ?(drop = 0.1) () =
   (* Benign ONOS k=2 workload, one seed for all three modes. "clean"
      is the seed baseline; "lossy" shows how many spurious
@@ -571,31 +606,42 @@ let lossy_channel ?(seed = 58) ?(duration = Time.sec 5) ?(rate = 3000.)
   let lossy =
     Jury.Channel.lossy ~drop ~duplicate:0.02 ~jitter_us:150. ()
   in
-  [ run ~mode:"clean" ~channel:Jury.Channel.reliable ~retransmit:None
-      ~degraded_quorum:None;
-    run ~mode:"lossy" ~channel:lossy ~retransmit:None ~degraded_quorum:None;
-    run ~mode:"lossy+retx" ~channel:lossy
-      ~retransmit:(Some (Jury.Validator.retransmit ()))
-      ~degraded_quorum:(Some 2) ]
+  par ?pool
+    [ ("clean", Jury.Channel.reliable, None, None);
+      ("lossy", lossy, None, None);
+      ( "lossy+retx",
+        lossy,
+        Some (Jury.Validator.retransmit ()),
+        Some 2 ) ]
+    (fun (mode, channel, retransmit, degraded_quorum) ->
+      run ~mode ~channel ~retransmit ~degraded_quorum)
 
-let ablation_secondary_selection ?(seed = 55) ?(repeats = 10) () =
+let ablation_secondary_selection ?pool ?(seed = 55) ?(repeats = 10) () =
   (* With random per-trigger secondaries every replica eventually
      cross-checks the faulty one; with a static peer set a fault at a
      node outside anyone's peer set can only be caught when it acts as
-     primary. We measure detections of a consensus fault either way. *)
-  List.map
-    (fun (random, label) ->
-      let detected = ref 0 in
-      let total = ref 0 in
-      for i = 0 to repeats - 1 do
-        let scenario = Jury_faults.Scenarios.link_failure in
-        let report =
-          Jury_faults.Runner.run
-            ~seed:(seed + (17 * i))
-            ~switches:12 ~k:2 ~random_secondaries:random scenario
-        in
-        incr total;
-        if report.Jury_faults.Runner.detected then incr detected
-      done;
-      (label, !detected, !total))
-    [ (true, "random-per-trigger"); (false, "static-peers") ]
+     primary. We measure detections of a consensus fault either way.
+     Both modes × all repeats flatten to one task list. *)
+  let modes = [ (true, "random-per-trigger"); (false, "static-peers") ] in
+  let cells =
+    List.concat_map
+      (fun (random, label) ->
+        List.init repeats (fun i -> (random, label, i)))
+      modes
+  in
+  let reports =
+    par ?pool cells (fun (random, _, i) ->
+        Jury_faults.Runner.run
+          ~seed:(seed + (17 * i))
+          ~switches:12 ~k:2 ~random_secondaries:random
+          Jury_faults.Scenarios.link_failure)
+  in
+  List.map2
+    (fun (_, label) outcomes ->
+      let detected =
+        List.length
+          (List.filter (fun r -> r.Jury_faults.Runner.detected) outcomes)
+      in
+      (label, detected, repeats))
+    modes
+    (chunks repeats reports)

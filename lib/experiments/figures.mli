@@ -3,7 +3,14 @@
     Every function builds its own environment(s), drives the workload,
     and returns the series the paper plots. Durations default to a few
     simulated seconds so the whole suite runs in minutes; pass
-    [~duration] to reproduce the paper's full 60 s runs. *)
+    [~duration] to reproduce the paper's full 60 s runs.
+
+    Every multi-point sweep fans its points out on a {!Jury_par.Pool}
+    (the ambient {!Jury_par.Pool.default} unless [?pool] is given): one
+    task per sweep point, each task building its own engine, RNG and
+    network, so a sweep's result is byte-identical whatever the worker
+    count. [fig4e] (single run) and [policy_scaling] (wall-clock
+    micro-measurement) stay serial by design. *)
 
 module Cdf = Jury_stats.Cdf
 
@@ -34,7 +41,7 @@ val detection_run_exposed :
 (** One ONOS detection-time run (used by tests and profiling). *)
 
 val fig4a :
-  ?seed:int -> ?duration:Jury_sim.Time.t -> ?rate:float -> unit ->
+  ?pool:Jury_par.Pool.t -> ?seed:int -> ?duration:Jury_sim.Time.t -> ?rate:float -> unit ->
   cdf_series list
 (** ONOS detection-time CDFs for (k=2,m=0), (4,0), (6,0), (6,2). *)
 
@@ -47,23 +54,23 @@ val detection_phase_cdfs :
     ["span/total"] end-to-end. *)
 
 val fig4b :
-  ?seed:int -> ?duration:Jury_sim.Time.t -> ?rates:float list -> unit ->
+  ?pool:Jury_par.Pool.t -> ?seed:int -> ?duration:Jury_sim.Time.t -> ?rates:float list -> unit ->
   cdf_series list
 (** ONOS detection CDFs at 500 / 3000 / 5500 PACKET_IN/s, k=6, m=0. *)
 
 val fig4c :
-  ?seed:int -> ?duration:Jury_sim.Time.t -> ?rate:float -> unit ->
+  ?pool:Jury_par.Pool.t -> ?seed:int -> ?duration:Jury_sim.Time.t -> ?rate:float -> unit ->
   cdf_series list
 (** ODL detection CDFs, same (k, m) grid as Fig. 4a, 500 pps. *)
 
 val fig4d :
-  ?seed:int -> ?duration:Jury_sim.Time.t -> unit ->
+  ?pool:Jury_par.Pool.t -> ?seed:int -> ?duration:Jury_sim.Time.t -> unit ->
   (cdf_series * float) list
 (** Benign-trace detection CDFs (LBNL/UNIV/SMIA) with k=6, m=2, and the
     per-trace false-positive rate. *)
 
 val detection_matrix :
-  ?seed:int -> ?repeats:int -> unit -> detection_row list
+  ?pool:Jury_par.Pool.t -> ?seed:int -> ?repeats:int -> unit -> detection_row list
 (** §VII-A1: every fault scenario injected [repeats] times (paper: 10),
     n=7, k=6, m=2. *)
 
@@ -76,22 +83,22 @@ val fig4e :
     per window. *)
 
 val fig4f :
-  ?seed:int -> ?duration:Jury_sim.Time.t -> ?rates:float list ->
+  ?pool:Jury_par.Pool.t -> ?seed:int -> ?duration:Jury_sim.Time.t -> ?rates:float list ->
   ?nodes_list:int list -> unit -> xy_series list
 (** Vanilla ONOS FLOW_MOD vs PACKET_IN rate for n = 1/3/5/7. *)
 
 val fig4g :
-  ?seed:int -> ?duration:Jury_sim.Time.t -> ?rates:float list ->
+  ?pool:Jury_par.Pool.t -> ?seed:int -> ?duration:Jury_sim.Time.t -> ?rates:float list ->
   ?nodes_list:int list -> unit -> xy_series list
 (** Vanilla ODL, same sweep at ODL-scale rates. *)
 
 val fig4h :
-  ?seed:int -> ?duration:Jury_sim.Time.t -> ?rates:float list -> unit ->
+  ?pool:Jury_par.Pool.t -> ?seed:int -> ?duration:Jury_sim.Time.t -> ?rates:float list -> unit ->
   xy_series list
 (** ONOS n=7: vanilla vs JURY k=2/4/6. *)
 
 val fig4i :
-  ?seed:int -> ?duration:Jury_sim.Time.t -> ?rates:float list -> unit ->
+  ?pool:Jury_par.Pool.t -> ?seed:int -> ?duration:Jury_sim.Time.t -> ?rates:float list -> unit ->
   cdf_series list
 (** ODL decapsulation-cost CDFs (µs) at 100–500 pps, n=7, k=6. *)
 
@@ -104,7 +111,7 @@ type overhead_row = {
 }
 
 val overhead :
-  ?seed:int -> ?duration:Jury_sim.Time.t -> unit -> overhead_row list
+  ?pool:Jury_par.Pool.t -> ?seed:int -> ?duration:Jury_sim.Time.t -> unit -> overhead_row list
 (** §VII-B2(1): byte accounting for ONOS at 5.5 K pps (k = 2/4/6) and
     ODL at 500 pps (k = 6). *)
 
@@ -131,7 +138,7 @@ type channel_row = {
 }
 
 val lossy_channel :
-  ?seed:int -> ?duration:Jury_sim.Time.t -> ?rate:float -> ?drop:float ->
+  ?pool:Jury_par.Pool.t -> ?seed:int -> ?duration:Jury_sim.Time.t -> ?rate:float -> ?drop:float ->
   unit -> channel_row list
 (** Benign ONOS k=2 workload, one seed, three modes: reliable links
     ("clean"), a [drop]-probability channel without mitigation
@@ -143,31 +150,31 @@ val lossy_channel :
 (** {1 Ablations (DESIGN.md)} *)
 
 val ablation_state_aware :
-  ?seed:int -> ?duration:Jury_sim.Time.t -> ?rate:float -> unit ->
+  ?pool:Jury_par.Pool.t -> ?seed:int -> ?duration:Jury_sim.Time.t -> ?rate:float -> unit ->
   (string * int * int * int) list
 (** (mode, decided, false alarms, unverifiable) under benign churn with
     state-aware consensus on vs off. *)
 
 val ablation_timeout :
-  ?seed:int -> ?duration:Jury_sim.Time.t -> ?timeouts_ms:int list -> unit ->
+  ?pool:Jury_par.Pool.t -> ?seed:int -> ?duration:Jury_sim.Time.t -> ?timeouts_ms:int list -> unit ->
   (int * float * float) list
 (** (timeout ms, false-positive rate, p95 detection ms) under benign
     traffic — the §VIII-1 trade-off. *)
 
 val ablation_secondary_selection :
-  ?seed:int -> ?repeats:int -> unit -> (string * int * int) list
+  ?pool:Jury_par.Pool.t -> ?seed:int -> ?repeats:int -> unit -> (string * int * int) list
 (** Random per-trigger secondaries vs a static peer set: detected count
     over repeated injections of a consensus-visible fault. *)
 
 val ablation_adaptive_timeout :
-  ?seed:int -> ?duration:Jury_sim.Time.t -> unit ->
+  ?pool:Jury_par.Pool.t -> ?seed:int -> ?duration:Jury_sim.Time.t -> unit ->
   (string * int * int * float * float) list
 (** Fixed vs adaptive θτ under bursty benign traffic: (mode, decided,
     false alarms, p95 detection ms, final θτ ms) — the §VIII-1
     extension. *)
 
 val ablation_nondeterminism :
-  ?seed:int -> ?duration:Jury_sim.Time.t -> unit ->
+  ?pool:Jury_par.Pool.t -> ?seed:int -> ?duration:Jury_sim.Time.t -> unit ->
   (string * int * int * int) list
 (** ECMP (non-deterministic) forwarding with the §IV-C B rule on vs
     off: (mode, decided, false alarms, verdicts labelled

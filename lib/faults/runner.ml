@@ -104,6 +104,42 @@ let run ?seed ?nodes ?k ?faulty ?extra_slow ?switches ?random_secondaries
        ?random_secondaries ?trace ?channel ?retransmit ?degraded_quorum
        scenario)
 
+let run_matrix ?pool ?(seed = 11) ?(repeats = 1) ?(seed_stride = 13) ?nodes
+    ?k ?faulty ?extra_slow ?switches ?random_secondaries scenarios =
+  let pool =
+    match pool with Some p -> p | None -> Jury_par.Pool.default ()
+  in
+  (* One pool task per (scenario, repeat) cell — every cell builds its
+     own engine inside the task, so the matrix is embarrassingly
+     parallel and its result is independent of the worker count. *)
+  let cells =
+    List.concat_map
+      (fun scenario -> List.init repeats (fun i -> (scenario, i)))
+      scenarios
+  in
+  let reports =
+    Jury_par.Pool.map_ordered pool cells (fun (scenario, i) ->
+        run ~seed:(seed + (i * seed_stride)) ?nodes ?k ?faulty ?extra_slow
+          ?switches ?random_secondaries scenario)
+  in
+  let rec regroup scenarios reports =
+    match scenarios with
+    | [] -> []
+    | scenario :: rest ->
+        let rec split n rs =
+          if n = 0 then ([], rs)
+          else
+            match rs with
+            | [] -> invalid_arg "Runner.run_matrix: report underflow"
+            | r :: rs ->
+                let taken, rest = split (n - 1) rs in
+                (r :: taken, rest)
+        in
+        let mine, others = split repeats reports in
+        (scenario, mine) :: regroup rest others
+  in
+  regroup scenarios reports
+
 let pp_report fmt r =
   Format.fprintf fmt "%-28s %-2s %-10s %s" r.scenario.Scenarios.name
     (match r.scenario.Scenarios.klass with

@@ -38,6 +38,19 @@ val run :
     scenario's loss model; [retransmit] and [degraded_quorum] pass
     through to {!Jury.Deployment.config}. *)
 
+val run_matrix :
+  ?pool:Jury_par.Pool.t -> ?seed:int -> ?repeats:int -> ?seed_stride:int ->
+  ?nodes:int -> ?k:int -> ?faulty:int -> ?extra_slow:int list ->
+  ?switches:int -> ?random_secondaries:bool ->
+  Scenarios.t list -> (Scenarios.t * report list) list
+(** [run_matrix scenarios] runs every scenario [repeats] times (default
+    1), repeat [i] seeded [seed + i * seed_stride] (stride default 13,
+    matching the detection-matrix convention), fanning the
+    (scenario, repeat) cells out on [pool] (default
+    {!Jury_par.Pool.default}). Each cell builds its own engine inside
+    its task, so results are byte-identical whatever the worker count.
+    Reports come back grouped per scenario, repeats in order. *)
+
 val run_env :
   ?seed:int -> ?nodes:int -> ?k:int -> ?faulty:int ->
   ?extra_slow:int list -> ?switches:int -> ?random_secondaries:bool ->

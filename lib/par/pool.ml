@@ -1,0 +1,115 @@
+type t = { jobs : int }
+
+type error = { task_index : int; message : string; backtrace : string }
+
+exception Tasks_failed of error list
+
+let () =
+  Printexc.register_printer (function
+    | Tasks_failed errors ->
+        Some
+          (Printf.sprintf "Jury_par.Pool.Tasks_failed: %d task(s) died: %s"
+             (List.length errors)
+             (String.concat "; "
+                (List.map
+                   (fun e ->
+                     Printf.sprintf "task %d: %s" e.task_index e.message)
+                   errors)))
+    | _ -> None)
+
+let env_jobs () =
+  match Sys.getenv_opt "JURY_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> None)
+
+let default_jobs () =
+  match env_jobs () with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+let create ?jobs () =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  { jobs }
+
+let jobs t = t.jobs
+
+(* The ambient pool experiment entry points fall back on when the
+   caller does not pass one. Set once from the main domain (CLI flag
+   parsing) before any parallel work starts; worker domains never touch
+   it. *)
+let default_pool = ref None
+
+let set_default t = default_pool := Some t
+let set_default_jobs jobs = default_pool := Some (create ~jobs ())
+
+let default () =
+  match !default_pool with
+  | Some t -> t
+  | None ->
+      let t = create () in
+      default_pool := Some t;
+      t
+
+let try_map_ordered t xs f =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let exec i =
+      let r =
+        match f items.(i) with
+        | y -> Ok y
+        | exception exn ->
+            Error
+              { task_index = i;
+                message = Printexc.to_string exn;
+                backtrace = Printexc.get_backtrace () }
+      in
+      results.(i) <- Some r
+    in
+    let workers = min t.jobs n in
+    if workers <= 1 then
+      for i = 0 to n - 1 do
+        exec i
+      done
+    else begin
+      (* Work stealing off a shared index: tasks are coarse (whole
+         simulation runs), so one atomic per task is noise. Each slot
+         of [results] is written by exactly one domain and read only
+         after the joins, which establish the happens-before edge. *)
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            exec i;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let spawned =
+        Array.init (workers - 1) (fun _ -> Domain.spawn worker)
+      in
+      (* The submitting domain is worker zero, so [jobs] bounds the
+         total number of busy domains, not the number spawned. *)
+      worker ();
+      Array.iter Domain.join spawned
+    end;
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)
+  end
+
+let map_ordered t xs f =
+  let results = try_map_ordered t xs f in
+  let errors =
+    List.filter_map (function Error e -> Some e | Ok _ -> None) results
+  in
+  if errors <> [] then raise (Tasks_failed errors);
+  List.map (function Ok y -> y | Error _ -> assert false) results

@@ -1,0 +1,62 @@
+(** A fixed-size domain pool for embarrassingly parallel experiment
+    fan-out.
+
+    Every paper figure sweeps dozens of independent deterministic
+    simulation runs; each run owns its engine, RNG and network, so runs
+    can execute on separate domains with no shared state. The pool fans
+    a list of tasks out to at most [jobs] concurrently running domains
+    (the submitting domain works too) and returns results in submission
+    order, so serial ([jobs = 1]) and parallel runs of a deterministic
+    task list produce identical result lists.
+
+    Determinism contract for callers: a task must build its own
+    {!Jury_sim.Engine.t} (and thus its own RNG tree) inside the task
+    body and must not touch mutable state shared with other tasks.
+    Under that contract result lists are byte-for-byte independent of
+    [jobs] and of scheduling order. *)
+
+type t
+
+type error = {
+  task_index : int;  (** position of the failed task in the input list *)
+  message : string;  (** [Printexc.to_string] of the escaping exception *)
+  backtrace : string;
+}
+
+exception Tasks_failed of error list
+(** Raised by {!map_ordered} after the whole sweep has run, carrying
+    one {!error} per failed task — a failed run reports which config
+    died instead of killing the sweep. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ?jobs ()] makes a pool of [jobs] workers (clamped to at
+    least 1). Default: the [JURY_JOBS] environment variable if set to a
+    positive integer, otherwise [Domain.recommended_domain_count () - 1]
+    (leaving one core for the submitting context), floored at 1. *)
+
+val jobs : t -> int
+
+val default_jobs : unit -> int
+(** The default worker count described at {!create}. *)
+
+val map_ordered : t -> 'a list -> ('a -> 'b) -> 'b list
+(** [map_ordered t xs f] runs [f] on every element of [xs], at most
+    [jobs t] at a time, and returns the results in the order of [xs].
+    Every task runs to completion even if some fail; if any did,
+    {!Tasks_failed} is raised with all failures. [jobs t = 1] (or a
+    single-element [xs]) degenerates to an in-place [List.map] with no
+    domain spawns. *)
+
+val try_map_ordered : t -> 'a list -> ('a -> 'b) -> ('b, error) result list
+(** Like {!map_ordered} but returns per-task results instead of
+    raising, for callers that want to salvage the survivors. *)
+
+val default : unit -> t
+(** The ambient pool used by experiment entry points when no explicit
+    pool is passed; created on first use with default [jobs]. *)
+
+val set_default : t -> unit
+val set_default_jobs : int -> unit
+(** Install the ambient pool — how [--jobs]/[JURY_JOBS] from
+    [bench/main.exe] and [bin/jury_cli.exe] reach the experiment layer.
+    Call from the main domain before any parallel work. *)

@@ -6,16 +6,25 @@ type t = {
   queue : event Heap.t;
   root_rng : Rng.t;
   mutable trace : Jury_obs.Trace.t;
+  mutable executed : int;
 }
 
 type handle = { event : event; engine : t }
+
+(* Process-wide executed-event tally across every engine (and every
+   domain — experiment sweeps run one engine per pool task). Updated in
+   one batch per [run] call, not per event, so the shared cache line is
+   touched a handful of times per simulation instead of millions. *)
+let global_executed = Atomic.make 0
+let total_executed () = Atomic.get global_executed
 
 let create ?(seed = 42) () =
   { clock = Time.zero;
     seq = 0;
     queue = Heap.create ();
     root_rng = Rng.create seed;
-    trace = Jury_obs.Trace.null () }
+    trace = Jury_obs.Trace.null ();
+    executed = 0 }
 
 let now t = t.clock
 let now_ns t = Time.to_ns t.clock
@@ -73,11 +82,13 @@ let step t =
   | None -> false
   | Some (at, _, event) ->
       t.clock <- at;
+      t.executed <- t.executed + 1;
       execute t event;
       true
 
 let run ?until t =
-  match until with
+  let before = t.executed in
+  (match until with
   | None -> while step t do () done
   | Some horizon ->
       let continue = ref true in
@@ -90,6 +101,9 @@ let run ?until t =
               continue := false
             end
             else ignore (step t)
-      done
+      done);
+  ignore (Atomic.fetch_and_add global_executed (t.executed - before))
+
+let executed_events t = t.executed
 
 let pending_events t = Heap.length t.queue

@@ -52,7 +52,20 @@ val every : t -> period:Time.t -> ?jitter:Time.t -> (unit -> unit) -> handle
 (** [every t ~period f] runs [f] every [period], starting one period
     from now, with optional uniform [jitter] added to each firing.
     Returns the handle of the {e next} occurrence chain; cancelling it
-    stops the recurrence. *)
+    stops the recurrence.
+
+    RNG ownership: a jittered recurrence draws one [Rng.int] from the
+    engine's {e root} RNG at every re-arm — i.e. at creation and again
+    each time [f] fires — not from a private split. The draw order of
+    the root RNG is therefore part of a seeded simulation's observable
+    behaviour: any refactor that adds, removes or reorders root-RNG
+    consumers (an [every ~jitter], a component calling {!rng} +
+    [Rng.split], ...) changes every subsequent split and so the whole
+    run. Components must split once at construction in a fixed order
+    and draw only from their own split thereafter; a regression test
+    pins the jitter draw order. Run-level parallelism (Jury_par) is
+    unaffected: each run owns a whole engine, so no RNG is ever shared
+    across runs. *)
 
 val run : ?until:Time.t -> t -> unit
 (** Drains the event queue, advancing simulated time, until the queue
@@ -65,3 +78,12 @@ val step : t -> bool
 val pending_events : t -> int
 (** Number of queue slots still occupied (an upper bound on live
     events; cancelled events are counted until they drain). *)
+
+val executed_events : t -> int
+(** Events this engine has executed so far (cancelled events drain
+    without being counted). *)
+
+val total_executed : unit -> int
+(** Process-wide executed-event count, summed over every engine on
+    every domain; flushed to the shared counter once per {!run} call.
+    The bench derives its events/sec figures from deltas of this. *)

@@ -6,15 +6,16 @@ module Builder = Jury_topo.Builder
 let default_burst = 5_000
 let default_gap = Time.ms 50
 
-let next_port = ref 1_024
-
-let fresh_port () =
-  incr next_port;
-  if !next_port > 65_000 then next_port := 1_024;
-  !next_port
-
 let blast network ~rng ~dpid ~burst ~burst_gap ~duration =
   ignore rng;
+  (* Per-invocation port counter: keeps concurrent runs on a Jury_par
+     pool deterministic and race-free. *)
+  let next_port = ref 1_024 in
+  let fresh_port () =
+    incr next_port;
+    if !next_port > 65_000 then next_port := 1_024;
+    !next_port
+  in
   let engine = Network.engine network in
   let plan = Network.plan network in
   let local_hosts =

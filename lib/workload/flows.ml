@@ -38,14 +38,18 @@ let hosts_by_switch network =
   |> List.filter (fun a -> Array.length a >= 2)
   |> Array.of_list
 
-let next_port = ref 10_000
+(* Source-port allocation is per generator invocation, not a module
+   global: a run's port sequence must depend only on that run's inputs
+   so that runs executing concurrently on a Jury_par pool stay
+   deterministic and race-free. *)
+let port_allocator ~base ~limit =
+  let next = ref base in
+  fun () ->
+    incr next;
+    if !next > limit then next := base;
+    !next
 
-let fresh_port () =
-  incr next_port;
-  if !next_port > 60_000 then next_port := 10_000;
-  !next_port
-
-let connect network ~rng ~payload_len (src_i, dst_i) =
+let connect network ~rng ~payload_len ~fresh_port (src_i, dst_i) =
   let src = Network.host network src_i and dst = Network.host network dst_i in
   ignore rng;
   Host.send_tcp src ~dst_mac:(Host.mac dst) ~dst_ip:(Host.ip dst)
@@ -55,6 +59,7 @@ let new_connections network ~rng ~rate ~duration ?(mode = Any_pair)
     ?(payload_len = 512) () =
   let n_hosts = List.length (Network.hosts network) in
   if n_hosts < 2 then invalid_arg "Flows.new_connections: need >= 2 hosts";
+  let fresh_port = port_allocator ~base:10_000 ~limit:60_000 in
   let colocated = hosts_by_switch network in
   let pick () =
     match mode with
@@ -73,7 +78,7 @@ let new_connections network ~rng ~rate ~duration ?(mode = Any_pair)
         (group.(a), group.(b))
   in
   poisson network ~rng ~rate ~duration (fun () ->
-      connect network ~rng ~payload_len (pick ()))
+      connect network ~rng ~payload_len ~fresh_port (pick ()))
 
 let host_joins network ~rng ~rate ~duration =
   let n_hosts = List.length (Network.hosts network) in

@@ -41,14 +41,16 @@ let smia =
 let all = [ lbnl; univ; smia ]
 let find name = List.find_opt (fun p -> p.name = name) all
 
-let next_port = ref 20_000
-
-let fresh_port () =
-  incr next_port;
-  if !next_port > 60_000 then next_port := 20_000;
-  !next_port
-
 let replay network ~rng ~profile ~duration =
+  (* Per-invocation port counter: the replay's port sequence depends
+     only on this run, keeping concurrent runs on a Jury_par pool
+     deterministic. *)
+  let next_port = ref 20_000 in
+  let fresh_port () =
+    incr next_port;
+    if !next_port > 60_000 then next_port := 20_000;
+    !next_port
+  in
   let engine = Network.engine network in
   let hosts = Array.of_list (Network.hosts network) in
   if Array.length hosts < 2 then invalid_arg "Traces.replay: need >= 2 hosts";

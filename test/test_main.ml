@@ -15,4 +15,5 @@ let () =
       ("jury", Test_jury.suite);
       ("faults", Test_faults.suite);
       ("workload", Test_workload.suite);
-      ("experiments", Test_experiments.suite) ]
+      ("experiments", Test_experiments.suite);
+      ("par", Test_par.suite) ]
