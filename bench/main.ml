@@ -326,6 +326,67 @@ let lossy ~full () =
   print_cdf_series ~unit_label:"ms"
     (List.map (fun (r : Figures.channel_row) -> r.c_detection) rows)
 
+let validator_scale ~full () =
+  section "Validator scaling: trigger rate x shard count (batched ingest)";
+  note "verdict counts must match across shard counts; per-shard batch \
+        counters show the fan-out (single-core containers cap the \
+        wall-clock speedup — see DESIGN.md)";
+  let duration = Time.sec (if full then 10 else 3) in
+  let rows = Figures.validator_scale ~duration () in
+  let t =
+    Table.create
+      ~header:
+        [ "rate"; "shards"; "decided"; "verdicts/s"; "batches"; "resp/batch";
+          "per-shard batches" ]
+  in
+  List.iter
+    (fun (r : Figures.scale_row) ->
+      Table.add_row t
+        [ Printf.sprintf "%.0f" r.vs_rate;
+          string_of_int r.vs_shards;
+          string_of_int r.vs_decided;
+          Printf.sprintf "%.0f" r.vs_verdicts_per_s;
+          string_of_int r.vs_batches;
+          (if r.vs_batches = 0 then "0"
+           else
+             Printf.sprintf "%.1f"
+               (float_of_int r.vs_batched_responses
+               /. float_of_int r.vs_batches));
+          String.concat "/" (List.map string_of_int r.vs_shard_batches) ])
+    rows;
+  Table.print t;
+  (* Speedup per rate: shards=max vs shards=1, same workload. *)
+  let by_rate = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Figures.scale_row) ->
+      let prev = try Hashtbl.find by_rate r.vs_rate with Not_found -> [] in
+      Hashtbl.replace by_rate r.vs_rate (r :: prev))
+    rows;
+  Hashtbl.fold (fun rate rs acc -> (rate, List.rev rs) :: acc) by_rate []
+  |> List.sort compare
+  |> List.iter (fun (rate, rs) ->
+         match
+           ( List.find_opt (fun (r : Figures.scale_row) -> r.vs_shards = 1) rs,
+             List.fold_left
+               (fun acc (r : Figures.scale_row) ->
+                 match acc with
+                 | Some (b : Figures.scale_row) when b.vs_shards >= r.vs_shards
+                   -> acc
+                 | _ -> Some r)
+               None rs )
+         with
+         | Some base, Some best when base.vs_shards <> best.vs_shards ->
+             note "=> %.0f pps: %.2fx verdicts/s at shards=%d vs shards=1 \
+                   (decided %d vs %d%s)"
+               rate
+               (if base.vs_verdicts_per_s > 0. then
+                  best.vs_verdicts_per_s /. base.vs_verdicts_per_s
+                else 0.)
+               best.vs_shards best.vs_decided base.vs_decided
+               (if best.vs_decided = base.vs_decided then ", identical"
+                else " -- MISMATCH")
+         | _ -> ())
+
 (* --- Bechamel micro-benchmarks --- *)
 
 (* Filled by [micro] so --json can report ns/op figures. *)
@@ -447,6 +508,7 @@ let all_experiments =
     ("policy-scaling", policy_scaling);
     ("ablations", ablations);
     ("lossy", lossy);
+    ("validator-scale", validator_scale);
     ("micro", micro) ]
 
 (* --- machine-readable results (--json) --- *)
@@ -456,6 +518,8 @@ type record = {
   r_wall_s : float;
   r_events : int;  (** simulator events executed, summed over domains *)
   r_verdicts : int;  (** validator verdicts decided, summed over domains *)
+  r_batches : int;  (** per-shard response batches delivered *)
+  r_overloads : int;  (** triggers force-expired at max_inflight *)
 }
 
 let json_escape s =
@@ -490,8 +554,10 @@ let write_json path ~jobs ~full records =
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"name\": \"%s\", \"wall_s\": %.3f, \"events\": %d, \
-            \"events_per_sec\": %.1f, \"verdicts\": %d}%s\n"
+            \"events_per_sec\": %.1f, \"verdicts\": %d, \"batches\": %d, \
+            \"overloads\": %d}%s\n"
            (json_escape r.r_name) r.r_wall_s r.r_events rate r.r_verdicts
+           r.r_batches r.r_overloads
            (if i = List.length records - 1 then "" else ",")))
     records;
   Buffer.add_string buf "  ],\n";
@@ -537,14 +603,22 @@ let run_selected names full jobs json =
   let records =
     List.map
       (fun (name, f) ->
+        (* Process-wide counters never reset; per-experiment figures
+           are deltas around the run, so back-to-back experiments (and
+           repeated bench invocations in one process) report their own
+           work, not the cumulative total. *)
         let events0 = Jury_sim.Engine.total_executed () in
         let verdicts0 = Jury.Validator.total_decided () in
+        let batches0 = Jury.Validator.total_batches () in
+        let overloads0 = Jury.Validator.total_overloads () in
         let t0 = Unix.gettimeofday () in
         f ~full ();
         { r_name = name;
           r_wall_s = Unix.gettimeofday () -. t0;
           r_events = Jury_sim.Engine.total_executed () - events0;
-          r_verdicts = Jury.Validator.total_decided () - verdicts0 })
+          r_verdicts = Jury.Validator.total_decided () - verdicts0;
+          r_batches = Jury.Validator.total_batches () - batches0;
+          r_overloads = Jury.Validator.total_overloads () - overloads0 })
       to_run
   in
   print_newline ();
@@ -561,7 +635,7 @@ let names_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"
          ~doc:"Experiments to run (default: all). Known: fig4a fig4b fig4c \
                fig4d detection fig4e fig4f fig4g fig4h fig4i overhead \
-               policy-scaling ablations lossy micro.")
+               policy-scaling ablations lossy validator-scale micro.")
 
 let full_arg =
   Arg.(value & flag & info [ "full" ]

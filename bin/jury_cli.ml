@@ -6,11 +6,81 @@
      matrix [...]                 -- run every scenario N times on a domain
                                      pool, print the detection matrix
      simulate [...]               -- benign run, print validation stats
+     validator-scale [...]        -- trigger-rate x shard-count sweep
      policy FILE                  -- parse and lint a policy file (.xml or DSL)
-*)
+
+   Shared flags (--nodes, --k, --seed, --shards, --batch-us, ...) are
+   declared once in the Common table below and reused by every
+   subcommand that understands them. *)
 
 open Cmdliner
 module Time = Jury_sim.Time
+
+(* --- shared flag table ---------------------------------------------
+
+   Every tunable that more than one subcommand understands is declared
+   exactly once in [Common]; subcommands assemble their option set from
+   these rows, so a flag has the same name, default and `--help` text
+   everywhere it appears. New shared flags go here, not in a
+   subcommand. *)
+
+module Common = struct
+  let nodes =
+    Arg.(value & opt int 7 & info [ "n"; "nodes" ] ~doc:"Cluster size.")
+
+  let k = Arg.(value & opt int 6 & info [ "k" ] ~doc:"Replication factor.")
+
+  let faulty =
+    Arg.(value & opt int 2 & info [ "faulty" ] ~doc:"Id of the faulty replica.")
+
+  let seed = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"RNG seed.")
+
+  let switches =
+    Arg.(value & opt int 24 & info [ "switches" ] ~doc:"Linear topology size.")
+
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains for the sweep fan-out (default: \
+                   \\$JURY_JOBS if set, else cores - 1; 1 = serial). \
+                   Results are byte-identical whatever the value.")
+
+  (* Validator tuning: the sharded/bounded/batched verdict state. The
+     three flags travel together as one [tuning] value. *)
+
+  type tuning = {
+    shards : int;
+    max_inflight : int option;
+    batch : Time.t option;
+  }
+
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ]
+             ~doc:"Validator shard-count hint, rounded up to a power of \
+                   two (1 = seed behaviour).")
+
+  let max_inflight =
+    Arg.(value & opt (some int) None
+         & info [ "max-inflight" ]
+             ~doc:"High-water mark on undecided triggers; past it the \
+                   oldest verdict epoch is force-expired with Overload \
+                   verdicts instead of growing without bound.")
+
+  let batch_us =
+    Arg.(value & opt (some float) None
+         & info [ "batch-us" ] ~docv:"US"
+             ~doc:"Batch window in microseconds for response ingestion \
+                   (absent = per-event delivery, seed behaviour).")
+
+  let batch_of_us = Option.map Time.of_float_us
+
+  let tuning =
+    let mk shards max_inflight batch_us =
+      { shards; max_inflight; batch = batch_of_us batch_us }
+    in
+    Term.(const mk $ shards $ max_inflight $ batch_us)
+end
 
 (* --- list --- *)
 
@@ -31,32 +101,21 @@ let list_cmd =
 
 (* --- scenario --- *)
 
-let nodes_arg =
-  Arg.(value & opt int 7 & info [ "n"; "nodes" ] ~doc:"Cluster size.")
-
-let k_arg =
-  Arg.(value & opt int 6 & info [ "k" ] ~doc:"Replication factor.")
-
-let faulty_arg =
-  Arg.(value & opt int 2 & info [ "faulty" ] ~doc:"Id of the faulty replica.")
-
-let seed_arg = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"RNG seed.")
-
-let switches_arg =
-  Arg.(value & opt int 24 & info [ "switches" ] ~doc:"Linear topology size.")
-
 let scenario_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
   in
-  let run name nodes k faulty seed switches =
+  let run name nodes k faulty seed switches (tuning : Common.tuning) =
     match Jury_faults.Scenarios.find name with
     | None ->
         Printf.eprintf "unknown scenario %S; try 'jury-cli list'\n" name;
         exit 2
     | Some scenario ->
         let report =
-          Jury_faults.Runner.run ~seed ~nodes ~k ~faulty ~switches scenario
+          Jury_faults.Runner.run ~seed ~nodes ~k ~faulty ~switches
+            ~shards:tuning.Common.shards
+            ?max_inflight:tuning.Common.max_inflight
+            ?batch:tuning.Common.batch scenario
         in
         Format.printf "%a@." Jury_faults.Runner.pp_report report;
         List.iter
@@ -66,17 +125,10 @@ let scenario_cmd =
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Inject one fault scenario and report detection")
-    Term.(const run $ name_arg $ nodes_arg $ k_arg $ faulty_arg $ seed_arg
-          $ switches_arg)
+    Term.(const run $ name_arg $ Common.nodes $ Common.k $ Common.faulty
+          $ Common.seed $ Common.switches $ Common.tuning)
 
 (* --- matrix --- *)
-
-let jobs_arg =
-  Arg.(value & opt (some int) None
-       & info [ "j"; "jobs" ] ~docv:"N"
-           ~doc:"Worker domains for the scenario fan-out (default: \
-                 \\$JURY_JOBS if set, else cores - 1; 1 = serial). The \
-                 matrix is byte-identical whatever the value.")
 
 let matrix_cmd =
   let repeats_arg =
@@ -113,8 +165,8 @@ let matrix_cmd =
     (Cmd.info "matrix"
        ~doc:"Run every fault scenario repeatedly on a domain pool and \
              print the detection matrix")
-    Term.(const run $ nodes_arg $ k_arg $ faulty_arg $ seed_arg
-          $ switches_arg $ repeats_arg $ jobs_arg)
+    Term.(const run $ Common.nodes $ Common.k $ Common.faulty $ Common.seed
+          $ Common.switches $ repeats_arg $ Common.jobs)
 
 (* --- simulate --- *)
 
@@ -159,7 +211,7 @@ let simulate_cmd =
                    size.")
   in
   let run profile nodes k rate duration seed switches drop duplicate jitter_us
-      retries degraded_quorum =
+      retries degraded_quorum (tuning : Common.tuning) =
     let profile =
       match profile with
       | `Onos -> Jury_controller.Profile.onos
@@ -176,15 +228,19 @@ let simulate_cmd =
     let channel =
       if drop = 0. && duplicate = 0. && jitter_us = 0. then
         Jury.Channel.reliable
-      else Jury.Channel.lossy ~drop ~duplicate ~jitter_us ()
+      else Jury.Jury_config.lossy_channel ~drop ~duplicate ~jitter_us ()
     in
     let retransmit =
-      if retries > 0 then Some (Jury.Validator.retransmit ~max_retries:retries ())
+      if retries > 0 then
+        Some (Jury.Jury_config.retransmit ~max_retries:retries ())
       else None
     in
     let deployment =
-      Jury.Deployment.install cluster
-        (Jury.Deployment.config ~k ~channel ?retransmit ?degraded_quorum ())
+      Jury.Jury_config.install cluster
+        (Jury.Jury_config.make ~k ~channel ?retransmit ?degraded_quorum
+           ~shards:tuning.Common.shards
+           ?max_inflight:tuning.Common.max_inflight ?batch:tuning.Common.batch
+           ())
     in
     let validator = Jury.Deployment.validator deployment in
     Jury_controller.Cluster.converge cluster;
@@ -216,15 +272,35 @@ let simulate_cmd =
         (Jury.Validator.late_count validator)
         (Jury.Validator.straggler_count validator)
         (Jury.Validator.degraded_count validator)
+    end;
+    if
+      tuning.Common.shards > 1
+      || tuning.Common.batch <> None
+      || tuning.Common.max_inflight <> None
+    then begin
+      Printf.printf
+        "validator: %d shard(s), %d batch(es) carrying %d response(s), %d \
+         overload verdict(s)\n"
+        (Jury.Validator.shard_count validator)
+        (Jury.Validator.batch_count validator)
+        (Jury.Validator.batched_response_count validator)
+        (Jury.Validator.overload_count validator);
+      List.iter
+        (fun (s : Jury.Validator.shard_stats) ->
+          Printf.printf "  shard %d: decided %d, batches %d, overloads %d\n"
+            s.Jury.Validator.shard_index s.Jury.Validator.shard_decided
+            s.Jury.Validator.shard_batches s.Jury.Validator.shard_overloads)
+        (Jury.Validator.shard_stats validator)
     end
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run a benign workload on a JURY-enhanced cluster, optionally \
              over lossy channels")
-    Term.(const run $ profile_arg $ nodes_arg $ k_arg $ rate_arg
-          $ duration_arg $ seed_arg $ switches_arg $ drop_arg $ duplicate_arg
-          $ jitter_arg $ retries_arg $ degraded_arg)
+    Term.(const run $ profile_arg $ Common.nodes $ Common.k $ rate_arg
+          $ duration_arg $ Common.seed $ Common.switches $ drop_arg
+          $ duplicate_arg $ jitter_arg $ retries_arg $ degraded_arg
+          $ Common.tuning)
 
 (* --- failover --- *)
 
@@ -238,7 +314,7 @@ let failover_cmd =
         ~profile:Jury_controller.Profile.onos ~nodes ~network ()
     in
     let deployment =
-      Jury.Deployment.install cluster (Jury.Deployment.config ~k ())
+      Jury.Jury_config.install cluster (Jury.Jury_config.make ~k ())
     in
     Jury_controller.Cluster.converge cluster;
     List.iter Jury_net.Host.join (Jury_net.Network.hosts network);
@@ -274,7 +350,7 @@ let failover_cmd =
   Cmd.v
     (Cmd.info "failover"
        ~doc:"Crash a replica, fail its switches over, verify service")
-    Term.(const run $ nodes_arg $ k_arg $ seed_arg $ switches_arg)
+    Term.(const run $ Common.nodes $ Common.k $ Common.seed $ Common.switches)
 
 (* --- trace --- *)
 
@@ -334,7 +410,7 @@ let trace_cmd =
               ~profile:Jury_controller.Profile.onos ~nodes ~network ()
           in
           ignore
-            (Jury.Deployment.install cluster (Jury.Deployment.config ~k ()));
+            (Jury.Jury_config.install cluster (Jury.Jury_config.make ~k ()));
           Jury_controller.Cluster.converge cluster;
           List.iter Jury_net.Host.join (Jury_net.Network.hosts network);
           Jury_sim.Engine.run engine
@@ -392,8 +468,53 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run with the causal trace enabled and render a trigger timeline")
-    Term.(const run $ scenario_arg $ nodes_arg $ k_arg $ seed_arg
-          $ switches_arg $ taint_arg $ node_arg $ phase_arg $ jsonl_arg)
+    Term.(const run $ scenario_arg $ Common.nodes $ Common.k $ Common.seed
+          $ Common.switches $ taint_arg $ node_arg $ phase_arg $ jsonl_arg)
+
+(* --- validator-scale --- *)
+
+let validator_scale_cmd =
+  let rates_arg =
+    Arg.(value & opt (list float) [ 1000.; 3000. ]
+         & info [ "rates" ] ~docv:"R1,R2,..."
+             ~doc:"PACKET_IN rates to sweep.")
+  in
+  let shards_list_arg =
+    Arg.(value & opt (list int) [ 1; 2; 4 ]
+         & info [ "shard-counts" ] ~docv:"S1,S2,..."
+             ~doc:"Shard counts to sweep (each rounded up to a power of \
+                   two).")
+  in
+  let duration_arg =
+    Arg.(value & opt int 3 & info [ "duration" ] ~doc:"Seconds of workload.")
+  in
+  let run seed duration rates shard_counts jobs max_inflight batch_us =
+    Option.iter Jury_par.Pool.set_default_jobs jobs;
+    let rows =
+      Jury_experiments.Figures.validator_scale ~seed
+        ~duration:(Time.sec duration) ~rates ~shard_counts ?max_inflight
+        ?batch:(Common.batch_of_us batch_us) ()
+    in
+    Printf.printf "%-8s %-7s %-8s %-11s %-8s %s\n" "rate" "shards" "decided"
+      "verdicts/s" "batches" "per-shard batches";
+    List.iter
+      (fun (r : Jury_experiments.Figures.scale_row) ->
+        Printf.printf "%-8.0f %-7d %-8d %-11.0f %-8d %s\n"
+          r.Jury_experiments.Figures.vs_rate r.Jury_experiments.Figures.vs_shards
+          r.Jury_experiments.Figures.vs_decided
+          r.Jury_experiments.Figures.vs_verdicts_per_s
+          r.Jury_experiments.Figures.vs_batches
+          (String.concat "/"
+             (List.map string_of_int
+                r.Jury_experiments.Figures.vs_shard_batches)))
+      rows
+  in
+  Cmd.v
+    (Cmd.info "validator-scale"
+       ~doc:"Sweep trigger rate x validator shard count with batched \
+             response ingestion and print per-shard throughput")
+    Term.(const run $ Common.seed $ duration_arg $ rates_arg $ shards_list_arg
+          $ Common.jobs $ Common.max_inflight $ Common.batch_us)
 
 (* --- policy --- *)
 
@@ -435,4 +556,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; scenario_cmd; matrix_cmd; simulate_cmd; failover_cmd;
-            trace_cmd; policy_cmd ]))
+            trace_cmd; validator_scale_cmd; policy_cmd ]))

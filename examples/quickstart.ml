@@ -24,7 +24,7 @@ let () =
      validated out-of-band. *)
   let cluster = Cluster.create engine ~profile:Profile.onos ~nodes:5 ~network () in
   let deployment =
-    Jury.Deployment.install cluster (Jury.Deployment.config ~k:2 ())
+    Jury.Jury_config.install cluster (Jury.Jury_config.make ~k:2 ())
   in
   let validator = Jury.Deployment.validator deployment in
   Jury.Validator.set_alarm_handler validator (fun alarm ->

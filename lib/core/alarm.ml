@@ -13,6 +13,7 @@ type verdict =
   | Ok_non_deterministic
   | Ok_unverifiable
   | Ok_degraded
+  | Overload
   | Faulty of fault list
 
 type t = {
@@ -41,6 +42,7 @@ let verdict_name = function
   | Ok_non_deterministic -> "ok-nondet"
   | Ok_unverifiable -> "ok-unverifiable"
   | Ok_degraded -> "ok-degraded"
+  | Overload -> "overload"
   | Faulty faults -> String.concat "+" (List.map fault_name faults)
 
 let pp fmt t =

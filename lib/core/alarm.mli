@@ -38,6 +38,11 @@ type verdict =
           events) missed the deadline on a lossy channel, but enough
           equivalent-view responses agreed to validate the trigger
           anyway — flagged so operators can audit channel health *)
+  | Overload
+      (** force-expired before a verdict could be reached: the
+          validator hit its [max_inflight] high-water mark and retired
+          the trigger's whole epoch to bound memory — neither exonerated
+          nor blamed, but counted so operators see the saturation *)
   | Faulty of fault list
 
 type t = {
@@ -56,7 +61,7 @@ val fault_name : fault -> string
 
 val verdict_name : verdict -> string
 (** Short stable label: ["ok"], ["ok-nondet"], ["ok-unverifiable"],
-    ["ok-degraded"], or the ["+"]-joined fault names of a [Faulty]
-    verdict. *)
+    ["ok-degraded"], ["overload"], or the ["+"]-joined fault names of a
+    [Faulty] verdict. *)
 
 val pp : Format.formatter -> t -> unit

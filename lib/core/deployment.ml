@@ -25,17 +25,30 @@ type config = {
   channel : Channel.profile;
   retransmit : Validator.retransmit option;
   degraded_quorum : int option;
+  shards : int;
+  max_inflight : int option;
+  batch_window : Time.t option;
 }
 
 let config ?timeout ?(adaptive_timeout = false) ?(state_aware = true)
     ?(nondet_rule = true) ?(random_secondaries = true)
     ?(policies = Jury_policy.Engine.create []) ?(encapsulation = false)
-    ?(channel = Channel.reliable) ?retransmit ?degraded_quorum ~k () =
+    ?(channel = Channel.reliable) ?retransmit ?degraded_quorum ?(shards = 1)
+    ?max_inflight ?batch ~k () =
   let timeout =
     match timeout with
     | Some t -> t
     | None -> if encapsulation then Time.ms 800 else Time.ms 150
   in
+  if shards < 1 then invalid_arg "Deployment.config: shards must be >= 1";
+  (match max_inflight with
+  | Some m when m < 1 ->
+      invalid_arg "Deployment.config: max_inflight must be >= 1"
+  | _ -> ());
+  (match batch with
+  | Some w when not Time.(w > zero) ->
+      invalid_arg "Deployment.config: batch window must be positive"
+  | _ -> ());
   { k;
     timeout;
     adaptive_timeout;
@@ -51,7 +64,10 @@ let config ?timeout ?(adaptive_timeout = false) ?(state_aware = true)
     encapsulation;
     channel;
     retransmit;
-    degraded_quorum }
+    degraded_quorum;
+    shards = Validator.shards_of_hint shards;
+    max_inflight;
+    batch_window = batch }
 
 type node_module = {
   mutable snapshot : Snapshot.t;
@@ -79,6 +95,10 @@ type t = {
   validator_links : Channel.t array;
       (* replica i → out-of-band validator *)
   inflight : (string, inflight) Hashtbl.t;
+  mutable batch_buf : Response.t list;  (* newest first *)
+  mutable batch_flush : Engine.handle option;
+      (* armed lazily on the first buffered response so an idle engine
+         still drains; [None] whenever the buffer is empty *)
   mutable serial : int;
   mutable raw_serial : int;
   mutable replication_bytes : int;
@@ -121,10 +141,28 @@ let trace_channel_event t ~taint ~phase ~node ~link event =
       ~taint:(Types.Taint.to_string taint) ~phase ~node
       [ ("channel", Channel.name link); ("event", event) ]
 
+(* A response has come off its out-of-band link. Per-event mode hands
+   it straight to the validator (the seed's path, byte-identical);
+   batched mode buffers it and flushes the accumulated tick as one
+   per-shard batch per [batch_window]. *)
+let ingest t (r : Response.t) =
+  match t.cfg.batch_window with
+  | None -> Validator.deliver t.validator r
+  | Some window ->
+      t.batch_buf <- r :: t.batch_buf;
+      if t.batch_flush = None then
+        t.batch_flush <-
+          Some
+            (Engine.schedule t.engine ~after:window (fun () ->
+                 t.batch_flush <- None;
+                 let batch = List.rev t.batch_buf in
+                 t.batch_buf <- [];
+                 Validator.deliver_batch t.validator batch))
+
 let send_to_validator t ~delay (r : Response.t) =
   t.validator_bytes <- t.validator_bytes + response_wire_size r;
   let link = t.validator_links.(r.Response.controller) in
-  match Channel.send link ~delay (fun () -> Validator.deliver t.validator r) with
+  match Channel.send link ~delay (fun () -> ingest t r) with
   | `Delivered -> ()
   | `Dropped ->
       trace_channel_event t ~taint:r.Response.taint
@@ -389,12 +427,22 @@ let install cluster cfg =
   let engine = Cluster.engine cluster in
   let n = Cluster.nodes cluster in
   let profile = Cluster.profile cluster in
+  (* Built as a record literal: the smart constructor is the deprecated
+     public entry point, and [cfg.shards] is already normalised. *)
   let validator_cfg =
-    Validator.config ~state_aware:cfg.state_aware ~nondet_rule:cfg.nondet_rule
-      ~adaptive_timeout:cfg.adaptive_timeout ~policies:cfg.policies
-      ~master_lookup:(fun dpid -> Some (Cluster.master_of cluster dpid))
-      ?retransmit:cfg.retransmit ?degraded_quorum:cfg.degraded_quorum
-      ~k:cfg.k ~timeout:cfg.timeout ()
+    { Validator.k = cfg.k;
+      timeout = cfg.timeout;
+      adaptive_timeout = cfg.adaptive_timeout;
+      min_timeout = Time.ms 10;
+      state_aware = cfg.state_aware;
+      nondet_rule = cfg.nondet_rule;
+      policies = cfg.policies;
+      master_lookup = (fun dpid -> Some (Cluster.master_of cluster dpid));
+      ack_peers_of = (fun _ -> []);
+      retransmit = cfg.retransmit;
+      degraded_quorum = cfg.degraded_quorum;
+      shards = cfg.shards;
+      max_inflight = cfg.max_inflight }
   in
   (* RNG-draw order is load-bearing: the shadow pipelines split the
      engine RNG per node, and the deployment's own split must come
@@ -434,6 +482,8 @@ let install cluster cfg =
               ~name:(Printf.sprintf "validator/%d" i)
               cfg.channel);
       inflight = Hashtbl.create 256;
+      batch_buf = [];
+      batch_flush = None;
       nodes;
       serial = 0;
       raw_serial = 0;

@@ -39,6 +39,15 @@ type config = {
   degraded_quorum : int option;
       (** allow reduced-quorum [Ok_degraded] verdicts on timeout;
           [None] = seed behaviour *)
+  shards : int;
+      (** validator verdict-state shards (power of two; 1 = seed) *)
+  max_inflight : int option;
+      (** validator in-flight high-water mark; [None] = unbounded *)
+  batch_window : Jury_sim.Time.t option;
+      (** when set, responses coming off the out-of-band links are
+          accumulated for this long and handed to the validator as one
+          per-shard batch; [None] = one {!Validator.deliver} per
+          response (seed behaviour) *)
 }
 
 val config :
@@ -46,14 +55,22 @@ val config :
   ?nondet_rule:bool -> ?random_secondaries:bool ->
   ?policies:Jury_policy.Engine.t -> ?encapsulation:bool ->
   ?channel:Channel.profile -> ?retransmit:Validator.retransmit ->
-  ?degraded_quorum:int -> k:int -> unit ->
+  ?degraded_quorum:int -> ?shards:int -> ?max_inflight:int ->
+  ?batch:Jury_sim.Time.t -> k:int -> unit ->
   config
+  [@@deprecated "use Jury_config.make instead"]
 (** Defaults: timeout 150 ms, state-aware consensus and the
     non-determinism rule on, random secondaries, no policies, no
     encapsulation (ONOS mode), reliable channels, no retransmission,
-    no degraded quorum. The ODL profile flips [encapsulation]
+    no degraded quorum, one validator shard, unbounded in-flight state,
+    per-event ingestion. The ODL profile flips [encapsulation]
     and widens the default timeout to 800 ms (set [timeout]
-    explicitly to override). *)
+    explicitly to override). [shards] is a hint, rounded up to the next
+    power of two.
+
+    @deprecated Construct through {!Jury_config.make} /
+    {!Jury_config.deployment}; the record type stays public as the
+    internal representation. *)
 
 type t
 

@@ -1,0 +1,51 @@
+(* The one module allowed to call the deprecated record smart
+   constructors it replaces: this facade IS their successor. Documented
+   in DESIGN.md ("Deprecation policy") — keep this allowlist to exactly
+   this module plus the test that pins facade/record equivalence. *)
+[@@@alert "-deprecated"]
+
+(* Internal representation: the historical deployment record, so the
+   facade adds no translation layer and `deployment` is the identity. *)
+type t = Deployment.config
+
+let retransmit = Validator.retransmit
+
+let lossy_channel = Channel.lossy
+
+let make ?(k = 2) ?timeout ?adaptive_timeout ?state_aware ?nondet_rule
+    ?random_secondaries ?policies ?encapsulation ?channel ?drop ?duplicate
+    ?jitter_us ?retransmit ?degraded_quorum ?shards ?max_inflight ?batch () =
+  if k < 0 then invalid_arg "Jury_config.make: k must be >= 0";
+  let channel =
+    match (channel, drop, duplicate, jitter_us) with
+    | Some c, None, None, None -> Some c
+    | Some _, _, _, _ ->
+        invalid_arg
+          "Jury_config.make: pass either ~channel or ~drop/~duplicate/~jitter_us, not both"
+    | None, None, None, None -> None
+    | None, _, _, _ -> Some (Channel.lossy ?drop ?duplicate ?jitter_us ())
+  in
+  Deployment.config ?timeout ?adaptive_timeout ?state_aware ?nondet_rule
+    ?random_secondaries ?policies ?encapsulation ?channel ?retransmit
+    ?degraded_quorum ?shards ?max_inflight ?batch ~k ()
+
+let deployment t = t
+
+let validator ?min_timeout ?master_lookup ?ack_peers_of (t : t) =
+  Validator.config ~state_aware:t.Deployment.state_aware
+    ~nondet_rule:t.Deployment.nondet_rule
+    ~adaptive_timeout:t.Deployment.adaptive_timeout ?min_timeout
+    ~policies:t.Deployment.policies ?master_lookup ?ack_peers_of
+    ?retransmit:t.Deployment.retransmit
+    ?degraded_quorum:t.Deployment.degraded_quorum
+    ~shards:t.Deployment.shards ?max_inflight:t.Deployment.max_inflight
+    ~k:t.Deployment.k ~timeout:t.Deployment.timeout ()
+
+let install cluster t = Deployment.install cluster (deployment t)
+
+let k (t : t) = t.Deployment.k
+let timeout (t : t) = t.Deployment.timeout
+let shards (t : t) = t.Deployment.shards
+let max_inflight (t : t) = t.Deployment.max_inflight
+let batch_window (t : t) = t.Deployment.batch_window
+let channel (t : t) = t.Deployment.channel

@@ -14,6 +14,15 @@ val record_phase_series :
     Open (never-closed) roots are skipped. [prefix] defaults to
     ["span/"]. *)
 
+val record_validator_shards :
+  ?prefix:string -> Validator.t -> Jury_sim.Metrics.t -> unit
+(** Bump one metrics counter per shard per field
+    ([prefix ^ "shard<i>/pending"], ["/decided"], ["/faults"],
+    ["/batches"], ["/batch-responses"], ["/overloads"],
+    ["/retransmits"], ["/live-epochs"]) plus the current registration
+    epoch under [prefix ^ "epoch"], from {!Validator.shard_stats}.
+    [prefix] defaults to ["validator/"]. *)
+
 val record_channel_counters :
   ?prefix:string -> (string * Channel.stats) list -> Jury_sim.Metrics.t -> unit
 (** Bump one metrics counter per link per field

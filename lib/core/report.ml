@@ -14,6 +14,7 @@ type t = {
   non_deterministic : int;
   unverifiable : int;
   degraded : int;
+  overload : int;
   faulty : int;
   suspects : suspect_row list;
   detection : Jury_stats.Summary.t option;
@@ -25,7 +26,7 @@ let bump tbl key f init =
   | None -> Hashtbl.replace tbl key (f init)
 
 let of_verdicts ~decided ~ok ~non_deterministic ~unverifiable ~degraded
-    verdicts =
+    ~overload verdicts =
   let faulty_alarms = List.filter Alarm.is_fault verdicts in
   let per_suspect = Hashtbl.create 8 in
   List.iter
@@ -75,6 +76,7 @@ let of_verdicts ~decided ~ok ~non_deterministic ~unverifiable ~degraded
     non_deterministic;
     unverifiable;
     degraded;
+    overload;
     faulty = List.length faulty_alarms;
     suspects;
     detection }
@@ -89,6 +91,7 @@ let of_validator v =
       (count (fun a -> a.Alarm.verdict = Alarm.Ok_non_deterministic))
     ~unverifiable:(Validator.unverifiable_count v)
     ~degraded:(Validator.degraded_count v)
+    ~overload:(Validator.overload_count v)
     verdicts
 
 let of_alarms ~decided ~unverifiable alarms =
@@ -99,9 +102,15 @@ let of_alarms ~decided ~unverifiable alarms =
          (fun (a : Alarm.t) -> a.Alarm.verdict = Alarm.Ok_degraded)
          alarms)
   in
+  let overload =
+    List.length
+      (List.filter
+         (fun (a : Alarm.t) -> a.Alarm.verdict = Alarm.Overload)
+         alarms)
+  in
   of_verdicts ~decided
-    ~ok:(decided - faulty - unverifiable - degraded)
-    ~non_deterministic:0 ~unverifiable ~degraded alarms
+    ~ok:(decided - faulty - unverifiable - degraded - overload)
+    ~non_deterministic:0 ~unverifiable ~degraded ~overload alarms
 
 let healthy t = t.faulty = 0
 
@@ -109,19 +118,18 @@ let most_suspect t =
   match t.suspects with [] -> None | s :: _ -> Some s.controller
 
 let pp fmt t =
-  (* The degraded column only appears when degraded verdicts exist, so
-     reports from runs without a lossy channel stay byte-identical to
-     the historical format. *)
-  if t.degraded > 0 then
-    Format.fprintf fmt
-      "validated %d responses: %d ok, %d non-deterministic, %d unverifiable, \
-       %d degraded, %d faulty@."
-      t.decided t.ok t.non_deterministic t.unverifiable t.degraded t.faulty
-  else
-    Format.fprintf fmt
-      "validated %d responses: %d ok, %d non-deterministic, %d unverifiable, \
-       %d faulty@."
-      t.decided t.ok t.non_deterministic t.unverifiable t.faulty;
+  (* The degraded and overload columns only appear when such verdicts
+     exist, so reports from runs without a lossy channel or an
+     in-flight cap stay byte-identical to the historical format. *)
+  let extra =
+    (if t.degraded > 0 then Printf.sprintf ", %d degraded" t.degraded else "")
+    ^
+    if t.overload > 0 then Printf.sprintf ", %d overload" t.overload else ""
+  in
+  Format.fprintf fmt
+    "validated %d responses: %d ok, %d non-deterministic, %d unverifiable%s, \
+     %d faulty@."
+    t.decided t.ok t.non_deterministic t.unverifiable extra t.faulty;
   (match t.detection with
   | Some s ->
       Format.fprintf fmt "detection time (ms): %a@." Jury_stats.Summary.pp s

@@ -21,6 +21,7 @@ type t = {
   non_deterministic : int;
   unverifiable : int;
   degraded : int;  (** reduced-quorum decisions on a lossy channel *)
+  overload : int;  (** triggers force-expired at the in-flight cap *)
   faulty : int;
   suspects : suspect_row list;  (** most-implicated first *)
   detection : Jury_stats.Summary.t option;

@@ -31,5 +31,9 @@ type t = {
   body : body;
 }
 
+val taint_key : t -> string
+(** The stable string form of [taint] — the key the validator's pending
+    tables and shard router hash on. *)
+
 val body_name : body -> string
 val pp : Format.formatter -> t -> unit

@@ -21,6 +21,20 @@ type retransmit = {
 let global_decided = Atomic.make 0
 let total_decided () = Atomic.get global_decided
 
+(* Same contract for the sharded-ingestion counters: per-shard batches
+   handed to [deliver_batch] and triggers force-expired at the
+   [max_inflight] high-water mark. *)
+let global_batches = Atomic.make 0
+let total_batches () = Atomic.get global_batches
+let global_overloads = Atomic.make 0
+let total_overloads () = Atomic.get global_overloads
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let shards_of_hint hint = max 1 (next_pow2 hint)
+
 let retransmit ?(fraction = 0.4) ?(backoff = 2.0) ?(max_retries = 2) () =
   if not (fraction > 0. && fraction <= 1.) then
     invalid_arg "Validator.retransmit: fraction must be in (0, 1]";
@@ -42,21 +56,32 @@ type config = {
   ack_peers_of : int -> int list;
   retransmit : retransmit option;
   degraded_quorum : int option;
+  shards : int;
+  max_inflight : int option;
 }
 
 let config ?(state_aware = true) ?(nondet_rule = true)
     ?(adaptive_timeout = false) ?(min_timeout = Time.ms 10)
     ?(policies = Jury_policy.Engine.create []) ?(master_lookup = fun _ -> None)
-    ?(ack_peers_of = fun _ -> []) ?retransmit ?degraded_quorum ~k ~timeout () =
+    ?(ack_peers_of = fun _ -> []) ?retransmit ?degraded_quorum ?(shards = 1)
+    ?max_inflight ~k ~timeout () =
   (match degraded_quorum with
   | Some q when q < 1 ->
       invalid_arg "Validator.config: degraded_quorum must be >= 1"
   | _ -> ());
+  if shards < 1 then invalid_arg "Validator.config: shards must be >= 1";
+  (match max_inflight with
+  | Some m when m < 1 ->
+      invalid_arg "Validator.config: max_inflight must be >= 1"
+  | _ -> ());
   { k; timeout; adaptive_timeout; min_timeout; state_aware; nondet_rule;
-    policies; master_lookup; ack_peers_of; retransmit; degraded_quorum }
+    policies; master_lookup; ack_peers_of; retransmit; degraded_quorum;
+    shards = shards_of_hint shards; max_inflight }
 
 type pending = {
   taint : Types.Taint.t;
+  shard : int;  (* owning shard, fixed by hash(taint) at creation *)
+  epoch : int;  (* registration epoch, for bulk retirement *)
   mutable trigger_at : Time.t;
   mutable primary : int option;
   mutable secondaries : int list;
@@ -67,14 +92,44 @@ type pending = {
   mutable retry_timer : Engine.handle option;
 }
 
+(* One shard of verdict state: its own pending table, retransmission
+   timer wheel (the retry timers of its pendings, tracked by
+   [s_retry_armed]), epoch buckets and verdict counters. Taints hash to
+   a shard; with [shards = 1] everything lands in shard 0 and the data
+   structures behave byte-for-byte like the historical flat table. *)
+type shard = {
+  index : int;
+  pending : (string, pending) Hashtbl.t;
+  epochs : (int, string list ref) Hashtbl.t;
+      (* epoch -> keys registered in it, newest first. Decided keys stay
+         as tombstones until the whole bucket retires — removal is a
+         bulk drop of the bucket, not a per-key scan. *)
+  mutable s_decided : int;
+  mutable s_faults : int;
+  mutable s_unverifiable : int;
+  mutable s_degraded : int;
+  mutable s_overloads : int;
+  mutable s_duplicates : int;
+  mutable s_late : int;
+  mutable s_retransmits : int;
+  mutable s_retry_armed : int;
+  mutable s_stragglers : int;
+  mutable s_batches : int;
+  mutable s_batch_responses : int;
+}
+
 type t = {
   engine : Engine.t;
   cfg : config;
-  pending : (string, pending) Hashtbl.t;
+  shards : shard array;  (* length = cfg.shards, a power of two *)
   flow_mirror : (string, Of_message.flow_mod) Hashtbl.t;
       (* validator-side FLOWSDB state, built from every cache update it
          has seen; lets the sanity check accept a re-sent FLOW_MOD whose
-         cache entry predates this trigger *)
+         cache entry predates this trigger. Shared across shards: the
+         mirror is FLOWSDB replica state, not per-trigger state. *)
+  epoch_length : int;  (* registrations per epoch *)
+  mutable reg_count : int;
+  mutable epoch_now : int;
   mutable verdicts : Alarm.t list;  (* newest first *)
   mutable alarm_handler : Alarm.t -> unit;
   mutable verdict_handler : Alarm.t -> unit;
@@ -83,14 +138,6 @@ type t = {
          registration order without quadratic appends *)
   mutable verdict_observers : (Alarm.t -> unit) list;
   mutable retransmit_handler : Types.Taint.t -> secondary:int -> unit;
-  mutable decided_count : int;
-  mutable fault_count : int;
-  mutable unverifiable_count : int;
-  mutable degraded_count : int;
-  mutable duplicate_count : int;
-  mutable late_count : int;
-  mutable retransmit_count : int;
-  mutable straggler_count : int;
   (* Adaptive validation timeout (the paper's SVIII-1 extension): track
      recent completion latencies RTO-style and size theta-tau as
      srtt + 4*rttvar, clamped to [min_timeout, timeout]. *)
@@ -99,28 +146,51 @@ type t = {
   mutable rtt_samples : int;
 }
 
+let make_shard index =
+  { index;
+    pending = Hashtbl.create 256;
+    epochs = Hashtbl.create 16;
+    s_decided = 0;
+    s_faults = 0;
+    s_unverifiable = 0;
+    s_degraded = 0;
+    s_overloads = 0;
+    s_duplicates = 0;
+    s_late = 0;
+    s_retransmits = 0;
+    s_retry_armed = 0;
+    s_stragglers = 0;
+    s_batches = 0;
+    s_batch_responses = 0 }
+
 let create engine cfg =
   { engine;
     cfg;
-    pending = Hashtbl.create 256;
+    shards = Array.init cfg.shards make_shard;
     flow_mirror = Hashtbl.create 256;
+    epoch_length =
+      (* Small enough epochs that the high-water mark always has a few
+         retired-candidate buckets behind the current one. *)
+      (match cfg.max_inflight with
+      | Some m -> max 1 (m / 4)
+      | None -> 1024);
+    reg_count = 0;
+    epoch_now = 0;
     verdicts = [];
     alarm_handler = (fun _ -> ());
     verdict_handler = (fun _ -> ());
     response_observers = [];
     verdict_observers = [];
     retransmit_handler = (fun _ ~secondary:_ -> ());
-    decided_count = 0;
-    fault_count = 0;
-    unverifiable_count = 0;
-    degraded_count = 0;
-    duplicate_count = 0;
-    late_count = 0;
-    retransmit_count = 0;
-    straggler_count = 0;
     srtt_ms = Time.to_float_ms cfg.timeout /. 4.;
     rttvar_ms = Time.to_float_ms cfg.timeout /. 8.;
     rtt_samples = 0 }
+
+let shard_count t = Array.length t.shards
+
+let shard_of t key =
+  let n = Array.length t.shards in
+  if n = 1 then 0 else Hashtbl.hash key land (n - 1)
 
 let current_timeout t =
   if t.cfg.adaptive_timeout && t.rtt_samples >= 20 then begin
@@ -617,13 +687,18 @@ let run_policy t p ~origin ~external_ actions =
 (* --- Decision --- *)
 
 let finish t p (verdict : Alarm.verdict) ~suspects ~detail =
+  let sh = t.shards.(p.shard) in
   p.decided <- true;
   (match p.timer with Some h -> Engine.cancel h | None -> ());
-  (match p.retry_timer with Some h -> Engine.cancel h | None -> ());
+  (match p.retry_timer with
+  | Some h ->
+      Engine.cancel h;
+      sh.s_retry_armed <- sh.s_retry_armed - 1
+  | None -> ());
   p.retry_timer <- None;
   let stragglers = stragglers p in
-  t.straggler_count <- t.straggler_count + List.length stragglers;
-  Hashtbl.remove t.pending (Types.Taint.to_string p.taint);
+  sh.s_stragglers <- sh.s_stragglers + List.length stragglers;
+  Hashtbl.remove sh.pending (Types.Taint.to_string p.taint);
   let alarm =
     { Alarm.taint = p.taint;
       trigger_at = p.trigger_at;
@@ -658,14 +733,17 @@ let finish t p (verdict : Alarm.verdict) ~suspects ~detail =
        [ ("verdict", Alarm.verdict_name verdict) ]
    end);
   t.verdicts <- alarm :: t.verdicts;
-  t.decided_count <- t.decided_count + 1;
+  sh.s_decided <- sh.s_decided + 1;
   ignore (Atomic.fetch_and_add global_decided 1);
   (match verdict with
   | Alarm.Faulty _ ->
-      t.fault_count <- t.fault_count + 1;
+      sh.s_faults <- sh.s_faults + 1;
       t.alarm_handler alarm
-  | Alarm.Ok_unverifiable -> t.unverifiable_count <- t.unverifiable_count + 1
-  | Alarm.Ok_degraded -> t.degraded_count <- t.degraded_count + 1
+  | Alarm.Ok_unverifiable -> sh.s_unverifiable <- sh.s_unverifiable + 1
+  | Alarm.Ok_degraded -> sh.s_degraded <- sh.s_degraded + 1
+  | Alarm.Overload ->
+      sh.s_overloads <- sh.s_overloads + 1;
+      ignore (Atomic.fetch_and_add global_overloads 1)
   | Alarm.Ok_valid | Alarm.Ok_non_deterministic -> ());
   t.verdict_handler alarm;
   List.iter (fun f -> f alarm) (List.rev t.verdict_observers)
@@ -869,6 +947,7 @@ let retry_delay t (rt : retransmit) round =
   Time.of_float_ms (theta *. rt.fraction *. (rt.backoff ** float_of_int round))
 
 let rec arm_retry t p rt =
+  t.shards.(p.shard).s_retry_armed <- t.shards.(p.shard).s_retry_armed + 1;
   p.retry_timer <-
     Some
       (Engine.schedule t.engine
@@ -876,31 +955,122 @@ let rec arm_retry t p rt =
          (fun () -> fire_retry t p rt))
 
 and fire_retry t p (rt : retransmit) =
+  let sh = t.shards.(p.shard) in
   p.retry_timer <- None;
+  sh.s_retry_armed <- sh.s_retry_armed - 1;
   if not p.decided then begin
     match stragglers p with
     | [] -> () (* everyone answered; no more retries needed *)
     | missing ->
         List.iter
           (fun secondary ->
-            t.retransmit_count <- t.retransmit_count + 1;
+            sh.s_retransmits <- sh.s_retransmits + 1;
             t.retransmit_handler p.taint ~secondary)
           missing;
         p.retry_round <- p.retry_round + 1;
         if p.retry_round < rt.max_retries then arm_retry t p rt
   end
 
+(* --- Epoch bookkeeping and the in-flight high-water mark --- *)
+
+let inflight t =
+  Array.fold_left (fun acc sh -> acc + Hashtbl.length sh.pending) 0 t.shards
+
+(* Bulk-free retired epochs: a bucket at least two epochs old whose keys
+   are all decided (tombstones) is dropped wholesale; one with live
+   stragglers is compacted down to them. *)
+let retire_decided_epochs t =
+  Array.iter
+    (fun sh ->
+      let stale =
+        Hashtbl.fold
+          (fun e keys acc ->
+            if e <= t.epoch_now - 2 then (e, keys) :: acc else acc)
+          sh.epochs []
+      in
+      List.iter
+        (fun (e, keys) ->
+          let live = List.filter (Hashtbl.mem sh.pending) !keys in
+          if live = [] then Hashtbl.remove sh.epochs e else keys := live)
+        stale)
+    t.shards
+
+let oldest_epoch t =
+  Array.fold_left
+    (fun acc sh ->
+      Hashtbl.fold
+        (fun e _ acc ->
+          match acc with Some b when b <= e -> acc | _ -> Some e)
+        sh.epochs acc)
+    None t.shards
+
+(* Force-decide every still-undecided trigger registered in epoch [e],
+   oldest registration first, then drop the epoch's buckets. *)
+let force_expire_epoch t e =
+  Array.iter
+    (fun sh ->
+      match Hashtbl.find_opt sh.epochs e with
+      | None -> ()
+      | Some keys ->
+          let ks = List.rev !keys in
+          Hashtbl.remove sh.epochs e;
+          List.iter
+            (fun key ->
+              match Hashtbl.find_opt sh.pending key with
+              | Some p when not p.decided ->
+                  finish t p Alarm.Overload ~suspects:[]
+                    ~detail:
+                      (Printf.sprintf
+                         "epoch %d force-expired at max_inflight high-water \
+                          mark"
+                         e)
+              | _ -> ())
+            ks)
+    t.shards
+
+(* Called before each registration. Expiring the oldest epoch first
+   mirrors the paper's argument that a verdict delayed past several
+   epochs of newer traffic has lost its diagnostic value anyway. *)
+let enforce_inflight t =
+  match t.cfg.max_inflight with
+  | None -> ()
+  | Some m ->
+      let looping = ref true in
+      while !looping && inflight t >= m do
+        match oldest_epoch t with
+        | Some e when e < t.epoch_now -> force_expire_epoch t e
+        | _ -> looping := false (* never eat the epoch being filled *)
+      done
+
+let note_registration t shard key =
+  enforce_inflight t;
+  t.reg_count <- t.reg_count + 1;
+  let epoch = t.reg_count / t.epoch_length in
+  if epoch > t.epoch_now then begin
+    t.epoch_now <- epoch;
+    retire_decided_epochs t
+  end;
+  let sh = t.shards.(shard) in
+  (match Hashtbl.find_opt sh.epochs epoch with
+  | Some keys -> keys := key :: !keys
+  | None -> Hashtbl.add sh.epochs epoch (ref [ key ]));
+  epoch
+
 let get_pending t taint =
   let key = Types.Taint.to_string taint in
-  match Hashtbl.find_opt t.pending key with
+  let shard = shard_of t key in
+  match Hashtbl.find_opt t.shards.(shard).pending key with
   | Some p -> Some p
   | None ->
       if Types.Taint.is_external taint then None
         (* external triggers must be registered by the replicator; a
            stray tainted response after decision is dropped *)
       else begin
+        let epoch = note_registration t shard key in
         let p =
           { taint;
+            shard;
+            epoch;
             trigger_at = Engine.now t.engine;
             primary = None;
             secondaries = [];
@@ -910,15 +1080,19 @@ let get_pending t taint =
             retry_round = 0;
             retry_timer = None }
         in
-        Hashtbl.add t.pending key p;
+        Hashtbl.add t.shards.(shard).pending key p;
         Some p
       end
 
 let register_external t ~taint ~at ~primary ~secondaries =
   let key = Types.Taint.to_string taint in
-  if not (Hashtbl.mem t.pending key) then begin
+  let shard = shard_of t key in
+  if not (Hashtbl.mem t.shards.(shard).pending key) then begin
+    let epoch = note_registration t shard key in
     let p =
       { taint;
+        shard;
+        epoch;
         trigger_at = at;
         primary = Some primary;
         secondaries;
@@ -928,7 +1102,7 @@ let register_external t ~taint ~at ~primary ~secondaries =
         retry_round = 0;
         retry_timer = None }
     in
-    Hashtbl.add t.pending key p;
+    Hashtbl.add t.shards.(shard).pending key p;
     arm_timer t p;
     match t.cfg.retransmit with
     | Some rt when rt.max_retries > 0 && secondaries <> [] ->
@@ -973,10 +1147,14 @@ let deliver t (r : Response.t) =
   List.iter (fun f -> f r) (List.rev t.response_observers);
   update_flow_mirror t r;
   match get_pending t r.taint with
-  | None -> t.late_count <- t.late_count + 1
+  | None ->
+      let sh = t.shards.(shard_of t (Response.taint_key r)) in
+      sh.s_late <- sh.s_late + 1
   | Some p ->
-      if duplicate_response p r then
-        t.duplicate_count <- t.duplicate_count + 1
+      if duplicate_response p r then begin
+        let sh = t.shards.(p.shard) in
+        sh.s_duplicates <- sh.s_duplicates + 1
+      end
       else if not p.decided then begin
         (if p.primary = None then
            match Types.Taint.primary_of r.taint with
@@ -998,6 +1176,42 @@ let deliver t (r : Response.t) =
         end
       end
 
+(* Batched ingestion: one call delivers a whole simulated tick's worth
+   of responses, partitioned per shard so each shard's table is touched
+   once per batch. Responses keep their arrival order within a shard,
+   so a per-event caller and a batching caller drive each shard's state
+   machine through the same transitions. *)
+let deliver_batch t rs =
+  match rs with
+  | [] -> ()
+  | rs ->
+      let n = Array.length t.shards in
+      let per_shard = Array.make n [] in
+      List.iter
+        (fun (r : Response.t) ->
+          let i = shard_of t (Response.taint_key r) in
+          per_shard.(i) <- r :: per_shard.(i))
+        rs;
+      Array.iteri
+        (fun i bucket ->
+          match bucket with
+          | [] -> ()
+          | bucket ->
+              let sh = t.shards.(i) in
+              let size = List.length bucket in
+              sh.s_batches <- sh.s_batches + 1;
+              sh.s_batch_responses <- sh.s_batch_responses + size;
+              ignore (Atomic.fetch_and_add global_batches 1);
+              (let tr = Engine.trace t.engine in
+               if Jury_obs.Trace.enabled tr then
+                 Jury_obs.Trace.global_point tr
+                   ~t_ns:(Engine.now_ns t.engine)
+                   ~phase:Jury_obs.Trace.Batch
+                   [ ("shard", string_of_int i);
+                     ("responses", string_of_int size) ]);
+              List.iter (deliver t) (List.rev bucket))
+        per_shard
+
 let verdicts t = List.rev t.verdicts
 let alarms t = List.filter Alarm.is_fault (verdicts t)
 
@@ -1006,18 +1220,57 @@ let detection_times_ms t =
   |> List.map (fun a -> Time.to_float_ms (Alarm.detection_time a))
   |> Array.of_list
 
-let decided_count t = t.decided_count
-let fault_count t = t.fault_count
-let pending_count t = Hashtbl.length t.pending
-let unverifiable_count t = t.unverifiable_count
-let degraded_count t = t.degraded_count
-let duplicate_count t = t.duplicate_count
-let late_count t = t.late_count
-let retransmit_count t = t.retransmit_count
-let straggler_count t = t.straggler_count
+let sum t f = Array.fold_left (fun acc sh -> acc + f sh) 0 t.shards
+let decided_count t = sum t (fun sh -> sh.s_decided)
+let fault_count t = sum t (fun sh -> sh.s_faults)
+let pending_count t = inflight t
+let unverifiable_count t = sum t (fun sh -> sh.s_unverifiable)
+let degraded_count t = sum t (fun sh -> sh.s_degraded)
+let overload_count t = sum t (fun sh -> sh.s_overloads)
+let duplicate_count t = sum t (fun sh -> sh.s_duplicates)
+let late_count t = sum t (fun sh -> sh.s_late)
+let retransmit_count t = sum t (fun sh -> sh.s_retransmits)
+let straggler_count t = sum t (fun sh -> sh.s_stragglers)
+let batch_count t = sum t (fun sh -> sh.s_batches)
+let batched_response_count t = sum t (fun sh -> sh.s_batch_responses)
+let current_epoch t = t.epoch_now
+
+type shard_stats = {
+  shard_index : int;
+  shard_pending : int;
+  shard_decided : int;
+  shard_faults : int;
+  shard_batches : int;
+  shard_batch_responses : int;
+  shard_overloads : int;
+  shard_retransmits : int;
+  shard_retry_armed : int;
+  shard_live_epochs : int;
+}
+
+let shard_stats t =
+  Array.to_list
+    (Array.map
+       (fun sh ->
+         { shard_index = sh.index;
+           shard_pending = Hashtbl.length sh.pending;
+           shard_decided = sh.s_decided;
+           shard_faults = sh.s_faults;
+           shard_batches = sh.s_batches;
+           shard_batch_responses = sh.s_batch_responses;
+           shard_overloads = sh.s_overloads;
+           shard_retransmits = sh.s_retransmits;
+           shard_retry_armed = sh.s_retry_armed;
+           shard_live_epochs = Hashtbl.length sh.epochs })
+       t.shards)
 
 let flush t =
-  let ps = Hashtbl.fold (fun _ p acc -> p :: acc) t.pending [] in
-  List.iter (fun p -> evaluate t p ~timed_out:true) ps
+  (* Shard 0 first, each shard folded like the seed's single table, so
+     [shards = 1] flushes in the historical order. *)
+  Array.iter
+    (fun sh ->
+      let ps = Hashtbl.fold (fun _ p acc -> p :: acc) sh.pending [] in
+      List.iter (fun p -> evaluate t p ~timed_out:true) ps)
+    t.shards
 
 let current_timeout_value = current_timeout

@@ -29,9 +29,13 @@ type retransmit = {
 
 val retransmit :
   ?fraction:float -> ?backoff:float -> ?max_retries:int -> unit -> retransmit
+  [@@deprecated "use Jury_config.retransmit instead"]
 (** Defaults: fraction 0.4, backoff 2.0, max_retries 2 — i.e. retries
     at 0.4·θτ and 1.2·θτ after registration. Raises [Invalid_argument]
-    on out-of-range values. *)
+    on out-of-range values.
+
+    @deprecated Construct through {!Jury_config.retransmit}; the record
+    type stays public as the internal representation. *)
 
 type config = {
   k : int;                     (** replication factor *)
@@ -63,6 +67,16 @@ type config = {
           equivalent-view responses all agree — and number at least
           this quorum — is decided [Ok_degraded] instead of raising a
           response-timeout alarm; [None] = seed behaviour *)
+  shards : int;
+      (** verdict-state shards; taints hash to a shard, each shard owns
+          its pending table, retransmission timer wheel, epoch buckets
+          and verdict counters. Always a power of two; 1 = the seed's
+          flat table *)
+  max_inflight : int option;
+      (** high-water mark on in-flight (undecided) triggers; when
+          registration would exceed it the oldest epoch is force-expired
+          with {!Alarm.Overload} verdicts instead of growing without
+          bound. [None] = unbounded (seed behaviour) *)
 }
 
 val config :
@@ -72,8 +86,19 @@ val config :
   ?master_lookup:(Jury_openflow.Of_types.Dpid.t -> int option) ->
   ?ack_peers_of:(int -> int list) ->
   ?retransmit:retransmit -> ?degraded_quorum:int ->
+  ?shards:int -> ?max_inflight:int ->
   k:int -> timeout:Jury_sim.Time.t ->
   unit -> config
+  [@@deprecated "use Jury_config.make instead"]
+(** [shards] is a hint, rounded up to [max 1 (next_pow2 shards)].
+
+    @deprecated Construct through {!Jury_config.make} (the validated
+    builder facade); the record type stays public as the internal
+    representation. *)
+
+val shards_of_hint : int -> int
+(** [max 1 (next_pow2 hint)] — the normalisation {!config} applies to
+    its [shards] hint, exported so literal record constructors agree. *)
 
 type t
 
@@ -88,6 +113,13 @@ val register_external :
 
 val deliver : t -> Response.t -> unit
 (** A response arrives on the out-of-band channel. *)
+
+val deliver_batch : t -> Response.t list -> unit
+(** Deliver a whole simulated tick's worth of responses in one call:
+    the batch is partitioned by shard (arrival order preserved within
+    each shard) and each non-empty shard ingests its sub-batch in one
+    go, bumping that shard's batch counters. [deliver_batch t [r]] and
+    [deliver t r] drive identical state transitions. *)
 
 val set_alarm_handler : t -> (Alarm.t -> unit) -> unit
 (** Called for every {e faulty} verdict, at decision time. *)
@@ -146,8 +178,53 @@ val straggler_count : t -> int
 (** Secondary slots that never produced an execution response by
     decision time, summed over all decided triggers. *)
 
+val overload_count : t -> int
+(** Triggers force-expired with an {!Alarm.Overload} verdict at the
+    [max_inflight] high-water mark, summed over shards. *)
+
+val batch_count : t -> int
+(** Per-shard batches ingested via {!deliver_batch}. *)
+
+val batched_response_count : t -> int
+(** Responses that arrived inside a {!deliver_batch} call. *)
+
+val total_batches : unit -> int
+(** Process-wide {!batch_count}, same contract as {!total_decided}. *)
+
+val total_overloads : unit -> int
+(** Process-wide {!overload_count}, same contract as
+    {!total_decided}. *)
+
+val current_epoch : t -> int
+(** The registration epoch currently being filled. *)
+
+(** {1 Shard introspection} *)
+
+val shard_count : t -> int
+(** Number of verdict-state shards ([config.shards]). *)
+
+type shard_stats = {
+  shard_index : int;
+  shard_pending : int;  (** in-flight triggers owned by this shard *)
+  shard_decided : int;
+  shard_faults : int;
+  shard_batches : int;
+  shard_batch_responses : int;
+  shard_overloads : int;
+  shard_retransmits : int;
+  shard_retry_armed : int;  (** retry timers live in this shard's wheel *)
+  shard_live_epochs : int;  (** epoch buckets not yet bulk-freed *)
+}
+
+val shard_stats : t -> shard_stats list
+(** One entry per shard, in shard order — the fan-out evidence the
+    bench's [--json] report and {!Obs_bridge.record_validator_shards}
+    surface. *)
+
 val flush : t -> unit
-(** Force-decide everything still pending (end of an experiment). *)
+(** Force-decide everything still pending (end of an experiment).
+    Shards flush in index order; each shard's table is folded exactly
+    like the seed's single flat table. *)
 
 val current_timeout_value : t -> Jury_sim.Time.t
 (** The θτ a trigger registered now would get (adaptive or fixed). *)

@@ -78,7 +78,7 @@ let mark_faulty env nodes =
 let detection_run ~seed ~profile ~k ~m ~rate ~duration ~encapsulation =
   let env =
     Setup.make ~seed
-      ~jury:(Jury.Deployment.config ~k ~encapsulation ())
+      ~jury:(Jury.Jury_config.make ~k ~encapsulation ())
       ~profile ~nodes:7 ()
   in
   let faulty = List.init m (fun i -> 2 + i) in
@@ -101,7 +101,7 @@ let detection_phase_cdfs ?(seed = 42) ?(duration = Time.sec 5)
   let trace = Jury_obs.Trace.create ~capacity:1_000_000 () in
   let env =
     Setup.make ~seed ~trace
-      ~jury:(Jury.Deployment.config ~k:6 ())
+      ~jury:(Jury.Jury_config.make ~k:6 ())
       ~profile:Profile.onos ~nodes:7 ()
   in
   mark_faulty env [ 2 ];
@@ -156,7 +156,7 @@ let fig4d ?pool ?(seed = 45) ?(duration = Time.sec 10) () =
     (fun (profile : Traces.profile) ->
       let env =
         Setup.make ~seed:(seed + String.length profile.Traces.name)
-          ~jury:(Jury.Deployment.config ~k:6 ())
+          ~jury:(Jury.Jury_config.make ~k:6 ())
           ~profile:Profile.onos ~nodes:7 ()
       in
       mark_faulty env faulty_nodes;
@@ -296,7 +296,7 @@ let fig4h ?pool ?(seed = 50) ?(duration = Time.sec 3)
     (None, "Without Jury, n = 7")
     :: List.map
          (fun k ->
-           ( Some (Jury.Deployment.config ~k ()),
+           ( Some (Jury.Jury_config.make ~k ()),
              Printf.sprintf "Jury, n = 7, k = %d" k ))
          [ 2; 4; 6 ]
   in
@@ -321,7 +321,7 @@ let fig4i ?pool ?(seed = 51) ?(duration = Time.sec 5)
   par ?pool rates (fun rate ->
       let env =
         Setup.make ~seed:(seed + int_of_float rate)
-          ~jury:(Jury.Deployment.config ~k:6 ~encapsulation:true ())
+          ~jury:(Jury.Jury_config.make ~k:6 ~encapsulation:true ())
           ~profile:Profile.odl ~nodes:7 ()
       in
       let deployment = Option.get env.Setup.deployment in
@@ -348,7 +348,7 @@ let mbps bytes seconds = 8. *. float_of_int bytes /. 1e6 /. seconds
 let overhead_run ~seed ~profile ~k ~rate ~duration ~encapsulation ~config =
   let env =
     Setup.make ~seed
-      ~jury:(Jury.Deployment.config ~k ~encapsulation ())
+      ~jury:(Jury.Jury_config.make ~k ~encapsulation ())
       ~profile ~nodes:7 ()
   in
   let deployment = Option.get env.Setup.deployment in
@@ -442,7 +442,7 @@ let ablation_state_aware ?pool ?(seed = 53) ?(duration = Time.sec 8)
     (fun (state_aware, mode) ->
       let env =
         Setup.make ~seed
-          ~jury:(Jury.Deployment.config ~k:4 ~state_aware ())
+          ~jury:(Jury.Jury_config.make ~k:4 ~state_aware ())
           ~profile:Profile.onos ~nodes:7 ()
       in
       let t0 = Engine.now env.Setup.engine in
@@ -459,7 +459,7 @@ let ablation_timeout ?pool ?(seed = 54) ?(duration = Time.sec 8)
   par ?pool timeouts_ms (fun timeout_ms ->
       let env =
         Setup.make ~seed
-          ~jury:(Jury.Deployment.config ~k:6 ~timeout:(Time.ms timeout_ms) ())
+          ~jury:(Jury.Jury_config.make ~k:6 ~timeout:(Time.ms timeout_ms) ())
           ~profile:Profile.onos ~nodes:7 ()
       in
       let t0 = Engine.now env.Setup.engine in
@@ -492,7 +492,7 @@ let ablation_adaptive_timeout ?pool ?(seed = 56) ?(duration = Time.sec 8) () =
       let env =
         Setup.make ~seed
           ~jury:
-            (Jury.Deployment.config ~k:4 ~timeout
+            (Jury.Jury_config.make ~k:4 ~timeout
                ~adaptive_timeout:adaptive ())
           ~profile:Profile.onos ~nodes:7 ()
       in
@@ -528,7 +528,7 @@ let ablation_nondeterminism ?pool ?(seed = 57) ?(duration = Time.sec 5) () =
       let plan = Jury_topo.Builder.three_tier ~hosts_per_edge:2 () in
       let env =
         Setup.make ~seed ~plan
-          ~jury:(Jury.Deployment.config ~k:4 ~nondet_rule ())
+          ~jury:(Jury.Jury_config.make ~k:4 ~nondet_rule ())
           ~profile ~nodes:7 ()
       in
       let t0 = Engine.now env.Setup.engine in
@@ -569,7 +569,7 @@ let lossy_channel ?pool ?(seed = 58) ?(duration = Time.sec 5) ?(rate = 3000.)
     let env =
       Setup.make ~seed
         ~jury:
-          (Jury.Deployment.config ~k:2 ~channel ?retransmit ?degraded_quorum
+          (Jury.Jury_config.make ~k:2 ~channel ?retransmit ?degraded_quorum
              ())
         ~profile:Profile.onos ~nodes:7 ()
     in
@@ -611,7 +611,7 @@ let lossy_channel ?pool ?(seed = 58) ?(duration = Time.sec 5) ?(rate = 3000.)
       ("lossy", lossy, None, None);
       ( "lossy+retx",
         lossy,
-        Some (Jury.Validator.retransmit ()),
+        Some (Jury.Jury_config.retransmit ()),
         Some 2 ) ]
     (fun (mode, channel, retransmit, degraded_quorum) ->
       run ~mode ~channel ~retransmit ~degraded_quorum)
@@ -645,3 +645,55 @@ let ablation_secondary_selection ?pool ?(seed = 55) ?(repeats = 10) () =
       (label, detected, repeats))
     modes
     (chunks repeats reports)
+
+(* --- Validator scaling: trigger rate x shard count --- *)
+
+type scale_row = {
+  vs_rate : float;
+  vs_shards : int;
+  vs_decided : int;
+  vs_overloads : int;
+  vs_batches : int;
+  vs_batched_responses : int;
+  vs_shard_batches : int list;
+  vs_wall_s : float;
+  vs_verdicts_per_s : float;
+}
+
+let validator_scale ?pool ?(seed = 59) ?(duration = Time.sec 3)
+    ?(rates = [ 1000.; 3000. ]) ?(shard_counts = [ 1; 2; 4 ]) ?max_inflight
+    ?(batch = Time.us 200) () =
+  let cells =
+    List.concat_map
+      (fun rate -> List.map (fun shards -> (rate, shards)) shard_counts)
+      rates
+  in
+  par ?pool cells (fun (rate, shards) ->
+      let t_start = Sys.time () in
+      let env =
+        Setup.make
+          ~seed:(seed + int_of_float rate)
+          ~jury:(Jury.Jury_config.make ~k:2 ~shards ?max_inflight ~batch ())
+          ~profile:Profile.onos ~nodes:7 ()
+      in
+      let t0 = Engine.now env.Setup.engine in
+      Flows.controlled_mix env.Setup.network ~rng:env.Setup.rng
+        ~packet_in_rate:rate ~duration;
+      Setup.run_for env (Time.add duration (Time.sec 2));
+      let wall = Sys.time () -. t_start in
+      let v = Setup.validator env in
+      let decided, _, _ = Setup.verdict_stats_since env ~since:t0 in
+      { vs_rate = rate;
+        vs_shards = Jury.Validator.shard_count v;
+        vs_decided = decided;
+        vs_overloads = Jury.Validator.overload_count v;
+        vs_batches = Jury.Validator.batch_count v;
+        vs_batched_responses = Jury.Validator.batched_response_count v;
+        vs_shard_batches =
+          List.map
+            (fun (s : Jury.Validator.shard_stats) ->
+              s.Jury.Validator.shard_batches)
+            (Jury.Validator.shard_stats v);
+        vs_wall_s = wall;
+        vs_verdicts_per_s =
+          (if wall > 0. then float_of_int decided /. wall else 0.) })

@@ -12,13 +12,14 @@ type env = {
 
 val make :
   ?seed:int -> ?switches:int -> ?hosts_per_switch:int ->
-  ?plan:Jury_topo.Builder.plan -> ?jury:Jury.Deployment.config ->
+  ?plan:Jury_topo.Builder.plan -> ?jury:Jury.Jury_config.t ->
   ?trace:Jury_obs.Trace.t ->
   profile:Jury_controller.Profile.t -> nodes:int -> unit -> env
 (** Build, converge (LLDP discovery), join all hosts, and settle.
     Defaults: the paper's Mininet workload topology (linear, 24
-    switches, 1 host each); pass [plan] for another topology. [trace]
-    is attached to the engine before anything runs. *)
+    switches, 1 host each); pass [plan] for another topology. [jury]
+    comes from {!Jury.Jury_config.make}; omit it for a vanilla cluster.
+    [trace] is attached to the engine before anything runs. *)
 
 val run_for : env -> Jury_sim.Time.t -> unit
 (** Advance the simulation by the given span. *)

@@ -22,7 +22,8 @@ type env = {
 
 let run_env ?(seed = 11) ?(nodes = 7) ?(k = 6) ?(faulty = 2)
     ?(extra_slow = []) ?(switches = 24) ?(random_secondaries = true) ?trace
-    ?channel ?retransmit ?degraded_quorum (scenario : Scenarios.t) =
+    ?channel ?retransmit ?degraded_quorum ?shards ?max_inflight ?batch
+    (scenario : Scenarios.t) =
   let engine = Engine.create ~seed () in
   Option.iter (Engine.set_trace engine) trace;
   let plan = Builder.linear ~switches ~hosts_per_switch:1 in
@@ -34,26 +35,10 @@ let run_env ?(seed = 11) ?(nodes = 7) ?(k = 6) ?(faulty = 2)
     Cluster.create engine ~profile:scenario.Scenarios.profile ~nodes ~network
       ()
   in
-  let policies =
-    match scenario.Scenarios.policy with
-    | None -> Jury_policy.Engine.create []
-    | Some src -> (
-        match Jury_policy.Engine.of_dsl src with
-        | Ok e -> e
-        | Error msg -> failwith ("scenario policy: " ^ msg))
-  in
-  let encapsulation =
-    scenario.Scenarios.profile.Jury_controller.Profile.name <> "onos"
-  in
-  let channel =
-    match channel with
-    | Some c -> c
-    | None -> scenario.Scenarios.channel
-  in
   let deployment =
-    Jury.Deployment.install cluster
-      (Jury.Deployment.config ~k ~policies ~encapsulation
-         ~random_secondaries ~channel ?retransmit ?degraded_quorum ())
+    Jury.Jury_config.install cluster
+      (Scenarios.jury_config scenario ~k ~random_secondaries ?channel
+         ?retransmit ?degraded_quorum ?shards ?max_inflight ?batch ())
   in
   let ctx =
     { Scenarios.cluster;
@@ -98,11 +83,12 @@ let run_env ?(seed = 11) ?(nodes = 7) ?(k = 6) ?(faulty = 2)
   (report, { cluster; network; deployment; faulty })
 
 let run ?seed ?nodes ?k ?faulty ?extra_slow ?switches ?random_secondaries
-    ?trace ?channel ?retransmit ?degraded_quorum scenario =
+    ?trace ?channel ?retransmit ?degraded_quorum ?shards ?max_inflight ?batch
+    scenario =
   fst
     (run_env ?seed ?nodes ?k ?faulty ?extra_slow ?switches
        ?random_secondaries ?trace ?channel ?retransmit ?degraded_quorum
-       scenario)
+       ?shards ?max_inflight ?batch scenario)
 
 let run_matrix ?pool ?(seed = 11) ?(repeats = 1) ?(seed_stride = 13) ?nodes
     ?k ?faulty ?extra_slow ?switches ?random_secondaries scenarios =

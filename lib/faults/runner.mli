@@ -29,14 +29,17 @@ val run :
   ?trace:Jury_obs.Trace.t ->
   ?channel:Jury.Channel.profile ->
   ?retransmit:Jury.Validator.retransmit ->
-  ?degraded_quorum:int -> Scenarios.t -> report
+  ?degraded_quorum:int ->
+  ?shards:int -> ?max_inflight:int -> ?batch:Jury_sim.Time.t ->
+  Scenarios.t -> report
 (** Defaults match the paper's worst case: 7 nodes, full replication
     (k = 6), faulty replica 2, a linear 24-switch topology. [extra_slow]
     marks additional replicas as timing-faulty (the m = 2 setting).
     [trace], when given, is attached to the engine before anything is
     scheduled, so it observes the full run. [channel] overrides the
-    scenario's loss model; [retransmit] and [degraded_quorum] pass
-    through to {!Jury.Deployment.config}. *)
+    scenario's loss model; [retransmit], [degraded_quorum], [shards],
+    [max_inflight] and [batch] pass through to
+    {!Jury.Jury_config.make} via {!Scenarios.jury_config}. *)
 
 val run_matrix :
   ?pool:Jury_par.Pool.t -> ?seed:int -> ?repeats:int -> ?seed_stride:int ->
@@ -57,7 +60,9 @@ val run_env :
   ?trace:Jury_obs.Trace.t ->
   ?channel:Jury.Channel.profile ->
   ?retransmit:Jury.Validator.retransmit ->
-  ?degraded_quorum:int -> Scenarios.t -> report * env
+  ?degraded_quorum:int ->
+  ?shards:int -> ?max_inflight:int -> ?batch:Jury_sim.Time.t ->
+  Scenarios.t -> report * env
 (** Like {!run} but also returns the live environment for inspection. *)
 
 val pp_report : Format.formatter -> report -> unit

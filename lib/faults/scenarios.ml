@@ -462,3 +462,22 @@ let all =
 
 let find name = List.find_opt (fun s -> s.name = name) all
 let names = List.map (fun s -> s.name) all
+
+(* --- JURY configuration for a scenario --- *)
+
+let jury_config (t : t) ?(k = 6) ?(random_secondaries = true) ?channel
+    ?retransmit ?degraded_quorum ?shards ?max_inflight ?batch () =
+  let policies =
+    match t.policy with
+    | None -> Jury_policy.Engine.create []
+    | Some src -> (
+        match Jury_policy.Engine.of_dsl src with
+        | Ok e -> e
+        | Error msg -> failwith ("scenario policy: " ^ msg))
+  in
+  (* ONOS replicates raw stores; the other profiles wrap updates in an
+     encapsulation layer JURY must strip (§IV-B). *)
+  let encapsulation = t.profile.Profile.name <> "onos" in
+  let channel = match channel with Some c -> c | None -> t.channel in
+  Jury.Jury_config.make ~k ~random_secondaries ~policies ~encapsulation
+    ~channel ?retransmit ?degraded_quorum ?shards ?max_inflight ?batch ()

@@ -56,3 +56,17 @@ val pending_add_stuck : t
 val controller_crash : t
 (** Fail-stop crash, reported by JURY as response omissions (§III-B's
     explicit caveat). *)
+
+val jury_config :
+  t ->
+  ?k:int -> ?random_secondaries:bool ->
+  ?channel:Jury.Channel.profile ->
+  ?retransmit:Jury.Validator.retransmit ->
+  ?degraded_quorum:int ->
+  ?shards:int -> ?max_inflight:int -> ?batch:Jury_sim.Time.t ->
+  unit -> Jury.Jury_config.t
+(** The {!Jury.Jury_config.t} a scenario calls for: its policy DSL
+    compiled, encapsulation chosen from the controller profile, and the
+    scenario's channel loss model (overridable with [?channel]).
+    Defaults to the paper's worst case, k = 6. The remaining knobs pass
+    straight through to {!Jury.Jury_config.make}. *)

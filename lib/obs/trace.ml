@@ -8,11 +8,12 @@ type phase =
   | Cache_write
   | Net_write
   | Validate
+  | Batch
   | Verdict
 
 let all_phases =
   [ Trigger; Intercept; Replicate; Pipeline_service; Cache_write; Net_write;
-    Validate; Verdict ]
+    Validate; Batch; Verdict ]
 
 let phase_name = function
   | Trigger -> "trigger"
@@ -22,6 +23,7 @@ let phase_name = function
   | Cache_write -> "cache-write"
   | Net_write -> "net-write"
   | Validate -> "validate"
+  | Batch -> "batch"
   | Verdict -> "verdict"
 
 let phase_of_name = function
@@ -32,6 +34,7 @@ let phase_of_name = function
   | "cache-write" -> Some Cache_write
   | "net-write" -> Some Net_write
   | "validate" -> Some Validate
+  | "batch" -> Some Batch
   | "verdict" -> Some Verdict
   | _ -> None
 

@@ -1,0 +1,267 @@
+(* Tests for the Jury_config builder facade and the sharded/bounded
+   validator state behind it: facade defaults must reproduce the
+   literal seed record byte-for-byte, shard count must not change
+   verdicts, max_inflight must shed load as Overload verdicts, and the
+   process-wide counters must support per-run deltas. *)
+
+open Jury_sim
+module Types = Jury_controller.Types
+module Validator = Jury.Validator
+module Response = Jury.Response
+module Snapshot = Jury.Snapshot
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Build, converge and drive a small benign cluster with [deployment_of]
+   supplying the JURY deployment; returns verdict statistics plus the
+   exact detection-time samples, which double as a byte-for-byte
+   fingerprint of the run. *)
+let drive deployment_of =
+  let engine = Engine.create ~seed:42 () in
+  let plan = Jury_topo.Builder.linear ~switches:8 ~hosts_per_switch:1 in
+  let network = Jury_net.Network.create engine plan () in
+  let cluster =
+    Jury_controller.Cluster.create engine
+      ~profile:Jury_controller.Profile.onos ~nodes:5 ~network ()
+  in
+  let deployment = deployment_of cluster in
+  Jury_controller.Cluster.converge cluster;
+  List.iter Jury_net.Host.join (Jury_net.Network.hosts network);
+  Engine.run engine ~until:(Time.add (Engine.now engine) (Time.sec 1));
+  let rng = Rng.split (Engine.rng engine) in
+  Jury_workload.Flows.controlled_mix network ~rng ~packet_in_rate:800.
+    ~duration:(Time.sec 2);
+  Engine.run engine ~until:(Time.add (Engine.now engine) (Time.sec 4));
+  let v = Jury.Deployment.validator deployment in
+  ( Validator.decided_count v,
+    Validator.fault_count v,
+    Array.to_list (Validator.detection_times_ms v),
+    v )
+
+(* The seed deployment as a literal record — every default spelled out.
+   Must stay in sync with what [Jury_config.make ()] builds; the test
+   below pins the two together. *)
+let seed_record () =
+  { Jury.Deployment.k = 2;
+    timeout = Time.ms 150;
+    adaptive_timeout = false;
+    state_aware = true;
+    nondet_rule = true;
+    random_secondaries = true;
+    policies = Jury_policy.Engine.create [];
+    validator_latency = Time.us 120;
+    validator_jitter_us = 60.;
+    replication_latency = Time.us 200;
+    chatter_cost = Time.us 13;
+    chatter_bytes = 96;
+    encapsulation = false;
+    channel = Jury.Channel.reliable;
+    retransmit = None;
+    degraded_quorum = None;
+    shards = 1;
+    max_inflight = None;
+    batch_window = None }
+
+let test_facade_defaults_match_literal_record () =
+  let facade =
+    drive (fun cluster ->
+        Jury.Jury_config.install cluster (Jury.Jury_config.make ()))
+  in
+  let literal =
+    drive (fun cluster -> Jury.Deployment.install cluster (seed_record ()))
+  in
+  let (fd, ff, ft, _), (ld, lf, lt, _) = (facade, literal) in
+  check_int "decided" ld fd;
+  check_int "faults" lf ff;
+  Alcotest.(check (list (float 0.))) "detection times byte-for-byte" lt ft
+
+let test_shards_do_not_change_verdicts () =
+  let run shards =
+    drive (fun cluster ->
+        Jury.Jury_config.install cluster (Jury.Jury_config.make ~shards ()))
+  in
+  let d1, f1, t1, v1 = run 1 in
+  let d4, f4, t4, v4 = run 4 in
+  check_int "shard_count normalised" 4 (Validator.shard_count v4);
+  check_int "shard_count seed" 1 (Validator.shard_count v1);
+  check_int "decided identical" d1 d4;
+  check_int "faults identical" f1 f4;
+  Alcotest.(check (list (float 0.))) "detection times identical" t1 t4
+
+let test_batching_fans_out_across_shards () =
+  let run shards =
+    drive (fun cluster ->
+        Jury.Jury_config.install cluster
+          (Jury.Jury_config.make ~shards ~batch:(Time.us 200) ()))
+  in
+  let d1, f1, _, v1 = run 1 in
+  let d4, f4, _, v4 = run 4 in
+  check_int "decided identical under batching" d1 d4;
+  check_int "faults identical under batching" f1 f4;
+  check_bool "batches delivered" true (Validator.batch_count v4 > 0);
+  check_int "every response batched"
+    (Validator.batched_response_count v1)
+    (Validator.batched_response_count v4);
+  let busy_shards =
+    Validator.shard_stats v4
+    |> List.filter (fun (s : Validator.shard_stats) ->
+           s.Validator.shard_batches > 0)
+    |> List.length
+  in
+  check_bool "batches spread over several shards" true (busy_shards > 1)
+
+(* --- bare-validator paths: overload shedding, batch equivalence --- *)
+
+let register v ~serial =
+  Validator.register_external v
+    ~taint:(Types.Taint.external_trigger ~primary:0 ~serial)
+    ~at:Time.zero ~primary:0 ~secondaries:[ 1; 2 ]
+
+let bare_validator ?shards ?max_inflight () =
+  let engine = Engine.create () in
+  let cfg =
+    Jury.Jury_config.validator
+      ~ack_peers_of:(fun _ -> [])
+      (Jury.Jury_config.make ~k:2 ~timeout:(Time.ms 100) ?shards
+         ?max_inflight ())
+  in
+  (engine, Validator.create engine cfg)
+
+let test_max_inflight_sheds_as_overload () =
+  let _, v = bare_validator ~max_inflight:8 () in
+  for serial = 0 to 39 do
+    register v ~serial
+  done;
+  check_bool "inflight bounded near the high-water mark" true
+    (Validator.pending_count v <= 16);
+  check_bool "overloads recorded" true (Validator.overload_count v > 0);
+  let overload_verdicts =
+    Validator.verdicts v
+    |> List.filter (fun (a : Jury.Alarm.t) ->
+           a.Jury.Alarm.verdict = Jury.Alarm.Overload)
+  in
+  check_int "counter matches Overload verdicts"
+    (Validator.overload_count v)
+    (List.length overload_verdicts);
+  check_int "everything is either pending, decided ok, or shed" 40
+    (Validator.pending_count v + Validator.decided_count v)
+
+let responses n =
+  List.concat_map
+    (fun serial ->
+      let taint = Types.Taint.external_trigger ~primary:0 ~serial in
+      List.map
+        (fun controller ->
+          { Response.controller;
+            taint;
+            snapshot = Snapshot.pristine;
+            sent_at = Time.zero;
+            body =
+              Response.Execution
+                { role = (if controller = 0 then `Primary else `Secondary);
+                  actions = [] } })
+        [ 0; 1; 2 ])
+    (List.init n (fun i -> i))
+
+let test_deliver_batch_matches_per_event () =
+  let run ~batched ~shards =
+    let _, v = bare_validator ~shards () in
+    for serial = 0 to 9 do
+      register v ~serial
+    done;
+    let rs = responses 10 in
+    if batched then Validator.deliver_batch v rs
+    else List.iter (Validator.deliver v) rs;
+    v
+  in
+  let a = run ~batched:false ~shards:1 in
+  let b = run ~batched:true ~shards:1 in
+  let c = run ~batched:true ~shards:4 in
+  check_int "per-event decided" 10 (Validator.decided_count a);
+  check_int "batched decided" (Validator.decided_count a)
+    (Validator.decided_count b);
+  check_int "batched sharded decided" (Validator.decided_count a)
+    (Validator.decided_count c);
+  check_int "no batches on the per-event path" 0 (Validator.batch_count a);
+  check_int "one batch per non-empty shard, single shard" 1
+    (Validator.batch_count b);
+  check_int "all responses counted as batched" 30
+    (Validator.batched_response_count b);
+  check_bool "sharded batch split into per-shard sub-batches" true
+    (Validator.batch_count c > 1)
+
+let test_process_counters_support_per_run_deltas () =
+  (* The bench's --json report computes per-experiment deltas of the
+     process-wide counters; two back-to-back runs must each account for
+     exactly their own work. *)
+  let run_once () =
+    let _, v = bare_validator () in
+    for serial = 0 to 4 do
+      register v ~serial
+    done;
+    Validator.deliver_batch v (responses 5);
+    (Validator.decided_count v, Validator.batch_count v)
+  in
+  let d0 = Validator.total_decided () and b0 = Validator.total_batches () in
+  let decided1, batches1 = run_once () in
+  let d1 = Validator.total_decided () and b1 = Validator.total_batches () in
+  check_int "first run's decided delta" decided1 (d1 - d0);
+  check_int "first run's batch delta" batches1 (b1 - b0);
+  let decided2, batches2 = run_once () in
+  let d2 = Validator.total_decided () and b2 = Validator.total_batches () in
+  check_int "second run's decided delta" decided2 (d2 - d1);
+  check_int "second run's batch delta" batches2 (b2 - b1)
+
+let test_obs_bridge_exports_shard_counters () =
+  let _, v = bare_validator ~shards:2 () in
+  for serial = 0 to 3 do
+    register v ~serial
+  done;
+  Validator.deliver_batch v (responses 4);
+  let metrics = Jury_sim.Metrics.create () in
+  Jury.Obs_bridge.record_validator_shards v metrics;
+  check_int "per-shard decided counters sum to the total"
+    (Validator.decided_count v)
+    (Jury_sim.Metrics.count metrics "validator/shard0/decided"
+    + Jury_sim.Metrics.count metrics "validator/shard1/decided");
+  check_int "per-shard batch counters sum to the total"
+    (Validator.batch_count v)
+    (Jury_sim.Metrics.count metrics "validator/shard0/batches"
+    + Jury_sim.Metrics.count metrics "validator/shard1/batches");
+  check_int "epoch gauge exported" (Validator.current_epoch v)
+    (Jury_sim.Metrics.count metrics "validator/epoch")
+
+let test_make_validates () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check_bool "negative k rejected" true
+    (raises (fun () -> Jury.Jury_config.make ~k:(-1) ()));
+  check_bool "channel and drop together rejected" true
+    (raises (fun () ->
+         Jury.Jury_config.make ~channel:Jury.Channel.reliable ~drop:0.1 ()));
+  check_bool "zero max_inflight rejected" true
+    (raises (fun () -> Jury.Jury_config.make ~max_inflight:0 ()));
+  check_bool "shard hint rounded up" true
+    (Jury.Jury_config.shards (Jury.Jury_config.make ~shards:3 ()) = 4)
+
+let suite =
+  [ Alcotest.test_case "facade defaults = literal record" `Slow
+      test_facade_defaults_match_literal_record;
+    Alcotest.test_case "shards=1 vs 4 verdict-identical" `Slow
+      test_shards_do_not_change_verdicts;
+    Alcotest.test_case "batching fans out across shards" `Slow
+      test_batching_fans_out_across_shards;
+    Alcotest.test_case "max_inflight sheds as Overload" `Quick
+      test_max_inflight_sheds_as_overload;
+    Alcotest.test_case "deliver_batch = per-event deliver" `Quick
+      test_deliver_batch_matches_per_event;
+    Alcotest.test_case "process counters give per-run deltas" `Quick
+      test_process_counters_support_per_run_deltas;
+    Alcotest.test_case "obs bridge exports shard counters" `Quick
+      test_obs_bridge_exports_shard_counters;
+    Alcotest.test_case "make validates its arguments" `Quick
+      test_make_validates ]

@@ -12,7 +12,7 @@ let check_int = Alcotest.(check int)
 let test_setup_env () =
   let env =
     Setup.make ~seed:3 ~switches:4
-      ~jury:(Jury.Deployment.config ~k:2 ())
+      ~jury:(Jury.Jury_config.make ~k:2 ())
       ~profile:Jury_controller.Profile.onos ~nodes:3 ()
   in
   check_bool "validator available" true
@@ -79,7 +79,7 @@ let test_packet_out_peak () =
 let test_overhead_accounting () =
   let env =
     Setup.make ~seed:11 ~switches:4
-      ~jury:(Jury.Deployment.config ~k:2 ())
+      ~jury:(Jury.Jury_config.make ~k:2 ())
       ~profile:Jury_controller.Profile.onos ~nodes:3 ()
   in
   let dep = Option.get env.Setup.deployment in
@@ -101,7 +101,7 @@ let test_odl_encapsulated_path () =
      PACKET_INs; every replica pays a measured decapsulation cost. *)
   let env =
     Setup.make ~seed:13 ~switches:4
-      ~jury:(Jury.Deployment.config ~k:2 ~encapsulation:true ())
+      ~jury:(Jury.Jury_config.make ~k:2 ~encapsulation:true ())
       ~profile:Jury_controller.Profile.odl ~nodes:3 ()
   in
   let dep = Option.get env.Setup.deployment in

@@ -88,9 +88,11 @@ let mk_validator ?(k = 2) ?policies ?(timeout = Time.ms 100) ?retransmit
     ?degraded_quorum () =
   let engine = Engine.create () in
   let cfg =
-    Validator.config ?policies ?retransmit ?degraded_quorum ~k ~timeout
+    Jury.Jury_config.validator
       ~ack_peers_of:(fun o -> [ (o + 1) mod 4; (o + 2) mod 4 ])
-      ~master_lookup:(fun _ -> Some 0) ()
+      ~master_lookup:(fun _ -> Some 0)
+      (Jury.Jury_config.make ?policies ?retransmit ?degraded_quorum ~k
+         ~timeout ())
   in
   (engine, Validator.create engine cfg)
 
@@ -226,8 +228,10 @@ let test_validator_naive_majority_false_alarm () =
      primary — the ablation's false-positive mechanism. *)
   let engine = Engine.create () in
   let cfg =
-    Validator.config ~state_aware:false ~k:2 ~timeout:(Time.ms 100)
-      ~ack_peers_of:(fun _ -> []) ()
+    Jury.Jury_config.validator
+      ~ack_peers_of:(fun _ -> [])
+      (Jury.Jury_config.make ~state_aware:false ~k:2 ~timeout:(Time.ms 100)
+         ())
   in
   let v = Validator.create engine cfg in
   let dpid = Dpid.of_int 1 in
@@ -438,8 +442,10 @@ let test_validator_flush () =
 let test_adaptive_timeout_shrinks () =
   let engine = Engine.create () in
   let cfg =
-    Validator.config ~adaptive_timeout:true ~k:0 ~timeout:(Time.ms 500)
-      ~ack_peers_of:(fun _ -> []) ()
+    Jury.Jury_config.validator
+      ~ack_peers_of:(fun _ -> [])
+      (Jury.Jury_config.make ~adaptive_timeout:true ~k:0
+         ~timeout:(Time.ms 500) ())
   in
   let v = Validator.create engine cfg in
   check_bool "starts at max" true
@@ -546,7 +552,9 @@ let test_duplicate_response_not_double_counted () =
     | _ -> false)
 
 let test_retransmit_backoff_and_cap () =
-  let rt = Validator.retransmit ~fraction:0.2 ~backoff:2.0 ~max_retries:2 () in
+  let rt =
+    Jury.Jury_config.retransmit ~fraction:0.2 ~backoff:2.0 ~max_retries:2 ()
+  in
   let engine, v = mk_validator ~retransmit:rt () in
   let calls = ref [] in
   Validator.set_retransmit_handler v (fun _taint ~secondary ->
@@ -670,7 +678,7 @@ let test_deployment_benign_and_faulty () =
     Jury_controller.Cluster.create engine
       ~profile:Jury_controller.Profile.onos ~nodes:5 ~network ()
   in
-  let dep = Jury.Deployment.install cluster (Jury.Deployment.config ~k:2 ()) in
+  let dep = Jury.Jury_config.install cluster (Jury.Jury_config.make ~k:2 ()) in
   let v = Jury.Deployment.validator dep in
   Jury_controller.Cluster.converge cluster;
   List.iter Jury_net.Host.join (Jury_net.Network.hosts network);
@@ -722,9 +730,9 @@ let prop_validator_total =
     (fun deliveries ->
       let engine = Engine.create () in
       let cfg =
-        Validator.config ~k:2 ~timeout:(Time.ms 50)
+        Jury.Jury_config.validator
           ~ack_peers_of:(fun o -> [ (o + 1) mod 4 ])
-          ()
+          (Jury.Jury_config.make ~k:2 ~timeout:(Time.ms 50) ())
       in
       let v = Validator.create engine cfg in
       let taints =
