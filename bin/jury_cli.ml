@@ -547,6 +547,72 @@ let policy_cmd =
   Cmd.v (Cmd.info "policy" ~doc:"Parse and lint a policy file")
     Term.(const run $ file_arg)
 
+let check_cmd =
+  let cases_arg =
+    Arg.(value & opt int 100
+         & info [ "cases" ] ~docv:"N" ~doc:"Number of random cases to fuzz.")
+  in
+  let max_shrink_arg =
+    Arg.(value & opt int 200
+         & info [ "max-shrink" ] ~docv:"N"
+             ~doc:"Re-execution budget for minimising each failing case \
+                   (0 disables shrinking).")
+  in
+  let oracle_arg =
+    Arg.(value & opt (some string) None
+         & info [ "oracle" ] ~docv:"FAMILY"
+             ~doc:"Restrict the battery to one oracle family (one of: \
+                   $(b,conservation), $(b,sharding), $(b,batching), \
+                   $(b,parallel), $(b,channel), $(b,obs)).")
+  in
+  let run cases seed jobs max_shrink family =
+    let oracles =
+      match family with
+      | None -> Jury_check.Oracle.all
+      | Some f -> (
+          match Jury_check.Oracle.by_family f with
+          | [] ->
+              Printf.eprintf "unknown oracle family %S (known: %s)\n" f
+                (String.concat ", " Jury_check.Oracle.families);
+              exit 2
+          | os -> os)
+    in
+    let jobs = Option.value jobs ~default:1 in
+    Printf.printf
+      "fuzzing %d case(s) from seed %d (%d oracle(s), %d job(s))\n%!" cases
+      seed (List.length oracles) jobs;
+    let summary =
+      Jury_check.Harness.run ~log:print_endline ~jobs ~oracles ~max_shrink
+        ~cases ~seed ()
+    in
+    match summary.Jury_check.Harness.failures with
+    | [] ->
+        Printf.printf "all %d case(s) upheld every invariant\n"
+          summary.Jury_check.Harness.cases
+    | fs ->
+        Printf.printf "%d of %d case(s) FAILED\n" (List.length fs)
+          summary.Jury_check.Harness.cases;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Property-based fuzzing of the validator invariants"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Generates random cases (topology, workload, fault schedule, \
+               channel and validator configuration), runs each through the \
+               full deployment, and checks the oracle battery: verdict \
+               conservation, shard-count independence, batching and \
+               serial/parallel equivalence, channel counter conservation \
+               and observability consistency.";
+           `P "Case $(i,i) of a run with --seed $(i,s) is generated from \
+               seed $(i,s+i); every failure report prints that per-case \
+               seed, and $(b,check --cases 1 --seed) $(i,s+i) replays the \
+               case bit-for-bit. Failing cases are shrunk to a minimal \
+               repro and printed as a corpus entry for test/repros." ])
+    Term.(const run $ cases_arg $ Common.seed $ Common.jobs $ max_shrink_arg
+          $ oracle_arg)
+
 let () =
   let info =
     Cmd.info "jury-cli"
@@ -556,4 +622,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; scenario_cmd; matrix_cmd; simulate_cmd; failover_cmd;
-            trace_cmd; validator_scale_cmd; policy_cmd ]))
+            trace_cmd; validator_scale_cmd; policy_cmd; check_cmd ]))

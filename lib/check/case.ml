@@ -1,0 +1,244 @@
+type topo_kind = Linear | Ring | Star | Single
+type workload_kind = Mix | Connections | Joins | Blast
+
+type fault_action =
+  | Slow of { node : int; delay_ms : int }
+  | Lossy of { node : int; omit : float }
+  | Crash of { node : int }
+  | Drop_sends of { node : int }
+  | Blackhole of { node : int }
+  | Lock_cache of { node : int; cache : string }
+  | Heal of { node : int }
+
+type fault_event = { at_ms : int; action : fault_action }
+
+type t = {
+  case_seed : int;
+  topo : topo_kind;
+  switches : int;
+  hosts_per_switch : int;
+  nodes : int;
+  k : int;
+  odl : bool;
+  workload : workload_kind;
+  rate : float;
+  duration_ms : int;
+  faults : fault_event list;
+  drop : float;
+  duplicate : float;
+  jitter_us : float;
+  retries : int;
+  degraded_quorum : int option;
+  shards : int;
+  max_inflight : int option;
+  batch_us : int option;
+  triggers : int;
+}
+
+(* Locked caches must be ones the controllers actually write during a
+   benign run, so the fault has something to block. *)
+let lockable_caches =
+  [ Jury_store.Cache_names.flowsdb; Jury_store.Cache_names.linksdb;
+    Jury_store.Cache_names.switchdb; Jury_store.Cache_names.hostdb ]
+
+let gen_fault_action ~nodes : fault_action Gen.t =
+  let open Gen in
+  bind (int_in 0 (nodes - 1)) (fun node ->
+      frequency_gen
+        [ (3, map (fun delay_ms -> Slow { node; delay_ms }) (int_in 5 120));
+          (2, map (fun omit -> Lossy { node; omit }) (float_in 0.2 0.9));
+          (1, return (Crash { node }));
+          (2, return (Drop_sends { node }));
+          (2, return (Blackhole { node }));
+          (1, map (fun cache -> Lock_cache { node; cache })
+               (choose lockable_caches));
+          (1, return (Heal { node })) ])
+
+let gen : int -> t Gen.t =
+ fun case_seed ->
+  let open Gen in
+  bind (frequency [ (5, Linear); (2, Ring); (2, Star); (1, Single) ])
+  @@ fun topo ->
+  bind (int_in 2 6) @@ fun switches ->
+  bind (int_in 1 2) @@ fun hosts_per_switch ->
+  bind (int_in 3 5) @@ fun nodes ->
+  bind (int_in 1 (nodes - 1)) @@ fun k ->
+  bind (bernoulli 0.25) @@ fun odl ->
+  bind (frequency [ (5, Mix); (3, Connections); (1, Joins); (1, Blast) ])
+  @@ fun workload ->
+  bind (float_in 100. 900.) @@ fun rate ->
+  bind (int_in 200 800) @@ fun duration_ms ->
+  bind
+    (list_of ~len:(int_in 0 4)
+       (bind (int_in 0 duration_ms) (fun at_ms ->
+            map (fun action -> { at_ms; action }) (gen_fault_action ~nodes))))
+  @@ fun faults ->
+  bind (frequency_gen [ (5, return 0.); (5, float_in 0.01 0.15) ])
+  @@ fun drop ->
+  bind (frequency_gen [ (7, return 0.); (3, float_in 0.005 0.05) ])
+  @@ fun duplicate ->
+  bind (frequency_gen [ (6, return 0.); (4, float_in 10. 200.) ])
+  @@ fun jitter_us ->
+  bind (int_in 0 2) @@ fun retries ->
+  bind (option 0.3 (int_in 1 k)) @@ fun degraded_quorum ->
+  bind (choose [ 1; 2; 4 ]) @@ fun shards ->
+  bind (option 0.2 (int_in 64 512)) @@ fun max_inflight ->
+  bind (option 0.4 (int_in 50 500)) @@ fun batch_us ->
+  map
+    (fun triggers ->
+      { case_seed;
+        topo;
+        (* A ring degenerates below three switches; the builder rejects
+           it, so the generator never proposes one. *)
+        switches = (if topo = Ring then max 3 switches else switches);
+        (* Cbench blasts SYNs between two hosts on one switch. *)
+        hosts_per_switch = (if workload = Blast then 2 else hosts_per_switch);
+        nodes;
+        k;
+        odl;
+        workload;
+        rate;
+        duration_ms;
+        faults = List.sort (fun a b -> compare a.at_ms b.at_ms) faults;
+        drop;
+        duplicate;
+        jitter_us;
+        retries;
+        degraded_quorum;
+        shards;
+        max_inflight;
+        batch_us;
+        triggers })
+    (int_in 5 40)
+
+let generate ~seed = Gen.run ~seed (gen seed)
+
+let zero_loss t = t.drop = 0. && t.duplicate = 0. && t.jitter_us = 0.
+
+let channel t =
+  Jury.Jury_config.lossy_channel ~drop:t.drop ~duplicate:t.duplicate
+    ~jitter_us:t.jitter_us ()
+
+let jury_config ?shards ?batch_us ?(force_reliable = false) t =
+  let shards = Option.value shards ~default:t.shards in
+  let batch_us = Option.value batch_us ~default:t.batch_us in
+  let channel =
+    if force_reliable then (
+      if not (zero_loss t) then
+        invalid_arg "Case.jury_config: force_reliable on a lossy case";
+      Jury.Channel.reliable)
+    else channel t
+  in
+  let retransmit =
+    if t.retries > 0 then
+      Some (Jury.Jury_config.retransmit ~max_retries:t.retries ())
+    else None
+  in
+  Jury.Jury_config.make ~k:t.k ~encapsulation:t.odl ~channel ?retransmit
+    ?degraded_quorum:t.degraded_quorum ~shards ?max_inflight:t.max_inflight
+    ?batch:(Option.map Jury_sim.Time.us batch_us)
+    ()
+
+(* --- rendering --- *)
+
+let topo_name = function
+  | Linear -> "Linear"
+  | Ring -> "Ring"
+  | Star -> "Star"
+  | Single -> "Single"
+
+let workload_name = function
+  | Mix -> "Mix"
+  | Connections -> "Connections"
+  | Joins -> "Joins"
+  | Blast -> "Blast"
+
+let action_name = function
+  | Slow { node; delay_ms } -> Printf.sprintf "slow(%d,%dms)" node delay_ms
+  | Lossy { node; omit } -> Printf.sprintf "lossy(%d,%.2f)" node omit
+  | Crash { node } -> Printf.sprintf "crash(%d)" node
+  | Drop_sends { node } -> Printf.sprintf "drop-sends(%d)" node
+  | Blackhole { node } -> Printf.sprintf "blackhole(%d)" node
+  | Lock_cache { node; cache } -> Printf.sprintf "lock(%d,%s)" node cache
+  | Heal { node } -> Printf.sprintf "heal(%d)" node
+
+let pp ppf t =
+  Format.fprintf ppf
+    "seed=%d %s sw=%d hps=%d n=%d k=%d %s %s rate=%.0f dur=%dms faults=[%s] \
+     drop=%.3f dup=%.3f jit=%.0fus retries=%d degq=%s shards=%d inflight=%s \
+     batch=%s triggers=%d"
+    t.case_seed (topo_name t.topo) t.switches t.hosts_per_switch t.nodes t.k
+    (if t.odl then "odl" else "onos")
+    (workload_name t.workload) t.rate t.duration_ms
+    (String.concat ";"
+       (List.map
+          (fun f -> Printf.sprintf "%dms:%s" f.at_ms (action_name f.action))
+          t.faults))
+    t.drop t.duplicate t.jitter_us t.retries
+    (match t.degraded_quorum with None -> "-" | Some q -> string_of_int q)
+    t.shards
+    (match t.max_inflight with None -> "-" | Some m -> string_of_int m)
+    (match t.batch_us with None -> "-" | Some b -> string_of_int b ^ "us")
+    t.triggers
+
+(* Exact decimal round-trip, and a valid OCaml literal. *)
+let float_lit f =
+  if Float.is_integer f && Float.abs f < 1e9 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let option_lit f = function
+  | None -> "None"
+  | Some v -> Printf.sprintf "Some %s" (f v)
+
+let action_ocaml = function
+  | Slow { node; delay_ms } ->
+      Printf.sprintf "Jury_check.Case.Slow { node = %d; delay_ms = %d }" node
+        delay_ms
+  | Lossy { node; omit } ->
+      Printf.sprintf "Jury_check.Case.Lossy { node = %d; omit = %s }" node
+        (float_lit omit)
+  | Crash { node } -> Printf.sprintf "Jury_check.Case.Crash { node = %d }" node
+  | Drop_sends { node } ->
+      Printf.sprintf "Jury_check.Case.Drop_sends { node = %d }" node
+  | Blackhole { node } ->
+      Printf.sprintf "Jury_check.Case.Blackhole { node = %d }" node
+  | Lock_cache { node; cache } ->
+      Printf.sprintf "Jury_check.Case.Lock_cache { node = %d; cache = %S }"
+        node cache
+  | Heal { node } -> Printf.sprintf "Jury_check.Case.Heal { node = %d }" node
+
+let to_ocaml ?(indent = "  ") t =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (indent ^ s ^ "\n")) fmt in
+  Buffer.add_string b "{ Jury_check.Case.case_seed = ";
+  Buffer.add_string b (string_of_int t.case_seed);
+  Buffer.add_string b ";\n";
+  line "topo = Jury_check.Case.%s;" (topo_name t.topo);
+  line "switches = %d;" t.switches;
+  line "hosts_per_switch = %d;" t.hosts_per_switch;
+  line "nodes = %d;" t.nodes;
+  line "k = %d;" t.k;
+  line "odl = %b;" t.odl;
+  line "workload = Jury_check.Case.%s;" (workload_name t.workload);
+  line "rate = %s;" (float_lit t.rate);
+  line "duration_ms = %d;" t.duration_ms;
+  line "faults =";
+  line "  [ %s ];"
+    (String.concat ";\n    "
+       (List.map
+          (fun f ->
+            Printf.sprintf "{ Jury_check.Case.at_ms = %d; action = %s }"
+              f.at_ms (action_ocaml f.action))
+          t.faults));
+  line "drop = %s;" (float_lit t.drop);
+  line "duplicate = %s;" (float_lit t.duplicate);
+  line "jitter_us = %s;" (float_lit t.jitter_us);
+  line "retries = %d;" t.retries;
+  line "degraded_quorum = %s;" (option_lit string_of_int t.degraded_quorum);
+  line "shards = %d;" t.shards;
+  line "max_inflight = %s;" (option_lit string_of_int t.max_inflight);
+  line "batch_us = %s;" (option_lit string_of_int t.batch_us);
+  line "triggers = %d }" t.triggers;
+  Buffer.contents b
+
+let equal = ( = )

@@ -1,0 +1,96 @@
+(** A generated fuzz case: one complete, replayable JURY scenario.
+
+    A case bundles everything one end-to-end run depends on — topology,
+    cluster shape, workload, fault schedule, channel loss model and
+    {!Jury.Jury_config} knobs — as a record of scalars. Two properties
+    make the harness work:
+
+    + {b Replayability}: {!generate} is a pure function of the seed, so
+      any case (and thus any failure) is reproduced bit-identically
+      from the single integer printed in the failure report.
+    + {b Shrinkability}: every axis is an independent field, so
+      {!Shrink} can minimise a failing case by moving one field at a
+      time toward its smallest value and re-checking the oracle.
+
+    Hand-written cases (the {e repro corpus} under [test/repros/]) use
+    the same record type; {!to_ocaml} renders any case as an OCaml
+    literal ready to append there. *)
+
+type topo_kind =
+  | Linear  (** the paper's Mininet chain *)
+  | Ring
+  | Star    (** one core, [switches] leaves *)
+  | Single  (** one switch, [switches] hosts *)
+
+type workload_kind =
+  | Mix          (** {!Jury_workload.Flows.controlled_mix} *)
+  | Connections  (** {!Jury_workload.Flows.new_connections} *)
+  | Joins        (** {!Jury_workload.Flows.host_joins} *)
+  | Blast        (** {!Jury_workload.Cbench.blast} at host 0's switch *)
+
+(** One reversible fault lever applied to a replica mid-run, via
+    {!Jury_faults.Injector}. *)
+type fault_action =
+  | Slow of { node : int; delay_ms : int }  (** timing fault *)
+  | Lossy of { node : int; omit : float }   (** response omission *)
+  | Crash of { node : int }
+  | Drop_sends of { node : int }            (** lost FLOW_MODs (T2) *)
+  | Blackhole of { node : int }             (** undesirable FLOW_MODs *)
+  | Lock_cache of { node : int; cache : string }
+  | Heal of { node : int }
+
+type fault_event = { at_ms : int; action : fault_action }
+(** [at_ms] is relative to the start of the workload window. *)
+
+type t = {
+  case_seed : int;       (** seeds the engine and every derived stream *)
+  topo : topo_kind;
+  switches : int;        (** switches (Linear/Ring), leaves (Star), hosts (Single) *)
+  hosts_per_switch : int;
+  nodes : int;           (** cluster size *)
+  k : int;               (** replication factor, < [nodes] *)
+  odl : bool;            (** ODL profile (encapsulation) vs ONOS *)
+  workload : workload_kind;
+  rate : float;          (** events per simulated second *)
+  duration_ms : int;     (** workload window *)
+  faults : fault_event list;
+  drop : float;          (** channel loss probability *)
+  duplicate : float;     (** channel duplication probability *)
+  jitter_us : float;     (** channel reorder jitter (mean, µs) *)
+  retries : int;         (** retransmission rounds; 0 = none *)
+  degraded_quorum : int option;
+  shards : int;          (** validator shard hint *)
+  max_inflight : int option;
+  batch_us : int option; (** response-ingestion batch window *)
+  triggers : int;        (** synthetic stream length for the batching oracle *)
+}
+
+val generate : seed:int -> t
+(** The case denoted by [seed] — deterministic, total, and independent
+    of any ambient state. *)
+
+val zero_loss : t -> bool
+(** No drop, no duplication, no jitter — the channel profile is
+    required to behave bit-for-bit like {!Jury.Channel.reliable}. *)
+
+val channel : t -> Jury.Channel.profile
+(** The out-of-band channel profile the case prescribes (via
+    [Jury_config.lossy_channel], so the knobs are validated). *)
+
+val jury_config :
+  ?shards:int -> ?batch_us:int option -> ?force_reliable:bool -> t ->
+  Jury.Jury_config.t
+(** The {!Jury.Jury_config.t} the case denotes. The optional arguments
+    override single axes for the equivalence oracles: [shards] and
+    [batch_us] replace the case's values; [force_reliable] substitutes
+    {!Jury.Channel.reliable} for the case's (zero-loss) profile. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary for failure reports. *)
+
+val to_ocaml : ?indent:string -> t -> string
+(** The case as an OCaml record literal (fields qualified with
+    [Jury_check.Case.]), ready to paste into the repro corpus. *)
+
+val equal : t -> t -> bool
+(** Structural equality — cases contain no closures or cycles. *)

@@ -1,0 +1,41 @@
+module Rng = Jury_sim.Rng
+
+type 'a t = Rng.t -> 'a
+
+let run ~seed g = g (Rng.create seed)
+let return v _rng = v
+let map f g rng = f (g rng)
+let bind g f rng = f (g rng) rng
+let int_in lo hi rng = Rng.int_in rng lo hi
+let float_in lo hi rng = lo +. Rng.float rng (hi -. lo)
+let bool rng = Rng.bool rng
+let bernoulli p rng = Rng.bernoulli rng p
+
+let choose xs rng =
+  match xs with
+  | [] -> invalid_arg "Gen.choose: empty list"
+  | _ -> List.nth xs (Rng.int rng (List.length xs))
+
+let oneof gs rng = (choose gs rng) rng
+
+let frequency weighted rng =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 weighted in
+  if total <= 0 then invalid_arg "Gen.frequency: weights must be positive";
+  let roll = Rng.int rng total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Gen.frequency: empty list"
+    | (w, v) :: rest -> if roll < acc + w then v else pick (acc + w) rest
+  in
+  pick 0 weighted
+
+let frequency_gen weighted rng = (frequency weighted rng) rng
+
+(* Draw order is part of a case's identity, so build the list with an
+   explicit left-to-right loop ([List.init]'s application order is
+   unspecified). *)
+let list_of ~len g rng =
+  let n = len rng in
+  let rec go i acc = if i >= n then List.rev acc else go (i + 1) (g rng :: acc) in
+  go 0 []
+
+let option p g rng = if Rng.bernoulli rng p then Some (g rng) else None

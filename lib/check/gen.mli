@@ -1,0 +1,55 @@
+(** Deterministic generator combinators for the fuzz harness.
+
+    A generator is a function of a {!Jury_sim.Rng.t}; composing
+    generators threads the one splitmix64 stream through every draw, so
+    a whole generated case is a pure function of a single integer seed
+    and replays bit-identically. No QCheck dependency: the harness's
+    shrinking works on typed case records (see {!Shrink}), not on
+    generator traces, so all we need from this layer is deterministic
+    sampling. *)
+
+type 'a t = Jury_sim.Rng.t -> 'a
+(** A value sampler drawing from the supplied stream. *)
+
+val run : seed:int -> 'a t -> 'a
+(** Sample once from a fresh stream seeded with [seed]. *)
+
+val return : 'a -> 'a t
+(** Constant generator; draws nothing. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** Transform the generated value; draws exactly what [g] draws. *)
+
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+(** Sequence two generators; the second may depend on the first's
+    value. *)
+
+val int_in : int -> int -> int t
+(** [int_in lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float_in : float -> float -> float t
+(** [float_in lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : bool t
+(** A fair coin flip. *)
+
+val bernoulli : float -> bool t
+(** [bernoulli p] is [true] with probability [p]. *)
+
+val choose : 'a list -> 'a t
+(** Uniform pick from a non-empty list. *)
+
+val oneof : 'a t list -> 'a t
+(** Pick one of the generators uniformly, then sample it. *)
+
+val frequency : (int * 'a) list -> 'a t
+(** Weighted pick among values; weights must be positive. *)
+
+val frequency_gen : (int * 'a t) list -> 'a t
+(** Weighted pick among generators. *)
+
+val list_of : len:int t -> 'a t -> 'a list t
+(** A list whose length is drawn first, then each element in order. *)
+
+val option : float -> 'a t -> 'a option t
+(** [option p g] is [Some] (sampled from [g]) with probability [p]. *)

@@ -1,0 +1,79 @@
+type failure = {
+  index : int;
+  case_seed : int;
+  case : Case.t;
+  violations : (Oracle.t * string) list;
+  shrink : Shrink.outcome option;
+}
+
+type summary = {
+  cases : int;
+  oracles : Oracle.t list;
+  failures : failure list;
+}
+
+let repro f =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "case %d FAILED (case seed %d)" f.index f.case_seed;
+  line "  replay: jury_cli check --cases 1 --seed %d" f.case_seed;
+  line "  generated: %s" (Format.asprintf "%a" Case.pp f.case);
+  List.iter
+    (fun ((o : Oracle.t), msg) ->
+      line "  oracle %s [%s]: %s" o.Oracle.name o.Oracle.family msg)
+    f.violations;
+  (match f.shrink with
+  | None -> ()
+  | Some s ->
+      line "  shrunk (%d reductions, %d executions): %s" s.Shrink.shrunk
+        s.Shrink.steps
+        (Format.asprintf "%a" Case.pp s.Shrink.minimal);
+      List.iter
+        (fun ((o : Oracle.t), msg) ->
+          line "  still violates %s: %s" o.Oracle.name msg)
+        s.Shrink.failures);
+  let minimal =
+    match f.shrink with Some s -> s.Shrink.minimal | None -> f.case
+  in
+  line "  corpus entry:";
+  line "let () =";
+  line "  add ~name:\"seed-%d\" ~oracle:\"%s\"" f.case_seed
+    (match f.violations with
+    | ((o : Oracle.t), _) :: _ -> o.Oracle.name
+    | [] -> "unknown");
+  Buffer.add_string b (Case.to_ocaml ~indent:"    " minimal);
+  Buffer.contents b
+
+let check_one ~oracles ~max_shrink ~seed index =
+  let case_seed = seed + index in
+  let case = Case.generate ~seed:case_seed in
+  match Oracle.check_case ~oracles case with
+  | [] -> None
+  | violations ->
+      let shrink =
+        if max_shrink <= 0 then None
+        else Some (Shrink.minimise ~max_steps:max_shrink ~oracles case violations)
+      in
+      Some { index; case_seed; case; violations; shrink }
+
+let run ?(log = ignore) ?(jobs = 1) ?(oracles = Oracle.all) ?(max_shrink = 200)
+    ~cases ~seed () =
+  let indices = List.init cases (fun i -> i) in
+  let results =
+    if jobs <= 1 then
+      List.map
+        (fun i ->
+          let r = check_one ~oracles ~max_shrink ~seed i in
+          if (i + 1) mod 25 = 0 then
+            log (Printf.sprintf "  ... %d/%d cases" (i + 1) cases);
+          r)
+        indices
+    else begin
+      let pool = Jury_par.Pool.create ~jobs () in
+      Jury_par.Pool.map_ordered pool indices
+        (check_one ~oracles ~max_shrink ~seed)
+    end
+  in
+  let failures = List.filter_map Fun.id results in
+  List.iter (fun f -> log (repro f)) failures;
+  { cases; oracles; failures }

@@ -1,0 +1,45 @@
+(** The fuzzing loop: generate cases, run the oracles, shrink and
+    report failures.
+
+    Case [i] of a run with base seed [s] is generated from seed
+    [s + i], so any failure replays standalone: rerun with
+    [~seed:(s + i) ~cases:1] (the per-case seed is printed in every
+    failure report) and the identical case — topology, workload, fault
+    schedule, channel and validator knobs — is regenerated and
+    re-executed bit-for-bit.
+
+    With [jobs > 1] the per-case oracle batteries fan out on a
+    {!Jury_par.Pool}; results are collected with [map_ordered], so the
+    report is independent of the job count. *)
+
+type failure = {
+  index : int;           (** case number within the run *)
+  case_seed : int;       (** regenerates the case: [seed + index] *)
+  case : Case.t;         (** as generated *)
+  violations : (Oracle.t * string) list;  (** against [case] *)
+  shrink : Shrink.outcome option;
+      (** [None] when shrinking was disabled ([max_shrink = 0]) *)
+}
+
+type summary = {
+  cases : int;           (** cases executed *)
+  oracles : Oracle.t list;  (** battery that was applied *)
+  failures : failure list;
+}
+
+val repro : failure -> string
+(** A standalone report for one failure: the per-case seed and CLI
+    replay line, the violated oracles, the (shrunk) case as both a
+    one-line description and an OCaml literal ready to append to the
+    [test/repros] corpus. *)
+
+val run :
+  ?log:(string -> unit) ->
+  ?jobs:int ->
+  ?oracles:Oracle.t list ->
+  ?max_shrink:int ->
+  cases:int -> seed:int -> unit -> summary
+(** Fuzz [cases] cases from [seed]. [log] (default silent) receives
+    one line per progress tick and per failure. [max_shrink] (default
+    200) bounds shrinking executions per failure; [0] disables
+    shrinking. [jobs] defaults to 1. *)

@@ -1,0 +1,363 @@
+open Jury_sim
+module Types = Jury_controller.Types
+module Validator = Jury.Validator
+module Response = Jury.Response
+module Snapshot = Jury.Snapshot
+module Event = Jury_store.Event
+module Names = Jury_store.Cache_names
+
+type result = Pass | Fail of string
+
+type ctx = { case : Case.t; base : Run.outcome Lazy.t }
+
+let ctx case = { case; base = lazy (Run.execute case) }
+
+type t = { name : string; family : string; check : ctx -> result }
+
+let failf fmt = Printf.ksprintf (fun s -> Fail s) fmt
+
+let all_pass checks =
+  let rec go = function
+    | [] -> Pass
+    | (true, _) :: rest -> go rest
+    | (false, msg) :: _ -> Fail msg
+  in
+  go checks
+
+(* --- conservation ------------------------------------------------- *)
+
+let verdict_conservation { base; _ } =
+  let o = Lazy.force base in
+  let fp = o.Run.fp in
+  all_pass
+    [ (o.Run.pending_after_flush = 0,
+       Printf.sprintf "%d triggers still pending after flush"
+         o.Run.pending_after_flush);
+      (List.length fp.Run.verdict_lines = fp.Run.decided,
+       Printf.sprintf "decided=%d but %d verdicts recorded" fp.Run.decided
+         (List.length fp.Run.verdict_lines));
+      (o.Run.detection_count = fp.Run.decided,
+       Printf.sprintf "decided=%d but %d detection-time samples"
+         fp.Run.decided o.Run.detection_count);
+      (o.Run.alarm_count = fp.Run.faults,
+       Printf.sprintf "fault_count=%d but %d alarms" fp.Run.faults
+         o.Run.alarm_count) ]
+
+let report_consistency { base; _ } =
+  let o = Lazy.force base in
+  let fp = o.Run.fp in
+  (* The report is an aggregation of the same verdict stream; its
+     roll-ups must match the validator's counters exactly. *)
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let header =
+    Printf.sprintf "validated %d responses" fp.Run.decided
+  in
+  all_pass
+    [ (contains header fp.Run.report,
+       Printf.sprintf "report does not state %S" header);
+      (fp.Run.faults <= fp.Run.decided, "more faults than verdicts");
+      (fp.Run.overload
+       = List.length
+           (List.filter
+              (fun l -> contains "|overload|" l)
+              fp.Run.verdict_lines),
+       "overload counter disagrees with Overload verdicts");
+      (fp.Run.degraded
+       = List.length
+           (List.filter
+              (fun l -> contains "|ok-degraded|" l)
+              fp.Run.verdict_lines),
+       "degraded counter disagrees with Ok_degraded verdicts") ]
+
+let replay_determinism { case; base } =
+  let a = Lazy.force base in
+  let b = Run.execute case in
+  match Run.diff_fingerprint a.Run.fp b.Run.fp with
+  | None ->
+      if a.Run.totals = b.Run.totals then Pass
+      else Fail "channel totals differ between identical executions"
+  | Some d -> failf "replay diverged: %s" d
+
+(* --- sharding ----------------------------------------------------- *)
+
+let shard_independence { case; base } =
+  let at_1 =
+    if case.Case.shards = 1 then Lazy.force base else Run.execute ~shards:1 case
+  in
+  let at_4 =
+    if case.Case.shards = 4 then Lazy.force base else Run.execute ~shards:4 case
+  in
+  match Run.diff_fingerprint at_1.Run.fp at_4.Run.fp with
+  | None -> Pass
+  | Some d -> failf "shards=1 vs shards=4: %s" d
+
+(* --- batching (synthetic stream against a bare validator) --------- *)
+
+(* A randomised but deterministic response stream: [case.triggers]
+   registered external triggers; per participant a response that may be
+   omitted or duplicated, with snapshots and planned actions drawn from
+   small pools so the consensus, non-determinism, unverifiable and
+   timeout paths all get exercised. *)
+let synthetic_stream (case : Case.t) =
+  let rng = Rng.create (case.Case.case_seed lxor 0x5eed_beef) in
+  let nodes = max 3 case.Case.nodes in
+  let event i =
+    { Event.cache = Names.flowsdb; op = Event.Create;
+      key = Printf.sprintf "k%d" i; value = "v"; origin = 0; seq = i;
+      taint = None }
+  in
+  let snapshots =
+    [| Snapshot.pristine;
+       Snapshot.observe Snapshot.pristine (event 1);
+       Snapshot.observe
+         (Snapshot.observe Snapshot.pristine (event 1))
+         (event 2) |]
+  in
+  let action key =
+    Types.Cache_write
+      { cache = Names.flowsdb; op = Event.Create; key; value = "v" }
+  in
+  let registrations = ref [] and responses = ref [] in
+  for serial = 0 to case.Case.triggers - 1 do
+    let primary = Rng.int rng nodes in
+    let taint = Types.Taint.external_trigger ~primary ~serial in
+    let others =
+      List.filter (fun n -> n <> primary) (List.init nodes (fun i -> i))
+    in
+    let secondaries =
+      Rng.sample_without_replacement rng (min case.Case.k (nodes - 1)) others
+      |> List.sort compare
+    in
+    registrations := (taint, primary, secondaries) :: !registrations;
+    let respond controller role =
+      if Rng.bernoulli rng 0.85 then begin
+        let snapshot = Rng.choice rng snapshots in
+        let actions =
+          if Rng.bernoulli rng 0.8 then [ action "k0" ]
+          else [ action (Printf.sprintf "k%d" (Rng.int rng 3)) ]
+        in
+        let r =
+          { Response.controller; taint; snapshot; sent_at = Time.zero;
+            body = Response.Execution { role; actions } }
+        in
+        responses := r :: !responses;
+        if Rng.bernoulli rng 0.1 then responses := r :: !responses
+      end
+    in
+    respond primary `Primary;
+    List.iter (fun s -> respond s `Secondary) secondaries
+  done;
+  let stream = Array.of_list (List.rev !responses) in
+  Rng.shuffle rng stream;
+  (List.rev !registrations, Array.to_list stream)
+
+let bare_validator (case : Case.t) ~shards =
+  let engine = Engine.create ~seed:case.Case.case_seed () in
+  let max_inflight =
+    Option.map (fun _ -> max 2 (case.Case.triggers / 2)) case.Case.max_inflight
+  in
+  let cfg =
+    Jury.Jury_config.validator
+      ~ack_peers_of:(fun _ -> [])
+      (Jury.Jury_config.make ~k:case.Case.k ~timeout:(Time.ms 100) ~shards
+         ?max_inflight ())
+  in
+  Validator.create engine cfg
+
+let chunk sizes_rng stream =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | rest ->
+        let n = 1 + Rng.int sizes_rng 5 in
+        let rec take i xs taken =
+          match xs with
+          | x :: xs' when i < n -> take (i + 1) xs' (x :: taken)
+          | _ -> (List.rev taken, xs)
+        in
+        let batch, rest = take 0 rest [] in
+        go (batch :: acc) rest
+  in
+  go [] stream
+
+let batch_equivalence { case; _ } =
+  let registrations, stream = synthetic_stream case in
+  let drive ~shards deliver =
+    let v = bare_validator case ~shards in
+    List.iter
+      (fun (taint, primary, secondaries) ->
+        Validator.register_external v ~taint ~at:Time.zero ~primary
+          ~secondaries)
+      registrations;
+    deliver v;
+    Validator.flush v;
+    ( Run.fingerprint_of_validator v,
+      Validator.duplicate_count v,
+      Validator.late_count v,
+      Validator.straggler_count v )
+  in
+  let per_event =
+    drive ~shards:1 (fun v -> List.iter (Validator.deliver v) stream)
+  in
+  let one_batch = drive ~shards:1 (fun v -> Validator.deliver_batch v stream) in
+  let chunked =
+    drive ~shards:1 (fun v ->
+        let rng = Rng.create (case.Case.case_seed lxor 0x0c_4a_11) in
+        List.iter (Validator.deliver_batch v) (chunk rng stream))
+  in
+  let sharded = drive ~shards:4 (fun v -> Validator.deliver_batch v stream) in
+  let compare_to label (fp', d', l', s') =
+    let fp, d, l, s = per_event in
+    match Run.diff_fingerprint fp fp' with
+    | Some diff -> Some (Printf.sprintf "%s: %s" label diff)
+    | None ->
+        if (d, l, s) <> (d', l', s') then
+          Some
+            (Printf.sprintf
+               "%s: dedup counters diverged (dup %d vs %d, late %d vs %d, \
+                stragglers %d vs %d)"
+               label d d' l l' s s')
+        else None
+  in
+  match
+    List.filter_map Fun.id
+      [ compare_to "one-batch" one_batch;
+        compare_to "chunked" chunked;
+        compare_to "sharded-batch" sharded ]
+  with
+  | [] -> Pass
+  | msg :: _ -> Fail msg
+
+(* --- parallel ----------------------------------------------------- *)
+
+let parallel_identity { case; _ } =
+  (* A trimmed copy keeps the mini-sweep cheap: the invariant is about
+     the pool, not the workload size. *)
+  let trimmed =
+    { case with
+      Case.duration_ms = min case.Case.duration_ms 300;
+      rate = Float.min case.Case.rate 400.;
+      faults =
+        List.filter (fun (f : Case.fault_event) -> f.Case.at_ms <= 300)
+          case.Case.faults }
+  in
+  let seeds = [ case.Case.case_seed; case.Case.case_seed + 7919 ] in
+  let sweep jobs =
+    let pool = Jury_par.Pool.create ~jobs () in
+    Jury_par.Pool.map_ordered pool seeds (fun seed ->
+        (Run.execute { trimmed with Case.case_seed = seed }).Run.fp)
+  in
+  let serial = sweep 1 and parallel = sweep 2 in
+  let rec first_diff i = function
+    | [], [] -> Pass
+    | a :: xs, b :: ys -> (
+        match Run.diff_fingerprint a b with
+        | None -> first_diff (i + 1) (xs, ys)
+        | Some d -> failf "sweep point %d: %s" i d)
+    | _ -> Fail "sweep result lists have different lengths"
+  in
+  first_diff 0 (serial, parallel)
+
+(* --- channel ------------------------------------------------------ *)
+
+let channel_conservation { case; base } =
+  let o = Lazy.force base in
+  let link_ok (name, (s : Jury.Channel.stats)) =
+    if s.Jury.Channel.sent <> s.Jury.Channel.delivered + s.Jury.Channel.dropped
+    then
+      Some
+        (Printf.sprintf "%s: sent=%d <> delivered=%d + dropped=%d" name
+           s.Jury.Channel.sent s.Jury.Channel.delivered s.Jury.Channel.dropped)
+    else if s.Jury.Channel.dropped > 0 && case.Case.drop = 0. then
+      Some (Printf.sprintf "%s: drops on a drop-free channel" name)
+    else if s.Jury.Channel.duplicated > 0 && case.Case.duplicate = 0. then
+      Some (Printf.sprintf "%s: duplicates on a duplicate-free channel" name)
+    else None
+  in
+  match List.filter_map link_ok o.Run.links with
+  | msg :: _ -> Fail msg
+  | [] ->
+      let sum f = List.fold_left (fun acc (_, s) -> acc + f s) 0 o.Run.links in
+      all_pass
+        [ (o.Run.totals.Jury.Channel.sent = sum (fun s -> s.Jury.Channel.sent),
+           "channel totals disagree with the per-link sum");
+          (case.Case.retries > 0 || o.Run.totals.Jury.Channel.retransmitted = 0,
+           "retransmissions recorded with retransmit disabled");
+          (case.Case.retries > 0 || o.Run.retransmits = 0,
+           "validator retransmit count nonzero with retransmit disabled") ]
+
+let zero_loss_identity { case; base } =
+  if not (Case.zero_loss case) then Pass
+  else
+    let o = Lazy.force base in
+    let reliable = Run.execute ~force_reliable:true case in
+    match Run.diff_fingerprint o.Run.fp reliable.Run.fp with
+    | None ->
+        if o.Run.totals = reliable.Run.totals then Pass
+        else Fail "zero-loss vs reliable: channel totals differ"
+    | Some d -> failf "zero-loss vs reliable: %s" d
+
+(* --- obs ---------------------------------------------------------- *)
+
+let obs_consistency { base; _ } =
+  let o = Lazy.force base in
+  all_pass
+    [ (o.Run.obs_decided = o.Run.fp.Run.decided,
+       Printf.sprintf "obs shard decided sum %d <> decided %d"
+         o.Run.obs_decided o.Run.fp.Run.decided);
+      (o.Run.obs_batches = o.Run.batches,
+       Printf.sprintf "obs batches sum %d <> batch count %d" o.Run.obs_batches
+         o.Run.batches);
+      (o.Run.obs_overloads = o.Run.fp.Run.overload,
+       Printf.sprintf "obs overload sum %d <> overload count %d"
+         o.Run.obs_overloads o.Run.fp.Run.overload);
+      (o.Run.obs_retransmits = o.Run.retransmits,
+       Printf.sprintf "obs retransmit sum %d <> retransmit count %d"
+         o.Run.obs_retransmits o.Run.retransmits);
+      (o.Run.obs_epoch = o.Run.epoch,
+       Printf.sprintf "obs epoch %d <> current epoch %d" o.Run.obs_epoch
+         o.Run.epoch);
+      (o.Run.obs_channel_sent = o.Run.totals.Jury.Channel.sent,
+       Printf.sprintf "obs channel sent sum %d <> channel totals %d"
+         o.Run.obs_channel_sent o.Run.totals.Jury.Channel.sent) ]
+
+(* --- catalog ------------------------------------------------------ *)
+
+let all =
+  [ { name = "verdict-conservation"; family = "conservation";
+      check = verdict_conservation };
+    { name = "report-consistency"; family = "conservation";
+      check = report_consistency };
+    { name = "replay-determinism"; family = "conservation";
+      check = replay_determinism };
+    { name = "shard-independence"; family = "sharding";
+      check = shard_independence };
+    { name = "batch-equivalence"; family = "batching";
+      check = batch_equivalence };
+    { name = "serial-parallel-identity"; family = "parallel";
+      check = parallel_identity };
+    { name = "channel-conservation"; family = "channel";
+      check = channel_conservation };
+    { name = "zero-loss-identity"; family = "channel";
+      check = zero_loss_identity };
+    { name = "obs-consistency"; family = "obs"; check = obs_consistency } ]
+
+let families =
+  List.sort_uniq compare (List.map (fun o -> o.family) all)
+
+let by_family f = List.filter (fun o -> o.family = f) all
+
+let check_case ?(oracles = all) case =
+  let c = ctx case in
+  List.filter_map
+    (fun o ->
+      match o.check c with
+      | Pass -> None
+      | Fail msg -> Some (o, msg)
+      | exception e ->
+          Some
+            (o, Printf.sprintf "oracle raised %s" (Printexc.to_string e)))
+    oracles

@@ -1,0 +1,62 @@
+(** The machine-checkable invariants each generated case is held to.
+
+    Oracles are grouped into six families, one per soundness claim the
+    codebase accumulated over PR 1–4:
+
+    - [conservation] — every registered trigger reaches exactly one
+      verdict (or a counted retirement): after flush nothing is
+      pending, the verdict list, alarm list, detection-time samples and
+      {!Jury.Report} roll-ups all agree with the validator's counters —
+      and a second execution of the same case reproduces the run
+      bit-identically (the replay guarantee every other oracle rests
+      on).
+    - [sharding] — verdicts are independent of the shard count: the
+      case at [shards = 1] and [shards = 4] yields equal fingerprints.
+    - [batching] — [deliver_batch] is equivalent to per-event
+      [deliver]: a synthetic response stream (random registrations,
+      omissions, duplicates, divergent snapshots and actions) drives a
+      bare validator to the same verdicts however it is chunked, and
+      whatever the shard count.
+    - [parallel] — a mini-sweep of the case fanned out on a
+      {!Jury_par.Pool} returns byte-identical results at [jobs = 1] and
+      [jobs = 2].
+    - [channel] — per-link counter conservation
+      ([sent = delivered + dropped], retransmits only when configured),
+      and on zero-loss cases, bit-identity with an explicit
+      {!Jury.Channel.reliable} profile.
+    - [obs] — the counters {!Jury.Obs_bridge} exports as metrics series
+      sum back to the validator's and channels' own totals.
+
+    Each oracle receives a {!ctx} whose base outcome is computed
+    lazily and shared across oracles, so a case is executed once for
+    the families that only inspect a single run. *)
+
+type result = Pass | Fail of string
+
+type ctx = {
+  case : Case.t;
+  base : Run.outcome Lazy.t;  (** the case run as generated, memoised *)
+}
+
+val ctx : Case.t -> ctx
+(** A context whose base outcome is not yet forced. *)
+
+type t = {
+  name : string;    (** stable identifier, e.g. ["verdict-conservation"] *)
+  family : string;  (** one of the six families above *)
+  check : ctx -> result;
+}
+
+val all : t list
+(** Every oracle, in a fixed documented order. *)
+
+val families : string list
+(** The distinct family names, sorted. *)
+
+val by_family : string -> t list
+(** Oracles of one family; [\[\]] for an unknown name. *)
+
+val check_case : ?oracles:t list -> Case.t -> (t * string) list
+(** Run the oracles (default {!all}) against one case; returns the
+    failures as (oracle, message) pairs — empty means the case upholds
+    every invariant. *)

@@ -1,0 +1,204 @@
+open Jury_sim
+module Validator = Jury.Validator
+module Injector = Jury_faults.Injector
+
+type fingerprint = {
+  decided : int;
+  faults : int;
+  unverifiable : int;
+  degraded : int;
+  overload : int;
+  verdict_lines : string list;
+  report : string;
+}
+
+type outcome = {
+  fp : fingerprint;
+  pending_after_flush : int;
+  alarm_count : int;
+  detection_count : int;
+  duplicates : int;
+  late : int;
+  retransmits : int;
+  stragglers : int;
+  batches : int;
+  batched_responses : int;
+  shard_count : int;
+  epoch : int;
+  links : (string * Jury.Channel.stats) list;
+  totals : Jury.Channel.stats;
+  obs_decided : int;
+  obs_batches : int;
+  obs_overloads : int;
+  obs_retransmits : int;
+  obs_epoch : int;
+  obs_channel_sent : int;
+}
+
+let verdict_line (a : Jury.Alarm.t) =
+  Printf.sprintf "%s|%s|%s|%s|%d|%d"
+    (Jury_controller.Types.Taint.to_string a.Jury.Alarm.taint)
+    (Jury.Alarm.verdict_name a.Jury.Alarm.verdict)
+    (match a.Jury.Alarm.primary with None -> "-" | Some p -> string_of_int p)
+    (String.concat "," (List.map string_of_int a.Jury.Alarm.suspects))
+    (Time.to_ns a.Jury.Alarm.trigger_at)
+    (Time.to_ns a.Jury.Alarm.decided_at)
+
+let fingerprint_of_validator v =
+  let verdicts = Validator.verdicts v in
+  { decided = Validator.decided_count v;
+    faults = Validator.fault_count v;
+    unverifiable = Validator.unverifiable_count v;
+    degraded = Validator.degraded_count v;
+    overload = Validator.overload_count v;
+    verdict_lines = List.sort compare (List.map verdict_line verdicts);
+    report = Jury.Report.to_string (Jury.Report.of_validator v) }
+
+let fingerprint_equal a b = a = b
+
+let diff_fingerprint a b =
+  if a = b then None
+  else if a.decided <> b.decided then
+    Some (Printf.sprintf "decided %d vs %d" a.decided b.decided)
+  else if a.faults <> b.faults then
+    Some (Printf.sprintf "faults %d vs %d" a.faults b.faults)
+  else if a.unverifiable <> b.unverifiable then
+    Some
+      (Printf.sprintf "unverifiable %d vs %d" a.unverifiable b.unverifiable)
+  else if a.degraded <> b.degraded then
+    Some (Printf.sprintf "degraded %d vs %d" a.degraded b.degraded)
+  else if a.overload <> b.overload then
+    Some (Printf.sprintf "overload %d vs %d" a.overload b.overload)
+  else if a.verdict_lines <> b.verdict_lines then
+    let rec first_diff i xs ys =
+      match (xs, ys) with
+      | x :: xs', y :: ys' ->
+          if String.equal x y then first_diff (i + 1) xs' ys'
+          else Some (Printf.sprintf "verdict[%d]: %S vs %S" i x y)
+      | x :: _, [] -> Some (Printf.sprintf "extra verdict[%d]: %S" i x)
+      | [], y :: _ -> Some (Printf.sprintf "missing verdict[%d]: %S" i y)
+      | [], [] -> Some "verdict lists differ"
+    in
+    first_diff 0 a.verdict_lines b.verdict_lines
+  else Some "reports differ"
+
+let apply_fault cluster (action : Case.fault_action) =
+  let mutate node m =
+    Jury_controller.Controller.set_mutator
+      (Jury_controller.Cluster.controller cluster node)
+      (Some m)
+  in
+  match action with
+  | Case.Slow { node; delay_ms } ->
+      Injector.make_slow cluster ~node ~delay:(Time.ms delay_ms)
+  | Case.Lossy { node; omit } ->
+      Injector.make_lossy cluster ~node ~omit_probability:omit
+  | Case.Crash { node } -> Injector.crash cluster ~node
+  | Case.Drop_sends { node } -> mutate node Injector.drop_network_sends
+  | Case.Blackhole { node } -> mutate node Injector.blackhole_flow_mods
+  | Case.Lock_cache { node; cache } -> Injector.lock_cache cluster ~node ~cache
+  | Case.Heal { node } -> Injector.heal cluster ~node
+
+let plan_of (case : Case.t) =
+  match case.Case.topo with
+  | Case.Linear ->
+      Jury_topo.Builder.linear ~switches:case.Case.switches
+        ~hosts_per_switch:case.Case.hosts_per_switch
+  | Case.Ring ->
+      Jury_topo.Builder.ring ~switches:case.Case.switches
+        ~hosts_per_switch:case.Case.hosts_per_switch
+  | Case.Star ->
+      Jury_topo.Builder.star ~leaves:case.Case.switches
+        ~hosts_per_leaf:case.Case.hosts_per_switch
+  | Case.Single -> Jury_topo.Builder.single ~hosts:(max 2 case.Case.switches)
+
+let run_workload (case : Case.t) network ~rng ~duration =
+  match case.Case.workload with
+  | Case.Mix ->
+      Jury_workload.Flows.controlled_mix network ~rng
+        ~packet_in_rate:case.Case.rate ~duration
+  | Case.Connections ->
+      Jury_workload.Flows.new_connections network ~rng ~rate:case.Case.rate
+        ~duration ()
+  | Case.Joins ->
+      Jury_workload.Flows.host_joins network ~rng ~rate:case.Case.rate
+        ~duration
+  | Case.Blast ->
+      let plan = Jury_net.Network.plan network in
+      let slot = Jury_topo.Builder.find_host_slot plan 0 in
+      Jury_workload.Cbench.blast network ~rng
+        ~dpid:slot.Jury_topo.Builder.dpid ~burst:25 ~burst_gap:(Time.ms 10)
+        ~duration
+
+let metrics_sum metrics ~shards fmt =
+  let total = ref 0 in
+  for i = 0 to shards - 1 do
+    total := !total + Metrics.count metrics (Printf.sprintf fmt i)
+  done;
+  !total
+
+let execute ?shards ?batch_us ?force_reliable (case : Case.t) =
+  let config = Case.jury_config ?shards ?batch_us ?force_reliable case in
+  let engine = Engine.create ~seed:case.Case.case_seed () in
+  let plan = plan_of case in
+  let network = Jury_net.Network.create engine plan () in
+  let profile =
+    if case.Case.odl then Jury_controller.Profile.odl
+    else Jury_controller.Profile.onos
+  in
+  let cluster =
+    Jury_controller.Cluster.create engine ~profile ~nodes:case.Case.nodes
+      ~network ()
+  in
+  let deployment = Jury.Jury_config.install cluster config in
+  let validator = Jury.Deployment.validator deployment in
+  Jury_controller.Cluster.converge cluster;
+  List.iter Jury_net.Host.join (Jury_net.Network.hosts network);
+  Engine.run engine ~until:(Time.add (Engine.now engine) (Time.sec 1));
+  let duration = Time.ms case.Case.duration_ms in
+  let rng = Rng.split (Engine.rng engine) in
+  run_workload case network ~rng ~duration;
+  List.iter
+    (fun (f : Case.fault_event) ->
+      ignore
+        (Engine.schedule engine ~after:(Time.ms f.Case.at_ms) (fun () ->
+             apply_fault cluster f.Case.action)))
+    case.Case.faults;
+  (* Settle for two seconds past the workload window so every timer
+     (validation timeouts, retransmissions, link recoveries) fires. *)
+  Engine.run engine
+    ~until:(Time.add (Engine.now engine) (Time.add duration (Time.sec 2)));
+  Validator.flush validator;
+  let links = Jury.Deployment.channel_stats deployment in
+  let metrics = Metrics.create () in
+  Jury.Obs_bridge.record_validator_shards validator metrics;
+  Jury.Obs_bridge.record_channel_counters links metrics;
+  let shard_count = Validator.shard_count validator in
+  { fp = fingerprint_of_validator validator;
+    pending_after_flush = Validator.pending_count validator;
+    alarm_count = List.length (Validator.alarms validator);
+    detection_count = Array.length (Validator.detection_times_ms validator);
+    duplicates = Validator.duplicate_count validator;
+    late = Validator.late_count validator;
+    retransmits = Validator.retransmit_count validator;
+    stragglers = Validator.straggler_count validator;
+    batches = Validator.batch_count validator;
+    batched_responses = Validator.batched_response_count validator;
+    shard_count;
+    epoch = Validator.current_epoch validator;
+    links;
+    totals = Jury.Deployment.channel_totals deployment;
+    obs_decided =
+      metrics_sum metrics ~shards:shard_count "validator/shard%d/decided";
+    obs_batches =
+      metrics_sum metrics ~shards:shard_count "validator/shard%d/batches";
+    obs_overloads =
+      metrics_sum metrics ~shards:shard_count "validator/shard%d/overloads";
+    obs_retransmits =
+      metrics_sum metrics ~shards:shard_count "validator/shard%d/retransmits";
+    obs_epoch = Metrics.count metrics "validator/epoch";
+    obs_channel_sent =
+      List.fold_left
+        (fun acc (name, _) ->
+          acc + Metrics.count metrics ("channel/" ^ name ^ "/sent"))
+        0 links }

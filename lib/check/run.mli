@@ -1,0 +1,70 @@
+(** Executes a generated case end-to-end and distils the run into the
+    machine-checkable observations the oracles assert over.
+
+    One {!execute} builds a fresh engine, network, cluster and JURY
+    deployment from the case alone (no ambient state), drives the
+    workload and fault schedule, flushes the validator, and snapshots
+    every counter the invariants mention. Equivalence oracles re-run
+    the same case with exactly one axis overridden and compare
+    {!fingerprint}s. *)
+
+(** The verdict-relevant residue of a run. Two runs of equivalent
+    configurations must produce equal fingerprints; [verdict_lines] is
+    sorted so the comparison is insensitive to the order in which
+    shards fold their tables at flush time. *)
+type fingerprint = {
+  decided : int;
+  faults : int;
+  unverifiable : int;
+  degraded : int;
+  overload : int;
+  verdict_lines : string list;
+      (** one canonical line per verdict (taint, verdict, primary,
+          suspects, trigger and decision times), sorted *)
+  report : string;  (** rendered {!Jury.Report.t} *)
+}
+
+(** Everything a single run exposes to the oracles. *)
+type outcome = {
+  fp : fingerprint;
+  pending_after_flush : int;
+  alarm_count : int;       (** [Validator.alarms] length *)
+  detection_count : int;   (** [Validator.detection_times_ms] length *)
+  duplicates : int;
+  late : int;
+  retransmits : int;
+  stragglers : int;
+  batches : int;
+  batched_responses : int;
+  shard_count : int;
+  epoch : int;
+  links : (string * Jury.Channel.stats) list;
+  totals : Jury.Channel.stats;
+  (* Obs_bridge cross-checks: the same counters read back through the
+     metrics series the bridge records. *)
+  obs_decided : int;
+  obs_batches : int;
+  obs_overloads : int;
+  obs_retransmits : int;
+  obs_epoch : int;
+  obs_channel_sent : int;
+}
+
+val fingerprint_of_validator : Jury.Validator.t -> fingerprint
+(** Distil a validator's verdict state (used both by {!execute} and by
+    oracles that drive a bare validator directly). *)
+
+val fingerprint_equal : fingerprint -> fingerprint -> bool
+(** Structural equality (fingerprints are plain data). *)
+
+val diff_fingerprint : fingerprint -> fingerprint -> string option
+(** [None] when equal; otherwise a short human-readable description of
+    the first divergence, for failure messages. *)
+
+val execute :
+  ?shards:int -> ?batch_us:int option -> ?force_reliable:bool -> Case.t ->
+  outcome
+(** Run the case (optionally with one axis overridden, see
+    {!Case.jury_config}) and collect the outcome. Deterministic: equal
+    arguments give equal outcomes, whatever ran before in the
+    process. *)

@@ -1,0 +1,40 @@
+(** Greedy minimisation of a failing case.
+
+    Given a case and the oracles it violates, the shrinker walks a
+    fixed list of reduction axes — fewer fault events, fewer triggers,
+    fewer switches and hosts, shorter and slower workload, fewer
+    cluster nodes, smaller [k], a quiet channel, and simpler validator
+    knobs — keeping the first candidate at each step that still fails
+    at least one of the original oracles, until no axis makes progress
+    (or [max_steps] re-executions have been spent).
+
+    Shrinking re-runs the system under test, so each accepted step is
+    as expensive as the original failure; [max_steps] bounds the total
+    work. The result is always a case that fails (the input itself if
+    nothing smaller does). *)
+
+type outcome = {
+  minimal : Case.t;          (** smallest failing case found *)
+  failures : (Oracle.t * string) list;
+      (** the violations [minimal] exhibits *)
+  steps : int;               (** candidate executions spent *)
+  shrunk : int;              (** accepted reductions *)
+}
+
+val candidates : Case.t -> Case.t list
+(** The one-step reductions of a case, largest-first along each axis;
+    exposed for tests. Every candidate is strictly "smaller" under
+    {!size}. *)
+
+val size : Case.t -> int
+(** A scalar measure of case size (switches, triggers, faults, knobs)
+    that every accepted shrink strictly decreases — termination is a
+    corollary. *)
+
+val minimise :
+  ?max_steps:int ->
+  oracles:Oracle.t list ->
+  Case.t -> (Oracle.t * string) list -> outcome
+(** [minimise ~oracles case failures] requires [failures] to be
+    non-empty (the case as generated must already fail). Default
+    [max_steps] is 200. *)

@@ -56,8 +56,13 @@ type t = {
 }
 
 val detection_time : t -> Jury_sim.Time.t
+(** [decided_at - trigger_at]. *)
+
 val is_fault : t -> bool
+(** Whether the verdict is [Faulty _]. *)
+
 val fault_name : fault -> string
+(** Short stable label for one fault kind, e.g. ["missing-write"]. *)
 
 val verdict_name : verdict -> string
 (** Short stable label: ["ok"], ["ok-nondet"], ["ok-unverifiable"],
@@ -65,3 +70,4 @@ val verdict_name : verdict -> string
     [Faulty] verdict. *)
 
 val pp : Format.formatter -> t -> unit
+(** One-line rendering: verdict, taint, times, suspects. *)

@@ -35,13 +35,20 @@ val attach : t -> Validator.t -> unit
     verdict handler is chained, not replaced.) *)
 
 val record_response : t -> Jury_sim.Time.t -> Response.t -> unit
+(** Append one piece of evidence manually (what {!attach} does for
+    every delivery). *)
+
 val record_verdict : t -> Alarm.t -> unit
+(** Append one verdict manually. *)
 
 val entries : t -> entry list
 (** Oldest retained first. *)
 
 val length : t -> int
+(** Retained entries. *)
+
 val evicted : t -> int
+(** Entries discarded because the log hit its capacity. *)
 
 val verify_chain : t -> bool
 (** Recompute the hash chain over retained entries. *)
@@ -53,3 +60,4 @@ val by_controller : t -> int -> entry list
 (** Evidence reported by (or verdicts suspecting) one controller. *)
 
 val pp_entry : Format.formatter -> entry -> unit
+(** One-line rendering of a single piece of evidence or verdict. *)

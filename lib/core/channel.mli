@@ -29,6 +29,9 @@ val lossy :
     outside [0,1] or negative/NaN jitter. *)
 
 val is_reliable : profile -> bool
+(** Whether the profile is loss-free, duplicate-free and jitter-free —
+    such a channel is structurally identical to {!reliable} and never
+    draws from its RNG. *)
 
 type stats = {
   mutable sent : int;          (** messages offered to the channel *)
@@ -42,8 +45,13 @@ type stats = {
 }
 
 val fresh_stats : unit -> stats
+(** All-zero counters. *)
+
 val add_stats : stats -> stats -> stats
+(** Field-wise sum (a fresh record; neither argument is mutated). *)
+
 val total : stats list -> stats
+(** Field-wise sum of many links' counters. *)
 
 type t
 
@@ -54,8 +62,13 @@ val create :
     runs. *)
 
 val name : t -> string
+(** The label given at {!create} (defaults to ["chan"]). *)
+
 val stats : t -> stats
+(** Live counters — the record mutates as the channel runs. *)
+
 val profile : t -> profile
+(** The profile the channel was created with. *)
 
 val send :
   t -> delay:Jury_sim.Time.t -> (unit -> unit) ->
@@ -66,5 +79,7 @@ val send :
     [delivered + duplicated]. *)
 
 val note_retransmit : t -> unit
+(** Count a sender-side retry against this link (see [stats]). *)
 
 val pp_stats : Format.formatter -> stats -> unit
+(** Compact [sent/delivered/dropped/...] rendering. *)

@@ -80,8 +80,13 @@ val install : Cluster.t -> config -> t
     validation. *)
 
 val validator : t -> Validator.t
+(** The deployment's validator — verdicts and counters are read here. *)
+
 val cluster : t -> Cluster.t
+(** The cluster being interposed on. *)
+
 val cfg : t -> config
+(** The configuration {!install} was given. *)
 
 val ack_peers : t -> int -> int list
 (** Static peer set whose cache acks the validator expects for a given
@@ -102,7 +107,10 @@ val decap_samples_us : t -> float array
 (** Per-replica decapsulation costs measured so far (Fig. 4i). *)
 
 val replicated_trigger_count : t -> int
+(** External triggers intercepted and replicated so far. *)
+
 val reset_accounting : t -> unit
+(** Zero the byte and trigger counters above (e.g. after warm-up). *)
 
 (** {1 Channel health} *)
 

@@ -8,6 +8,7 @@
     inner message rides as an opaque ethertype-0x9999 frame body. *)
 
 val ethertype : int
+(** The synthetic ethertype (0x9999) carrying encapsulated triggers. *)
 
 val encapsulate :
   Jury_openflow.Of_message.t -> Jury_openflow.Of_message.packet_in

@@ -81,11 +81,19 @@ val install : Jury_controller.Cluster.t -> t -> Deployment.t
 (** {1 Accessors} *)
 
 val k : t -> int
+(** Replication factor. *)
+
 val timeout : t -> Jury_sim.Time.t
+(** Validation timeout θτ (after adaptive/encapsulation adjustments). *)
 
 val shards : t -> int
 (** Normalised shard count (power of two). *)
 
 val max_inflight : t -> int option
+(** In-flight trigger bound, [None] = unbounded. *)
+
 val batch_window : t -> Jury_sim.Time.t option
+(** Response batching window, [None] = per-event ingestion. *)
+
 val channel : t -> Channel.profile
+(** Out-of-band channel profile the deployment will use. *)

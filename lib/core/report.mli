@@ -29,6 +29,7 @@ type t = {
 }
 
 val of_validator : Validator.t -> t
+(** Roll up everything the validator has decided so far. *)
 
 val of_alarms : decided:int -> unverifiable:int -> Alarm.t list -> t
 (** Build from a pre-filtered alarm list (e.g. one experiment window).
@@ -41,4 +42,7 @@ val most_suspect : t -> int option
 (** The controller implicated most often, if any. *)
 
 val pp : Format.formatter -> t -> unit
+(** Multi-line summary: headline counters, then a suspect table. *)
+
 val to_string : t -> string
+(** [pp] rendered to a string. *)

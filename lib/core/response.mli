@@ -36,4 +36,8 @@ val taint_key : t -> string
     tables and shard router hash on. *)
 
 val body_name : body -> string
+(** Short stable label: ["execution"], ["status"], ["decap"] or
+    ["write-failure"]. *)
+
 val pp : Format.formatter -> t -> unit
+(** One-line rendering: reporter, taint, body kind. *)

@@ -14,7 +14,18 @@ val pristine : t
 (** The snapshot of a node that has observed nothing. *)
 
 val observe : t -> Jury_store.Event.t -> t
+(** The snapshot after additionally seeing one replicated store event
+    (persistent — the input snapshot is unchanged). *)
+
 val count : t -> int
+(** Events folded into this snapshot. *)
+
 val equal : t -> t -> bool
+(** Whether two reporters had observed the same event history — the
+    comparison at the heart of state-aware consensus. *)
+
 val compare : t -> t -> int
+(** A total order consistent with {!equal}, for sorting and keying. *)
+
 val pp : Format.formatter -> t -> unit
+(** Digest-style rendering, e.g. ["<7 events:a1b2c3>"]. *)

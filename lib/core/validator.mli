@@ -103,6 +103,8 @@ val shards_of_hint : int -> int
 type t
 
 val create : Jury_sim.Engine.t -> config -> t
+(** A fresh validator with all counters at zero; timers are scheduled
+    on the given engine. *)
 
 val register_external :
   t -> taint:Types.Taint.t -> at:Jury_sim.Time.t -> primary:int ->
@@ -151,6 +153,7 @@ val detection_times_ms : t -> float array
 (** Detection time (trigger → decision) of every decided trigger, ms. *)
 
 val decided_count : t -> int
+(** Verdicts reached so far ([= List.length (verdicts t)]). *)
 
 val total_decided : unit -> int
 (** Process-wide decided-verdict count, summed over every validator on
@@ -159,8 +162,14 @@ val total_decided : unit -> int
     [--json] output. *)
 
 val fault_count : t -> int
+(** Faulty verdicts ([= List.length (alarms t)]). *)
+
 val pending_count : t -> int
+(** Registered triggers not yet decided. *)
+
 val unverifiable_count : t -> int
+(** Verdicts decided [Ok_unverifiable] (identical-but-wrong k copies
+    cannot be distinguished from correct ones). *)
 
 val degraded_count : t -> int
 (** Triggers decided [Ok_degraded] (reduced quorum). *)

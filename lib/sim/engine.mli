@@ -47,6 +47,7 @@ val cancel : handle -> unit
 (** Cancels a pending event; a no-op if it already ran or was cancelled. *)
 
 val is_pending : handle -> bool
+(** Whether the event is still queued (neither fired nor cancelled). *)
 
 val every : t -> period:Time.t -> ?jitter:Time.t -> (unit -> unit) -> handle
 (** [every t ~period f] runs [f] every [period], starting one period

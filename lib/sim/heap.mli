@@ -7,8 +7,13 @@
 type 'a t
 
 val create : unit -> 'a t
+(** An empty heap. *)
+
 val length : 'a t -> int
+(** Number of queued elements. *)
+
 val is_empty : 'a t -> bool
+(** [length h = 0]. *)
 
 val push : 'a t -> key:Time.t -> seq:int -> 'a -> unit
 (** [push h ~key ~seq v] inserts [v] with priority [(key, seq)]. *)
@@ -17,5 +22,7 @@ val pop : 'a t -> (Time.t * int * 'a) option
 (** Removes and returns the minimum, or [None] if empty. *)
 
 val peek : 'a t -> (Time.t * int * 'a) option
+(** The minimum without removing it, or [None] if empty. *)
 
 val clear : 'a t -> unit
+(** Discard every element. *)

@@ -8,6 +8,7 @@
 type t
 
 val create : unit -> t
+(** An empty registry. *)
 
 val record : t -> string -> float -> unit
 (** Append a sample to the named series (created on first use). *)
@@ -26,5 +27,10 @@ val count : t -> string -> int
 (** Counter value, 0 if absent. *)
 
 val series_names : t -> string list
+(** Names of every series recorded so far, sorted. *)
+
 val counter_names : t -> string list
+(** Names of every counter bumped so far, sorted. *)
+
 val clear : t -> unit
+(** Forget all series and counters. *)

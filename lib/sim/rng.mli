@@ -16,6 +16,8 @@ val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t]. *)
 
 val copy : t -> t
+(** An independent generator with the same state — the copy and the
+    original produce the same stream from here on. *)
 
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
@@ -30,6 +32,7 @@ val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. *)
 
 val bool : t -> bool
+(** A fair coin flip. *)
 
 val bernoulli : t -> float -> bool
 (** [bernoulli t p] is [true] with probability [p]. *)
@@ -46,6 +49,7 @@ val pareto : t -> xm:float -> alpha:float -> float
 (** Bounded-below Pareto sample — models flow-size distributions. *)
 
 val gaussian : t -> mean:float -> stddev:float -> float
+(** Normal sample (Box–Muller) — models symmetric jitter. *)
 
 val choice : t -> 'a array -> 'a
 (** Uniform pick from a non-empty array. *)

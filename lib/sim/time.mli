@@ -10,7 +10,12 @@ type t = private int
 (** Nanoseconds since simulation start. *)
 
 val zero : t
+(** The simulation epoch. *)
+
 val ns : int -> t
+(** [ns], [us], [ms] and [sec] build a time from a count of the unit
+    they are named after. *)
+
 val us : int -> t
 val ms : int -> t
 val sec : int -> t
@@ -22,11 +27,16 @@ val of_float_ms : float -> t
 val of_float_us : float -> t
 
 val to_ns : t -> int
+(** The [to_*] family converts back to a scalar in the named unit;
+    only [to_ns] is exact. *)
+
 val to_float_us : t -> float
 val to_float_ms : t -> float
 val to_float_sec : t -> float
 
 val add : t -> t -> t
+(** [add a b] is [a + b]. *)
+
 val sub : t -> t -> t
 (** [sub a b] is [a - b]; raises [Invalid_argument] if the result would
     be negative, since simulated time never runs backwards. *)
@@ -35,8 +45,15 @@ val diff : t -> t -> t
 (** [diff a b] is [abs (a - b)]. *)
 
 val mul : t -> int -> t
+(** [mul t n] scales by a non-negative integer. *)
+
 val div : t -> int -> t
+(** [div t n] is integer division (rounds toward zero). *)
+
 val compare : t -> t -> int
+(** Standard total order, compatible with the comparison operators
+    below and with [min]/[max]. *)
+
 val equal : t -> t -> bool
 val ( < ) : t -> t -> bool
 val ( <= ) : t -> t -> bool
@@ -49,3 +66,4 @@ val pp : Format.formatter -> t -> unit
 (** Human-readable rendering with an adaptive unit, e.g. ["129.3ms"]. *)
 
 val to_string : t -> string
+(** [to_string t] renders like {!pp}. *)

@@ -1,0 +1,97 @@
+(* The pinned repro corpus.
+
+   Each entry is a shrunk case once produced by the fuzz harness
+   against a buggy validator; re-running the full oracle battery over
+   it must stay green. To append one, paste the "corpus entry" block a
+   `jury_cli check` failure report prints (it is already in this
+   format) and name the bug it caught.
+
+   The seed entries below come from the harness's mutation-sensitivity
+   demo: three deliberate validator bugs — a batch path dropping each
+   bucket's first response, a validation timeout skewed by the
+   trigger's shard index, and Ok_valid verdicts counted but never
+   recorded — were each caught and minimised by the named oracle. *)
+
+type entry = { name : string; oracle : string; case : Jury_check.Case.t }
+
+let entries : entry list ref = ref []
+
+let add ~name ~oracle case = entries := { name; oracle; case } :: !entries
+
+let all () = List.rev !entries
+
+(* batch-path off-by-one: deliver_batch dropped the first response of
+   every shard bucket; per-event vs one-batch verdicts diverged. *)
+let () =
+  add ~name:"seed-42" ~oracle:"batch-equivalence"
+    { Jury_check.Case.case_seed = 42;
+      topo = Jury_check.Case.Linear;
+      switches = 2;
+      hosts_per_switch = 1;
+      nodes = 3;
+      k = 1;
+      odl = false;
+      workload = Jury_check.Case.Mix;
+      rate = 88.944561029176867;
+      duration_ms = 100;
+      faults = [];
+      drop = 0.0;
+      duplicate = 0.0;
+      jitter_us = 0.0;
+      retries = 0;
+      degraded_quorum = None;
+      shards = 1;
+      max_inflight = None;
+      batch_us = None;
+      triggers = 5 }
+
+(* shard-skewed timer: the validation timeout gained the trigger's
+   shard index in nanoseconds, so shards=1 and shards=4 decided
+   timed-out triggers at different instants. *)
+let () =
+  add ~name:"seed-44" ~oracle:"shard-independence"
+    { Jury_check.Case.case_seed = 44;
+      topo = Jury_check.Case.Linear;
+      switches = 1;
+      hosts_per_switch = 2;
+      nodes = 3;
+      k = 1;
+      odl = false;
+      workload = Jury_check.Case.Blast;
+      rate = 86.0;
+      duration_ms = 100;
+      faults = [];
+      drop = 0.0;
+      duplicate = 0.0;
+      jitter_us = 0.0;
+      retries = 0;
+      degraded_quorum = None;
+      shards = 1;
+      max_inflight = None;
+      batch_us = None;
+      triggers = 5 }
+
+(* dropped verdicts: Ok_valid decisions bumped the decided counter but
+   never entered the verdict list, breaking count conservation. *)
+let () =
+  add ~name:"seed-43" ~oracle:"verdict-conservation"
+    { Jury_check.Case.case_seed = 43;
+      topo = Jury_check.Case.Linear;
+      switches = 1;
+      hosts_per_switch = 2;
+      nodes = 3;
+      k = 1;
+      odl = false;
+      workload = Jury_check.Case.Mix;
+      rate = 54.0;
+      duration_ms = 110;
+      faults = [];
+      drop = 0.0;
+      duplicate = 0.0;
+      jitter_us = 0.0;
+      retries = 0;
+      degraded_quorum = None;
+      shards = 1;
+      max_inflight = None;
+      batch_us = None;
+      triggers = 5 }

@@ -1,0 +1,24 @@
+(* Runs the full oracle battery over every pinned repro. A corpus case
+   failing here means a once-fixed bug (or a fresh one) is back. *)
+
+let check (e : Repro_corpus.entry) () =
+  match Jury_check.Oracle.check_case e.Repro_corpus.case with
+  | [] -> ()
+  | violations ->
+      Alcotest.failf "%s (pinned for %s): %s" e.Repro_corpus.name
+        e.Repro_corpus.oracle
+        (String.concat "; "
+           (List.map
+              (fun ((o : Jury_check.Oracle.t), msg) ->
+                Printf.sprintf "%s: %s" o.Jury_check.Oracle.name msg)
+              violations))
+
+let () =
+  Alcotest.run "jury-repros"
+    [ ( "corpus",
+        List.map
+          (fun (e : Repro_corpus.entry) ->
+            Alcotest.test_case
+              (e.Repro_corpus.name ^ ":" ^ e.Repro_corpus.oracle)
+              `Slow (check e))
+          (Repro_corpus.all ()) ) ]

@@ -17,4 +17,5 @@ let () =
       ("faults", Test_faults.suite);
       ("workload", Test_workload.suite);
       ("experiments", Test_experiments.suite);
-      ("par", Test_par.suite) ]
+      ("par", Test_par.suite);
+      ("check", Test_check.suite) ]
