@@ -80,6 +80,29 @@ module Common = struct
       { shards; max_inflight; batch = batch_of_us batch_us }
     in
     Term.(const mk $ shards $ max_inflight $ batch_us)
+
+  (* Oracle selection is shared by `check --oracle` and `mc --oracle`;
+     both resolve through the same name table, so the two subcommands
+     accept exactly the same selectors and reject unknown ones with the
+     same listing. *)
+
+  let oracle =
+    Arg.(value & opt (some string) None
+         & info [ "oracle" ] ~docv:"SELECTOR"
+             ~doc:"Restrict the battery to one oracle family \
+                   ($(b,conservation), $(b,sharding), $(b,batching), \
+                   $(b,parallel), $(b,channel), $(b,obs)) or one oracle \
+                   by name; $(b,--oracle) with an unknown selector lists \
+                   every valid choice.")
+
+  let resolve_oracles = function
+    | None -> Jury_check.Oracle.all
+    | Some sel -> (
+        match Jury_check.Oracle.resolve sel with
+        | Ok os -> os
+        | Error msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 2)
 end
 
 (* --- list --- *)
@@ -558,25 +581,8 @@ let check_cmd =
              ~doc:"Re-execution budget for minimising each failing case \
                    (0 disables shrinking).")
   in
-  let oracle_arg =
-    Arg.(value & opt (some string) None
-         & info [ "oracle" ] ~docv:"FAMILY"
-             ~doc:"Restrict the battery to one oracle family (one of: \
-                   $(b,conservation), $(b,sharding), $(b,batching), \
-                   $(b,parallel), $(b,channel), $(b,obs)).")
-  in
-  let run cases seed jobs max_shrink family =
-    let oracles =
-      match family with
-      | None -> Jury_check.Oracle.all
-      | Some f -> (
-          match Jury_check.Oracle.by_family f with
-          | [] ->
-              Printf.eprintf "unknown oracle family %S (known: %s)\n" f
-                (String.concat ", " Jury_check.Oracle.families);
-              exit 2
-          | os -> os)
-    in
+  let run cases seed jobs max_shrink selector =
+    let oracles = Common.resolve_oracles selector in
     let jobs = Option.value jobs ~default:1 in
     Printf.printf
       "fuzzing %d case(s) from seed %d (%d oracle(s), %d job(s))\n%!" cases
@@ -611,7 +617,160 @@ let check_cmd =
                case bit-for-bit. Failing cases are shrunk to a minimal \
                repro and printed as a corpus entry for test/repros." ])
     Term.(const run $ cases_arg $ Common.seed $ Common.jobs $ max_shrink_arg
-          $ oracle_arg)
+          $ Common.oracle)
+
+let mc_cmd =
+  let module Explorer = Jury_mc.Explorer in
+  let module Trace = Jury_mc.Trace in
+  let switches_arg =
+    Arg.(value & opt int 2
+         & info [ "switches" ] ~docv:"N"
+             ~doc:"Switches in the explored deployment (1-3).")
+  in
+  let triggers_arg =
+    Arg.(value & opt int 3
+         & info [ "triggers" ] ~docv:"N"
+             ~doc:"Approximate trigger budget of the workload (1-5).")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 3
+         & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size (2-5).")
+  in
+  let max_schedules_arg =
+    Arg.(value & opt int 1000
+         & info [ "max-schedules" ] ~docv:"N"
+             ~doc:"Stop after executing N schedules (bounded mode; the \
+                   report says when the bound truncated enumeration).")
+  in
+  let max_depth_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-depth" ] ~docv:"N"
+             ~doc:"Stop branching past N choice points per schedule \
+                   (deeper ties take the default order).")
+  in
+  let no_prune_arg =
+    Arg.(value & flag
+         & info [ "no-prune" ]
+             ~doc:"Disable independence pruning: enumerate every \
+                   tie-break order naively. Only useful to measure what \
+                   pruning saves.")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"TRACE"
+             ~doc:"Replay one schedule instead of exploring: a \
+                   dot-separated choice trace as printed in divergence \
+                   reports ($(b,-) for the default FIFO schedule).")
+  in
+  let minimise_arg =
+    Arg.(value & flag
+         & info [ "minimise" ]
+             ~doc:"On divergence, shrink the case and trace to a minimal \
+                   counterexample and print it as a repro corpus entry.")
+  in
+  let run seed switches triggers nodes selector max_schedules max_depth
+      no_prune trace_str minimise =
+    let case =
+      try Explorer.demo_case ~seed ~switches ~triggers ~nodes ()
+      with Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+    in
+    (* `--oracle none` skips the battery (schedule-blindness only);
+       anything else goes through the shared name table. *)
+    let oracles =
+      match selector with
+      | Some "none" -> []
+      | sel -> Common.resolve_oracles sel
+    in
+    let max_depth = Option.value max_depth ~default:max_int in
+    match trace_str with
+    | Some s -> (
+        match Trace.of_string s with
+        | Error msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 2
+        | Ok trace -> (
+            let outcome, div = Explorer.replay ~oracles case trace in
+            Printf.printf
+              "replayed schedule %s: %d decided, %d fault(s), %d \
+               unverifiable, %d degraded\n"
+              (Trace.to_string trace) outcome.Jury_check.Run.fp.decided
+              outcome.Jury_check.Run.fp.faults
+              outcome.Jury_check.Run.fp.unverifiable
+              outcome.Jury_check.Run.fp.degraded;
+            match div with
+            | None ->
+                Printf.printf
+                  "schedule agrees with the FIFO reference (%d oracle(s) \
+                   green)\n"
+                  (List.length oracles)
+            | Some d ->
+                Printf.printf "DIVERGENCE %s\n"
+                  (Explorer.describe_divergence d);
+                exit 1))
+    | None -> (
+        Format.printf "mc: exploring %a@." Jury_check.Case.pp case;
+        let r =
+          Explorer.explore ~prune:(not no_prune) ~max_schedules ~max_depth
+            ~oracles case
+        in
+        let s = r.Explorer.rep_stats in
+        Printf.printf
+          "%s%d schedule(s) explored (%d choice points, deepest %d): %d \
+           branch(es) taken, %d pruned as independent\n"
+          (if s.Explorer.truncated then "TRUNCATED: " else "")
+          s.Explorer.explored s.Explorer.choice_points s.Explorer.deepest
+          s.Explorer.branched s.Explorer.pruned;
+        Printf.printf
+          "reference schedule: %d decided, %d fault(s), %d oracle(s) per \
+           schedule\n"
+          r.Explorer.rep_reference.Jury_check.Run.fp.decided
+          r.Explorer.rep_reference.Jury_check.Run.fp.faults
+          (List.length oracles);
+        match r.Explorer.rep_divergences with
+        | [] ->
+            Printf.printf
+              "every explored schedule agrees with the FIFO reference\n"
+        | ds ->
+            Printf.printf "%d DIVERGENT schedule(s):\n" (List.length ds);
+            List.iter
+              (fun d ->
+                Printf.printf "  %s\n" (Explorer.describe_divergence d))
+              ds;
+            if minimise then begin
+              match Explorer.minimise ~max_schedules ~max_depth ~oracles case with
+              | Error msg -> Printf.printf "minimise: %s\n" msg
+              | Ok m ->
+                  Printf.printf
+                    "minimised to trace %s (%d step(s), %d reduction(s)); \
+                     repro:\n%s\n"
+                    (Trace.to_string m.Explorer.min_trace)
+                    m.Explorer.min_steps m.Explorer.min_shrunk
+                    (Jury_check.Case.to_ocaml m.Explorer.min_case)
+            end;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:"Exhaustively explore event-schedule tie-breaks on a small \
+             deployment"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Enumerates every tie-break order of the event queue for a \
+               small benign deployment (jitter-free latencies, so \
+               same-instant events are the only scheduling freedom), \
+               pruning orders of provably-commuting events via declared \
+               footprints, and checks on every schedule that JURY's \
+               verdicts match the default schedule and that the oracle \
+               battery holds.";
+           `P "A divergence report prints a compact choice trace; \
+               $(b,mc --trace) replays exactly that schedule, and \
+               $(b,mc --minimise) shrinks case and trace to a minimal \
+               repro." ])
+    Term.(const run $ Common.seed $ switches_arg $ triggers_arg $ nodes_arg
+          $ Common.oracle $ max_schedules_arg $ max_depth_arg $ no_prune_arg
+          $ trace_arg $ minimise_arg)
 
 let () =
   let info =
@@ -622,4 +781,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; scenario_cmd; matrix_cmd; simulate_cmd; failover_cmd;
-            trace_cmd; validator_scale_cmd; policy_cmd; check_cmd ]))
+            trace_cmd; validator_scale_cmd; policy_cmd; check_cmd; mc_cmd ]))

@@ -119,7 +119,8 @@ let channel t =
   Jury.Jury_config.lossy_channel ~drop:t.drop ~duplicate:t.duplicate
     ~jitter_us:t.jitter_us ()
 
-let jury_config ?shards ?batch_us ?(force_reliable = false) t =
+let jury_config ?shards ?batch_us ?(force_reliable = false)
+    ?(deterministic = false) t =
   let shards = Option.value shards ~default:t.shards in
   let batch_us = Option.value batch_us ~default:t.batch_us in
   let channel =
@@ -137,7 +138,7 @@ let jury_config ?shards ?batch_us ?(force_reliable = false) t =
   Jury.Jury_config.make ~k:t.k ~encapsulation:t.odl ~channel ?retransmit
     ?degraded_quorum:t.degraded_quorum ~shards ?max_inflight:t.max_inflight
     ?batch:(Option.map Jury_sim.Time.us batch_us)
-    ()
+    ~deterministic_latencies:deterministic ()
 
 (* --- rendering --- *)
 

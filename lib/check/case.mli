@@ -78,12 +78,15 @@ val channel : t -> Jury.Channel.profile
     [Jury_config.lossy_channel], so the knobs are validated). *)
 
 val jury_config :
-  ?shards:int -> ?batch_us:int option -> ?force_reliable:bool -> t ->
+  ?shards:int -> ?batch_us:int option -> ?force_reliable:bool ->
+  ?deterministic:bool -> t ->
   Jury.Jury_config.t
 (** The {!Jury.Jury_config.t} the case denotes. The optional arguments
     override single axes for the equivalence oracles: [shards] and
     [batch_us] replace the case's values; [force_reliable] substitutes
-    {!Jury.Channel.reliable} for the case's (zero-loss) profile. *)
+    {!Jury.Channel.reliable} for the case's (zero-loss) profile;
+    [deterministic] sets [deterministic_latencies] (the schedule
+    explorer's jitter-free mode, see {!Jury.Jury_config.make}). *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line summary for failure reports. *)

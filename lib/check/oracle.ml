@@ -8,9 +8,18 @@ module Names = Jury_store.Cache_names
 
 type result = Pass | Fail of string
 
-type ctx = { case : Case.t; base : Run.outcome Lazy.t }
+type executor =
+  ?shards:int -> ?batch_us:int option -> ?force_reliable:bool -> Case.t ->
+  Run.outcome
 
-let ctx case = { case; base = lazy (Run.execute case) }
+type ctx = { case : Case.t; execute : executor; base : Run.outcome Lazy.t }
+
+let ctx_with ~execute case = { case; execute; base = lazy (execute case) }
+
+let ctx case =
+  ctx_with case
+    ~execute:(fun ?shards ?batch_us ?force_reliable c ->
+      Run.execute ?shards ?batch_us ?force_reliable c)
 
 type t = { name : string; family : string; check : ctx -> result }
 
@@ -73,9 +82,9 @@ let report_consistency { base; _ } =
               fp.Run.verdict_lines),
        "degraded counter disagrees with Ok_degraded verdicts") ]
 
-let replay_determinism { case; base } =
+let replay_determinism { case; base; execute } =
   let a = Lazy.force base in
-  let b = Run.execute case in
+  let b = execute case in
   match Run.diff_fingerprint a.Run.fp b.Run.fp with
   | None ->
       if a.Run.totals = b.Run.totals then Pass
@@ -84,12 +93,12 @@ let replay_determinism { case; base } =
 
 (* --- sharding ----------------------------------------------------- *)
 
-let shard_independence { case; base } =
+let shard_independence { case; base; execute } =
   let at_1 =
-    if case.Case.shards = 1 then Lazy.force base else Run.execute ~shards:1 case
+    if case.Case.shards = 1 then Lazy.force base else execute ~shards:1 case
   in
   let at_4 =
-    if case.Case.shards = 4 then Lazy.force base else Run.execute ~shards:4 case
+    if case.Case.shards = 4 then Lazy.force base else execute ~shards:4 case
   in
   match Run.diff_fingerprint at_1.Run.fp at_4.Run.fp with
   | None -> Pass
@@ -233,7 +242,7 @@ let batch_equivalence { case; _ } =
 
 (* --- parallel ----------------------------------------------------- *)
 
-let parallel_identity { case; _ } =
+let parallel_identity { case; execute; _ } =
   (* A trimmed copy keeps the mini-sweep cheap: the invariant is about
      the pool, not the workload size. *)
   let trimmed =
@@ -248,7 +257,7 @@ let parallel_identity { case; _ } =
   let sweep jobs =
     let pool = Jury_par.Pool.create ~jobs () in
     Jury_par.Pool.map_ordered pool seeds (fun seed ->
-        (Run.execute { trimmed with Case.case_seed = seed }).Run.fp)
+        (execute { trimmed with Case.case_seed = seed }).Run.fp)
   in
   let serial = sweep 1 and parallel = sweep 2 in
   let rec first_diff i = function
@@ -263,7 +272,7 @@ let parallel_identity { case; _ } =
 
 (* --- channel ------------------------------------------------------ *)
 
-let channel_conservation { case; base } =
+let channel_conservation { case; base; _ } =
   let o = Lazy.force base in
   let link_ok (name, (s : Jury.Channel.stats)) =
     if s.Jury.Channel.sent <> s.Jury.Channel.delivered + s.Jury.Channel.dropped
@@ -289,11 +298,11 @@ let channel_conservation { case; base } =
           (case.Case.retries > 0 || o.Run.retransmits = 0,
            "validator retransmit count nonzero with retransmit disabled") ]
 
-let zero_loss_identity { case; base } =
+let zero_loss_identity { case; base; execute } =
   if not (Case.zero_loss case) then Pass
   else
     let o = Lazy.force base in
-    let reliable = Run.execute ~force_reliable:true case in
+    let reliable = execute ~force_reliable:true case in
     match Run.diff_fingerprint o.Run.fp reliable.Run.fp with
     | None ->
         if o.Run.totals = reliable.Run.totals then Pass
@@ -350,8 +359,24 @@ let families =
 
 let by_family f = List.filter (fun o -> o.family = f) all
 
-let check_case ?(oracles = all) case =
-  let c = ctx case in
+let names = List.map (fun o -> o.name) all
+
+let find n = List.find_opt (fun o -> o.name = n) all
+
+let resolve s =
+  match by_family s with
+  | _ :: _ as os -> Ok os
+  | [] -> (
+      match find s with
+      | Some o -> Ok [ o ]
+      | None ->
+          Error
+            (Printf.sprintf
+               "unknown oracle %S; families: %s; oracles: %s" s
+               (String.concat ", " families)
+               (String.concat ", " names)))
+
+let check_run ?(oracles = all) c =
   List.filter_map
     (fun o ->
       match o.check c with
@@ -361,3 +386,5 @@ let check_case ?(oracles = all) case =
           Some
             (o, Printf.sprintf "oracle raised %s" (Printexc.to_string e)))
     oracles
+
+let check_case ?oracles case = check_run ?oracles (ctx case)

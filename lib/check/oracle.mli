@@ -29,17 +29,39 @@
 
     Each oracle receives a {!ctx} whose base outcome is computed
     lazily and shared across oracles, so a case is executed once for
-    the families that only inspect a single run. *)
+    the families that only inspect a single run.
+
+    The battery is executor-polymorphic: a context built with
+    {!ctx_with} routes the base run {e and} every oracle re-execution
+    (replay, shard/reliability overrides, the mini parallel sweep)
+    through the caller's executor. The schedule explorer uses this to
+    assert the full battery on a run pinned to one explored schedule;
+    {!ctx} keeps the plain {!Run.execute} path. An executor must be
+    safe to call from worker domains (the [parallel] family fans out on
+    a {!Jury_par.Pool}): derive per-call state inside each invocation,
+    never share mutable state across calls. *)
 
 type result = Pass | Fail of string
 
+type executor =
+  ?shards:int -> ?batch_us:int option -> ?force_reliable:bool -> Case.t ->
+  Run.outcome
+(** How this battery run turns a case into an outcome; the optional
+    axes mirror {!Run.execute}. *)
+
 type ctx = {
   case : Case.t;
+  execute : executor;         (** runs every (re-)execution the oracles need *)
   base : Run.outcome Lazy.t;  (** the case run as generated, memoised *)
 }
 
 val ctx : Case.t -> ctx
-(** A context whose base outcome is not yet forced. *)
+(** A context whose base outcome is not yet forced; executes through
+    plain {!Run.execute}. *)
+
+val ctx_with : execute:executor -> Case.t -> ctx
+(** A context routing all executions through [execute] (base outcome
+    [execute case], forced lazily). *)
 
 type t = {
   name : string;    (** stable identifier, e.g. ["verdict-conservation"] *)
@@ -56,7 +78,23 @@ val families : string list
 val by_family : string -> t list
 (** Oracles of one family; [\[\]] for an unknown name. *)
 
+val names : string list
+(** Every oracle name, in catalog order. *)
+
+val find : string -> t option
+(** Look one oracle up by exact name. *)
+
+val resolve : string -> (t list, string) Stdlib.result
+(** Resolve a user-supplied selector — a family or a single oracle
+    name — to its oracles. [Error] carries a message listing every
+    valid family and name; the CLI's [check --oracle] and [mc --oracle]
+    share this table. *)
+
+val check_run : ?oracles:t list -> ctx -> (t * string) list
+(** Run the oracles (default {!all}) against a prebuilt context —
+    the single-completed-run entry point shared by [jury_check] and
+    [jury_mc]; returns the failures as (oracle, message) pairs. *)
+
 val check_case : ?oracles:t list -> Case.t -> (t * string) list
-(** Run the oracles (default {!all}) against one case; returns the
-    failures as (oracle, message) pairs — empty means the case upholds
-    every invariant. *)
+(** [check_run ?oracles (ctx case)]: run the oracles against one case;
+    empty result means the case upholds every invariant. *)

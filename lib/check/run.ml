@@ -82,6 +82,36 @@ let diff_fingerprint a b =
     first_diff 0 a.verdict_lines b.verdict_lines
   else Some "reports differ"
 
+(* --- schedule-blind projection ------------------------------------ *)
+
+(* What a schedule may legitimately change: taint serials (assignment
+   order of same-instant triggers) and per-trigger timings (pipeline
+   queue order at equal timestamps shifts service start times). What it
+   must never change: how many triggers were decided, and each
+   trigger's verdict class, primary and suspect set. The projection
+   keeps exactly the latter — the explorer's cross-schedule invariant
+   ("no schedule loses a verdict or raises a false alarm") compares
+   these. Serial-stripping collisions are harmless: two triggers that
+   collapse to the same line were interchangeable anyway, and the
+   multiset (sorted list) keeps their count. *)
+let blind_line line =
+  match String.split_on_char '|' line with
+  | taint :: verdict :: primary :: suspects :: _times ->
+      let taint_class =
+        match String.rindex_opt taint ':' with
+        | Some i -> String.sub taint 0 i ^ ":*"
+        | None -> taint
+      in
+      String.concat "|" [ taint_class; verdict; primary; suspects ]
+  | _ -> line
+
+let schedule_blind fp =
+  { fp with
+    verdict_lines = List.sort compare (List.map blind_line fp.verdict_lines);
+    report = "" }
+
+let diff_schedule_blind a b = diff_fingerprint (schedule_blind a) (schedule_blind b)
+
 let apply_fault cluster (action : Case.fault_action) =
   let mutate node m =
     Jury_controller.Controller.set_mutator
@@ -137,14 +167,22 @@ let metrics_sum metrics ~shards fmt =
   done;
   !total
 
-let execute ?shards ?batch_us ?force_reliable (case : Case.t) =
-  let config = Case.jury_config ?shards ?batch_us ?force_reliable case in
+let execute ?chooser ?(deterministic = false) ?shards ?batch_us
+    ?force_reliable (case : Case.t) =
+  let config =
+    Case.jury_config ?shards ?batch_us ?force_reliable ~deterministic case
+  in
   let engine = Engine.create ~seed:case.Case.case_seed () in
+  Option.iter (fun c -> Engine.set_chooser engine (Some c)) chooser;
   let plan = plan_of case in
   let network = Jury_net.Network.create engine plan () in
   let profile =
     if case.Case.odl then Jury_controller.Profile.odl
     else Jury_controller.Profile.onos
+  in
+  let profile =
+    if deterministic then Jury_controller.Profile.deterministic profile
+    else profile
   in
   let cluster =
     Jury_controller.Cluster.create engine ~profile ~nodes:case.Case.nodes

@@ -61,10 +61,30 @@ val diff_fingerprint : fingerprint -> fingerprint -> string option
 (** [None] when equal; otherwise a short human-readable description of
     the first divergence, for failure messages. *)
 
+val schedule_blind : fingerprint -> fingerprint
+(** The residue a schedule (equal-timestamp execution order) may never
+    change: verdict counts plus each verdict's [taint-class | verdict |
+    primary | suspects] line with the taint's serial wildcarded and the
+    trigger/decision timestamps dropped (tie order legitimately shifts
+    serial assignment and per-trigger timings). The report is cleared.
+    The [Jury_mc] explorer compares schedules through this
+    projection. *)
+
+val diff_schedule_blind : fingerprint -> fingerprint -> string option
+(** {!diff_fingerprint} on the {!schedule_blind} projections. *)
+
 val execute :
+  ?chooser:Jury_sim.Engine.chooser -> ?deterministic:bool ->
   ?shards:int -> ?batch_us:int option -> ?force_reliable:bool -> Case.t ->
   outcome
 (** Run the case (optionally with one axis overridden, see
     {!Case.jury_config}) and collect the outcome. Deterministic: equal
-    arguments give equal outcomes, whatever ran before in the
-    process. *)
+    arguments give equal outcomes, whatever ran before in the process.
+
+    [chooser] installs an equal-timestamp tie chooser on the run's
+    engine ({!Jury_sim.Engine.set_chooser}) — the schedule explorer's
+    entry point; omitted, the run is the seed's FIFO order.
+    [deterministic] (default false) collapses every stochastic latency:
+    {!Jury_controller.Profile.deterministic} on the controller profile
+    and [deterministic_latencies] on the deployment. The explorer
+    requires both together. *)

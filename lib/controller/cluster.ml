@@ -120,8 +120,12 @@ let create engine ~profile ~nodes:n ~network
           match Network.switch network dpid with
           | sw ->
               ignore
-                (Engine.schedule engine ~after:channel_latency (fun () ->
-                     Switch.handle_control sw msg))
+                (Engine.schedule engine
+                   ~footprint:
+                     (Footprint.touches
+                        [ Footprint.switch (Of_types.Dpid.hash dpid) ])
+                   ~after:channel_latency
+                   (fun () -> Switch.handle_control sw msg))
           | exception Not_found -> ()))
     controllers;
   (* Switch → controller channels, through the southbound hook. *)
@@ -130,8 +134,18 @@ let create engine ~profile ~nodes:n ~network
       let dpid = Switch.dpid sw in
       Switch.set_control_tx sw (fun msg ->
           t.southbound_bytes <- t.southbound_bytes + Of_wire.encoded_size msg;
+          (* The footprint names the master as of send time; the
+             callback re-resolves it at delivery, so under mastership
+             churn the declaration can go stale. Scenarios with
+             failover must not rely on it — the explorer targets
+             fixed-mastership deployments (see DESIGN.md). *)
+          let declared_master = master_of t dpid in
           ignore
-            (Engine.schedule engine ~after:channel_latency (fun () ->
+            (Engine.schedule engine
+               ~footprint:
+                 (Footprint.touches [ Footprint.controller declared_master ])
+               ~after:channel_latency
+               (fun () ->
                  let master = master_of t dpid in
                  let forward ?taint ?to_ () =
                    let target = Option.value to_ ~default:master in
@@ -225,8 +239,12 @@ let fail_over t ~node =
       match Network.switch t.network dpid with
       | sw ->
           ignore
-            (Engine.schedule t.engine ~after:t.channel_latency (fun () ->
-                 Switch.announce sw))
+            (Engine.schedule t.engine
+               ~footprint:
+                 (Footprint.touches
+                    [ Footprint.switch (Of_types.Dpid.hash dpid) ])
+               ~after:t.channel_latency
+               (fun () -> Switch.announce sw))
       | exception Not_found -> ())
     orphaned
 

@@ -44,7 +44,13 @@ let proactive_host_rules_hook : (t -> Event.t -> unit) ref =
 
 let rec create engine ~id ~profile ~fabric =
   let pipeline =
+    (* Completion events run controller application code: they touch
+       this replica's state (caches' local views, private RNGs) and its
+       store shard; everything further out is reached via separately
+       scheduled (and separately tagged) events. *)
     Pipeline.create engine
+      ~footprint:
+        (Footprint.touches [ Footprint.controller id; Footprint.store id ])
       (Pipeline.config ~service_sigma:profile.Profile.service_sigma
          ~base_service:profile.Profile.base_service ())
   in
@@ -584,8 +590,10 @@ let apply_action t taint ~delay (action : Types.action) =
       (if masters t dpid then
          (if Time.(delay > Time.zero) then
             ignore
-              (Engine.schedule t.engine ~after:delay (fun () ->
-                   send_network t taint dpid payload))
+              (Engine.schedule t.engine
+                 ~footprint:(Footprint.touches [ Footprint.controller t.id ])
+                 ~after:delay
+                 (fun () -> send_network t taint dpid payload))
           else send_network t taint dpid payload)
        else
          (* Remote switch: the directive travels through the shared
@@ -643,7 +651,10 @@ let () =
       with
       | mac, Some (host_dpid, host_port, _) ->
           ignore
-            (Engine.schedule t.engine ~after:(Time.us 50) (fun () ->
+            (Engine.schedule t.engine
+               ~footprint:(Footprint.touches [ Footprint.controller t.id ])
+               ~after:(Time.us 50)
+               (fun () ->
                  match
                    plan_proactive_host_rules t ~mac ~host_dpid ~host_port
                  with
@@ -657,8 +668,9 @@ let () =
 let start_discovery t =
   ignore
     (Engine.every t.engine ~period:t.profile.Profile.lldp_period
-       ~jitter:(Time.ms 200) (fun () ->
-         run_internal t ~app:"lldp-discovery" Types.Emit_lldp))
+       ~jitter:t.profile.Profile.lldp_jitter
+       ~footprint:(Footprint.touches [ Footprint.controller t.id ])
+       (fun () -> run_internal t ~app:"lldp-discovery" Types.Emit_lldp))
 
 let response_latency_sample t =
   let util = Pipeline.utilization_hint t.pipeline in

@@ -17,6 +17,7 @@ let config ?(service_sigma = 0.25) ?(extra_per_job = Time.zero)
 type t = {
   engine : Engine.t;
   mutable cfg : config;
+  footprint : Footprint.t;
   rng : Rng.t;
   queue : (unit -> unit) Queue.t;
   mutable serving : bool;
@@ -29,9 +30,10 @@ type t = {
   mutable dropped : int;
 }
 
-let create engine cfg =
+let create ?(footprint = Footprint.opaque) engine cfg =
   { engine;
     cfg;
+    footprint;
     rng = Rng.split (Engine.rng engine);
     queue = Queue.create ();
     serving = false;
@@ -107,7 +109,8 @@ let rec start_next t =
       let finish = Time.add start (sample_service t) in
       t.busy_until <- finish;
       ignore
-        (Engine.schedule_at t.engine ~at:finish (fun () ->
+        (Engine.schedule_at t.engine ~footprint:t.footprint ~at:finish
+           (fun () ->
              t.completed <- t.completed + 1;
              (* The job may add_load (store-sync stalls); the next job
                 starts only after those are absorbed. *)

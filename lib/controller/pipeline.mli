@@ -30,7 +30,12 @@ val config :
   ?overload_backlog:Jury_sim.Time.t -> ?degraded_factor:int ->
   base_service:Jury_sim.Time.t -> unit -> config
 
-val create : Jury_sim.Engine.t -> config -> t
+val create :
+  ?footprint:Jury_sim.Footprint.t -> Jury_sim.Engine.t -> config -> t
+(** [footprint] (default opaque) is attached to every job-completion
+    event this server schedules: it should cover the server's own state
+    plus whatever the jobs it runs may touch (for a controller pipeline,
+    the controller and its store shard). *)
 
 val submit : ?span:Jury_obs.Trace.span_id -> t -> (unit -> unit) -> unit
 (** Enqueue a job; the thunk runs when the server completes it. Dropped

@@ -17,6 +17,7 @@ type t = {
   response_jitter_median_us : float;
   response_jitter_sigma : float;
   lldp_period : Time.t;
+  lldp_jitter : Time.t;
   flow_idle_timeout : int;
   forwarding : forwarding_style;
   ecmp : bool;
@@ -38,6 +39,7 @@ let onos =
     response_jitter_median_us = 6_000.;
     response_jitter_sigma = 1.0;
     lldp_period = Time.sec 3;
+    lldp_jitter = Time.ms 200;
     flow_idle_timeout = 10;
     forwarding = Reactive_exact;
     ecmp = false;
@@ -71,12 +73,30 @@ let odl =
     response_jitter_median_us = 35_000.;
     response_jitter_sigma = 0.9;
     lldp_period = Time.sec 3;
+    lldp_jitter = Time.ms 200;
     flow_idle_timeout = 10;
     forwarding = Reactive_exact;
     ecmp = false;
     decapsulation_cost_median_us = 95. }
 
 let odl_vanilla = { odl with name = "odl-vanilla"; forwarding = Proactive_dst }
+
+(* Every stochastic latency collapsed to its location parameter. The
+   run is still a faithful deployment — it just sits at the median of
+   every distribution — and, crucially, none of the jitter RNGs are
+   drawn at all, so equal-timestamp events no longer interfere through
+   shared random streams. The schedule explorer (Jury_mc) requires
+   this: with jitter on, two tied events that each draw from a shared
+   stream never commute, and genuine same-instant races (replica
+   fan-out, k-way response collection) almost never tie in the first
+   place. *)
+let deterministic t =
+  { t with
+    name = t.name ^ "-det";
+    service_sigma = 0.;
+    response_jitter_sigma = 0.;
+    lldp_jitter = Time.zero;
+    store_profile = { t.store_profile with replication_jitter_us = 0. } }
 
 let strong_sync_cost t ~nodes =
   match t.consistency with

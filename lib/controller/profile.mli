@@ -57,6 +57,9 @@ type t = {
           pipeline load *)
   response_jitter_sigma : float;
   lldp_period : Jury_sim.Time.t;
+  lldp_jitter : Jury_sim.Time.t;
+      (** uniform jitter on each LLDP re-arm; zero skips the (root-RNG)
+          draw entirely *)
   flow_idle_timeout : int;  (** seconds, for reactive rules *)
   forwarding : forwarding_style;
   ecmp : bool;
@@ -77,6 +80,15 @@ val odl_vanilla : t
 val onos_ecmp : t
 (** ONOS with randomised equal-cost multipath forwarding — used to
     exercise the validator's non-determinism rule. *)
+
+val deterministic : t -> t
+(** The same deployment with every stochastic latency collapsed to its
+    location parameter: zero service/response sigma, zero store
+    replication jitter, zero LLDP jitter. None of the jitter RNGs are
+    drawn at all, which the schedule explorer requires — with jitter
+    on, tied events interfere through shared random streams and
+    same-instant races almost never tie. Appends ["-det"] to the
+    profile name. *)
 
 val strong_sync_cost : t -> nodes:int -> Jury_sim.Time.t
 (** Per-write pipeline stall under this profile for an [nodes]-replica

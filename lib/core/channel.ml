@@ -59,11 +59,11 @@ let profile t = t.profile
 (* The reliable path must stay bit-for-bit identical to a plain
    [Engine.schedule]: one event at exactly [delay], zero RNG draws.
    Every seeded experiment in the repo depends on this. *)
-let send t ~delay f =
+let send t ?footprint ~delay f =
   t.stats.sent <- t.stats.sent + 1;
   if is_reliable t.profile then begin
     t.stats.delivered <- t.stats.delivered + 1;
-    ignore (Engine.schedule t.engine ~after:delay f);
+    ignore (Engine.schedule t.engine ?footprint ~after:delay f);
     `Delivered
   end
   else if t.profile.drop > 0. && Rng.bernoulli t.rng t.profile.drop then begin
@@ -78,7 +78,7 @@ let send t ~delay f =
     in
     let delay = Time.add delay (jitter ()) in
     t.stats.delivered <- t.stats.delivered + 1;
-    ignore (Engine.schedule t.engine ~after:delay f);
+    ignore (Engine.schedule t.engine ?footprint ~after:delay f);
     if t.profile.duplicate > 0. && Rng.bernoulli t.rng t.profile.duplicate
     then begin
       t.stats.duplicated <- t.stats.duplicated + 1;
@@ -88,7 +88,7 @@ let send t ~delay f =
         if t.profile.jitter_us > 0. then jitter ()
         else Time.of_float_us (Rng.exponential t.rng 25.)
       in
-      ignore (Engine.schedule t.engine ~after:(Time.add delay trail) f);
+      ignore (Engine.schedule t.engine ?footprint ~after:(Time.add delay trail) f);
       `Duplicated
     end
     else `Delivered

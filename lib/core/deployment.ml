@@ -19,6 +19,7 @@ type config = {
   validator_latency : Time.t;
   validator_jitter_us : float;
   replication_latency : Time.t;
+  replication_jitter_us : float;
   chatter_cost : Time.t;
   chatter_bytes : int;
   encapsulation : bool;
@@ -34,7 +35,8 @@ let config ?timeout ?(adaptive_timeout = false) ?(state_aware = true)
     ?(nondet_rule = true) ?(random_secondaries = true)
     ?(policies = Jury_policy.Engine.create []) ?(encapsulation = false)
     ?(channel = Channel.reliable) ?retransmit ?degraded_quorum ?(shards = 1)
-    ?max_inflight ?batch ~k () =
+    ?max_inflight ?batch ?(validator_jitter_us = 60.)
+    ?(replication_jitter_us = 80.) ~k () =
   let timeout =
     match timeout with
     | Some t -> t
@@ -57,8 +59,9 @@ let config ?timeout ?(adaptive_timeout = false) ?(state_aware = true)
     random_secondaries;
     policies;
     validator_latency = Time.us 120;
-    validator_jitter_us = 60.;
+    validator_jitter_us;
     replication_latency = Time.us 200;
+    replication_jitter_us;
     chatter_cost = Time.us 13;
     chatter_bytes = 96;
     encapsulation;
@@ -159,10 +162,26 @@ let ingest t (r : Response.t) =
                  t.batch_buf <- [];
                  Validator.deliver_batch t.validator batch))
 
+(* A response delivery is confined to its trigger's validation entry —
+   except when validator-wide state couples triggers: the
+   adaptive-timeout estimator (every delivery feeds it) or admission
+   epochs ([max_inflight]); those force opaque. *)
+let response_footprint t (r : Response.t) =
+  if t.cfg.adaptive_timeout || t.cfg.max_inflight <> None then
+    Footprint.opaque
+  else
+    Footprint.touches
+      [ Footprint.taint (Types.Taint.to_string r.Response.taint) ]
+
 let send_to_validator t ~delay (r : Response.t) =
   t.validator_bytes <- t.validator_bytes + response_wire_size r;
   let link = t.validator_links.(r.Response.controller) in
-  match Channel.send link ~delay (fun () -> ingest t r) with
+  match
+    Channel.send link
+      ~footprint:(response_footprint t r)
+      ~delay
+      (fun () -> ingest t r)
+  with
   | `Delivered -> ()
   | `Dropped ->
       trace_channel_event t ~taint:r.Response.taint
@@ -172,9 +191,16 @@ let send_to_validator t ~delay (r : Response.t) =
         ~phase:Jury_obs.Trace.Validate ~node:r.Response.controller ~link
         "duplicate"
 
+(* Zero jitter must draw nothing: a deterministic-latency deployment
+   (Jury_config ~deterministic_latencies) leaves the replicator's RNG
+   stream untouched so equal-timestamp events cannot interfere through
+   it — the schedule explorer's dependence relation assumes as much. *)
+let jittered t base jitter_us =
+  if jitter_us <= 0. then base
+  else Time.add base (Time.of_float_us (Rng.exponential t.rng jitter_us))
+
 let validator_link_delay t =
-  Time.add t.cfg.validator_latency
-    (Time.of_float_us (Rng.exponential t.rng t.cfg.validator_jitter_us))
+  jittered t t.cfg.validator_latency t.cfg.validator_jitter_us
 
 let make_response t ~node ~taint body =
   { Response.controller = node;
@@ -336,8 +362,16 @@ let pick_secondaries t ~primary =
    span closes once, at the first arrival. *)
 let send_replica t ~secondary ~primary ~taint ~(decap : bool) ~rspan trigger =
   let delay =
-    Time.add t.cfg.replication_latency
-      (Time.of_float_us (Rng.exponential t.rng 80.))
+    jittered t t.cfg.replication_latency t.cfg.replication_jitter_us
+  in
+  (* Arrival submits to the secondary's shadow pipeline and (chatter)
+     loads the primary's; with decapsulation it also draws the
+     replicator's shared RNG, which only opaque declares honestly. *)
+  let footprint =
+    if decap then Footprint.opaque
+    else
+      Footprint.touches
+        [ Footprint.controller secondary; Footprint.controller primary ]
   in
   let closed = ref false in
   let close_span attrs =
@@ -348,7 +382,7 @@ let send_replica t ~secondary ~primary ~taint ~(decap : bool) ~rspan trigger =
   in
   let link = t.replica_links.(secondary) in
   let status =
-    Channel.send link ~delay (fun () ->
+    Channel.send link ~footprint ~delay (fun () ->
         if decap then begin
           (* Strip the doubly-encapsulated PACKET_IN (Fig. 4i). *)
           let ctrl = Cluster.controller t.cluster secondary in
@@ -450,14 +484,18 @@ let install cluster cfg =
      run's event schedule shifts. Channels draw nothing at creation,
      so they may be built once [rng] exists. *)
   let nodes =
-    Array.init n (fun _ ->
+    Array.init n (fun node ->
         { snapshot = Snapshot.pristine;
           shadow =
             (* Replicated execution runs on the controller's spare
                cores (the paper's servers have 12); modelled as a
                4-way-parallel validation pool, i.e. a single server
-               at a quarter of the pipeline's service time. *)
+               at a quarter of the pipeline's service time. Shadow
+               completions execute against this replica's state (the
+               chatter load on the trigger's primary shifts timings
+               only). *)
             Pipeline.create engine
+              ~footprint:(Footprint.touches [ Footprint.controller node ])
               (Pipeline.config
                  ~service_sigma:profile.Jury_controller.Profile.service_sigma
                  ~base_service:

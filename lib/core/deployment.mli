@@ -23,7 +23,12 @@ type config = {
   policies : Jury_policy.Engine.t;
   validator_latency : Jury_sim.Time.t;      (** out-of-band link, one way *)
   validator_jitter_us : float;
+      (** exponential mean (µs) added to [validator_latency]; non-positive
+          = fixed latency, no RNG draw *)
   replication_latency : Jury_sim.Time.t;    (** OVS → secondary *)
+  replication_jitter_us : float;
+      (** exponential mean (µs) added to [replication_latency];
+          non-positive = fixed latency, no RNG draw *)
   chatter_cost : Jury_sim.Time.t;
       (** pipeline time the primary pays per replicated trigger for the
           secondaries' mastership-status chatter (Hazelcast, §VII-B2) *)
@@ -56,7 +61,8 @@ val config :
   ?policies:Jury_policy.Engine.t -> ?encapsulation:bool ->
   ?channel:Channel.profile -> ?retransmit:Validator.retransmit ->
   ?degraded_quorum:int -> ?shards:int -> ?max_inflight:int ->
-  ?batch:Jury_sim.Time.t -> k:int -> unit ->
+  ?batch:Jury_sim.Time.t -> ?validator_jitter_us:float ->
+  ?replication_jitter_us:float -> k:int -> unit ->
   config
   [@@deprecated "use Jury_config.make instead"]
 (** Defaults: timeout 150 ms, state-aware consensus and the
@@ -66,7 +72,11 @@ val config :
     per-event ingestion. The ODL profile flips [encapsulation]
     and widens the default timeout to 800 ms (set [timeout]
     explicitly to override). [shards] is a hint, rounded up to the next
-    power of two.
+    power of two. [validator_jitter_us] (default 60) and
+    [replication_jitter_us] (default 80) are the exponential means of
+    the out-of-band links' delay jitter; a non-positive value pins the
+    link to its base latency {e and draws nothing} from the
+    replicator's RNG.
 
     @deprecated Construct through {!Jury_config.make} /
     {!Jury_config.deployment}; the record type stays public as the

@@ -14,7 +14,8 @@ let lossy_channel = Channel.lossy
 
 let make ?(k = 2) ?timeout ?adaptive_timeout ?state_aware ?nondet_rule
     ?random_secondaries ?policies ?encapsulation ?channel ?drop ?duplicate
-    ?jitter_us ?retransmit ?degraded_quorum ?shards ?max_inflight ?batch () =
+    ?jitter_us ?retransmit ?degraded_quorum ?shards ?max_inflight ?batch
+    ?(deterministic_latencies = false) () =
   if k < 0 then invalid_arg "Jury_config.make: k must be >= 0";
   let channel =
     match (channel, drop, duplicate, jitter_us) with
@@ -25,9 +26,23 @@ let make ?(k = 2) ?timeout ?adaptive_timeout ?state_aware ?nondet_rule
     | None, None, None, None -> None
     | None, _, _, _ -> Some (Channel.lossy ?drop ?duplicate ?jitter_us ())
   in
-  Deployment.config ?timeout ?adaptive_timeout ?state_aware ?nondet_rule
-    ?random_secondaries ?policies ?encapsulation ?channel ?retransmit
-    ?degraded_quorum ?shards ?max_inflight ?batch ~k ()
+  (* Deterministic latencies pin both out-of-band links to their base
+     delays (and skip their RNG draws entirely) and replace randomly
+     sampled secondaries with the static peer set — the replicator then
+     consumes no randomness at all, which the schedule explorer's
+     dependence relation relies on. *)
+  let random_secondaries =
+    if deterministic_latencies then Some false else random_secondaries
+  in
+  if deterministic_latencies then
+    Deployment.config ?timeout ?adaptive_timeout ?state_aware ?nondet_rule
+      ?random_secondaries ?policies ?encapsulation ?channel ?retransmit
+      ?degraded_quorum ?shards ?max_inflight ?batch ~validator_jitter_us:0.
+      ~replication_jitter_us:0. ~k ()
+  else
+    Deployment.config ?timeout ?adaptive_timeout ?state_aware ?nondet_rule
+      ?random_secondaries ?policies ?encapsulation ?channel ?retransmit
+      ?degraded_quorum ?shards ?max_inflight ?batch ~k ()
 
 let deployment t = t
 

@@ -35,6 +35,7 @@ val make :
   ?shards:int ->
   ?max_inflight:int ->
   ?batch:Jury_sim.Time.t ->
+  ?deterministic_latencies:bool ->
   unit -> t
 (** Defaults match the seed: k 2, timeout 150 ms (800 ms when
     [encapsulation]), fixed timeout, state-aware consensus and the
@@ -46,7 +47,15 @@ val make :
     inline via [?drop]/[?duplicate]/[?jitter_us] (validated through
     {!Channel.lossy}); passing both is an error. [shards] is a hint,
     rounded up to the next power of two. Raises [Invalid_argument] on
-    any out-of-range value. *)
+    any out-of-range value.
+
+    [deterministic_latencies] (default false) pins the replication and
+    response-collection links to their base latencies — their jitter
+    RNGs are never drawn — and forces [random_secondaries:false], so
+    the replicator consumes no randomness at all. Pair it with
+    {!Jury_controller.Profile.deterministic} to make a whole deployment
+    jitter-free; the [Jury_mc] schedule explorer requires such a
+    configuration (see DESIGN.md). *)
 
 val retransmit :
   ?fraction:float -> ?backoff:float -> ?max_retries:int -> unit ->

@@ -933,12 +933,25 @@ let evaluate t p ~timed_out =
         else finish t p Alarm.Ok_valid ~suspects:[] ~detail
   end
 
+(* A trigger-scoped event: decides/updates only this trigger's entry
+   (shard counters it bumps are commutative). The two per-validator
+   couplings that break that — the adaptive-timeout estimator, which
+   every decision feeds and every later timer reads, and the admission
+   epochs of [max_inflight], where one verdict releases the next queued
+   trigger — force the conservative opaque footprint instead. *)
+let entry_footprint t (p : pending) =
+  if t.cfg.adaptive_timeout || t.cfg.max_inflight <> None then
+    Footprint.opaque
+  else Footprint.touches [ Footprint.taint (Types.Taint.to_string p.taint) ]
+
 let arm_timer t p =
   if p.timer = None then
     p.timer <-
       Some
-        (Engine.schedule t.engine ~after:(current_timeout t) (fun () ->
-             evaluate t p ~timed_out:true))
+        (Engine.schedule t.engine
+           ~footprint:(entry_footprint t p)
+           ~after:(current_timeout t)
+           (fun () -> evaluate t p ~timed_out:true))
 
 (* --- Bounded retransmission with exponential backoff --- *)
 

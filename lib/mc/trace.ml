@@ -1,0 +1,40 @@
+type t = int list
+
+let empty = []
+let is_empty t = t = []
+let length = List.length
+let equal (a : t) (b : t) = a = b
+
+let of_list l =
+  List.iter
+    (fun c -> if c < 0 then invalid_arg "Trace.of_list: negative choice")
+    l;
+  l
+
+let to_list t = t
+
+let to_string = function
+  | [] -> "-"
+  | t -> String.concat "." (List.map string_of_int t)
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" || s = "-" then Ok []
+  else
+    let parts = String.split_on_char '.' s in
+    let rec parse acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+          match int_of_string_opt (String.trim p) with
+          | Some n when n >= 0 -> parse (n :: acc) rest
+          | _ ->
+              Error
+                (Printf.sprintf
+                   "invalid trace %S: expected dot-separated non-negative \
+                    choice indices like \"0.2.1\", or \"-\" for the default \
+                    schedule"
+                   s))
+    in
+    parse [] parts
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

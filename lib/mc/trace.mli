@@ -1,0 +1,37 @@
+(** Compact printable choice traces.
+
+    A deterministic simulation's only scheduling freedom is which of
+    several equal-timestamp events runs first (see
+    {!Jury_sim.Engine.set_chooser}). A trace pins one schedule: entry
+    [i] is the candidate index chosen at the [i]-th {e choice point} of
+    the run, in the order the engine encounters them. Beyond the end of
+    the trace every choice defaults to [0] — the FIFO order — so the
+    empty trace denotes the seed schedule, and any prefix of a valid
+    trace is itself a valid (shorter) trace.
+
+    Traces print as dot-separated indices (["0.2.1"]; ["-"] for the
+    empty trace), small enough to paste into a failure report, a CLI
+    invocation or the repro corpus. *)
+
+type t
+
+val empty : t
+(** The seed (FIFO) schedule. *)
+
+val is_empty : t -> bool
+val length : t -> int
+val equal : t -> t -> bool
+
+val of_list : int list -> t
+(** Raises [Invalid_argument] on a negative choice. *)
+
+val to_list : t -> int list
+
+val to_string : t -> string
+(** ["-"] for {!empty}, else dot-separated (e.g. ["0.2.1"]). *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; also accepts [""] for the empty trace.
+    [Error] carries a usage message naming the offending input. *)
+
+val pp : Format.formatter -> t -> unit

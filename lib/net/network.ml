@@ -47,13 +47,18 @@ let deliver t ~from_dpid ~from_port frame =
     | Some (To_host hi) ->
         let h = t.hosts.(hi) in
         ignore
-          (Engine.schedule t.engine ~after:t.link_latency (fun () ->
-               Host.receive h frame))
+          (Engine.schedule t.engine
+             ~footprint:(Footprint.touches [ Footprint.host hi ])
+             ~after:t.link_latency
+             (fun () -> Host.receive h frame))
     | Some (To_switch (peer, peer_port)) ->
         let sw = switch t peer in
         ignore
-          (Engine.schedule t.engine ~after:t.link_latency (fun () ->
-               Switch.receive_frame sw ~in_port:peer_port frame))
+          (Engine.schedule t.engine
+             ~footprint:
+               (Footprint.touches [ Footprint.switch (Of_types.Dpid.hash peer) ])
+             ~after:t.link_latency
+             (fun () -> Switch.receive_frame sw ~in_port:peer_port frame))
   end
 
 let create engine (plan : Builder.plan) ?(link_latency = Time.us 50)
@@ -97,8 +102,12 @@ let create engine (plan : Builder.plan) ?(link_latency = Time.us 50)
         let tx frame =
           let sw = switch t slot.dpid in
           ignore
-            (Engine.schedule engine ~after:link_latency (fun () ->
-                 Switch.receive_frame sw ~in_port:slot.port frame))
+            (Engine.schedule engine
+               ~footprint:
+                 (Footprint.touches
+                    [ Footprint.switch (Of_types.Dpid.hash slot.dpid) ])
+               ~after:link_latency
+               (fun () -> Switch.receive_frame sw ~in_port:slot.port frame))
         in
         Hashtbl.replace t.attachments (slot.dpid, slot.port) (To_host i);
         Switch.register_port (switch t slot.dpid) slot.port;

@@ -80,7 +80,11 @@ let rec ensure_expiry_sweep t =
   if (not t.sweep_armed) && Flow_table.has_expirable t.table then begin
     t.sweep_armed <- true;
     ignore
-      (Engine.schedule t.engine ~after:expiry_period (fun () ->
+      (Engine.schedule t.engine
+         ~footprint:
+           (Footprint.touches [ Footprint.switch (Of_types.Dpid.hash t.dpid) ])
+         ~after:expiry_period
+         (fun () ->
            t.sweep_armed <- false;
            let now = Engine.now t.engine in
            List.iter

@@ -1,4 +1,12 @@
-type event = { mutable live : bool; action : unit -> unit }
+type event = { mutable live : bool; action : unit -> unit; fp : Footprint.t }
+
+type candidate = {
+  cand_seq : int;
+  cand_at : Time.t;
+  cand_footprint : Footprint.t;
+}
+
+type chooser = candidate array -> int
 
 type t = {
   mutable clock : Time.t;
@@ -7,6 +15,7 @@ type t = {
   root_rng : Rng.t;
   mutable trace : Jury_obs.Trace.t;
   mutable executed : int;
+  mutable chooser : chooser option;
 }
 
 type handle = { event : event; engine : t }
@@ -18,29 +27,32 @@ type handle = { event : event; engine : t }
 let global_executed = Atomic.make 0
 let total_executed () = Atomic.get global_executed
 
-let create ?(seed = 42) () =
+let create ?(seed = 42) ?tie () =
   { clock = Time.zero;
     seq = 0;
-    queue = Heap.create ();
+    queue = Heap.create ?tie ();
     root_rng = Rng.create seed;
     trace = Jury_obs.Trace.null ();
-    executed = 0 }
+    executed = 0;
+    chooser = None }
 
 let now t = t.clock
 let now_ns t = Time.to_ns t.clock
 let rng t = t.root_rng
 let trace t = t.trace
 let set_trace t trace = t.trace <- trace
+let set_chooser t chooser = t.chooser <- chooser
 
-let schedule_at t ~at f =
+let schedule_at t ?(footprint = Footprint.opaque) ~at f =
   if Time.(at < t.clock) then
     invalid_arg "Engine.schedule_at: time is in the past";
-  let event = { live = true; action = f } in
+  let event = { live = true; action = f; fp = footprint } in
   t.seq <- t.seq + 1;
   Heap.push t.queue ~key:at ~seq:t.seq event;
   { event; engine = t }
 
-let schedule t ~after f = schedule_at t ~at:(Time.add t.clock after) f
+let schedule t ?footprint ~after f =
+  schedule_at t ?footprint ~at:(Time.add t.clock after) f
 
 let cancel h =
   ignore h.engine;
@@ -48,10 +60,10 @@ let cancel h =
 
 let is_pending h = h.event.live
 
-let every t ~period ?jitter f =
+let every t ~period ?jitter ?footprint f =
   (* A recurrence is a chain of one-shot events; the caller's handle is
      kept pointing at the chain head so cancelling it stops the chain. *)
-  let chain = { live = true; action = (fun () -> ()) } in
+  let chain = { live = true; action = (fun () -> ()); fp = Footprint.opaque } in
   let handle = { event = chain; engine = t } in
   let rec arm () =
     let delay =
@@ -62,7 +74,7 @@ let every t ~period ?jitter f =
           else Time.add period (Time.ns (Rng.int t.root_rng (Time.to_ns j)))
     in
     ignore
-      (schedule t ~after:delay (fun () ->
+      (schedule t ?footprint ~after:delay (fun () ->
            if chain.live then begin
              f ();
              if chain.live then arm ()
@@ -77,14 +89,57 @@ let execute _t event =
     event.action ()
   end
 
-let step t =
-  match Heap.pop t.queue with
+(* One heap removal per call, mirroring the plain path's accounting
+   (clock advance, executed tick) exactly. Cancelled events drain
+   before the chooser is consulted — they are no-ops, so their order
+   within a tie is unobservable — and the chooser only ever sees a tie
+   of two or more live events. *)
+let step_choose t choose =
+  match Heap.peek t.queue with
   | None -> false
-  | Some (at, _, event) ->
-      t.clock <- at;
-      t.executed <- t.executed + 1;
-      execute t event;
+  | Some _ ->
+      let tied = Heap.tied_front t.queue in
+      let dead =
+        List.find_opt (fun (_, _, (e : event)) -> not e.live) tied
+      in
+      let at, seq =
+        match dead with
+        | Some (at, seq, _) -> (at, seq)
+        | None -> (
+            match tied with
+            | [ (at, seq, _) ] -> (at, seq)
+            | _ ->
+                let cands =
+                  Array.of_list
+                    (List.map
+                       (fun (at, seq, (e : event)) ->
+                         { cand_seq = seq; cand_at = at; cand_footprint = e.fp })
+                       tied)
+                in
+                let i = choose cands in
+                if i < 0 || i >= Array.length cands then
+                  invalid_arg "Engine: chooser index out of range";
+                (cands.(i).cand_at, cands.(i).cand_seq))
+      in
+      (match Heap.remove_seq t.queue ~seq with
+      | None -> assert false
+      | Some (_, _, event) ->
+          t.clock <- at;
+          t.executed <- t.executed + 1;
+          execute t event);
       true
+
+let step t =
+  match t.chooser with
+  | Some choose -> step_choose t choose
+  | None -> (
+      match Heap.pop t.queue with
+      | None -> false
+      | Some (at, _, event) ->
+          t.clock <- at;
+          t.executed <- t.executed + 1;
+          execute t event;
+          true)
 
 let run ?until t =
   let before = t.executed in

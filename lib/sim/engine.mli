@@ -11,9 +11,11 @@ type t
 type handle
 (** Cancellation handle for a scheduled event. *)
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?tie:Heap.tie -> unit -> t
 (** [create ?seed ()] makes an engine whose root RNG is seeded with
-    [seed] (default 42). *)
+    [seed] (default 42). [tie] (default {!Heap.fifo}) breaks the event
+    queue's equal-timestamp ties; the default reproduces the seed's
+    (time, insertion) order byte-for-byte. *)
 
 val now : t -> Time.t
 (** Current simulated time. *)
@@ -36,10 +38,15 @@ val rng : t -> Rng.t
 (** The engine's root RNG; components usually [Rng.split] it once at
     construction. *)
 
-val schedule : t -> after:Time.t -> (unit -> unit) -> handle
-(** [schedule t ~after f] runs [f] at [now t + after]. *)
+val schedule :
+  t -> ?footprint:Footprint.t -> after:Time.t -> (unit -> unit) -> handle
+(** [schedule t ~after f] runs [f] at [now t + after]. [footprint]
+    (default {!Footprint.opaque}) declares the resources [f] touches;
+    it never affects execution, only how the schedule explorer prunes
+    equal-timestamp orderings (see {!set_chooser}). *)
 
-val schedule_at : t -> at:Time.t -> (unit -> unit) -> handle
+val schedule_at :
+  t -> ?footprint:Footprint.t -> at:Time.t -> (unit -> unit) -> handle
 (** [schedule_at t ~at f] runs [f] at absolute time [at]; raises
     [Invalid_argument] if [at] is in the past. *)
 
@@ -49,7 +56,9 @@ val cancel : handle -> unit
 val is_pending : handle -> bool
 (** Whether the event is still queued (neither fired nor cancelled). *)
 
-val every : t -> period:Time.t -> ?jitter:Time.t -> (unit -> unit) -> handle
+val every :
+  t -> period:Time.t -> ?jitter:Time.t -> ?footprint:Footprint.t ->
+  (unit -> unit) -> handle
 (** [every t ~period f] runs [f] every [period], starting one period
     from now, with optional uniform [jitter] added to each firing.
     Returns the handle of the {e next} occurrence chain; cancelling it
@@ -67,6 +76,33 @@ val every : t -> period:Time.t -> ?jitter:Time.t -> (unit -> unit) -> handle
     pins the jitter draw order. Run-level parallelism (Jury_par) is
     unaffected: each run owns a whole engine, so no RNG is ever shared
     across runs. *)
+
+(** {1 Schedule exploration}
+
+    A {e schedule} of a deterministic simulation is a tie-break order
+    on the event heap: events at distinct timestamps execute in time
+    order whatever happens, so the only scheduling freedom is which of
+    several equal-timestamp events runs first. The chooser hook hands
+    that freedom to an external scheduler (the [Jury_mc] explorer);
+    with no chooser installed the engine is byte-for-byte the seed. *)
+
+type candidate = {
+  cand_seq : int;           (** insertion sequence, the stable event id *)
+  cand_at : Time.t;         (** the tied timestamp (equal across the array) *)
+  cand_footprint : Footprint.t;
+      (** as declared at [schedule] time; {!Footprint.opaque} if not *)
+}
+
+type chooser = candidate array -> int
+(** Called at every {e choice point} — two or more live events tied at
+    the minimal timestamp — with the candidates in ascending insertion
+    order; returns the index of the event to run next. Index 0
+    reproduces the default FIFO order. Raising aborts the run. *)
+
+val set_chooser : t -> chooser option -> unit
+(** Install (or remove) the tie chooser. Cancelled events never reach
+    the chooser: they drain silently first, so a chooser always sees
+    [>= 2] live candidates. *)
 
 val run : ?until:Time.t -> t -> unit
 (** Drains the event queue, advancing simulated time, until the queue

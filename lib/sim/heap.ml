@@ -1,18 +1,27 @@
 type 'a cell = { key : Time.t; seq : int; value : 'a }
 
+type tie = int -> int -> bool
+
+let fifo : tie = ( < )
+let lifo : tie = ( > )
+
 (* Slots at indices >= [size] hold [None]. Keeping raw cells there (the
    previous representation) pinned every popped payload until a later
    push happened to overwrite its slot — a space leak proportional to
    the heap's high-water mark. *)
-type 'a t = { mutable data : 'a cell option array; mutable size : int }
+type 'a t = {
+  mutable data : 'a cell option array;
+  mutable size : int;
+  tie : tie;
+}
 
-let create () = { data = [||]; size = 0 }
+let create ?(tie = fifo) () = { data = [||]; size = 0; tie }
 let length h = h.size
 let is_empty h = h.size = 0
 
-let less a b =
+let less h a b =
   let c = Time.compare a.key b.key in
-  if c <> 0 then c < 0 else a.seq < b.seq
+  if c <> 0 then c < 0 else h.tie a.seq b.seq
 
 let get h i =
   match h.data.(i) with Some c -> c | None -> assert false
@@ -24,23 +33,27 @@ let grow h =
   Array.blit h.data 0 ndata 0 h.size;
   h.data <- ndata
 
-let push h ~key ~seq value =
-  let cell = { key; seq; value } in
-  if h.size = Array.length h.data then grow h;
-  (* Sift up. *)
-  let i = ref h.size in
-  h.size <- h.size + 1;
-  h.data.(!i) <- Some cell;
+let sift_up h i0 =
+  let cell = get h i0 in
+  let i = ref i0 in
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if less cell (get h parent) then begin
+    if less h cell (get h parent) then begin
       h.data.(!i) <- h.data.(parent);
       h.data.(parent) <- Some cell;
       i := parent
     end
     else continue := false
   done
+
+let push h ~key ~seq value =
+  let cell = { key; seq; value } in
+  if h.size = Array.length h.data then grow h;
+  let i = h.size in
+  h.size <- h.size + 1;
+  h.data.(i) <- Some cell;
+  sift_up h i
 
 let sift_down h i0 =
   let n = h.size in
@@ -50,8 +63,8 @@ let sift_down h i0 =
   while !continue do
     let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
     let smallest = ref !i in
-    if l < n && less (get h l) (get h !smallest) then smallest := l;
-    if r < n && less (get h r) (get h !smallest) then smallest := r;
+    if l < n && less h (get h l) (get h !smallest) then smallest := l;
+    if r < n && less h (get h r) (get h !smallest) then smallest := r;
     if !smallest <> !i then begin
       h.data.(!i) <- h.data.(!smallest);
       h.data.(!smallest) <- Some cell;
@@ -79,6 +92,45 @@ let peek h =
   else
     let top = get h 0 in
     Some (top.key, top.seq, top.value)
+
+let tied_front h =
+  if h.size = 0 then []
+  else begin
+    let min_key = (get h 0).key in
+    let tied = ref [] in
+    for i = h.size - 1 downto 0 do
+      let c = get h i in
+      if Time.compare c.key min_key = 0 then tied := c :: !tied
+    done;
+    List.map
+      (fun c -> (c.key, c.seq, c.value))
+      (List.sort (fun a b -> compare a.seq b.seq) !tied)
+  end
+
+let remove_seq h ~seq =
+  let found = ref (-1) in
+  let i = ref 0 in
+  while !found < 0 && !i < h.size do
+    if (get h !i).seq = seq then found := !i;
+    incr i
+  done;
+  if !found < 0 then None
+  else begin
+    let c = get h !found in
+    h.size <- h.size - 1;
+    if !found < h.size then begin
+      h.data.(!found) <- h.data.(h.size);
+      h.data.(h.size) <- None;
+      (* The hole is refilled with the last element, which may need to
+         move either way relative to its new parent and children. *)
+      let moved = get h !found in
+      if !found > 0 && less h moved (get h ((!found - 1) / 2)) then
+        sift_up h !found
+      else sift_down h !found
+    end
+    else h.data.(!found) <- None;
+    Some (c.key, c.seq, c.value)
+  end
 
 let clear h =
   h.data <- [||];

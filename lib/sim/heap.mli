@@ -1,13 +1,33 @@
 (** Imperative binary min-heap, the core of the event queue.
 
     Ties are broken by an insertion sequence number supplied by the
-    caller, which gives the FIFO ordering of simultaneous events that a
-    deterministic discrete-event simulation requires. *)
+    caller. The default tie-breaker is FIFO on that number, which gives
+    the arrival ordering of simultaneous events that a deterministic
+    discrete-event simulation requires; a heap can instead be created
+    with any strict total order on sequence numbers (the hook the
+    schedule explorer builds on), and {!tied_front}/{!remove_seq} let a
+    scheduler inspect and resolve a timestamp tie one event at a
+    time. *)
 
 type 'a t
 
-val create : unit -> 'a t
-(** An empty heap. *)
+type tie = int -> int -> bool
+(** [tie a b] orders the insertion sequence numbers of two equal-key
+    elements: [true] means the element inserted as [a] pops before the
+    one inserted as [b]. A tie-breaker must be a strict total order on
+    the sequence numbers the caller supplies (irreflexive, transitive,
+    total) or the pop order is unspecified. *)
+
+val fifo : tie
+(** [( < )] — first inserted pops first. The default, and the seed's
+    documented behaviour. *)
+
+val lifo : tie
+(** [( > )] — last inserted pops first; the exact reverse of {!fifo}
+    on any set of equal-key elements. *)
+
+val create : ?tie:tie -> unit -> 'a t
+(** An empty heap breaking key ties with [tie] (default {!fifo}). *)
 
 val length : 'a t -> int
 (** Number of queued elements. *)
@@ -23,6 +43,17 @@ val pop : 'a t -> (Time.t * int * 'a) option
 
 val peek : 'a t -> (Time.t * int * 'a) option
 (** The minimum without removing it, or [None] if empty. *)
+
+val tied_front : 'a t -> (Time.t * int * 'a) list
+(** Every element whose key equals the minimum key, in ascending
+    insertion-sequence order (regardless of the heap's tie-breaker);
+    [[]] if empty. O(n) — meant for schedule exploration over small
+    queues, not for the hot pop path. *)
+
+val remove_seq : 'a t -> seq:int -> (Time.t * int * 'a) option
+(** Removes the element inserted with sequence number [seq], wherever
+    it sits in the heap; [None] if no such element. O(n) search plus a
+    sift. *)
 
 val clear : 'a t -> unit
 (** Discard every element. *)

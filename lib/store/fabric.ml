@@ -123,9 +123,15 @@ let replicate t ~origin (ev : Event.t) =
       let delay =
         match t.consistency with
         | Eventual ->
-            Time.add t.profile.replication_base
-              (Time.of_float_us
-                 (Rng.exponential t.rng t.profile.replication_jitter_us))
+            (* Zero jitter draws nothing, so a deterministic-latency
+               profile keeps the RNG stream untouched (the schedule
+               explorer depends on that). *)
+            if t.profile.replication_jitter_us <= 0. then
+              t.profile.replication_base
+            else
+              Time.add t.profile.replication_base
+                (Time.of_float_us
+                   (Rng.exponential t.rng t.profile.replication_jitter_us))
         | Strong ->
             (* The write's coordination round completes when the global
                channel clears (strong_acquire advanced it just before
@@ -140,8 +146,13 @@ let replicate t ~origin (ev : Event.t) =
           t.channel_clear.(origin).(peer)
       in
       t.channel_clear.(origin).(peer) <- Time.add at (Time.ns 1);
+      (* Delivery mutates the peer's replica tables and runs its
+         listeners (controller cache manager, validator relay). *)
+      let footprint =
+        Footprint.touches [ Footprint.store peer; Footprint.controller peer ]
+      in
       ignore
-        (Engine.schedule_at t.engine ~at (fun () ->
+        (Engine.schedule_at t.engine ~footprint ~at (fun () ->
              if not t.node_states.(peer).partitioned then
                apply_event t peer ev ~local:false))
     end

@@ -1,5 +1,6 @@
-(* Runs the full oracle battery over every pinned repro. A corpus case
-   failing here means a once-fixed bug (or a fresh one) is back. *)
+(* Runs the full oracle battery over every pinned repro, and replays
+   every pinned schedule trace. A corpus case failing here means a
+   once-fixed bug (or a fresh one) is back. *)
 
 let check (e : Repro_corpus.entry) () =
   match Jury_check.Oracle.check_case e.Repro_corpus.case with
@@ -13,6 +14,23 @@ let check (e : Repro_corpus.entry) () =
                 Printf.sprintf "%s: %s" o.Jury_check.Oracle.name msg)
               violations))
 
+(* An mc entry pins a schedule once inequivalent to the FIFO reference:
+   replaying it must now agree (schedule-blind) and keep the whole
+   battery green on that exact interleaving. *)
+let check_mc (e : Mc_corpus.entry) () =
+  match Jury_mc.Trace.of_string e.Mc_corpus.trace with
+  | Error msg -> Alcotest.failf "%s: bad trace: %s" e.Mc_corpus.name msg
+  | Ok trace -> (
+      match
+        Jury_mc.Explorer.replay ~oracles:Jury_check.Oracle.all
+          e.Mc_corpus.case trace
+      with
+      | _, None -> ()
+      | _, Some d ->
+          Alcotest.failf "%s (pinned for: %s): %s" e.Mc_corpus.name
+            e.Mc_corpus.bug
+            (Jury_mc.Explorer.describe_divergence d))
+
 let () =
   Alcotest.run "jury-repros"
     [ ( "corpus",
@@ -21,4 +39,9 @@ let () =
             Alcotest.test_case
               (e.Repro_corpus.name ^ ":" ^ e.Repro_corpus.oracle)
               `Slow (check e))
-          (Repro_corpus.all ()) ) ]
+          (Repro_corpus.all ()) );
+      ( "mc",
+        List.map
+          (fun (e : Mc_corpus.entry) ->
+            Alcotest.test_case e.Mc_corpus.name `Slow (check_mc e))
+          (Mc_corpus.all ()) ) ]

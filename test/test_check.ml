@@ -193,9 +193,43 @@ let test_backtoback_overload_delta () =
   check_int "second run's overload delta" n2 (o2 - o1);
   check_int "identical overload counts" n1 n2
 
+(* The shared selector table behind `check --oracle` and `mc --oracle`:
+   a family resolves to its oracles, an exact name to a singleton, and
+   anything else to an error that lists every valid choice. *)
+let test_oracle_resolve () =
+  (match Jury_check.Oracle.resolve "sharding" with
+  | Ok os ->
+      check_int "family resolves to its oracles"
+        (List.length (Jury_check.Oracle.by_family "sharding"))
+        (List.length os)
+  | Error e -> Alcotest.fail e);
+  (match Jury_check.Oracle.names with
+  | [] -> Alcotest.fail "no oracle names"
+  | name :: _ -> (
+      match Jury_check.Oracle.resolve name with
+      | Ok [ o ] -> Alcotest.(check string) "exact name" name o.Jury_check.Oracle.name
+      | Ok _ -> Alcotest.fail "name resolved to several oracles"
+      | Error e -> Alcotest.fail e));
+  match Jury_check.Oracle.resolve "no-such-oracle" with
+  | Ok _ -> Alcotest.fail "unknown selector accepted"
+  | Error e ->
+      let contains needle =
+        let nh = String.length e and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub e i nn = needle || go (i + 1)) in
+        go 0
+      in
+      check_bool "error names the selector" true (contains "no-such-oracle");
+      List.iter
+        (fun f -> check_bool ("error lists family " ^ f) true (contains f))
+        Jury_check.Oracle.families;
+      List.iter
+        (fun n -> check_bool ("error lists oracle " ^ n) true (contains n))
+        Jury_check.Oracle.names
+
 let suite =
   [ Alcotest.test_case "generate is deterministic" `Quick
       test_generate_deterministic;
+    Alcotest.test_case "oracle selector resolution" `Quick test_oracle_resolve;
     Alcotest.test_case "generated cases are buildable" `Quick
       test_generate_valid;
     Alcotest.test_case "generator primitives" `Quick test_gen_primitives;

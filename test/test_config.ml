@@ -53,6 +53,7 @@ let seed_record () =
     validator_latency = Time.us 120;
     validator_jitter_us = 60.;
     replication_latency = Time.us 200;
+    replication_jitter_us = 80.;
     chatter_cost = Time.us 13;
     chatter_bytes = 96;
     encapsulation = false;

@@ -18,4 +18,5 @@ let () =
       ("workload", Test_workload.suite);
       ("experiments", Test_experiments.suite);
       ("par", Test_par.suite);
-      ("check", Test_check.suite) ]
+      ("check", Test_check.suite);
+      ("mc", Test_mc.suite) ]
