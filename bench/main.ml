@@ -222,6 +222,114 @@ let policy_scaling ~full:_ () =
   Printf.printf "  => PACKET_OUT pipeline peak (model): %.0f msg/s (paper: ~220K)\n"
     (Figures.packet_out_peak ())
 
+(* Filled by [policy_scale] and [micro] so --json can report ns/op
+   figures; both append. *)
+let micro_rows : (string * float) list ref = ref []
+
+let policy_scale ~full () =
+  section "Policy compiler scaling: interpreted vs compiled check cost";
+  note "per-response cost must stay ~flat in rule count on the compiled \
+        path (dispatch trie), vs linear on the interpreter";
+  let sizes =
+    if full then [ 100; 500; 1000; 2000; 4000; 8000 ]
+    else [ 100; 500; 1000; 2000; 4000 ]
+  in
+  let caches =
+    [| Jury_store.Cache_names.flowsdb; Jury_store.Cache_names.linksdb;
+       Jury_store.Cache_names.edgedb; Jury_store.Cache_names.hostdb;
+       Jury_store.Cache_names.arpdb |]
+  in
+  let ops = [| Jury_store.Event.Create; Jury_store.Event.Update;
+               Jury_store.Event.Delete |] in
+  (* A structured admin policy: mostly cache/controller/op-specific deny
+     rules with never-matching entry globs (worst case: every applicable
+     rule's residual is evaluated), plus periodic wildcard selectors so
+     the trie's fallthrough branches carry weight too. *)
+  let make_rules n =
+    List.init n (fun i ->
+        Jury_policy.Ast.rule
+          ~name:(Printf.sprintf "p%d" i)
+          ?cache:(if i mod 37 = 0 then None else Some caches.(i mod 5))
+          ~controller:
+            (if i mod 41 = 0 then Jury_policy.Ast.Any_controller
+             else Jury_policy.Ast.Controller_id (i mod 8))
+          ~operation:
+            (if i mod 31 = 0 then Jury_policy.Ast.Any_op
+             else Jury_policy.Ast.Op_is ops.(i mod 3))
+          ~entry:
+            (Jury_policy.Ast.Entry_glob
+               { key = Jury_policy.Pattern.compile
+                   (Printf.sprintf "never-%d-*" i);
+                 value = Jury_policy.Pattern.compile "*" })
+          ())
+  in
+  let query =
+    { Jury_policy.Ast.q_controller = 3;
+      q_trigger = `External;
+      q_cache = Jury_store.Cache_names.flowsdb;
+      q_op = Jury_store.Event.Create;
+      q_key = "a1b2c3d4/deadbeefdeadbeefdeadbeefdeadbeef";
+      q_value = String.make 160 'f';
+      q_destination = `Local }
+  in
+  let time_us ~iterations f =
+    for _ = 1 to 50 do ignore (f ()) done;
+    let t0 = Sys.time () in
+    for _ = 1 to iterations do ignore (f ()) done;
+    (Sys.time () -. t0) /. float_of_int iterations *. 1e6
+  in
+  let t =
+    Table.create
+      ~header:
+        [ "rules"; "load ms"; "compile ms"; "interp us"; "compiled us";
+          "speedup"; "leaves"; "max leaf" ]
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let rules = make_rules n in
+        let t0 = Sys.time () in
+        let engine = Jury_policy.Engine.create rules in
+        let load_ms = (Sys.time () -. t0) *. 1e3 in
+        let t0 = Sys.time () in
+        let compiled = Jury_policy.Engine.compiled engine in
+        let compile_ms = (Sys.time () -. t0) *. 1e3 in
+        let interp_us =
+          time_us ~iterations:(max 500 (10_000_000 / n)) (fun () ->
+              Jury_policy.Engine.check engine query)
+        in
+        let compiled_us =
+          time_us ~iterations:200_000 (fun () ->
+              Jury_policy.Compiled.check compiled query)
+        in
+        let st = Jury_policy.Compiled.stats compiled in
+        Table.add_row t
+          [ string_of_int n;
+            Printf.sprintf "%.1f" load_ms;
+            Printf.sprintf "%.1f" compile_ms;
+            Printf.sprintf "%.2f" interp_us;
+            Printf.sprintf "%.3f" compiled_us;
+            Printf.sprintf "%.0fx" (interp_us /. compiled_us);
+            Printf.sprintf "%d/%d" st.Jury_policy.Compiled.st_distinct_leaves
+              st.Jury_policy.Compiled.st_leaves;
+            string_of_int st.Jury_policy.Compiled.st_max_leaf ];
+        micro_rows :=
+          !micro_rows
+          @ [ (Printf.sprintf "policy-scale-%d-interpreted" n,
+               interp_us *. 1e3);
+              (Printf.sprintf "policy-scale-%d-compiled" n,
+               compiled_us *. 1e3) ];
+        (n, interp_us, compiled_us))
+      sizes
+  in
+  Table.print t;
+  match (rows, List.rev rows) with
+  | (n0, _, c0) :: _, (nl, il, cl) :: _ ->
+      note "=> compiled %.3fus at %d rules vs %.3fus at %d (%.1fx growth); \
+            interpreter %.2fus at %d (%.0fx slower)"
+        c0 n0 cl nl (cl /. c0) il nl (il /. cl)
+  | _ -> ()
+
 let ablations ~full () =
   section "Ablation: state-aware consensus vs naive majority";
   let t =
@@ -389,9 +497,6 @@ let validator_scale ~full () =
 
 (* --- Bechamel micro-benchmarks --- *)
 
-(* Filled by [micro] so --json can report ns/op figures. *)
-let micro_rows : (string * float) list ref = ref []
-
 let micro ~full:_ () =
   section "Micro-benchmarks (Bechamel): hot paths";
   let open Bechamel in
@@ -480,12 +585,13 @@ let micro ~full:_ () =
     |> List.sort compare
   in
   micro_rows :=
-    List.filter_map
-      (fun (name, result) ->
-        match Analyze.OLS.estimates result with
-        | Some [ est ] -> Some (name, est)
-        | _ -> None)
-      rows;
+    !micro_rows
+    @ List.filter_map
+        (fun (name, result) ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Some (name, est)
+          | _ -> None)
+        rows;
   List.iter
     (fun (name, result) ->
       match Analyze.OLS.estimates result with
@@ -506,6 +612,7 @@ let all_experiments =
     ("fig4i", fig4i);
     ("overhead", overhead);
     ("policy-scaling", policy_scaling);
+    ("policy-scale", policy_scale);
     ("ablations", ablations);
     ("lossy", lossy);
     ("validator-scale", validator_scale);

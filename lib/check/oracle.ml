@@ -333,6 +333,17 @@ let obs_consistency { base; _ } =
        Printf.sprintf "obs channel sent sum %d <> channel totals %d"
          o.Run.obs_channel_sent o.Run.totals.Jury.Channel.sent) ]
 
+(* --- policy ------------------------------------------------------- *)
+
+(* Independent of the deployment run (never forces [base]): draws a
+   rule set and a query batch from the case seed and requires the
+   compiled decision structure to agree with the reference interpreter
+   verdict-for-verdict, before and after a mid-stream add_rule. *)
+let policy_equivalence { case; _ } =
+  match Policy_gen.diff ~seed:case.Case.case_seed () with
+  | None -> Pass
+  | Some msg -> failf "compiled <> interpreted: %s" msg
+
 (* --- catalog ------------------------------------------------------ *)
 
 let all =
@@ -352,7 +363,9 @@ let all =
       check = channel_conservation };
     { name = "zero-loss-identity"; family = "channel";
       check = zero_loss_identity };
-    { name = "obs-consistency"; family = "obs"; check = obs_consistency } ]
+    { name = "obs-consistency"; family = "obs"; check = obs_consistency };
+    { name = "compiled-interpreted"; family = "policy";
+      check = policy_equivalence } ]
 
 let families =
   List.sort_uniq compare (List.map (fun o -> o.family) all)

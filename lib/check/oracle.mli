@@ -1,7 +1,7 @@
 (** The machine-checkable invariants each generated case is held to.
 
-    Oracles are grouped into six families, one per soundness claim the
-    codebase accumulated over PR 1–4:
+    Oracles are grouped into seven families, one per soundness claim
+    the codebase accumulated over PR 1–4 and the policy compiler:
 
     - [conservation] — every registered trigger reaches exactly one
       verdict (or a counted retirement): after flush nothing is
@@ -26,6 +26,11 @@
       {!Jury.Channel.reliable} profile.
     - [obs] — the counters {!Jury.Obs_bridge} exports as metrics series
       sum back to the validator's and channels' own totals.
+    - [policy] — the {!Jury_policy.Compiled} decision structure agrees
+      with the {!Jury_policy.Engine} reference interpreter
+      verdict-for-verdict on a rule set and query batch fuzzed from the
+      case seed (see {!Policy_gen}); the only family that never
+      executes the deployment.
 
     Each oracle receives a {!ctx} whose base outcome is computed
     lazily and shared across oracles, so a case is executed once for

@@ -17,6 +17,13 @@ let make ?(k = 2) ?timeout ?adaptive_timeout ?state_aware ?nondet_rule
     ?jitter_us ?retransmit ?degraded_quorum ?shards ?max_inflight ?batch
     ?(deterministic_latencies = false) () =
   if k < 0 then invalid_arg "Jury_config.make: k must be >= 0";
+  (* Compile the policy set here, once, so the validator's per-response
+     checks hit a warm decision structure (and so a config shared
+     across worker domains shares a read-only compiled view instead of
+     racing to build it). *)
+  Option.iter
+    (fun p -> ignore (Jury_policy.Engine.compiled p))
+    policies;
   let channel =
     match (channel, drop, duplicate, jitter_us) with
     | Some c, None, None, None -> Some c

@@ -49,6 +49,11 @@ val make :
     rounded up to the next power of two. Raises [Invalid_argument] on
     any out-of-range value.
 
+    A [?policies] rule set is compiled here, once, into the
+    {!Jury_policy.Compiled} decision structure the validator consults
+    per response (memoised on the engine; see
+    {!Jury_policy.Engine.compiled}).
+
     [deterministic_latencies] (default false) pins the replication and
     response-collection links to their base latencies — their jitter
     RNGs are never drawn — and forces [random_secondaries:false], so

@@ -679,7 +679,12 @@ let run_policy t p ~origin ~external_ actions =
       actions
   in
   ignore p;
-  Jury_policy.Engine.check_all t.cfg.policies queries
+  (* Per-response hot path: consult the compiled decision structure
+     (memoised per engine generation — compiled once at Jury_config
+     time), not the interpreter's rule-list scan. *)
+  Jury_policy.Compiled.check_all
+    (Jury_policy.Engine.compiled t.cfg.policies)
+    queries
   |> List.map (fun (r : Jury_policy.Ast.rule) ->
          (Alarm.Policy_violation r.Jury_policy.Ast.name,
           Format.asprintf "%a" Jury_policy.Ast.pp_rule r))

@@ -61,7 +61,11 @@ let entry_matches check q =
       | Some fm -> Of_action.is_drop fm.Jury_openflow.Of_message.actions
       | None -> false)
 
-let rule_matches r q =
+(* Everything but the cache-name selector. The engine dispatches on
+   the (normalised) cache name before rule matching, so re-testing it
+   per rule would both be redundant and reintroduce the case-
+   sensitivity it just removed. *)
+let rule_matches_sans_cache r q =
   (match r.controller with
   | Any_controller -> true
   | Controller_id id -> id = q.q_controller)
@@ -69,13 +73,29 @@ let rule_matches r q =
      | Any_trigger -> true
      | Internal_only -> q.q_trigger = `Internal
      | External_only -> q.q_trigger = `External)
-  && (match r.cache with None -> true | Some c -> c = q.q_cache)
   && (match r.operation with Any_op -> true | Op_is op -> op = q.q_op)
   && (match r.destination with
      | Any_dest -> true
      | Local_only -> q.q_destination = `Local
      | Remote_only -> q.q_destination = `Remote)
   && entry_matches r.entry q
+
+let rule_matches r q =
+  (match r.cache with
+  | None -> true
+  | Some c ->
+      Jury_store.Cache_names.normalize c
+      = Jury_store.Cache_names.normalize q.q_cache)
+  && rule_matches_sans_cache r q
+
+let pp_query fmt q =
+  Format.fprintf fmt "query[ctrl=%d trig=%s cache=%s op=%s %s=%S dest=%s]"
+    q.q_controller
+    (match q.q_trigger with `Internal -> "internal" | `External -> "external")
+    q.q_cache
+    (Event.op_to_string q.q_op)
+    q.q_key q.q_value
+    (match q.q_destination with `Local -> "local" | `Remote -> "remote")
 
 let pp_rule fmt r =
   Format.fprintf fmt "%s[%s ctrl=%s trig=%s cache=%s op=%s dest=%s entry=%s]"

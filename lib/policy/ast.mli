@@ -52,4 +52,15 @@ type query = {
 }
 
 val rule_matches : rule -> query -> bool
+(** Full selector match; cache names are compared case-insensitively
+    (both sides normalised). *)
+
+val rule_matches_sans_cache : rule -> query -> bool
+(** Every selector except the cache name — for callers ({!Engine},
+    {!Compiled}) that have already dispatched on the normalised cache. *)
+
+val entry_matches : entry_check -> query -> bool
+(** Just the entry check against the query's key/value. *)
+
 val pp_rule : Format.formatter -> rule -> unit
+val pp_query : Format.formatter -> query -> unit

@@ -1,51 +1,79 @@
+module Names = Jury_store.Cache_names
+
+(* Rules are tagged with their insertion ordinal so first-match is
+   global insertion order even though storage is bucketed by cache
+   name. All three stores keep newest-first lists: add_rule is a cons
+   (policy load is O(n), not the historical O(n^2) rebuild) and [rules]
+   pays one reversal when asked. *)
 type t = {
-  mutable ordered : Ast.rule list;  (* insertion order, for [rules] *)
-  by_cache : (string, Ast.rule list ref) Hashtbl.t;
-  any_cache : Ast.rule list ref;
+  mutable rev_ordered : (int * Ast.rule) list;  (* newest first *)
+  mutable count : int;
+  by_cache : (string, (int * Ast.rule) list ref) Hashtbl.t;
+      (* keyed on normalised cache names, newest first *)
+  any_cache : (int * Ast.rule) list ref;  (* newest first *)
+  mutable memo : (int * Compiled.t) option;
+      (* compiled view stamped with the generation it was built at *)
 }
 
 let add_rule t rule =
-  t.ordered <- t.ordered @ [ rule ];
+  let ord = t.count in
+  t.count <- ord + 1;
+  t.rev_ordered <- (ord, rule) :: t.rev_ordered;
+  t.memo <- None;
   match rule.Ast.cache with
-  | None -> t.any_cache := !(t.any_cache) @ [ rule ]
+  | None -> t.any_cache := (ord, rule) :: !(t.any_cache)
   | Some cache -> (
-      match Hashtbl.find_opt t.by_cache cache with
-      | Some bucket -> bucket := !bucket @ [ rule ]
-      | None -> Hashtbl.add t.by_cache cache (ref [ rule ]))
+      let key = Names.normalize cache in
+      match Hashtbl.find_opt t.by_cache key with
+      | Some bucket -> bucket := (ord, rule) :: !bucket
+      | None -> Hashtbl.add t.by_cache key (ref [ (ord, rule) ]))
 
 let create rules =
   let t =
-    { ordered = []; by_cache = Hashtbl.create 8; any_cache = ref [] }
+    { rev_ordered = []; count = 0; by_cache = Hashtbl.create 8;
+      any_cache = ref []; memo = None }
   in
   List.iter (add_rule t) rules;
   t
 
-let rules t = t.ordered
-let rule_count t = List.length t.ordered
+let rules t = List.rev_map snd t.rev_ordered
+let rule_count t = t.count
+let generation t = t.count
 
-type verdict = Allowed | Denied of Ast.rule
+let compiled t =
+  match t.memo with
+  | Some (gen, c) when gen = t.count -> c
+  | _ ->
+      let c = Compiled.of_rules (rules t) in
+      t.memo <- Some (t.count, c);
+      c
+
+type verdict = Compiled.verdict = Allowed | Denied of Ast.rule
 
 let check t (q : Ast.query) =
+  (* Normalise the cache key once so hand-built queries and DSL/XML
+     policies cannot disagree on casing; the rules' own cache selectors
+     were normalised into the bucket keys at add_rule. *)
+  let q = { q with Ast.q_cache = Names.normalize q.Ast.q_cache } in
   let bucket =
     match Hashtbl.find_opt t.by_cache q.Ast.q_cache with
     | Some b -> !b
     | None -> []
   in
-  (* Cache-specific rules first, then cache-wildcards; within each,
-     insertion order. The first matching rule decides. *)
-  let rec scan = function
-    | [] -> None
-    | rule :: rest ->
-        if Ast.rule_matches rule q then
-          Some (if rule.Ast.allow then Allowed else Denied rule)
-        else scan rest
+  (* The first matching rule in global insertion order decides: scan
+     both the cache-specific bucket and the cache-wildcard rules and
+     keep the lowest-ordinal match. *)
+  let best acc lst =
+    List.fold_left
+      (fun acc ((ord, rule) as slot) ->
+        match acc with
+        | Some (o, _) when o <= ord -> acc
+        | _ -> if Ast.rule_matches_sans_cache rule q then Some slot else acc)
+      acc lst
   in
-  match scan bucket with
-  | Some verdict -> verdict
-  | None -> (
-      match scan !(t.any_cache) with
-      | Some verdict -> verdict
-      | None -> Allowed)
+  match best (best None bucket) !(t.any_cache) with
+  | Some (_, rule) -> if rule.Ast.allow then Allowed else Denied rule
+  | None -> Allowed
 
 let check_all t queries =
   List.filter_map

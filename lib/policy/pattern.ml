@@ -1,24 +1,83 @@
-type t = { source : string }
+(* Globs are compiled once into segment matchers: the text between
+   '*'s becomes fixed-length segments ('?' stays a per-character
+   wildcard), the first/last segments are anchored when the pattern
+   does not start/end with '*', and the floating middle segments are
+   located by a greedy leftmost scan. Greedy placement is complete for
+   this pattern class because segments have fixed length: sliding a
+   middle segment right can only shrink what remains for its
+   successors. *)
 
-let compile source = { source }
+type repr =
+  | Exact of string
+      (* no '*' anywhere; length-equal match with '?' wildcards *)
+  | Star  (* nothing but '*'s: matches everything *)
+  | Globs of {
+      lead : string;  (* anchored prefix ("" when pattern starts with '*') *)
+      mid : string array;  (* floating segments, in order *)
+      trail : string;  (* anchored suffix ("" when pattern ends with '*') *)
+      min_len : int;  (* total segment length: shortest possible subject *)
+    }
+
+type t = { source : string; repr : repr }
+
+let analyse source =
+  if not (String.contains source '*') then Exact source
+  else
+    let parts = String.split_on_char '*' source in
+    let lead = List.hd parts and rest = List.tl parts in
+    (* Last part is the anchored trail; empty interior parts are runs
+       of consecutive stars and impose nothing. *)
+    let rec split_trail acc = function
+      | [] -> (List.rev acc, "")
+      | [ last ] -> (List.rev acc, last)
+      | p :: rest -> split_trail (if p = "" then acc else p :: acc) rest
+    in
+    let mid, trail = split_trail [] rest in
+    if lead = "" && trail = "" && mid = [] then Star
+    else
+      let mid = Array.of_list mid in
+      let min_len =
+        String.length lead + String.length trail
+        + Array.fold_left (fun acc m -> acc + String.length m) 0 mid
+      in
+      Globs { lead; mid; trail; min_len }
+
+let compile source = { source; repr = analyse source }
 let source t = t.source
 let is_star t = t.source = "*"
 
-let matches t s =
-  let p = t.source in
-  let plen = String.length p and slen = String.length s in
-  (* Iterative glob with backtracking on the last '*'. *)
-  let rec go pi si star_pi star_si =
-    if si = slen then
-      (* Consume trailing stars. *)
-      let rec stars pi = pi = plen || (p.[pi] = '*' && stars (pi + 1)) in
-      if stars pi then true
-      else if star_pi >= 0 then go (star_pi + 1) (star_si + 1) star_pi (star_si + 1)
-      else false
-    else if pi < plen && p.[pi] = '*' then go (pi + 1) si pi si
-    else if pi < plen && (p.[pi] = '?' || p.[pi] = s.[si]) then
-      go (pi + 1) (si + 1) star_pi star_si
-    else if star_pi >= 0 then go (star_pi + 1) (star_si + 1) star_pi (star_si + 1)
-    else false
+(* [seg_at p s off]: does segment [p] match [s] starting at [off]?
+   The caller guarantees [off + length p <= length s]. *)
+let seg_at p s off =
+  let n = String.length p in
+  let rec go i =
+    i = n || ((p.[i] = '?' || p.[i] = String.unsafe_get s (off + i)) && go (i + 1))
   in
-  go 0 0 (-1) (-1)
+  go 0
+
+let matches t s =
+  let slen = String.length s in
+  match t.repr with
+  | Star -> true
+  | Exact p -> slen = String.length p && seg_at p s 0
+  | Globs { lead; mid; trail; min_len } ->
+      slen >= min_len
+      && seg_at lead s 0
+      && seg_at trail s (slen - String.length trail)
+      &&
+      (* Place each floating segment at its leftmost occurrence after
+         the previous one, inside the window the anchors leave free. *)
+      let limit = slen - String.length trail in
+      let rec place i pos =
+        if i = Array.length mid then true
+        else
+          let m = mid.(i) in
+          let ml = String.length m in
+          let rec find j =
+            if j + ml > limit then false
+            else if seg_at m s j then place (i + 1) (j + ml)
+            else find (j + 1)
+          in
+          find pos
+      in
+      place 0 (String.length lead)

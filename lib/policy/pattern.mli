@@ -1,5 +1,12 @@
 (** Glob patterns for policy entry matching: [*] matches any run of
-    characters, [?] any single character; everything else is literal. *)
+    characters, [?] any single character; everything else is literal.
+
+    {!compile} pre-splits the glob into segment matchers (anchored
+    prefix/suffix plus floating middle segments), so {!matches} runs
+    without re-scanning the pattern text — the representation the
+    policy compiler's leaves rely on. Semantics are pinned by a
+    differential test against a naive recursive matcher
+    (see [test_policy.ml]). *)
 
 type t
 

@@ -6,5 +6,13 @@ let flowsdb = "FLOWSDB"
 let switchdb = "SWITCHDB"
 let masterdb = "MASTERDB"
 let all = [ arpdb; hostdb; edgedb; linksdb; flowsdb; switchdb; masterdb ]
-let normalize = String.uppercase_ascii
+(* Allocation-free when the name is already normalised — the validator
+   and the compiled policy trie normalise every query's cache key on
+   the per-response path. *)
+let normalize s =
+  let rec has_lower i =
+    i < String.length s
+    && ((s.[i] >= 'a' && s.[i] <= 'z') || has_lower (i + 1))
+  in
+  if has_lower 0 then String.uppercase_ascii s else s
 let is_known name = List.mem (normalize name) all

@@ -4,6 +4,7 @@ module Pattern = Jury_policy.Pattern
 module Ast = Jury_policy.Ast
 module Parse = Jury_policy.Parse
 module Engine = Jury_policy.Engine
+module Compiled = Jury_policy.Compiled
 module Event = Jury_store.Event
 module Values = Jury_controller.Values
 module Of_match = Jury_openflow.Of_match
@@ -188,6 +189,177 @@ let test_add_rule_and_count () =
   check_int "one" 1 (Engine.rule_count engine);
   check_bool "denies now" true (Engine.check engine base_query <> Engine.Allowed)
 
+(* --- First-match precedence across buckets (regression) --- *)
+
+(* The headline bug: the engine used to scan the cache-specific bucket
+   to exhaustion before any cache-wildcard rule, so a wildcard deny
+   inserted *before* a cache-specific allow was silently bypassed. *)
+let test_wildcard_before_specific () =
+  let engine =
+    Engine.create
+      [ Ast.rule ~name:"deny-everything" ();  (* cache wildcard, first *)
+        Ast.rule ~name:"allow-links" ~allow:true ~cache:"LINKSDB" () ]
+  in
+  (match Engine.check engine base_query with
+  | Engine.Denied r ->
+      Alcotest.(check string) "wildcard deny wins" "deny-everything"
+        r.Ast.name
+  | Engine.Allowed ->
+      Alcotest.fail
+        "cache-specific allow bypassed an earlier wildcard deny");
+  (* And the compiler must reproduce the fixed semantics. *)
+  match Compiled.check (Engine.compiled engine) base_query with
+  | Compiled.Denied r ->
+      Alcotest.(check string) "compiled agrees" "deny-everything" r.Ast.name
+  | Compiled.Allowed -> Alcotest.fail "compiled diverged from interpreter"
+
+let test_deny_then_allow_order () =
+  (* Specific deny before wildcard allow: deny wins; swapped, allow
+     wins. Pure insertion order, wherever the rules are bucketed. *)
+  let deny = Ast.rule ~name:"deny-links" ~cache:"LINKSDB" () in
+  let allow = Ast.rule ~name:"allow-all" ~allow:true () in
+  (match Engine.check (Engine.create [ deny; allow ]) base_query with
+  | Engine.Denied r -> Alcotest.(check string) "deny first" "deny-links" r.Ast.name
+  | Engine.Allowed -> Alcotest.fail "first-inserted deny must win");
+  match Engine.check (Engine.create [ allow; deny ]) base_query with
+  | Engine.Allowed -> ()
+  | Engine.Denied _ -> Alcotest.fail "first-inserted allow must win"
+
+let test_empty_bucket_falls_through () =
+  (* No bucket for the queried cache: wildcard rules still decide, and
+     a cache that matches nothing still default-allows. *)
+  let engine =
+    Engine.create [ Ast.rule ~name:"wild" ~trigger:Ast.External_only () ]
+  in
+  (match Engine.check engine { base_query with Ast.q_cache = "SWITCHDB" } with
+  | Engine.Denied r -> Alcotest.(check string) "wildcard" "wild" r.Ast.name
+  | Engine.Allowed -> Alcotest.fail "wildcard must apply to unbucketed cache");
+  let specific = Engine.create [ Ast.rule ~cache:"FLOWSDB" () ] in
+  check_bool "no rule matches -> allowed" true
+    (Engine.check specific { base_query with Ast.q_cache = "SWITCHDB" }
+    = Engine.Allowed)
+
+let test_add_rule_appends_at_lowest_precedence () =
+  let engine = Engine.create [ Ast.rule ~name:"first" () ] in
+  Engine.add_rule engine (Ast.rule ~name:"late-allow" ~allow:true ());
+  check_int "count" 2 (Engine.rule_count engine);
+  Alcotest.(check (list string)) "insertion order" [ "first"; "late-allow" ]
+    (List.map (fun (r : Ast.rule) -> r.Ast.name) (Engine.rules engine));
+  match Engine.check engine base_query with
+  | Engine.Denied r -> Alcotest.(check string) "earlier deny wins" "first" r.Ast.name
+  | Engine.Allowed -> Alcotest.fail "appended allow must not jump the queue"
+
+(* --- Cache-name normalisation --- *)
+
+let test_mixed_case_cache () =
+  (* DSL rule, mixed-case cache; hand-built query, another casing. *)
+  let engine =
+    match Engine.of_dsl "deny name=no-edges cache=EdgeDB" with
+    | Ok e -> e
+    | Error e -> Alcotest.failf "dsl: %s" e
+  in
+  let q = { base_query with Ast.q_cache = "edgeDb" } in
+  (match Engine.check engine q with
+  | Engine.Denied r -> Alcotest.(check string) "normalised" "no-edges" r.Ast.name
+  | Engine.Allowed -> Alcotest.fail "cache casing must not defeat the rule");
+  check_bool "compiled normalises too" true
+    (match Compiled.check (Engine.compiled engine) q with
+    | Compiled.Denied _ -> true
+    | Compiled.Allowed -> false);
+  (* Rule built straight from the record (bypassing the normalising
+     smart constructor): the engine normalises at add_rule. *)
+  let raw =
+    Engine.create
+      [ { Ast.name = "raw"; allow = false; controller = Ast.Any_controller;
+          trigger = Ast.Any_trigger; cache = Some "LinksDB";
+          operation = Ast.Any_op; entry = Ast.Entry_any;
+          destination = Ast.Any_dest } ]
+  in
+  check_bool "record-literal rule found" true
+    (Engine.check raw base_query <> Engine.Allowed)
+
+(* --- Compiled structure --- *)
+
+let test_compiled_equivalence_and_sharing () =
+  let rules =
+    [ Ast.rule ~name:"d0" ~controller:(Ast.Controller_id 1) ~cache:"LINKSDB" ();
+      Ast.rule ~name:"a1" ~allow:true ~cache:"LINKSDB"
+        ~operation:(Ast.Op_is Event.Update) ();
+      Ast.rule ~name:"d2" ~cache:"FLOWSDB" ~entry:Ast.Flow_drops_packets ();
+      Ast.rule ~name:"d3" ~trigger:Ast.Internal_only () ]
+  in
+  let engine = Engine.create rules in
+  let compiled = Engine.compiled engine in
+  check_bool "memoised" true (Engine.compiled engine == compiled);
+  let queries =
+    [ base_query;
+      { base_query with Ast.q_controller = 2 };
+      { base_query with Ast.q_cache = "FLOWSDB" };
+      { base_query with Ast.q_trigger = `Internal; Ast.q_cache = "ARPDB" };
+      { base_query with Ast.q_op = Event.Delete } ]
+  in
+  List.iter
+    (fun q ->
+      match (Engine.check engine q, Compiled.check compiled q) with
+      | Engine.Allowed, Compiled.Allowed -> ()
+      | Engine.Denied r1, Compiled.Denied r2 ->
+          check_bool "physically identical rule" true (r1 == r2)
+      | _ -> Alcotest.failf "verdicts diverge on %s" q.Ast.q_cache)
+    queries;
+  let st = Compiled.stats compiled in
+  check_int "rules counted" 4 st.Compiled.st_rules;
+  check_int "cache branches" 2 st.Compiled.st_cache_branches;
+  check_bool "sharing collapses leaves" true
+    (st.Compiled.st_distinct_leaves <= st.Compiled.st_leaves);
+  (* add_rule invalidates the memo and the recompiled trie agrees. *)
+  Engine.add_rule engine (Ast.rule ~name:"d4" ~cache:"ARPDB" ());
+  let recompiled = Engine.compiled engine in
+  check_bool "recompiled" true (recompiled != compiled);
+  let q = { base_query with Ast.q_cache = "ARPDB" } in
+  check_bool "new rule visible" true
+    (Compiled.check recompiled q <> Compiled.Allowed
+    && Engine.check engine q <> Engine.Allowed)
+
+(* --- Pattern differential: segment matchers vs naive reference --- *)
+
+(* Exponential-time but obviously correct recursive glob. *)
+let rec naive_match p s pi si =
+  if pi = String.length p then si = String.length s
+  else
+    match p.[pi] with
+    | '*' ->
+        naive_match p s (pi + 1) si
+        || (si < String.length s && naive_match p s pi (si + 1))
+    | '?' -> si < String.length s && naive_match p s (pi + 1) (si + 1)
+    | c -> si < String.length s && s.[si] = c && naive_match p s (pi + 1) (si + 1)
+
+let test_pattern_differential () =
+  let module Gen = Jury_check.Gen in
+  let module Pg = Jury_check.Policy_gen in
+  for seed = 0 to 499 do
+    let p, s =
+      Gen.run ~seed (fun rng -> (Pg.pattern_source rng, Pg.subject rng))
+    in
+    let compiled = Pattern.matches (Pattern.compile p) s in
+    let reference = naive_match p s 0 0 in
+    if compiled <> reference then
+      Alcotest.failf
+        "pattern %S vs %S: compiled=%b reference=%b (seed %d)" p s compiled
+        reference seed
+  done;
+  (* Hand-picked anchors and overlaps the fuzz alphabet may miss. *)
+  List.iter
+    (fun (p, s, expect) ->
+      check_bool (Printf.sprintf "%S ~ %S" p s) expect
+        (Pattern.matches (Pattern.compile p) s))
+    [ ("**", "", true);
+      ("a*a", "a", false);          (* anchors must not overlap *)
+      ("*ab*ab*", "abab", true);    (* floating segments in order *)
+      ("*ab*ab*", "aba", false);
+      ("?*", "", false);
+      ("a?*b", "axyb", true);
+      ("*?", "x", true) ]
+
 let prop_star_matches_everything =
   QCheck.Test.make ~name:"'*' matches any string" ~count:200
     QCheck.printable_string
@@ -217,5 +389,14 @@ let suite =
     ("engine flow checks", `Quick, test_engine_flow_checks);
     ("check_all", `Quick, test_check_all);
     ("add_rule", `Quick, test_add_rule_and_count);
+    ("wildcard before specific (regression)", `Quick,
+     test_wildcard_before_specific);
+    ("deny-then-allow order", `Quick, test_deny_then_allow_order);
+    ("empty bucket falls through", `Quick, test_empty_bucket_falls_through);
+    ("add_rule precedence", `Quick, test_add_rule_appends_at_lowest_precedence);
+    ("mixed-case cache names", `Quick, test_mixed_case_cache);
+    ("compiled equivalence + sharing", `Quick,
+     test_compiled_equivalence_and_sharing);
+    ("pattern differential vs naive", `Quick, test_pattern_differential);
     QCheck_alcotest.to_alcotest prop_star_matches_everything;
     QCheck_alcotest.to_alcotest prop_exact_self_match ]
