@@ -1,0 +1,265 @@
+(* Bench regression gate: compare a fresh `bench --json` result against
+   the committed BENCH_baseline.json and fail (exit 1) on a >FACTOR
+   slowdown in the gated rows.
+
+   Gated rows — chosen because they measure pure compute with no
+   simulated-time component, so they are stable enough to threshold:
+     - every micro_ns_per_op row named "policy-scale-*" (ns/op; fails
+       when current > factor * baseline);
+     - the "validator-scale" experiment's events_per_sec (fails when
+       current < baseline / factor).
+   Rows present in the baseline but absent from the current run fail
+   the gate too: a silently skipped measurement must not pass.
+
+   The 2x default factor absorbs machine-to-machine noise (the baseline
+   was recorded in this repo's CI container class); it is a
+   catastrophic-regression tripwire, not a microbenchmark court.
+
+   Usage: gate.exe BASELINE CURRENT [FACTOR] *)
+
+(* --- a minimal JSON reader for the bench's own output ------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    String.iter expect word;
+    value
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' as c) | Some ('\\' as c) | Some ('/' as c) ->
+              Buffer.add_char buf c;
+              advance ();
+              go ()
+          | Some 'n' ->
+              Buffer.add_char buf '\n';
+              advance ();
+              go ()
+          | Some 't' ->
+              Buffer.add_char buf '\t';
+              advance ();
+              go ()
+          | Some 'u' ->
+              (* The bench only escapes control characters; fold the
+                 code point to '?' rather than decoding UTF-16. *)
+              advance ();
+              for _ = 1 to 4 do
+                advance ()
+              done;
+              Buffer.add_char buf '?';
+              go ()
+          | _ -> fail "unsupported escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (
+          advance ();
+          Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = string_lit () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or } in object"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (
+          advance ();
+          List [])
+        else
+          let rec elements acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List (List.rev (v :: acc))
+            | _ -> fail "expected , or ] in array"
+          in
+          elements []
+    | Some '"' -> Str (string_lit ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('0' .. '9' | '-') -> number ()
+    | _ -> fail "unexpected character"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* --- gated rows --------------------------------------------------- *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let num = function Some (Num f) -> Some f | _ -> None
+
+(* micro_ns_per_op rows named policy-scale-* *)
+let policy_micro json =
+  match member "micro_ns_per_op" json with
+  | Some (Obj kvs) ->
+      List.filter_map
+        (fun (k, v) ->
+          let prefix = "policy-scale-" in
+          if
+            String.length k >= String.length prefix
+            && String.sub k 0 (String.length prefix) = prefix
+          then match v with Num f -> Some (k, f) | _ -> None
+          else None)
+        kvs
+  | _ -> []
+
+let experiment_rate name json =
+  match member "experiments" json with
+  | Some (List rows) ->
+      List.find_map
+        (fun row ->
+          if member "name" row = Some (Str name) then
+            num (member "events_per_sec" row)
+          else None)
+        rows
+  | _ -> None
+
+let () =
+  let baseline_path, current_path, factor =
+    match Array.to_list Sys.argv with
+    | [ _; b; c ] -> (b, c, 2.0)
+    | [ _; b; c; f ] -> (
+        match float_of_string_opt f with
+        | Some f when f > 1.0 -> (b, c, f)
+        | _ ->
+            prerr_endline "gate: FACTOR must be a float > 1";
+            exit 2)
+    | _ ->
+        prerr_endline "usage: gate.exe BASELINE.json CURRENT.json [FACTOR]";
+        exit 2
+  in
+  let load path =
+    try parse (read_file path) with
+    | Sys_error msg ->
+        Printf.eprintf "gate: %s\n" msg;
+        exit 2
+    | Parse msg ->
+        Printf.eprintf "gate: %s: %s\n" path msg;
+        exit 2
+  in
+  let baseline = load baseline_path in
+  let current = load current_path in
+  let failures = ref 0 in
+  let check_row ~name ~baseline_v ~current_v ~regressed ~unit_label =
+    match current_v with
+    | None ->
+        incr failures;
+        Printf.printf "FAIL %-36s missing from %s\n" name current_path
+    | Some cur ->
+        let bad = regressed cur in
+        if bad then incr failures;
+        Printf.printf "%s %-36s baseline %.1f%s, current %.1f%s\n"
+          (if bad then "FAIL" else "ok  ")
+          name baseline_v unit_label cur unit_label
+  in
+  List.iter
+    (fun (name, base) ->
+      let cur = List.assoc_opt name (policy_micro current) in
+      check_row ~name ~baseline_v:base ~current_v:cur
+        ~regressed:(fun cur -> cur > factor *. base)
+        ~unit_label:"ns")
+    (policy_micro baseline);
+  (match experiment_rate "validator-scale" baseline with
+  | None -> print_endline "note: baseline has no validator-scale row"
+  | Some base ->
+      check_row ~name:"validator-scale events/s"
+        ~baseline_v:base
+        ~current_v:(experiment_rate "validator-scale" current)
+        ~regressed:(fun cur -> cur < base /. factor)
+        ~unit_label:"");
+  if policy_micro baseline = [] then
+    print_endline "note: baseline has no policy-scale micro rows";
+  if !failures > 0 then begin
+    Printf.printf "bench gate: %d row(s) regressed beyond %.1fx\n" !failures
+      factor;
+    exit 1
+  end
+  else print_endline "bench gate: within budget"

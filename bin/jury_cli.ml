@@ -52,6 +52,7 @@ module Common = struct
     shards : int;
     max_inflight : int option;
     batch : Time.t option;
+    pipeline_jobs : int;
   }
 
   let shards =
@@ -75,11 +76,18 @@ module Common = struct
 
   let batch_of_us = Option.map Time.of_float_us
 
+  let pipeline_jobs =
+    Arg.(value & opt int 1
+         & info [ "pipeline-jobs" ] ~docv:"N"
+             ~doc:"Intra-run parallelism: run validation as a staged \
+                   pipeline over N-1 consumer domains (1 = serial, seed \
+                   behaviour; results are identical whatever the value).")
+
   let tuning =
-    let mk shards max_inflight batch_us =
-      { shards; max_inflight; batch = batch_of_us batch_us }
+    let mk shards max_inflight batch_us pipeline_jobs =
+      { shards; max_inflight; batch = batch_of_us batch_us; pipeline_jobs }
     in
-    Term.(const mk $ shards $ max_inflight $ batch_us)
+    Term.(const mk $ shards $ max_inflight $ batch_us $ pipeline_jobs)
 
   (* Oracle selection is shared by `check --oracle` and `mc --oracle`;
      both resolve through the same name table, so the two subcommands
@@ -91,9 +99,9 @@ module Common = struct
          & info [ "oracle" ] ~docv:"SELECTOR"
              ~doc:"Restrict the battery to one oracle family \
                    ($(b,conservation), $(b,sharding), $(b,batching), \
-                   $(b,parallel), $(b,channel), $(b,obs)) or one oracle \
-                   by name; $(b,--oracle) with an unknown selector lists \
-                   every valid choice.")
+                   $(b,parallel), $(b,pipeline), $(b,channel), $(b,obs), \
+                   $(b,policy)) or one oracle by name; $(b,--oracle) with \
+                   an unknown selector lists every valid choice.")
 
   let resolve_oracles = function
     | None -> Jury_check.Oracle.all
@@ -138,7 +146,8 @@ let scenario_cmd =
           Jury_faults.Runner.run ~seed ~nodes ~k ~faulty ~switches
             ~shards:tuning.Common.shards
             ?max_inflight:tuning.Common.max_inflight
-            ?batch:tuning.Common.batch scenario
+            ?batch:tuning.Common.batch
+            ~pipeline_jobs:tuning.Common.pipeline_jobs scenario
         in
         Format.printf "%a@." Jury_faults.Runner.pp_report report;
         List.iter
@@ -263,7 +272,7 @@ let simulate_cmd =
         (Jury.Jury_config.make ~k ~channel ?retransmit ?degraded_quorum
            ~shards:tuning.Common.shards
            ?max_inflight:tuning.Common.max_inflight ?batch:tuning.Common.batch
-           ())
+           ~pipeline_jobs:tuning.Common.pipeline_jobs ())
     in
     let validator = Jury.Deployment.validator deployment in
     Jury_controller.Cluster.converge cluster;
@@ -275,6 +284,7 @@ let simulate_cmd =
       ~duration:(Time.sec duration);
     Jury_sim.Engine.run engine
       ~until:(Time.add (Jury_sim.Engine.now engine) (Time.sec (duration + 2)));
+    Jury.Validator.drain_pipeline validator;
     let report = Jury.Report.of_validator validator in
     print_string (Jury.Report.to_string report);
     Printf.printf
@@ -609,8 +619,9 @@ let check_cmd =
                channel and validator configuration), runs each through the \
                full deployment, and checks the oracle battery: verdict \
                conservation, shard-count independence, batching and \
-               serial/parallel equivalence, channel counter conservation \
-               and observability consistency.";
+               serial/parallel equivalence, pipeline-job independence, \
+               channel counter conservation and observability \
+               consistency.";
            `P "Case $(i,i) of a run with --seed $(i,s) is generated from \
                seed $(i,s+i); every failure report prints that per-case \
                seed, and $(b,check --cases 1 --seed) $(i,s+i) replays the \

@@ -78,15 +78,19 @@ val channel : t -> Jury.Channel.profile
     [Jury_config.lossy_channel], so the knobs are validated). *)
 
 val jury_config :
-  ?shards:int -> ?batch_us:int option -> ?force_reliable:bool ->
-  ?deterministic:bool -> t ->
+  ?shards:int -> ?batch_us:int option -> ?pipeline_jobs:int ->
+  ?force_reliable:bool -> ?deterministic:bool -> t ->
   Jury.Jury_config.t
 (** The {!Jury.Jury_config.t} the case denotes. The optional arguments
     override single axes for the equivalence oracles: [shards] and
     [batch_us] replace the case's values; [force_reliable] substitutes
     {!Jury.Channel.reliable} for the case's (zero-loss) profile;
     [deterministic] sets [deterministic_latencies] (the schedule
-    explorer's jitter-free mode, see {!Jury.Jury_config.make}). *)
+    explorer's jitter-free mode, see {!Jury.Jury_config.make}).
+    [pipeline_jobs] — {e including} [Some 1] — additionally projects
+    the case onto the staged pipeline's eligible feature set
+    (retransmission off, no in-flight cap, batching on, default 200 µs)
+    so runs differing only in the job count compare like for like. *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line summary for failure reports. *)

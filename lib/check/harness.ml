@@ -70,8 +70,11 @@ let run ?(log = ignore) ?(jobs = 1) ?(oracles = Oracle.all) ?(max_shrink = 200)
         indices
     else begin
       let pool = Jury_par.Pool.create ~jobs () in
-      Jury_par.Pool.map_ordered pool indices
-        (check_one ~oracles ~max_shrink ~seed)
+      Fun.protect
+        ~finally:(fun () -> Jury_par.Pool.shutdown pool)
+        (fun () ->
+          Jury_par.Pool.map_ordered pool indices
+            (check_one ~oracles ~max_shrink ~seed))
     end
   in
   let failures = List.filter_map Fun.id results in

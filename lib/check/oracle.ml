@@ -9,7 +9,8 @@ module Names = Jury_store.Cache_names
 type result = Pass | Fail of string
 
 type executor =
-  ?shards:int -> ?batch_us:int option -> ?force_reliable:bool -> Case.t ->
+  ?shards:int -> ?batch_us:int option -> ?pipeline_jobs:int ->
+  ?force_reliable:bool -> Case.t ->
   Run.outcome
 
 type ctx = { case : Case.t; execute : executor; base : Run.outcome Lazy.t }
@@ -18,8 +19,8 @@ let ctx_with ~execute case = { case; execute; base = lazy (execute case) }
 
 let ctx case =
   ctx_with case
-    ~execute:(fun ?shards ?batch_us ?force_reliable c ->
-      Run.execute ?shards ?batch_us ?force_reliable c)
+    ~execute:(fun ?shards ?batch_us ?pipeline_jobs ?force_reliable c ->
+      Run.execute ?shards ?batch_us ?pipeline_jobs ?force_reliable c)
 
 type t = { name : string; family : string; check : ctx -> result }
 
@@ -255,9 +256,15 @@ let parallel_identity { case; execute; _ } =
   in
   let seeds = [ case.Case.case_seed; case.Case.case_seed + 7919 ] in
   let sweep jobs =
+    (* Throwaway pool: shut it down or every checked case parks a
+       worker domain until process exit and a long battery runs into
+       the runtime's domain cap. *)
     let pool = Jury_par.Pool.create ~jobs () in
-    Jury_par.Pool.map_ordered pool seeds (fun seed ->
-        (execute { trimmed with Case.case_seed = seed }).Run.fp)
+    Fun.protect
+      ~finally:(fun () -> Jury_par.Pool.shutdown pool)
+      (fun () ->
+        Jury_par.Pool.map_ordered pool seeds (fun seed ->
+            (execute { trimmed with Case.case_seed = seed }).Run.fp))
   in
   let serial = sweep 1 and parallel = sweep 2 in
   let rec first_diff i = function
@@ -269,6 +276,49 @@ let parallel_identity { case; execute; _ } =
     | _ -> Fail "sweep result lists have different lengths"
   in
   first_diff 0 (serial, parallel)
+
+(* --- pipeline ----------------------------------------------------- *)
+
+(* The staged pipeline's contract is that the job count is
+   unobservable: the same case at jobs 1 (the serial oracle path), 2
+   and 4 must yield the same verdict multiset and conserve every
+   channel and ingestion counter. [Run.execute ~pipeline_jobs]
+   projects the case onto the pipeline-eligible feature set — jobs=1
+   included, so all three runs share one configuration and differ only
+   in where validation executes. The rendered report is excluded from
+   the comparison: its suspect ranking breaks alarm-count ties in hash
+   order, which the shard merge may legitimately permute. *)
+let pipeline_jobs_independence { case; execute; _ } =
+  let trimmed =
+    { case with
+      Case.duration_ms = min case.Case.duration_ms 400;
+      rate = Float.min case.Case.rate 400.;
+      faults =
+        List.filter (fun (f : Case.fault_event) -> f.Case.at_ms <= 400)
+          case.Case.faults }
+  in
+  let strip (o : Run.outcome) = { o.Run.fp with Run.report = "" } in
+  let conserved (o : Run.outcome) =
+    ( o.Run.pending_after_flush, o.Run.duplicates, o.Run.late,
+      o.Run.stragglers, o.Run.batches, o.Run.batched_responses,
+      o.Run.epoch, o.Run.totals, o.Run.obs_decided, o.Run.obs_batches,
+      o.Run.obs_channel_sent )
+  in
+  let serial = execute ~pipeline_jobs:1 trimmed in
+  let against jobs =
+    let o = execute ~pipeline_jobs:jobs trimmed in
+    match Run.diff_fingerprint (strip serial) (strip o) with
+    | Some d -> Some (Printf.sprintf "jobs=1 vs jobs=%d: %s" jobs d)
+    | None ->
+        if conserved serial <> conserved o then
+          Some
+            (Printf.sprintf
+               "jobs=1 vs jobs=%d: channel/ingestion counters diverged" jobs)
+        else None
+  in
+  match List.filter_map against [ 2; 4 ] with
+  | [] -> Pass
+  | msg :: _ -> Fail msg
 
 (* --- channel ------------------------------------------------------ *)
 
@@ -359,6 +409,8 @@ let all =
       check = batch_equivalence };
     { name = "serial-parallel-identity"; family = "parallel";
       check = parallel_identity };
+    { name = "pipeline-jobs-independence"; family = "pipeline";
+      check = pipeline_jobs_independence };
     { name = "channel-conservation"; family = "channel";
       check = channel_conservation };
     { name = "zero-loss-identity"; family = "channel";

@@ -1,7 +1,8 @@
 (** The machine-checkable invariants each generated case is held to.
 
-    Oracles are grouped into seven families, one per soundness claim
-    the codebase accumulated over PR 1–4 and the policy compiler:
+    Oracles are grouped into eight families, one per soundness claim
+    the codebase accumulated over PR 1–4, the policy compiler and the
+    staged validation pipeline:
 
     - [conservation] — every registered trigger reaches exactly one
       verdict (or a counted retirement): after flush nothing is
@@ -20,6 +21,12 @@
     - [parallel] — a mini-sweep of the case fanned out on a
       {!Jury_par.Pool} returns byte-identical results at [jobs = 1] and
       [jobs = 2].
+    - [pipeline] — intra-run parallelism is unobservable: the case
+      (projected onto the pipeline-eligible feature set, see
+      {!Case.jury_config}) yields the same verdict multiset and
+      conserved channel/ingestion counters at [pipeline_jobs] 1, 2
+      and 4; only the rendered report (whose suspect ranking breaks
+      ties in hash order) is outside the comparison.
     - [channel] — per-link counter conservation
       ([sent = delivered + dropped], retransmits only when configured),
       and on zero-loss cases, bit-identity with an explicit
@@ -49,7 +56,8 @@
 type result = Pass | Fail of string
 
 type executor =
-  ?shards:int -> ?batch_us:int option -> ?force_reliable:bool -> Case.t ->
+  ?shards:int -> ?batch_us:int option -> ?pipeline_jobs:int ->
+  ?force_reliable:bool -> Case.t ->
   Run.outcome
 (** How this battery run turns a case into an outcome; the optional
     axes mirror {!Run.execute}. *)
@@ -70,7 +78,7 @@ val ctx_with : execute:executor -> Case.t -> ctx
 
 type t = {
   name : string;    (** stable identifier, e.g. ["verdict-conservation"] *)
-  family : string;  (** one of the six families above *)
+  family : string;  (** one of the eight families above *)
   check : ctx -> result;
 }
 

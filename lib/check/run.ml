@@ -168,9 +168,10 @@ let metrics_sum metrics ~shards fmt =
   !total
 
 let execute ?chooser ?(deterministic = false) ?shards ?batch_us
-    ?force_reliable (case : Case.t) =
+    ?pipeline_jobs ?force_reliable (case : Case.t) =
   let config =
-    Case.jury_config ?shards ?batch_us ?force_reliable ~deterministic case
+    Case.jury_config ?shards ?batch_us ?pipeline_jobs ?force_reliable
+      ~deterministic case
   in
   let engine = Engine.create ~seed:case.Case.case_seed () in
   Option.iter (fun c -> Engine.set_chooser engine (Some c)) chooser;

@@ -75,7 +75,8 @@ val diff_schedule_blind : fingerprint -> fingerprint -> string option
 
 val execute :
   ?chooser:Jury_sim.Engine.chooser -> ?deterministic:bool ->
-  ?shards:int -> ?batch_us:int option -> ?force_reliable:bool -> Case.t ->
+  ?shards:int -> ?batch_us:int option -> ?pipeline_jobs:int ->
+  ?force_reliable:bool -> Case.t ->
   outcome
 (** Run the case (optionally with one axis overridden, see
     {!Case.jury_config}) and collect the outcome. Deterministic: equal
@@ -87,4 +88,7 @@ val execute :
     [deterministic] (default false) collapses every stochastic latency:
     {!Jury_controller.Profile.deterministic} on the controller profile
     and [deterministic_latencies] on the deployment. The explorer
-    requires both together. *)
+    requires both together. [pipeline_jobs] forwards to
+    {!Case.jury_config}, which also projects the case onto the
+    pipeline-eligible feature set — pass it on {e every} run being
+    compared, [1] included. *)

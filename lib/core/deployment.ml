@@ -29,6 +29,7 @@ type config = {
   shards : int;
   max_inflight : int option;
   batch_window : Time.t option;
+  pipeline_jobs : int;
 }
 
 let config ?timeout ?(adaptive_timeout = false) ?(state_aware = true)
@@ -36,7 +37,7 @@ let config ?timeout ?(adaptive_timeout = false) ?(state_aware = true)
     ?(policies = Jury_policy.Engine.create []) ?(encapsulation = false)
     ?(channel = Channel.reliable) ?retransmit ?degraded_quorum ?(shards = 1)
     ?max_inflight ?batch ?(validator_jitter_us = 60.)
-    ?(replication_jitter_us = 80.) ~k () =
+    ?(replication_jitter_us = 80.) ?(pipeline_jobs = 1) ~k () =
   let timeout =
     match timeout with
     | Some t -> t
@@ -51,6 +52,34 @@ let config ?timeout ?(adaptive_timeout = false) ?(state_aware = true)
   | Some w when not Time.(w > zero) ->
       invalid_arg "Deployment.config: batch window must be positive"
   | _ -> ());
+  if pipeline_jobs < 1 then
+    invalid_arg "Deployment.config: pipeline_jobs must be >= 1";
+  (* The staged pipeline runs validation off the main domain; every
+     feature that feeds verdict state back into the capture/channel
+     stage (or reads live cluster state from a replica) is rejected
+     up front rather than silently degraded. *)
+  let batch =
+    if pipeline_jobs > 1 then begin
+      if retransmit <> None then
+        invalid_arg "Deployment.config: pipeline_jobs > 1 excludes retransmit";
+      if adaptive_timeout then
+        invalid_arg
+          "Deployment.config: pipeline_jobs > 1 excludes adaptive_timeout";
+      if max_inflight <> None then
+        invalid_arg
+          "Deployment.config: pipeline_jobs > 1 excludes max_inflight";
+      if Jury_policy.Engine.rule_count policies > 0 then
+        invalid_arg
+          "Deployment.config: pipeline_jobs > 1 excludes policy rules";
+      let batch = match batch with None -> Time.us 200 | Some w -> w in
+      if not Time.(batch < timeout) then
+        invalid_arg
+          "Deployment.config: pipeline batch window must be below the \
+           validation timeout";
+      Some batch
+    end
+    else batch
+  in
   { k;
     timeout;
     adaptive_timeout;
@@ -70,7 +99,8 @@ let config ?timeout ?(adaptive_timeout = false) ?(state_aware = true)
     degraded_quorum;
     shards = Validator.shards_of_hint shards;
     max_inflight;
-    batch_window = batch }
+    batch_window = batch;
+    pipeline_jobs }
 
 type node_module = {
   mutable snapshot : Snapshot.t;
@@ -533,11 +563,29 @@ let install cluster cfg =
   in
   (* ack_peers_of closes over t, so rebuild the validator config now
      that t exists. *)
-  let validator =
-    Validator.create engine
-      { validator_cfg with Validator.ack_peers_of = (fun o -> ack_peers t o) }
+  let validator_cfg =
+    { validator_cfg with Validator.ack_peers_of = (fun o -> ack_peers t o) }
   in
+  let validator = Validator.create engine validator_cfg in
   let t = { t with validator } in
+  (* Staged pipeline: only when the run can be replayed exactly on
+     detached shard replicas. [config] already rejects the feature
+     conflicts, but literal-record constructors bypass it, and the
+     trace sink is only known now — so gate again here; an ineligible
+     config silently stays on the inline (oracle) path. [ack_peers]
+     reads nothing but the static cluster size, so sharing the closure
+     with replicas is domain-safe. *)
+  if
+    cfg.pipeline_jobs > 1
+    && cfg.batch_window <> None
+    && cfg.retransmit = None
+    && (not cfg.adaptive_timeout)
+    && cfg.max_inflight = None
+    && Jury_policy.Engine.rule_count cfg.policies = 0
+    && not (trace_enabled t)
+  then
+    Stage.attach ~pool:(Jury_par.Pool.default ())
+      ~jobs:cfg.pipeline_jobs validator_cfg t.validator;
   (* The retransmission loop only exists when asked for: registering the
      handler and verdict observer is gated so a default configuration
      keeps the validator byte-for-byte on the seed's event schedule. *)

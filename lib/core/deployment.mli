@@ -53,6 +53,14 @@ type config = {
           accumulated for this long and handed to the validator as one
           per-shard batch; [None] = one {!Validator.deliver} per
           response (seed behaviour) *)
+  pipeline_jobs : int;
+      (** intra-run parallelism: when > 1, validation runs as a staged
+          pipeline over the {!Jury_par.Pool} domain pool ({!Stage}),
+          with up to [pipeline_jobs - 1] consumer domains draining
+          per-shard SPSC rings into shard-replica validators; 1 = the
+          serial (oracle) path, byte-identical to the seed. Pipelined
+          runs must call {!Validator.drain_pipeline} (or
+          {!Validator.flush}) before reading results *)
 }
 
 val config :
@@ -62,7 +70,7 @@ val config :
   ?channel:Channel.profile -> ?retransmit:Validator.retransmit ->
   ?degraded_quorum:int -> ?shards:int -> ?max_inflight:int ->
   ?batch:Jury_sim.Time.t -> ?validator_jitter_us:float ->
-  ?replication_jitter_us:float -> k:int -> unit ->
+  ?replication_jitter_us:float -> ?pipeline_jobs:int -> k:int -> unit ->
   config
   [@@deprecated "use Jury_config.make instead"]
 (** Defaults: timeout 150 ms, state-aware consensus and the
@@ -77,6 +85,12 @@ val config :
     the out-of-band links' delay jitter; a non-positive value pins the
     link to its base latency {e and draws nothing} from the
     replicator's RNG.
+
+    [pipeline_jobs] (default 1) > 1 turns on the staged validation
+    pipeline and raises [Invalid_argument] on the features it cannot
+    replay off the main domain (retransmission, adaptive timeout,
+    [max_inflight], policy rules); it defaults [batch] to 200 µs when
+    unset and requires it below [timeout].
 
     @deprecated Construct through {!Jury_config.make} /
     {!Jury_config.deployment}; the record type stays public as the

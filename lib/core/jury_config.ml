@@ -15,7 +15,7 @@ let lossy_channel = Channel.lossy
 let make ?(k = 2) ?timeout ?adaptive_timeout ?state_aware ?nondet_rule
     ?random_secondaries ?policies ?encapsulation ?channel ?drop ?duplicate
     ?jitter_us ?retransmit ?degraded_quorum ?shards ?max_inflight ?batch
-    ?(deterministic_latencies = false) () =
+    ?(deterministic_latencies = false) ?pipeline_jobs () =
   if k < 0 then invalid_arg "Jury_config.make: k must be >= 0";
   (* Compile the policy set here, once, so the validator's per-response
      checks hit a warm decision structure (and so a config shared
@@ -45,11 +45,11 @@ let make ?(k = 2) ?timeout ?adaptive_timeout ?state_aware ?nondet_rule
     Deployment.config ?timeout ?adaptive_timeout ?state_aware ?nondet_rule
       ?random_secondaries ?policies ?encapsulation ?channel ?retransmit
       ?degraded_quorum ?shards ?max_inflight ?batch ~validator_jitter_us:0.
-      ~replication_jitter_us:0. ~k ()
+      ~replication_jitter_us:0. ?pipeline_jobs ~k ()
   else
     Deployment.config ?timeout ?adaptive_timeout ?state_aware ?nondet_rule
       ?random_secondaries ?policies ?encapsulation ?channel ?retransmit
-      ?degraded_quorum ?shards ?max_inflight ?batch ~k ()
+      ?degraded_quorum ?shards ?max_inflight ?batch ?pipeline_jobs ~k ()
 
 let deployment t = t
 
@@ -71,3 +71,4 @@ let shards (t : t) = t.Deployment.shards
 let max_inflight (t : t) = t.Deployment.max_inflight
 let batch_window (t : t) = t.Deployment.batch_window
 let channel (t : t) = t.Deployment.channel
+let pipeline_jobs (t : t) = t.Deployment.pipeline_jobs

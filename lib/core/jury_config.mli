@@ -36,6 +36,7 @@ val make :
   ?max_inflight:int ->
   ?batch:Jury_sim.Time.t ->
   ?deterministic_latencies:bool ->
+  ?pipeline_jobs:int ->
   unit -> t
 (** Defaults match the seed: k 2, timeout 150 ms (800 ms when
     [encapsulation]), fixed timeout, state-aware consensus and the
@@ -60,7 +61,15 @@ val make :
     the replicator consumes no randomness at all. Pair it with
     {!Jury_controller.Profile.deterministic} to make a whole deployment
     jitter-free; the [Jury_mc] schedule explorer requires such a
-    configuration (see DESIGN.md). *)
+    configuration (see DESIGN.md).
+
+    [pipeline_jobs] (default 1) > 1 runs validation as a staged
+    pipeline over the domain pool (see {!Stage} and DESIGN.md
+    "Staged validation pipeline"): raises [Invalid_argument] when
+    combined with [retransmit], [adaptive_timeout], [max_inflight] or
+    a non-empty [policies] set; defaults [batch] to 200 µs when unset
+    and requires it below the timeout. [pipeline_jobs:1] is the serial
+    oracle path, byte-identical to the seed. *)
 
 val retransmit :
   ?fraction:float -> ?backoff:float -> ?max_retries:int -> unit ->
@@ -111,3 +120,6 @@ val batch_window : t -> Jury_sim.Time.t option
 
 val channel : t -> Channel.profile
 (** Out-of-band channel profile the deployment will use. *)
+
+val pipeline_jobs : t -> int
+(** Intra-run pipeline parallelism (1 = serial oracle path). *)

@@ -118,6 +118,18 @@ type shard = {
   mutable s_batch_responses : int;
 }
 
+(* Hooks a staged-pipeline front end (Stage) installs on a validator:
+   when set, registrations/deliveries/flushes are diverted to per-shard
+   queues instead of touching this validator's own state, and the
+   pipeline merges its shard replicas back at [pl_flush]. *)
+type pipeline_hooks = {
+  pl_register :
+    taint:Types.Taint.t -> at:Time.t -> primary:int ->
+    secondaries:int list -> unit;
+  pl_batch : at:Time.t -> Response.t list -> unit;
+  pl_drain : at:Time.t -> unit;
+}
+
 type t = {
   engine : Engine.t;
   cfg : config;
@@ -144,6 +156,7 @@ type t = {
   mutable srtt_ms : float;
   mutable rttvar_ms : float;
   mutable rtt_samples : int;
+  mutable pipeline : pipeline_hooks option;
 }
 
 let make_shard index =
@@ -184,7 +197,8 @@ let create engine cfg =
     retransmit_handler = (fun _ ~secondary:_ -> ());
     srtt_ms = Time.to_float_ms cfg.timeout /. 4.;
     rttvar_ms = Time.to_float_ms cfg.timeout /. 8.;
-    rtt_samples = 0 }
+    rtt_samples = 0;
+    pipeline = None }
 
 let shard_count t = Array.length t.shards
 
@@ -653,6 +667,13 @@ let run_sanity ~mirror ?plan p ~origin =
 (* --- Policy check --- *)
 
 let run_policy t p ~origin ~external_ actions =
+  (* With no rules installed no query can match; skip building the
+     query records entirely. Besides being a hot-path win, this keeps
+     the policy-free validator from consulting [master_lookup] — which
+     reads live cluster mastership — so pipelined shard replicas never
+     touch main-domain state. *)
+  if Jury_policy.Engine.rule_count t.cfg.policies = 0 then (ignore p; [])
+  else
   let queries =
     List.filter_map
       (fun (a : Types.action) ->
@@ -1103,6 +1124,9 @@ let get_pending t taint =
       end
 
 let register_external t ~taint ~at ~primary ~secondaries =
+  match t.pipeline with
+  | Some h -> h.pl_register ~taint ~at ~primary ~secondaries
+  | None ->
   let key = Types.Taint.to_string taint in
   let shard = shard_of t key in
   if not (Hashtbl.mem t.shards.(shard).pending key) then begin
@@ -1155,7 +1179,7 @@ let duplicate_response p (r : Response.t) =
       | qb, rb -> qb = rb)
     p.responses
 
-let deliver t (r : Response.t) =
+let deliver_inline t (r : Response.t) =
   (let tr = Engine.trace t.engine in
    if Jury_obs.Trace.enabled tr then
      Jury_obs.Trace.point tr ~t_ns:(Engine.now_ns t.engine)
@@ -1199,10 +1223,16 @@ let deliver t (r : Response.t) =
    once per batch. Responses keep their arrival order within a shard,
    so a per-event caller and a batching caller drive each shard's state
    machine through the same transitions. *)
+let deliver t (r : Response.t) =
+  match t.pipeline with
+  | Some h -> h.pl_batch ~at:(Engine.now t.engine) [ r ]
+  | None -> deliver_inline t r
+
 let deliver_batch t rs =
-  match rs with
-  | [] -> ()
-  | rs ->
+  match (t.pipeline, rs) with
+  | _, [] -> ()
+  | Some h, rs -> h.pl_batch ~at:(Engine.now t.engine) rs
+  | None, rs ->
       let n = Array.length t.shards in
       let per_shard = Array.make n [] in
       List.iter
@@ -1227,7 +1257,7 @@ let deliver_batch t rs =
                    ~phase:Jury_obs.Trace.Batch
                    [ ("shard", string_of_int i);
                      ("responses", string_of_int size) ]);
-              List.iter (deliver t) (List.rev bucket))
+              List.iter (deliver_inline t) (List.rev bucket))
         per_shard
 
 let verdicts t = List.rev t.verdicts
@@ -1282,9 +1312,26 @@ let shard_stats t =
            shard_live_epochs = Hashtbl.length sh.epochs })
        t.shards)
 
+(* --- staged-pipeline plumbing (see Stage) --- *)
+
+let set_pipeline_hooks t h = t.pipeline <- Some h
+let observe_mirror = update_flow_mirror
+let shard_of_key t key = shard_of t key
+
+let drain_pipeline t =
+  match t.pipeline with
+  | Some h ->
+      (* Detach first: the stage merges its replicas back into [t] via
+         {!absorb_pipeline_shard}, after which [t] answers result
+         queries — and any further ingestion runs inline. *)
+      t.pipeline <- None;
+      h.pl_drain ~at:(Engine.now t.engine)
+  | None -> ()
+
 let flush t =
-  (* Shard 0 first, each shard folded like the seed's single table, so
-     [shards = 1] flushes in the historical order. *)
+  drain_pipeline t;
+  (* Shard 0 first, each shard folded like the seed's single table,
+     so [shards = 1] flushes in the historical order. *)
   Array.iter
     (fun sh ->
       let ps = Hashtbl.fold (fun _ p acc -> p :: acc) sh.pending [] in
@@ -1292,3 +1339,51 @@ let flush t =
     t.shards
 
 let current_timeout_value = current_timeout
+
+let absorb_pipeline_shard t ~shard src =
+  let dst = t.shards.(shard) in
+  let s = src.shards.(0) in
+  (* Undecided triggers migrate so a later facade [flush] (or plain
+     [pending_count]) sees exactly what the serial validator would:
+     the replica's timers are dead with its engine, but flush-forced
+     evaluation only reads the pending record. *)
+  Hashtbl.iter
+    (fun key p -> Hashtbl.replace dst.pending key { p with shard })
+    s.pending;
+  dst.s_decided <- dst.s_decided + s.s_decided;
+  dst.s_faults <- dst.s_faults + s.s_faults;
+  dst.s_unverifiable <- dst.s_unverifiable + s.s_unverifiable;
+  dst.s_degraded <- dst.s_degraded + s.s_degraded;
+  dst.s_overloads <- dst.s_overloads + s.s_overloads;
+  dst.s_duplicates <- dst.s_duplicates + s.s_duplicates;
+  dst.s_late <- dst.s_late + s.s_late;
+  dst.s_retransmits <- dst.s_retransmits + s.s_retransmits;
+  dst.s_retry_armed <- dst.s_retry_armed + s.s_retry_armed;
+  dst.s_stragglers <- dst.s_stragglers + s.s_stragglers;
+  dst.s_batches <- dst.s_batches + s.s_batches;
+  dst.s_batch_responses <- dst.s_batch_responses + s.s_batch_responses;
+  t.reg_count <- t.reg_count + src.reg_count;
+  t.verdicts <- src.verdicts @ t.verdicts
+
+let finalize_pipeline_merge t =
+  (* [epoch_now] tracks [reg_count / epoch_length] exactly on the
+     inline path, so rebuilding it from the summed registration count
+     reproduces the serial value. *)
+  t.epoch_now <- t.reg_count / t.epoch_length;
+  (* [t.verdicts] is newest-first; merge the per-replica streams into
+     one deterministic newest-first order. Ties on [decided_at] (e.g.
+     several decisions inside one batch tick) break by trigger time
+     then taint, independent of shard interleaving. *)
+  t.verdicts <-
+    List.sort
+      (fun (a : Alarm.t) (b : Alarm.t) ->
+        match Time.compare b.Alarm.decided_at a.Alarm.decided_at with
+        | 0 -> (
+            match Time.compare b.Alarm.trigger_at a.Alarm.trigger_at with
+            | 0 ->
+                compare
+                  (Types.Taint.to_string b.Alarm.taint)
+                  (Types.Taint.to_string a.Alarm.taint)
+            | c -> c)
+        | c -> c)
+      t.verdicts

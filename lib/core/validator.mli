@@ -237,3 +237,59 @@ val flush : t -> unit
 
 val current_timeout_value : t -> Jury_sim.Time.t
 (** The θτ a trigger registered now would get (adaptive or fixed). *)
+
+(** {1 Staged-pipeline plumbing}
+
+    Used by {!Stage} to run validation on shard-replica validators
+    owned by consumer domains while this validator stays the facade
+    the deployment and the experiment layer talk to. Not a general
+    extension point: the hooks divert {!register_external},
+    {!deliver}/{!deliver_batch} and {!flush} wholesale, and the stage
+    merges replica state back with {!absorb_pipeline_shard} +
+    {!finalize_pipeline_merge} before any result accessor is read. *)
+
+type pipeline_hooks = {
+  pl_register :
+    taint:Types.Taint.t -> at:Jury_sim.Time.t -> primary:int ->
+    secondaries:int list -> unit;
+  pl_batch : at:Jury_sim.Time.t -> Response.t list -> unit;
+  pl_drain : at:Jury_sim.Time.t -> unit;
+}
+
+val set_pipeline_hooks : t -> pipeline_hooks -> unit
+(** Divert ingestion into the hooks. While they are installed the
+    alarm/verdict handlers and response observers of this validator do
+    {e not} fire (replica verdicts surface only through the merged
+    result accessors) — deployments gate the pipeline on
+    configurations that install none.
+
+    {!drain_pipeline} (or {!flush}, which starts with it) clears the
+    hooks so the facade's own state, once merged, is read out through
+    the normal accessors. *)
+
+val drain_pipeline : t -> unit
+(** End-of-run barrier for a pipelined validator: stop the consumers
+    via [pl_drain], which merges every shard replica back into this
+    facade — decided verdicts, counters, and still-pending triggers
+    alike, with {e no} forced decisions (the serial validator's state
+    at the same instant). No-op when no hooks are installed, so
+    callers may invoke it unconditionally before reading results. *)
+
+val observe_mirror : t -> Response.t -> unit
+(** Apply a response's FLOWSDB cache update (if any) to this
+    validator's flow mirror without validating it — how a shard
+    replica tracks writes owned by {e other} shards so its sanity
+    check sees the same mirror as the serial validator. *)
+
+val shard_of_key : t -> string -> int
+(** The shard a taint key hashes to (see {!Response.taint_key}). *)
+
+val absorb_pipeline_shard : t -> shard:int -> t -> unit
+(** [absorb_pipeline_shard t ~shard rep] folds single-shard replica
+    [rep]'s counters, registration count, verdicts and pending (still
+    undecided) triggers into [t]'s shard [shard]. Call once per
+    replica after its consumer has finished. *)
+
+val finalize_pipeline_merge : t -> unit
+(** After all replicas are absorbed: rebuild the epoch cursor and sort
+    the merged verdict stream into a deterministic decision order. *)

@@ -466,7 +466,8 @@ let names = List.map (fun s -> s.name) all
 (* --- JURY configuration for a scenario --- *)
 
 let jury_config (t : t) ?(k = 6) ?(random_secondaries = true) ?channel
-    ?retransmit ?degraded_quorum ?shards ?max_inflight ?batch () =
+    ?retransmit ?degraded_quorum ?shards ?max_inflight ?batch ?pipeline_jobs
+    () =
   let policies =
     match t.policy with
     | None -> Jury_policy.Engine.create []
@@ -479,5 +480,10 @@ let jury_config (t : t) ?(k = 6) ?(random_secondaries = true) ?channel
      encapsulation layer JURY must strip (§IV-B). *)
   let encapsulation = t.profile.Profile.name <> "onos" in
   let channel = match channel with Some c -> c | None -> t.channel in
+  (* A scenario that ships policy rules cannot pipeline (T3 checks are
+     excluded from the staged path); keep such runs serial instead of
+     rejecting a whole matrix sweep over the flag. *)
+  let pipeline_jobs = if t.policy = None then pipeline_jobs else None in
   Jury.Jury_config.make ~k ~random_secondaries ~policies ~encapsulation
-    ~channel ?retransmit ?degraded_quorum ?shards ?max_inflight ?batch ()
+    ~channel ?retransmit ?degraded_quorum ?shards ?max_inflight ?batch
+    ?pipeline_jobs ()

@@ -1,0 +1,91 @@
+(* Bounded SPSC ring queue.
+
+   Layout: a power-of-two [slots] array and two monotonically
+   increasing cursors. [tail] is written only by the producer, [head]
+   only by the consumer; both are read by the other side. Cursor value
+   [c] occupies slot [c land mask], and the queue holds the interval
+   [head, tail).
+
+   Memory model: the producer's plain write to [slots.(tail land
+   mask)] is sequenced before its [Atomic.set tail]; the consumer
+   reads [tail] (an atomic load, so the store happens-before it) and
+   only then the slot — no data race, and the element is fully
+   visible. Symmetrically the consumer clears the slot (releasing the
+   element to the GC) before publishing [head + 1], and the producer
+   re-checks [head] before overwriting a slot, so the clear and the
+   overwrite never race either. *)
+
+type 'a t = {
+  slots : 'a option array;
+  mask : int;
+  head : int Atomic.t; (* consumer cursor: next slot to pop *)
+  tail : int Atomic.t; (* producer cursor: next slot to fill *)
+  closed : bool Atomic.t;
+}
+
+exception Closed
+
+let () =
+  Printexc.register_printer (function
+    | Closed -> Some "Jury_par.Spsc.Closed"
+    | _ -> None)
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity must be >= 1";
+  let cap =
+    let rec pow2 n = if n >= capacity then n else pow2 (n * 2) in
+    pow2 1
+  in
+  { slots = Array.make cap None;
+    mask = cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    closed = Atomic.make false }
+
+let capacity t = t.mask + 1
+let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
+let is_empty t = length t = 0
+let is_closed t = Atomic.get t.closed
+let close t = Atomic.set t.closed true
+
+let try_push t v =
+  if Atomic.get t.closed then raise Closed;
+  let tail = Atomic.get t.tail in
+  if tail - Atomic.get t.head > t.mask then false
+  else begin
+    t.slots.(tail land t.mask) <- Some v;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let push t v =
+  while not (try_push t v) do
+    Domain.cpu_relax ()
+  done
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  if head >= Atomic.get t.tail then None
+  else begin
+    let slot = head land t.mask in
+    let v =
+      match t.slots.(slot) with
+      | Some v -> v
+      | None -> assert false (* published tail implies a filled slot *)
+    in
+    t.slots.(slot) <- None;
+    Atomic.set t.head (head + 1);
+    Some v
+  end
+
+let rec pop t =
+  match try_pop t with
+  | Some _ as r -> r
+  | None ->
+      (* Re-check emptiness after observing [closed] so a close racing
+         with a final push is never mistaken for end-of-stream. *)
+      if Atomic.get t.closed && is_empty t then None
+      else begin
+        Domain.cpu_relax ();
+        pop t
+      end

@@ -1,0 +1,64 @@
+(** Bounded single-producer / single-consumer ring queue.
+
+    The hand-off lane of the staged validation pipeline: one domain
+    pushes, one other domain pops, and the fixed capacity provides
+    back-pressure (a producer that outruns its consumer blocks in
+    {!push} instead of growing an unbounded backlog). The module is
+    self-contained — no dependency on the pipeline or the pool — so it
+    is usable wherever two domains need an ordered bounded channel.
+
+    Thread-safety contract: at most one domain may call the producer
+    operations ({!push}, {!try_push}, {!close}) and at most one domain
+    the consumer operations ({!pop}, {!try_pop}). The two may differ
+    and run concurrently; FIFO order is preserved end to end. The
+    implementation is a power-of-two ring indexed by two monotonic
+    [Atomic] cursors: the producer publishes a slot write with its
+    tail store, the consumer acknowledges with its head store, and the
+    OCaml memory model's happens-before on atomics makes the plain
+    slot accesses race-free. *)
+
+type 'a t
+
+exception Closed
+(** Raised by {!push}/{!try_push} after {!close}. *)
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] makes an empty queue holding at least
+    [capacity] elements (rounded up to the next power of two; raises
+    [Invalid_argument] if [capacity < 1]). *)
+
+val capacity : 'a t -> int
+(** The rounded capacity actually allocated. *)
+
+val length : 'a t -> int
+(** Elements currently queued. Exact from the producer or consumer
+    domain; a racy-but-bounded snapshot from anywhere else. *)
+
+val is_empty : 'a t -> bool
+
+val try_push : 'a t -> 'a -> bool
+(** [try_push t v] appends [v] and returns [true], or returns [false]
+    without blocking if the queue is full. Raises {!Closed} if the
+    queue was closed. Producer domain only. *)
+
+val push : 'a t -> 'a -> unit
+(** Blocking {!try_push}: spins (with [Domain.cpu_relax]) until the
+    consumer frees a slot. This is the pipeline's back-pressure point.
+    Raises {!Closed} if the queue was closed. Producer domain only. *)
+
+val try_pop : 'a t -> 'a option
+(** [try_pop t] removes and returns the oldest element, or [None]
+    without blocking if the queue is currently empty. Consumer domain
+    only. *)
+
+val pop : 'a t -> 'a option
+(** Blocking {!try_pop}: spins until an element arrives, returning
+    [None] only when the queue is closed {e and} fully drained — the
+    consumer's end-of-stream signal. Consumer domain only. *)
+
+val close : 'a t -> unit
+(** Marks the queue closed. Subsequent pushes raise {!Closed}; pops
+    drain the remaining elements and then return [None]. Idempotent.
+    Producer domain only. *)
+
+val is_closed : 'a t -> bool

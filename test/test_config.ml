@@ -62,7 +62,8 @@ let seed_record () =
     degraded_quorum = None;
     shards = 1;
     max_inflight = None;
-    batch_window = None }
+    batch_window = None;
+    pipeline_jobs = 1 }
 
 let test_facade_defaults_match_literal_record () =
   let facade =
