@@ -104,9 +104,9 @@ module Common = struct
                    an unknown selector lists every valid choice.")
 
   let resolve_oracles = function
-    | None -> Jury_check.Oracle.all
+    | None -> Jury_check.Registry.all ()
     | Some sel -> (
-        match Jury_check.Oracle.resolve sel with
+        match Jury_check.Registry.resolve sel with
         | Ok os -> os
         | Error msg ->
             Printf.eprintf "%s\n" msg;
@@ -591,24 +591,147 @@ let check_cmd =
              ~doc:"Re-execution budget for minimising each failing case \
                    (0 disables shrinking).")
   in
-  let run cases seed jobs max_shrink selector =
-    let oracles = Common.resolve_oracles selector in
-    let jobs = Option.value jobs ~default:1 in
-    Printf.printf
-      "fuzzing %d case(s) from seed %d (%d oracle(s), %d job(s))\n%!" cases
-      seed (List.length oracles) jobs;
-    let summary =
-      Jury_check.Harness.run ~log:print_endline ~jobs ~oracles ~max_shrink
-        ~cases ~seed ()
+  let fuzz_arg =
+    Arg.(value & flag
+         & info [ "fuzz" ]
+             ~doc:"Coverage-guided mode: seed a corpus with blind cases, \
+                   then spend the remaining $(b,--budget) mutating corpus \
+                   entries (including the stateful fault levers — \
+                   crash-rejoin, Byzantine, store partition, policy churn — \
+                   that blind generation never draws), admitting mutants \
+                   that exhibit new behaviour features.")
+  in
+  let budget_arg =
+    Arg.(value & opt int 60
+         & info [ "budget" ] ~docv:"N"
+             ~doc:"Guided mode: total primary executions (seeding included).")
+  in
+  let seed_cases_arg =
+    Arg.(value & opt (some int) None
+         & info [ "seed-cases" ] ~docv:"N"
+             ~doc:"Guided mode: blind cases seeding the corpus (default \
+                   three quarters of the budget).")
+  in
+  let corpus_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "corpus-out" ] ~docv:"FILE"
+             ~doc:"Guided mode: write the final corpus (one replayable \
+                   lineage per line, with its novel features) to FILE.")
+  in
+  let compare_blind_arg =
+    Arg.(value & flag
+         & info [ "compare-blind" ]
+             ~doc:"Guided mode: also run the same budget of purely blind \
+                   cases and report both feature counts.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"LINEAGE"
+             ~doc:"Replay one corpus lineage (e.g. 'seed=42 \
+                   fault-inject@7') and run the oracle battery on the \
+                   reconstructed case.")
+  in
+  let run_replay lineage oracles max_shrink =
+    match Jury_check.Corpus.lineage_of_string lineage with
+    | Error msg ->
+        Printf.eprintf "bad lineage: %s\n" msg;
+        exit 2
+    | Ok (base_seed, trace) ->
+        let case = Jury_check.Corpus.replay_trace ~base_seed ~trace in
+        Printf.printf "replaying %s\n  case: %s\n%!" lineage
+          (Format.asprintf "%a" Jury_check.Case.pp case);
+        (match Jury_check.Oracle.check_case ~oracles case with
+        | [] -> Printf.printf "case upholds every selected invariant\n"
+        | violations ->
+            let f =
+              { Jury_check.Fuzz.lineage; case; violations;
+                shrink =
+                  (if max_shrink <= 0 then None
+                   else
+                     Some
+                       (Jury_check.Shrink.minimise ~max_steps:max_shrink
+                          ~oracles case violations)) }
+            in
+            print_endline (Jury_check.Fuzz.repro f);
+            exit 1)
+  in
+  let run_fuzz budget seed seed_cases corpus_out compare_blind selector
+      max_shrink =
+    let oracles =
+      match selector with
+      | None -> Jury_check.Fuzz.default_oracles ()
+      | Some _ -> Common.resolve_oracles selector
     in
-    match summary.Jury_check.Harness.failures with
-    | [] ->
-        Printf.printf "all %d case(s) upheld every invariant\n"
-          summary.Jury_check.Harness.cases
-    | fs ->
-        Printf.printf "%d of %d case(s) FAILED\n" (List.length fs)
-          summary.Jury_check.Harness.cases;
-        exit 1
+    Printf.printf
+      "guided fuzzing: budget %d from seed %d (%d oracle(s))\n%!" budget seed
+      (List.length oracles);
+    let summary =
+      Jury_check.Fuzz.run ~log:print_endline ~oracles ?seed_cases ~max_shrink
+        ~budget ~seed ()
+    in
+    let corpus = summary.Jury_check.Fuzz.corpus in
+    Printf.printf
+      "guided: %d execution(s), corpus %d, %d coverage feature(s) (blind \
+       baseline after seeding: %d)\n"
+      summary.Jury_check.Fuzz.executed
+      (Jury_check.Corpus.size corpus)
+      (Jury_check.Corpus.feature_count corpus)
+      summary.Jury_check.Fuzz.blind_features;
+    (match corpus_out with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        List.iter
+          (fun (e : Jury_check.Corpus.entry) ->
+            Printf.fprintf oc "%s %s # novel: %s\n" e.Jury_check.Corpus.id
+              (Jury_check.Corpus.lineage e)
+              (String.concat "," e.Jury_check.Corpus.novel))
+          (Jury_check.Corpus.entries corpus);
+        close_out oc;
+        Printf.printf "corpus written to %s\n" file);
+    if compare_blind then begin
+      let blind =
+        Jury_check.Fuzz.blind_feature_count ~cases:budget ~seed ()
+      in
+      Printf.printf "same-budget blind: %d feature(s); guided: %d (%+d)\n"
+        blind
+        (Jury_check.Corpus.feature_count corpus)
+        (Jury_check.Corpus.feature_count corpus - blind)
+    end;
+    if summary.Jury_check.Fuzz.failures <> [] then begin
+      Printf.printf "%d mutant(s) FAILED the battery\n"
+        (List.length summary.Jury_check.Fuzz.failures);
+      exit 1
+    end
+  in
+  let run cases seed jobs max_shrink selector fuzz budget seed_cases
+      corpus_out compare_blind replay =
+    match replay with
+    | Some lineage ->
+        run_replay lineage (Common.resolve_oracles selector) max_shrink
+    | None ->
+        if fuzz then
+          run_fuzz budget seed seed_cases corpus_out compare_blind selector
+            max_shrink
+        else begin
+          let oracles = Common.resolve_oracles selector in
+          let jobs = Option.value jobs ~default:1 in
+          Printf.printf
+            "fuzzing %d case(s) from seed %d (%d oracle(s), %d job(s))\n%!"
+            cases seed (List.length oracles) jobs;
+          let summary =
+            Jury_check.Harness.run ~log:print_endline ~jobs ~oracles
+              ~max_shrink ~cases ~seed ()
+          in
+          match summary.Jury_check.Harness.failures with
+          | [] ->
+              Printf.printf "all %d case(s) upheld every invariant\n"
+                summary.Jury_check.Harness.cases
+          | fs ->
+              Printf.printf "%d of %d case(s) FAILED\n" (List.length fs)
+                summary.Jury_check.Harness.cases;
+              exit 1
+        end
   in
   Cmd.v
     (Cmd.info "check"
@@ -626,9 +749,19 @@ let check_cmd =
                seed $(i,s+i); every failure report prints that per-case \
                seed, and $(b,check --cases 1 --seed) $(i,s+i) replays the \
                case bit-for-bit. Failing cases are shrunk to a minimal \
-               repro and printed as a corpus entry for test/repros." ])
+               repro and printed as a corpus entry for test/repros.";
+           `P "$(b,--fuzz) switches to coverage-guided mode: blind cases \
+               seed a corpus, mutation explores from it (fault-schedule \
+               splice/duplicate/shift/inject — including the stateful \
+               crash-rejoin, Byzantine, partition and policy-churn levers \
+               blind mode never draws — plus workload bursts and knob \
+               churn), and a mutant is kept iff it exhibits a behaviour \
+               feature no earlier run did. Every corpus entry replays \
+               bit-identically from its printed lineage via \
+               $(b,check --replay)." ])
     Term.(const run $ cases_arg $ Common.seed $ Common.jobs $ max_shrink_arg
-          $ Common.oracle)
+          $ Common.oracle $ fuzz_arg $ budget_arg $ seed_cases_arg
+          $ corpus_out_arg $ compare_blind_arg $ replay_arg)
 
 let mc_cmd =
   let module Explorer = Jury_mc.Explorer in

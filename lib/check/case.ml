@@ -9,6 +9,14 @@ type fault_action =
   | Blackhole of { node : int }
   | Lock_cache of { node : int; cache : string }
   | Heal of { node : int }
+  (* The stateful vocabulary below is never drawn by the blind
+     generator (its draw sequence is pinned by replayability); these
+     actions enter cases only through Mutate, so blind-mode runs stay
+     byte-identical across releases. *)
+  | Rejoin of { node : int }
+  | Byzantine of { node : int }
+  | Partition of { node : int }
+  | Add_rule of { rule : string }
 
 type fault_event = { at_ms : int; action : fault_action }
 
@@ -119,8 +127,8 @@ let channel t =
   Jury.Jury_config.lossy_channel ~drop:t.drop ~duplicate:t.duplicate
     ~jitter_us:t.jitter_us ()
 
-let jury_config ?shards ?batch_us ?pipeline_jobs ?(force_reliable = false)
-    ?(deterministic = false) t =
+let jury_config ?shards ?batch_us ?pipeline_jobs ?policies
+    ?(force_reliable = false) ?(deterministic = false) t =
   let shards = Option.value shards ~default:t.shards in
   let batch_us = Option.value batch_us ~default:t.batch_us in
   let channel =
@@ -148,7 +156,7 @@ let jury_config ?shards ?batch_us ?pipeline_jobs ?(force_reliable = false)
   Jury.Jury_config.make ~k:t.k ~encapsulation:t.odl ~channel ?retransmit
     ?degraded_quorum:t.degraded_quorum ~shards ?max_inflight
     ?batch:(Option.map Jury_sim.Time.us batch_us)
-    ?pipeline_jobs ~deterministic_latencies:deterministic ()
+    ?pipeline_jobs ?policies ~deterministic_latencies:deterministic ()
 
 (* --- rendering --- *)
 
@@ -172,6 +180,10 @@ let action_name = function
   | Blackhole { node } -> Printf.sprintf "blackhole(%d)" node
   | Lock_cache { node; cache } -> Printf.sprintf "lock(%d,%s)" node cache
   | Heal { node } -> Printf.sprintf "heal(%d)" node
+  | Rejoin { node } -> Printf.sprintf "rejoin(%d)" node
+  | Byzantine { node } -> Printf.sprintf "byzantine(%d)" node
+  | Partition { node } -> Printf.sprintf "partition(%d)" node
+  | Add_rule { rule } -> Printf.sprintf "add-rule(%s)" rule
 
 let pp ppf t =
   Format.fprintf ppf
@@ -217,6 +229,14 @@ let action_ocaml = function
       Printf.sprintf "Jury_check.Case.Lock_cache { node = %d; cache = %S }"
         node cache
   | Heal { node } -> Printf.sprintf "Jury_check.Case.Heal { node = %d }" node
+  | Rejoin { node } ->
+      Printf.sprintf "Jury_check.Case.Rejoin { node = %d }" node
+  | Byzantine { node } ->
+      Printf.sprintf "Jury_check.Case.Byzantine { node = %d }" node
+  | Partition { node } ->
+      Printf.sprintf "Jury_check.Case.Partition { node = %d }" node
+  | Add_rule { rule } ->
+      Printf.sprintf "Jury_check.Case.Add_rule { rule = %S }" rule
 
 let to_ocaml ?(indent = "  ") t =
   let b = Buffer.create 512 in
@@ -253,3 +273,178 @@ let to_ocaml ?(indent = "  ") t =
   Buffer.contents b
 
 let equal = ( = )
+
+(* --- axis lenses --- *)
+
+module Lens = struct
+  type case = t
+
+  type 'a axis = {
+    name : string;
+    get : case -> 'a;
+    set : case -> 'a -> case;
+  }
+
+  let min_switches (c : case) = if c.topo = Ring then 3 else 1
+  let min_hosts_per_switch (c : case) = if c.workload = Blast then 2 else 1
+
+  (* Every workload except host-joins needs two reachable hosts in
+     total (Blast needs them on one switch); the topology builders and
+     workload drivers reject anything below this. Not clampable along a
+     single axis (several axis combinations satisfy it), so it stays a
+     predicate: Shrink drops violating candidates, Mutate retries. *)
+  let hosts_floor (c : case) =
+    match c.workload with
+    | Joins -> c.switches * c.hosts_per_switch >= 1
+    | Mix | Connections ->
+        (if c.topo = Single then max 2 c.switches
+         else c.switches * c.hosts_per_switch)
+        >= 2
+    | Blast -> c.hosts_per_switch >= 2
+
+  let clamp_fault_nodes ~nodes faults =
+    let clamp_node n = max 0 (min n (nodes - 1)) in
+    List.map
+      (fun f ->
+        { f with
+          action =
+            (match f.action with
+            | Slow s -> Slow { s with node = clamp_node s.node }
+            | Lossy l -> Lossy { l with node = clamp_node l.node }
+            | Crash { node } -> Crash { node = clamp_node node }
+            | Drop_sends { node } -> Drop_sends { node = clamp_node node }
+            | Blackhole { node } -> Blackhole { node = clamp_node node }
+            | Lock_cache l -> Lock_cache { l with node = clamp_node l.node }
+            | Heal { node } -> Heal { node = clamp_node node }
+            | Rejoin { node } -> Rejoin { node = clamp_node node }
+            | Byzantine { node } -> Byzantine { node = clamp_node node }
+            | Partition { node } -> Partition { node = clamp_node node }
+            | Add_rule _ as a -> a) })
+      faults
+
+  let topo =
+    { name = "topo";
+      get = (fun c -> c.topo);
+      set =
+        (fun c v ->
+          { c with topo = v; switches = max (if v = Ring then 3 else 1) c.switches }) }
+
+  let switches =
+    { name = "switches";
+      get = (fun c -> c.switches);
+      set = (fun c v -> { c with switches = max (min_switches c) v }) }
+
+  let hosts_per_switch =
+    { name = "hosts_per_switch";
+      get = (fun c -> c.hosts_per_switch);
+      set =
+        (fun c v -> { c with hosts_per_switch = max (min_hosts_per_switch c) v }) }
+
+  let workload =
+    { name = "workload";
+      get = (fun c -> c.workload);
+      set =
+        (fun c v ->
+          let c = { c with workload = v } in
+          { c with hosts_per_switch = max (min_hosts_per_switch c) c.hosts_per_switch }) }
+
+  (* Shrinking or churning the cluster keeps k < nodes, the degraded
+     quorum <= k, and every fault's node reference in range. *)
+  let nodes =
+    { name = "nodes";
+      get = (fun c -> c.nodes);
+      set =
+        (fun c v ->
+          let nodes = max 3 v in
+          let k = max 1 (min c.k (nodes - 1)) in
+          { c with
+            nodes;
+            k;
+            degraded_quorum = Option.map (fun q -> max 1 (min q k)) c.degraded_quorum;
+            faults = clamp_fault_nodes ~nodes c.faults }) }
+
+  let k =
+    { name = "k";
+      get = (fun c -> c.k);
+      set =
+        (fun c v ->
+          let k = max 1 (min v (c.nodes - 1)) in
+          { c with
+            k;
+            degraded_quorum = Option.map (fun q -> max 1 (min q k)) c.degraded_quorum }) }
+
+  let odl =
+    { name = "odl"; get = (fun c -> c.odl); set = (fun c v -> { c with odl = v }) }
+
+  let rate =
+    { name = "rate";
+      get = (fun c -> c.rate);
+      set = (fun c v -> { c with rate = Float.max 25. v }) }
+
+  let duration_ms =
+    { name = "duration_ms";
+      get = (fun c -> c.duration_ms);
+      set = (fun c v -> { c with duration_ms = max 50 v }) }
+
+  let faults =
+    { name = "faults";
+      get = (fun c -> c.faults);
+      set =
+        (fun c v ->
+          { c with
+            faults =
+              (* stable: equal-at_ms entries keep their order, so
+                 setting an already-sorted schedule is the identity *)
+              List.stable_sort (fun a b -> compare a.at_ms b.at_ms)
+                (clamp_fault_nodes ~nodes:c.nodes
+                   (List.map (fun f -> { f with at_ms = max 0 f.at_ms }) v)) }) }
+
+  let drop =
+    { name = "drop";
+      get = (fun c -> c.drop);
+      set = (fun c v -> { c with drop = Float.max 0. (Float.min 0.5 v) }) }
+
+  let duplicate =
+    { name = "duplicate";
+      get = (fun c -> c.duplicate);
+      set = (fun c v -> { c with duplicate = Float.max 0. (Float.min 0.5 v) }) }
+
+  let jitter_us =
+    { name = "jitter_us";
+      get = (fun c -> c.jitter_us);
+      set = (fun c v -> { c with jitter_us = Float.max 0. (Float.min 500. v) }) }
+
+  let retries =
+    { name = "retries";
+      get = (fun c -> c.retries);
+      set = (fun c v -> { c with retries = max 0 (min 3 v) }) }
+
+  let degraded_quorum =
+    { name = "degraded_quorum";
+      get = (fun c -> c.degraded_quorum);
+      set =
+        (fun c v ->
+          { c with
+            degraded_quorum = Option.map (fun q -> max 1 (min q c.k)) v }) }
+
+  let shards =
+    { name = "shards";
+      get = (fun c -> c.shards);
+      set = (fun c v -> { c with shards = max 1 (min 8 v) }) }
+
+  let max_inflight =
+    { name = "max_inflight";
+      get = (fun c -> c.max_inflight);
+      set =
+        (fun c v -> { c with max_inflight = Option.map (fun m -> max 1 m) v }) }
+
+  let batch_us =
+    { name = "batch_us";
+      get = (fun c -> c.batch_us);
+      set = (fun c v -> { c with batch_us = Option.map (fun b -> max 1 b) v }) }
+
+  let triggers =
+    { name = "triggers";
+      get = (fun c -> c.triggers);
+      set = (fun c v -> { c with triggers = max 1 (min 80 v) }) }
+end

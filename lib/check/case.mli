@@ -29,7 +29,15 @@ type workload_kind =
   | Blast        (** {!Jury_workload.Cbench.blast} at host 0's switch *)
 
 (** One reversible fault lever applied to a replica mid-run, via
-    {!Jury_faults.Injector}. *)
+    {!Jury_faults.Injector}.
+
+    The first seven constructors are the blind generator's vocabulary.
+    The last four — crash-rejoin resync, Byzantine responses, a
+    store-level partition and mid-run policy churn — are {e never}
+    drawn blindly (the generator's draw sequence is pinned by
+    replayability across releases); they enter a case only through
+    {!Mutate}, so guided fuzzing explores them while blind-mode
+    fingerprints stay byte-identical. *)
 type fault_action =
   | Slow of { node : int; delay_ms : int }  (** timing fault *)
   | Lossy of { node : int; omit : float }   (** response omission *)
@@ -38,6 +46,18 @@ type fault_action =
   | Blackhole of { node : int }             (** undesirable FLOW_MODs *)
   | Lock_cache of { node : int; cache : string }
   | Heal of { node : int }
+  | Rejoin of { node : int }
+      (** crash-and-rejoin: clear the node's levers and partition,
+          resync its store from a healthy peer and resume responding *)
+  | Byzantine of { node : int }
+      (** plausible-but-wrong snapshots and actions from one replica *)
+  | Partition of { node : int }
+      (** store-level split: the node's writes stay local and peers'
+          replication never reaches it (heal or rejoin reconnects) *)
+  | Add_rule of { rule : string }
+      (** policy churn: parse one {!Jury_policy.Parse} DSL line and
+          [add_rule] it into the live engine while triggers are in
+          flight (unparsable rules are ignored) *)
 
 type fault_event = { at_ms : int; action : fault_action }
 (** [at_ms] is relative to the start of the workload window. *)
@@ -79,6 +99,7 @@ val channel : t -> Jury.Channel.profile
 
 val jury_config :
   ?shards:int -> ?batch_us:int option -> ?pipeline_jobs:int ->
+  ?policies:Jury_policy.Engine.t ->
   ?force_reliable:bool -> ?deterministic:bool -> t ->
   Jury.Jury_config.t
 (** The {!Jury.Jury_config.t} the case denotes. The optional arguments
@@ -87,10 +108,13 @@ val jury_config :
     {!Jury.Channel.reliable} for the case's (zero-loss) profile;
     [deterministic] sets [deterministic_latencies] (the schedule
     explorer's jitter-free mode, see {!Jury.Jury_config.make}).
-    [pipeline_jobs] — {e including} [Some 1] — additionally projects
-    the case onto the staged pipeline's eligible feature set
-    (retransmission off, no in-flight cap, batching on, default 200 µs)
-    so runs differing only in the job count compare like for like. *)
+    [policies] supplies the (initially empty) live policy engine the
+    [Add_rule] fault mutates mid-run; the default is an empty engine,
+    identical to the historical behaviour. [pipeline_jobs] —
+    {e including} [Some 1] — additionally projects the case onto the
+    staged pipeline's eligible feature set (retransmission off, no
+    in-flight cap, batching on, default 200 µs) so runs differing only
+    in the job count compare like for like. *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line summary for failure reports. *)
@@ -101,3 +125,55 @@ val to_ocaml : ?indent:string -> t -> string
 
 val equal : t -> t -> bool
 (** Structural equality — cases contain no closures or cycles. *)
+
+(** Per-axis read/update lenses — the one axis surface {!Shrink} and
+    {!Mutate} share instead of duplicating record surgery.
+
+    Every [set] clamps to the axis's validity floor (ring topologies
+    keep ≥ 3 switches, [k] stays in [\[1, nodes-1\]], the degraded
+    quorum within [k], fault node references inside the cluster, …),
+    so lens updates map valid cases to valid cases. The one
+    cross-axis constraint no single axis can repair — the workloads'
+    host floor — stays the {!Lens.hosts_floor} predicate: Shrink drops
+    candidates that violate it, Mutate rejects such mutants. *)
+module Lens : sig
+  type case = t
+
+  type 'a axis = {
+    name : string;           (** stable axis identifier *)
+    get : case -> 'a;
+    set : case -> 'a -> case;  (** clamped to the axis's validity floor *)
+  }
+
+  val min_switches : case -> int
+  (** 3 on a ring, 1 otherwise. *)
+
+  val min_hosts_per_switch : case -> int
+  (** 2 under Blast, 1 otherwise. *)
+
+  val hosts_floor : case -> bool
+  (** The workloads' two-reachable-hosts floor (Joins needs one). *)
+
+  val clamp_fault_nodes : nodes:int -> fault_event list -> fault_event list
+  (** Every fault's node reference clamped into [\[0, nodes-1\]]. *)
+
+  val topo : topo_kind axis
+  val switches : int axis
+  val hosts_per_switch : int axis
+  val workload : workload_kind axis
+  val nodes : int axis
+  val k : int axis
+  val odl : bool axis
+  val rate : float axis
+  val duration_ms : int axis
+  val faults : fault_event list axis
+  val drop : float axis
+  val duplicate : float axis
+  val jitter_us : float axis
+  val retries : int axis
+  val degraded_quorum : int option axis
+  val shards : int axis
+  val max_inflight : int option axis
+  val batch_us : int option axis
+  val triggers : int axis
+end

@@ -1,0 +1,99 @@
+type entry = {
+  id : string;
+  base_seed : int;
+  trace : (string * int) list;
+  case : Case.t;
+  novel : string list;
+}
+
+type t = {
+  mutable entries_rev : entry list;
+  mutable count : int;
+  mutable seen : Coverage.t;
+}
+
+let create () = { entries_rev = []; count = 0; seen = Coverage.empty }
+let entries t = List.rev t.entries_rev
+let size t = t.count
+let features t = t.seen
+let feature_count t = Coverage.cardinal t.seen
+
+let lineage_of ~base_seed ~trace =
+  String.concat " "
+    (Printf.sprintf "seed=%d" base_seed
+    :: List.map (fun (m, s) -> Printf.sprintf "%s@%d" m s) trace)
+
+let lineage e = lineage_of ~base_seed:e.base_seed ~trace:e.trace
+
+let lineage_of_string s =
+  let parts =
+    List.filter (fun p -> p <> "") (String.split_on_char ' ' (String.trim s))
+  in
+  match parts with
+  | [] -> Error "empty lineage"
+  | seed :: steps -> (
+      match
+        if String.length seed > 5 && String.sub seed 0 5 = "seed=" then
+          int_of_string_opt (String.sub seed 5 (String.length seed - 5))
+        else None
+      with
+      | None -> Error (Printf.sprintf "bad lineage head %S (want seed=N)" seed)
+      | Some base_seed ->
+          let step p =
+            match String.rindex_opt p '@' with
+            | None -> Error (Printf.sprintf "bad lineage step %S (want name@N)" p)
+            | Some i -> (
+                let name = String.sub p 0 i in
+                match
+                  int_of_string_opt (String.sub p (i + 1) (String.length p - i - 1))
+                with
+                | None -> Error (Printf.sprintf "bad step seed in %S" p)
+                | Some s -> Ok (name, s))
+          in
+          let rec all acc = function
+            | [] -> Ok (base_seed, List.rev acc)
+            | p :: rest -> (
+                match step p with
+                | Error _ as e -> e
+                | Ok st -> all (st :: acc) rest)
+          in
+          all [] steps)
+
+let id_of ~base_seed ~trace =
+  String.sub (Digest.to_hex (Digest.string (lineage_of ~base_seed ~trace))) 0 12
+
+let replay_trace ~base_seed ~trace =
+  let case = Case.generate ~seed:base_seed in
+  List.fold_left
+    (fun case (name, step_seed) ->
+      match Mutate.find name with
+      | None -> invalid_arg (Printf.sprintf "Corpus.replay: unknown mutator %s" name)
+      | Some m -> (
+          match Mutate.apply m ~step_seed case with
+          | Some case' -> case'
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Corpus.replay: step %s@%d no longer applies"
+                   name step_seed)))
+    case trace
+
+let replay e = replay_trace ~base_seed:e.base_seed ~trace:e.trace
+
+let admit t ~base_seed ~trace case coverage =
+  let novel = Coverage.diff coverage t.seen in
+  if Coverage.is_empty novel then None
+  else begin
+    let e =
+      { id = id_of ~base_seed ~trace;
+        base_seed;
+        trace;
+        case;
+        novel = Coverage.features novel }
+    in
+    t.entries_rev <- e :: t.entries_rev;
+    t.count <- t.count + 1;
+    t.seen <- Coverage.union t.seen coverage;
+    Some e
+  end
+
+let nth t i = List.nth (entries t) i

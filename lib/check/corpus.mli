@@ -1,0 +1,56 @@
+(** The guided fuzzer's seed pool: cases that discovered behaviour
+    features no earlier case exhibited.
+
+    Admission is AFL-style: a candidate enters iff its {!Coverage}
+    holds at least one feature the corpus has not yet seen; the entry
+    records exactly those [novel] features. Every entry is replayable
+    from plain data — a base generator seed plus the ordered
+    [(mutator, step_seed)] trace that produced it — so a corpus line
+    in a log or CI artifact reconstructs the exact case with
+    {!replay} (or by hand from the printed {!lineage}). *)
+
+type entry = {
+  id : string;       (** short stable digest of the lineage *)
+  base_seed : int;   (** {!Case.generate} seed the lineage starts from *)
+  trace : (string * int) list;
+      (** mutation steps applied in order: (mutator name, step seed) *)
+  case : Case.t;     (** the materialised case (= {!replay} of the above) *)
+  novel : string list;  (** features this entry added, sorted *)
+}
+
+type t
+
+val create : unit -> t
+
+val admit :
+  t -> base_seed:int -> trace:(string * int) list -> Case.t -> Coverage.t ->
+  entry option
+(** [admit t ~base_seed ~trace case cov] adds the case iff [cov] has
+    features the corpus lacks; returns the new entry. The corpus's
+    feature set absorbs [cov] on admission. *)
+
+val entries : t -> entry list
+(** Admission order. *)
+
+val nth : t -> int -> entry
+val size : t -> int
+val features : t -> Coverage.t
+val feature_count : t -> int
+
+val replay : entry -> Case.t
+(** Regenerate the entry's case from seed + trace alone. Raises
+    [Invalid_argument] if a mutator name is unknown or a step no
+    longer applies (i.e. the lineage predates an incompatible mutator
+    change). *)
+
+val replay_trace : base_seed:int -> trace:(string * int) list -> Case.t
+(** {!replay} from raw lineage data (e.g. parsed from a log). *)
+
+val lineage : entry -> string
+(** Printable one-line lineage: ["seed=42 fault-inject@7 burst-rate@3"]. *)
+
+val lineage_of : base_seed:int -> trace:(string * int) list -> string
+(** {!lineage} from raw parts (used before an entry exists). *)
+
+val lineage_of_string : string -> (int * (string * int) list, string) result
+(** Parse {!lineage} output back into replayable data. *)

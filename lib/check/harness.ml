@@ -56,8 +56,9 @@ let check_one ~oracles ~max_shrink ~seed index =
       in
       Some { index; case_seed; case; violations; shrink }
 
-let run ?(log = ignore) ?(jobs = 1) ?(oracles = Oracle.all) ?(max_shrink = 200)
+let run ?(log = ignore) ?(jobs = 1) ?oracles ?(max_shrink = 200)
     ~cases ~seed () =
+  let oracles = match oracles with Some os -> os | None -> Registry.all () in
   let indices = List.init cases (fun i -> i) in
   let results =
     if jobs <= 1 then

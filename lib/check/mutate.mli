@@ -1,0 +1,33 @@
+(** Sequence-aware case mutators — the guided fuzzer's move set.
+
+    Each mutator perturbs one axis of a {!Case.t} through the
+    {!Case.Lens} surface, so every mutant respects the same validity
+    floors the generator and shrinker do; the one cross-axis
+    constraint ({!Case.Lens.hosts_floor}) is checked after the fact
+    and violating mutants are rejected.
+
+    The fault-schedule mutators are the heart of the move set: splice
+    (two levers exchange schedule slots), duplicate, shift, drop and
+    inject. {e Inject draws from the full fault vocabulary} — including
+    crash-rejoin, Byzantine responses, store partitions and mid-run
+    policy churn, which the blind generator never emits — so mutation
+    is the only path by which a case acquires the stateful levers.
+
+    {!apply} is a pure function of [(mutator, step_seed, case)]: the
+    step seed deterministically reconstructs the mutation, which is
+    what makes a {!Corpus} entry replayable from its printed lineage
+    alone. [None] means the move did not apply (empty schedule, no-op
+    draw) or produced an invalid/unchanged case. *)
+
+type t = {
+  name : string;  (** stable identifier, printed in corpus lineages *)
+  mutate : Jury_sim.Rng.t -> Case.t -> Case.t option;
+}
+
+val all : t list
+val names : string list
+val find : string -> t option
+
+val apply : t -> step_seed:int -> Case.t -> Case.t option
+(** Run one mutation step. Deterministic; rejects no-ops and mutants
+    violating {!Case.Lens.hosts_floor}. *)

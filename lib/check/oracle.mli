@@ -79,35 +79,33 @@ val ctx_with : execute:executor -> Case.t -> ctx
 type t = {
   name : string;    (** stable identifier, e.g. ["verdict-conservation"] *)
   family : string;  (** one of the eight families above *)
+  doc : string;     (** one-line description, surfaced by the CLI *)
   check : ctx -> result;
 }
 
-val all : t list
-(** Every oracle, in a fixed documented order. *)
+(** The individual invariant checks, in battery order. {!Registry}
+    registers each of these exactly once with its family, name and doc;
+    resolve names and enumerate the battery through {!Registry}, never
+    here. *)
 
-val families : string list
-(** The distinct family names, sorted. *)
+val verdict_conservation : ctx -> result
+val report_consistency : ctx -> result
+val replay_determinism : ctx -> result
+val shard_independence : ctx -> result
+val batch_equivalence : ctx -> result
+val parallel_identity : ctx -> result
+val pipeline_jobs_independence : ctx -> result
+val channel_conservation : ctx -> result
+val zero_loss_identity : ctx -> result
+val obs_consistency : ctx -> result
+val policy_equivalence : ctx -> result
 
-val by_family : string -> t list
-(** Oracles of one family; [\[\]] for an unknown name. *)
+val check_run : oracles:t list -> ctx -> (t * string) list
+(** Run the given oracles against a prebuilt context — the
+    single-completed-run entry point shared by [jury_check] and
+    [jury_mc]; returns the failures as (oracle, message) pairs. For the
+    default full battery use {!Registry.check_run}. *)
 
-val names : string list
-(** Every oracle name, in catalog order. *)
-
-val find : string -> t option
-(** Look one oracle up by exact name. *)
-
-val resolve : string -> (t list, string) Stdlib.result
-(** Resolve a user-supplied selector — a family or a single oracle
-    name — to its oracles. [Error] carries a message listing every
-    valid family and name; the CLI's [check --oracle] and [mc --oracle]
-    share this table. *)
-
-val check_run : ?oracles:t list -> ctx -> (t * string) list
-(** Run the oracles (default {!all}) against a prebuilt context —
-    the single-completed-run entry point shared by [jury_check] and
-    [jury_mc]; returns the failures as (oracle, message) pairs. *)
-
-val check_case : ?oracles:t list -> Case.t -> (t * string) list
-(** [check_run ?oracles (ctx case)]: run the oracles against one case;
+val check_case : oracles:t list -> Case.t -> (t * string) list
+(** [check_run ~oracles (ctx case)]: run the oracles against one case;
     empty result means the case upholds every invariant. *)

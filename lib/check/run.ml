@@ -112,7 +112,8 @@ let schedule_blind fp =
 
 let diff_schedule_blind a b = diff_fingerprint (schedule_blind a) (schedule_blind b)
 
-let apply_fault cluster (action : Case.fault_action) =
+let apply_fault deployment ~policies (action : Case.fault_action) =
+  let cluster = Jury.Deployment.cluster deployment in
   let mutate node m =
     Jury_controller.Controller.set_mutator
       (Jury_controller.Cluster.controller cluster node)
@@ -128,6 +129,17 @@ let apply_fault cluster (action : Case.fault_action) =
   | Case.Blackhole { node } -> mutate node Injector.blackhole_flow_mods
   | Case.Lock_cache { node; cache } -> Injector.lock_cache cluster ~node ~cache
   | Case.Heal { node } -> Injector.heal cluster ~node
+  | Case.Rejoin { node } -> Injector.rejoin deployment ~node
+  | Case.Byzantine { node } -> Injector.make_byzantine cluster ~node
+  | Case.Partition { node } -> Injector.partition cluster ~node
+  | Case.Add_rule { rule } -> (
+      (* Policy churn: recompile-on-next-read happens inside the
+         engine; an unparseable rule is dropped rather than aborting
+         the run (mutators draw from a fixed vocabulary, so this only
+         guards hand-written cases). *)
+      match Jury_policy.Parse.dsl_line rule with
+      | Ok ast -> Jury_policy.Engine.add_rule policies ast
+      | Error _ -> ())
 
 let plan_of (case : Case.t) =
   match case.Case.topo with
@@ -168,12 +180,17 @@ let metrics_sum metrics ~shards fmt =
   !total
 
 let execute ?chooser ?(deterministic = false) ?shards ?batch_us
-    ?pipeline_jobs ?force_reliable (case : Case.t) =
+    ?pipeline_jobs ?force_reliable ?trace (case : Case.t) =
+  (* Every run gets its own policy engine so [Add_rule] fault events
+     mutate run-local state; an empty engine is what [Case.jury_config]
+     would have built anyway, so blind runs are unaffected. *)
+  let policies = Jury_policy.Engine.create [] in
   let config =
     Case.jury_config ?shards ?batch_us ?pipeline_jobs ?force_reliable
-      ~deterministic case
+      ~policies ~deterministic case
   in
   let engine = Engine.create ~seed:case.Case.case_seed () in
+  Option.iter (fun tr -> Engine.set_trace engine tr) trace;
   Option.iter (fun c -> Engine.set_chooser engine (Some c)) chooser;
   let plan = plan_of case in
   let network = Jury_net.Network.create engine plan () in
@@ -201,7 +218,7 @@ let execute ?chooser ?(deterministic = false) ?shards ?batch_us
     (fun (f : Case.fault_event) ->
       ignore
         (Engine.schedule engine ~after:(Time.ms f.Case.at_ms) (fun () ->
-             apply_fault cluster f.Case.action)))
+             apply_fault deployment ~policies f.Case.action)))
     case.Case.faults;
   (* Settle for two seconds past the workload window so every timer
      (validation timeouts, retransmissions, link recoveries) fires. *)

@@ -24,91 +24,60 @@ let size (c : Case.t) =
   + (if c.Case.shards > 1 then 1 else 0)
 
 (* Each axis proposes big jumps first (halving) so minimisation takes
-   O(log) accepted steps per axis, then unit steps to polish. *)
+   O(log) accepted steps per axis, then unit steps to polish. All
+   record surgery goes through {!Case.Lens}, the axis surface shared
+   with {!Mutate}: a lens [set] clamps to the axis's validity floor, so
+   each proposal only has to pick the smaller value. *)
 let candidates (c : Case.t) =
   let open Case in
+  let set (a : _ Lens.axis) v = a.Lens.set c v in
   let proposals = ref [] in
   let add c' = proposals := c' :: !proposals in
   (* fault schedule: drop all, drop half, drop each one *)
   (match c.faults with
   | [] -> ()
   | faults ->
-      add { c with faults = [] };
+      add (set Lens.faults []);
       let n = List.length faults in
       if n > 1 then
-        add { c with faults = List.filteri (fun i _ -> i < n / 2) faults };
+        add (set Lens.faults (List.filteri (fun i _ -> i < n / 2) faults));
       List.iteri
-        (fun i _ -> add { c with faults = List.filteri (fun j _ -> j <> i) faults })
+        (fun i _ ->
+          add (set Lens.faults (List.filteri (fun j _ -> j <> i) faults)))
         faults);
   (* trigger budget for the synthetic batching stream *)
-  if c.triggers > 5 then add { c with triggers = max 5 (c.triggers / 2) };
-  if c.triggers > 5 then add { c with triggers = c.triggers - 1 };
-  (* topology — respecting the builders' and workloads' floors: a ring
-     needs three switches, and every workload except host-joins needs
-     two hosts in total (Blast needs them on one switch). *)
-  let hosts_floor (c' : Case.t) =
-    match c'.workload with
-    | Joins -> c'.switches * c'.hosts_per_switch >= 1
-    | Mix | Connections ->
-        (if c'.topo = Single then max 2 c'.switches
-         else c'.switches * c'.hosts_per_switch)
-        >= 2
-    | Blast -> c'.hosts_per_switch >= 2
-  in
-  let add c' = if hosts_floor c' then add c' in
-  let min_switches = if c.topo = Ring then 3 else 1 in
-  if c.switches > min_switches then
-    add { c with switches = max min_switches (c.switches / 2) };
-  if c.switches > min_switches then add { c with switches = c.switches - 1 };
-  if c.topo = Ring then add { c with topo = Linear };
+  if c.triggers > 5 then add (set Lens.triggers (max 5 (c.triggers / 2)));
+  if c.triggers > 5 then add (set Lens.triggers (c.triggers - 1));
+  (* topology — the ring floor lives in the lens, the workloads' host
+     floor is the cross-axis predicate no single lens can repair *)
+  let add c' = if Lens.hosts_floor c' then add c' in
+  let min_switches = Lens.min_switches c in
+  if c.switches > min_switches then add (set Lens.switches (c.switches / 2));
+  if c.switches > min_switches then add (set Lens.switches (c.switches - 1));
+  if c.topo = Ring then add (set Lens.topo Linear);
   if c.hosts_per_switch > 1 && c.workload <> Blast then
-    add { c with hosts_per_switch = 1 };
+    add (set Lens.hosts_per_switch 1);
   (* workload intensity *)
   if c.duration_ms > 100 then
-    add { c with duration_ms = max 100 (c.duration_ms / 2) };
-  if c.rate > 50. then add { c with rate = Float.max 50. (c.rate /. 2.) };
-  (* cluster: shrinking nodes must keep k < nodes and faults in range *)
-  if c.nodes > 3 then begin
-    let nodes = c.nodes - 1 in
-    let clamp_node n = min n (nodes - 1) in
-    let clamp_fault f =
-      { f with
-        action =
-          (match f.action with
-          | Slow s -> Slow { s with node = clamp_node s.node }
-          | Lossy l -> Lossy { l with node = clamp_node l.node }
-          | Crash { node } -> Crash { node = clamp_node node }
-          | Drop_sends { node } -> Drop_sends { node = clamp_node node }
-          | Blackhole { node } -> Blackhole { node = clamp_node node }
-          | Lock_cache l -> Lock_cache { l with node = clamp_node l.node }
-          | Heal { node } -> Heal { node = clamp_node node }) }
-    in
-    add
-      { c with
-        nodes;
-        k = min c.k (nodes - 1);
-        degraded_quorum =
-          Option.map (fun q -> min q (min c.k (nodes - 1))) c.degraded_quorum;
-        faults = List.map clamp_fault c.faults }
-  end;
-  if c.k > 1 then
-    add
-      { c with
-        k = c.k - 1;
-        degraded_quorum = Option.map (fun q -> min q (c.k - 1)) c.degraded_quorum };
+    add (set Lens.duration_ms (max 100 (c.duration_ms / 2)));
+  if c.rate > 50. then add (set Lens.rate (Float.max 50. (c.rate /. 2.)));
+  (* cluster: the lenses keep k < nodes, the quorum <= k and every
+     fault's node reference in range *)
+  if c.nodes > 3 then add (set Lens.nodes (c.nodes - 1));
+  if c.k > 1 then add (set Lens.k (c.k - 1));
   (* channel *)
   if c.drop > 0. || c.duplicate > 0. || c.jitter_us > 0. then
     add { c with drop = 0.; duplicate = 0.; jitter_us = 0. };
-  if c.drop > 0. then add { c with drop = 0. };
-  if c.duplicate > 0. then add { c with duplicate = 0. };
-  if c.jitter_us > 0. then add { c with jitter_us = 0. };
-  if c.retries > 0 then add { c with retries = 0 };
+  if c.drop > 0. then add (set Lens.drop 0.);
+  if c.duplicate > 0. then add (set Lens.duplicate 0.);
+  if c.jitter_us > 0. then add (set Lens.jitter_us 0.);
+  if c.retries > 0 then add (set Lens.retries 0);
   (* validator knobs *)
-  if c.degraded_quorum <> None then add { c with degraded_quorum = None };
-  if c.max_inflight <> None then add { c with max_inflight = None };
-  if c.batch_us <> None then add { c with batch_us = None };
-  if c.shards <> 1 then add { c with shards = 1 };
-  if c.odl then add { c with odl = false };
+  if c.degraded_quorum <> None then add (set Lens.degraded_quorum None);
+  if c.max_inflight <> None then add (set Lens.max_inflight None);
+  if c.batch_us <> None then add (set Lens.batch_us None);
+  if c.shards <> 1 then add (set Lens.shards 1);
+  if c.odl then add (set Lens.odl false);
   (* keep only strict reductions, largest jumps first as inserted *)
   List.filter (fun c' -> size c' < size c) (List.rev !proposals)
 

@@ -248,6 +248,14 @@ let fail_over t ~node =
       | exception Not_found -> ())
     orphaned
 
+(* The inverse of the bookkeeping half of [fail_over]: the node counts
+   as alive again and may be picked by future failovers. Mastership is
+   NOT handed back — reclaiming switches is a separate administrative
+   act real clusters also treat as such. *)
+let rejoin t ~node =
+  if node < 0 || node >= nodes t then invalid_arg "Cluster.rejoin: bad id";
+  t.failed <- List.filter (fun i -> i <> node) t.failed
+
 let query_flows t ~node dpid =
   if node < 0 || node >= nodes t then invalid_arg "Cluster.query_flows: bad id";
   Fabric.entries t.fabric ~node ~cache:Names.flowsdb

@@ -72,6 +72,12 @@ val alive_nodes : t -> int list
 (** Replicas that still master at least one switch or have never been
     failed over. *)
 
+val rejoin : t -> node:int -> unit
+(** The failed node counts as alive again (future failovers may assign
+    it mastership). Does {e not} restore its store state or response
+    levers — {!Jury_faults.Injector.rejoin} composes this with the heal
+    and the {!Jury_store.Fabric.resync} state transfer. *)
+
 val set_southbound_hook : t -> southbound_hook -> unit
 val set_northbound_hook : t -> northbound_hook -> unit
 

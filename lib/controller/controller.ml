@@ -138,6 +138,11 @@ let set_mutator t m = t.mutator <- m
 let set_response_delay t d = t.response_delay <- d
 let set_omit_probability t p = t.omit_probability <- p
 
+(* After an out-of-band state transfer (crash-rejoin resync) the cached
+   topology view no longer matches the replica's tables; mark it dirty
+   so the next read rebuilds from the resynced caches. *)
+let invalidate_view t = t.view_dirty <- true
+
 let raw_network_send t dpid payload =
   send_network t None dpid payload
 

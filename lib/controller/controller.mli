@@ -101,6 +101,12 @@ val set_omit_probability : t -> float -> unit
 (** Probability of silently dropping a whole response (response
     omission). *)
 
+val invalidate_view : t -> unit
+(** Mark the cached topology view dirty so the next read rebuilds it
+    from the replica's cache tables — required after an out-of-band
+    state transfer ({!Jury_store.Fabric.resync}) that bypasses the
+    listener path ordinarily keeping the view fresh. *)
+
 val raw_network_send : t -> Of_types.Dpid.t -> Of_message.payload -> unit
 (** Send to the network {e bypassing} the cache — only a misbehaving
     controller does this (§II-A.3); exposed for fault scenarios. Still

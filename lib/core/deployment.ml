@@ -32,76 +32,6 @@ type config = {
   pipeline_jobs : int;
 }
 
-let config ?timeout ?(adaptive_timeout = false) ?(state_aware = true)
-    ?(nondet_rule = true) ?(random_secondaries = true)
-    ?(policies = Jury_policy.Engine.create []) ?(encapsulation = false)
-    ?(channel = Channel.reliable) ?retransmit ?degraded_quorum ?(shards = 1)
-    ?max_inflight ?batch ?(validator_jitter_us = 60.)
-    ?(replication_jitter_us = 80.) ?(pipeline_jobs = 1) ~k () =
-  let timeout =
-    match timeout with
-    | Some t -> t
-    | None -> if encapsulation then Time.ms 800 else Time.ms 150
-  in
-  if shards < 1 then invalid_arg "Deployment.config: shards must be >= 1";
-  (match max_inflight with
-  | Some m when m < 1 ->
-      invalid_arg "Deployment.config: max_inflight must be >= 1"
-  | _ -> ());
-  (match batch with
-  | Some w when not Time.(w > zero) ->
-      invalid_arg "Deployment.config: batch window must be positive"
-  | _ -> ());
-  if pipeline_jobs < 1 then
-    invalid_arg "Deployment.config: pipeline_jobs must be >= 1";
-  (* The staged pipeline runs validation off the main domain; every
-     feature that feeds verdict state back into the capture/channel
-     stage (or reads live cluster state from a replica) is rejected
-     up front rather than silently degraded. *)
-  let batch =
-    if pipeline_jobs > 1 then begin
-      if retransmit <> None then
-        invalid_arg "Deployment.config: pipeline_jobs > 1 excludes retransmit";
-      if adaptive_timeout then
-        invalid_arg
-          "Deployment.config: pipeline_jobs > 1 excludes adaptive_timeout";
-      if max_inflight <> None then
-        invalid_arg
-          "Deployment.config: pipeline_jobs > 1 excludes max_inflight";
-      if Jury_policy.Engine.rule_count policies > 0 then
-        invalid_arg
-          "Deployment.config: pipeline_jobs > 1 excludes policy rules";
-      let batch = match batch with None -> Time.us 200 | Some w -> w in
-      if not Time.(batch < timeout) then
-        invalid_arg
-          "Deployment.config: pipeline batch window must be below the \
-           validation timeout";
-      Some batch
-    end
-    else batch
-  in
-  { k;
-    timeout;
-    adaptive_timeout;
-    state_aware;
-    nondet_rule;
-    random_secondaries;
-    policies;
-    validator_latency = Time.us 120;
-    validator_jitter_us;
-    replication_latency = Time.us 200;
-    replication_jitter_us;
-    chatter_cost = Time.us 13;
-    chatter_bytes = 96;
-    encapsulation;
-    channel;
-    retransmit;
-    degraded_quorum;
-    shards = Validator.shards_of_hint shards;
-    max_inflight;
-    batch_window = batch;
-    pipeline_jobs }
-
 type node_module = {
   mutable snapshot : Snapshot.t;
   shadow : Pipeline.t;
@@ -624,6 +554,33 @@ let install cluster cfg =
       replicate_trigger t ~primary:node ~taint ~wire_size:256 ~decap:false
         trigger);
   t
+
+(* Crash-and-rejoin recovery: the node's store view is replaced by a
+   state transfer from a healthy peer (no events, so the validator sees
+   no traffic it would have to account for), its cached topology view is
+   invalidated so reads rebuild from the fresh tables, and its node
+   snapshot is re-seeded from the source's — the snapshot digests the
+   store history the node now holds, not the events it missed. *)
+let rejoin_node t ~node =
+  let n = Cluster.nodes t.cluster in
+  if node < 0 || node >= n then invalid_arg "Deployment.rejoin_node: bad node";
+  let fabric = Cluster.fabric t.cluster in
+  let alive = Cluster.alive_nodes t.cluster in
+  let src =
+    List.find_opt
+      (fun i ->
+        i <> node && List.mem i alive
+        && not (Fabric.is_partitioned fabric ~node:i))
+      (List.init n Fun.id)
+  in
+  match src with
+  | None -> invalid_arg "Deployment.rejoin_node: no healthy source"
+  | Some src ->
+      Fabric.set_partitioned fabric ~node false;
+      Fabric.resync fabric ~from:src ~node;
+      t.nodes.(node).snapshot <- t.nodes.(src).snapshot;
+      Controller.invalidate_view (Cluster.controller t.cluster node);
+      Cluster.rejoin t.cluster ~node
 
 let replication_bytes t = t.replication_bytes
 let validator_bytes t = t.validator_bytes

@@ -63,39 +63,6 @@ type config = {
           {!Validator.flush}) before reading results *)
 }
 
-val config :
-  ?timeout:Jury_sim.Time.t -> ?adaptive_timeout:bool -> ?state_aware:bool ->
-  ?nondet_rule:bool -> ?random_secondaries:bool ->
-  ?policies:Jury_policy.Engine.t -> ?encapsulation:bool ->
-  ?channel:Channel.profile -> ?retransmit:Validator.retransmit ->
-  ?degraded_quorum:int -> ?shards:int -> ?max_inflight:int ->
-  ?batch:Jury_sim.Time.t -> ?validator_jitter_us:float ->
-  ?replication_jitter_us:float -> ?pipeline_jobs:int -> k:int -> unit ->
-  config
-  [@@deprecated "use Jury_config.make instead"]
-(** Defaults: timeout 150 ms, state-aware consensus and the
-    non-determinism rule on, random secondaries, no policies, no
-    encapsulation (ONOS mode), reliable channels, no retransmission,
-    no degraded quorum, one validator shard, unbounded in-flight state,
-    per-event ingestion. The ODL profile flips [encapsulation]
-    and widens the default timeout to 800 ms (set [timeout]
-    explicitly to override). [shards] is a hint, rounded up to the next
-    power of two. [validator_jitter_us] (default 60) and
-    [replication_jitter_us] (default 80) are the exponential means of
-    the out-of-band links' delay jitter; a non-positive value pins the
-    link to its base latency {e and draws nothing} from the
-    replicator's RNG.
-
-    [pipeline_jobs] (default 1) > 1 turns on the staged validation
-    pipeline and raises [Invalid_argument] on the features it cannot
-    replay off the main domain (retransmission, adaptive timeout,
-    [max_inflight], policy rules); it defaults [batch] to 200 µs when
-    unset and requires it below [timeout].
-
-    @deprecated Construct through {!Jury_config.make} /
-    {!Jury_config.deployment}; the record type stays public as the
-    internal representation. *)
-
 type t
 
 val install : Cluster.t -> config -> t
@@ -115,6 +82,15 @@ val cfg : t -> config
 val ack_peers : t -> int -> int list
 (** Static peer set whose cache acks the validator expects for a given
     origin. *)
+
+val rejoin_node : t -> node:int -> unit
+(** Crash-and-rejoin recovery for a replica: clear its store partition,
+    state-transfer its cache tables from the lowest-id healthy
+    (alive, unpartitioned) peer via {!Jury_store.Fabric.resync},
+    re-seed its node snapshot from that peer, invalidate its cached
+    topology view, and mark it alive again in the cluster. Mastership
+    is {e not} handed back — the node resumes as a secondary. Raises
+    [Invalid_argument] when no healthy source exists. *)
 
 (** {1 Overhead accounting} *)
 

@@ -1,37 +1,48 @@
-(* The one module allowed to call the deprecated record smart
-   constructors it replaces: this facade IS their successor. Documented
-   in DESIGN.md ("Deprecation policy") — keep this allowlist to exactly
-   this module plus the test that pins facade/record equivalence. *)
-[@@@alert "-deprecated"]
+(* The sole construction path for deployment and validator configs:
+   the pre-facade smart constructors were deleted (deprecated PR 4,
+   removed PR 9), so their validation logic lives here and the records
+   are built as literals. Documented in DESIGN.md ("Deprecation
+   policy"). *)
+
+open Jury_sim
 
 (* Internal representation: the historical deployment record, so the
    facade adds no translation layer and `deployment` is the identity. *)
 type t = Deployment.config
 
-let retransmit = Validator.retransmit
+let retransmit ?(fraction = 0.4) ?(backoff = 2.0) ?(max_retries = 2) () =
+  if not (fraction > 0. && fraction <= 1.) then
+    invalid_arg "Jury_config.retransmit: fraction must be in (0, 1]";
+  if not (backoff >= 1.) then
+    invalid_arg "Jury_config.retransmit: backoff must be >= 1";
+  if max_retries < 0 then
+    invalid_arg "Jury_config.retransmit: max_retries must be >= 0";
+  { Validator.fraction; backoff; max_retries }
 
 let lossy_channel = Channel.lossy
 
-let make ?(k = 2) ?timeout ?adaptive_timeout ?state_aware ?nondet_rule
-    ?random_secondaries ?policies ?encapsulation ?channel ?drop ?duplicate
-    ?jitter_us ?retransmit ?degraded_quorum ?shards ?max_inflight ?batch
-    ?(deterministic_latencies = false) ?pipeline_jobs () =
+let make ?(k = 2) ?timeout ?(adaptive_timeout = false) ?(state_aware = true)
+    ?(nondet_rule = true) ?random_secondaries ?policies
+    ?(encapsulation = false) ?channel ?drop ?duplicate ?jitter_us ?retransmit
+    ?degraded_quorum ?(shards = 1) ?max_inflight ?batch
+    ?(deterministic_latencies = false) ?(pipeline_jobs = 1) () =
   if k < 0 then invalid_arg "Jury_config.make: k must be >= 0";
+  let policies =
+    match policies with Some p -> p | None -> Jury_policy.Engine.create []
+  in
   (* Compile the policy set here, once, so the validator's per-response
      checks hit a warm decision structure (and so a config shared
      across worker domains shares a read-only compiled view instead of
      racing to build it). *)
-  Option.iter
-    (fun p -> ignore (Jury_policy.Engine.compiled p))
-    policies;
+  ignore (Jury_policy.Engine.compiled policies);
   let channel =
     match (channel, drop, duplicate, jitter_us) with
-    | Some c, None, None, None -> Some c
+    | Some c, None, None, None -> c
     | Some _, _, _, _ ->
         invalid_arg
           "Jury_config.make: pass either ~channel or ~drop/~duplicate/~jitter_us, not both"
-    | None, None, None, None -> None
-    | None, _, _, _ -> Some (Channel.lossy ?drop ?duplicate ?jitter_us ())
+    | None, None, None, None -> Channel.reliable
+    | None, _, _, _ -> Channel.lossy ?drop ?duplicate ?jitter_us ()
   in
   (* Deterministic latencies pin both out-of-band links to their base
      delays (and skip their RNG draws entirely) and replace randomly
@@ -39,29 +50,94 @@ let make ?(k = 2) ?timeout ?adaptive_timeout ?state_aware ?nondet_rule
      consumes no randomness at all, which the schedule explorer's
      dependence relation relies on. *)
   let random_secondaries =
-    if deterministic_latencies then Some false else random_secondaries
+    if deterministic_latencies then false
+    else Option.value random_secondaries ~default:true
   in
-  if deterministic_latencies then
-    Deployment.config ?timeout ?adaptive_timeout ?state_aware ?nondet_rule
-      ?random_secondaries ?policies ?encapsulation ?channel ?retransmit
-      ?degraded_quorum ?shards ?max_inflight ?batch ~validator_jitter_us:0.
-      ~replication_jitter_us:0. ?pipeline_jobs ~k ()
-  else
-    Deployment.config ?timeout ?adaptive_timeout ?state_aware ?nondet_rule
-      ?random_secondaries ?policies ?encapsulation ?channel ?retransmit
-      ?degraded_quorum ?shards ?max_inflight ?batch ?pipeline_jobs ~k ()
+  let validator_jitter_us = if deterministic_latencies then 0. else 60. in
+  let replication_jitter_us = if deterministic_latencies then 0. else 80. in
+  let timeout =
+    match timeout with
+    | Some t -> t
+    | None -> if encapsulation then Time.ms 800 else Time.ms 150
+  in
+  if shards < 1 then invalid_arg "Jury_config.make: shards must be >= 1";
+  (match max_inflight with
+  | Some m when m < 1 ->
+      invalid_arg "Jury_config.make: max_inflight must be >= 1"
+  | _ -> ());
+  (match batch with
+  | Some w when not Time.(w > zero) ->
+      invalid_arg "Jury_config.make: batch window must be positive"
+  | _ -> ());
+  if pipeline_jobs < 1 then
+    invalid_arg "Jury_config.make: pipeline_jobs must be >= 1";
+  (* The staged pipeline runs validation off the main domain; every
+     feature that feeds verdict state back into the capture/channel
+     stage (or reads live cluster state from a replica) is rejected
+     up front rather than silently degraded. *)
+  let batch =
+    if pipeline_jobs > 1 then begin
+      if retransmit <> None then
+        invalid_arg "Jury_config.make: pipeline_jobs > 1 excludes retransmit";
+      if adaptive_timeout then
+        invalid_arg
+          "Jury_config.make: pipeline_jobs > 1 excludes adaptive_timeout";
+      if max_inflight <> None then
+        invalid_arg "Jury_config.make: pipeline_jobs > 1 excludes max_inflight";
+      if Jury_policy.Engine.rule_count policies > 0 then
+        invalid_arg "Jury_config.make: pipeline_jobs > 1 excludes policy rules";
+      let batch = match batch with None -> Time.us 200 | Some w -> w in
+      if not Time.(batch < timeout) then
+        invalid_arg
+          "Jury_config.make: pipeline batch window must be below the \
+           validation timeout";
+      Some batch
+    end
+    else batch
+  in
+  { Deployment.k;
+    timeout;
+    adaptive_timeout;
+    state_aware;
+    nondet_rule;
+    random_secondaries;
+    policies;
+    validator_latency = Time.us 120;
+    validator_jitter_us;
+    replication_latency = Time.us 200;
+    replication_jitter_us;
+    chatter_cost = Time.us 13;
+    chatter_bytes = 96;
+    encapsulation;
+    channel;
+    retransmit;
+    degraded_quorum;
+    shards = Validator.shards_of_hint shards;
+    max_inflight;
+    batch_window = batch;
+    pipeline_jobs }
 
 let deployment t = t
 
-let validator ?min_timeout ?master_lookup ?ack_peers_of (t : t) =
-  Validator.config ~state_aware:t.Deployment.state_aware
-    ~nondet_rule:t.Deployment.nondet_rule
-    ~adaptive_timeout:t.Deployment.adaptive_timeout ?min_timeout
-    ~policies:t.Deployment.policies ?master_lookup ?ack_peers_of
-    ?retransmit:t.Deployment.retransmit
-    ?degraded_quorum:t.Deployment.degraded_quorum
-    ~shards:t.Deployment.shards ?max_inflight:t.Deployment.max_inflight
-    ~k:t.Deployment.k ~timeout:t.Deployment.timeout ()
+let validator ?(min_timeout = Time.ms 10) ?(master_lookup = fun _ -> None)
+    ?(ack_peers_of = fun _ -> []) (t : t) =
+  (match t.Deployment.degraded_quorum with
+  | Some q when q < 1 ->
+      invalid_arg "Jury_config.validator: degraded_quorum must be >= 1"
+  | _ -> ());
+  { Validator.k = t.Deployment.k;
+    timeout = t.Deployment.timeout;
+    adaptive_timeout = t.Deployment.adaptive_timeout;
+    min_timeout;
+    state_aware = t.Deployment.state_aware;
+    nondet_rule = t.Deployment.nondet_rule;
+    policies = t.Deployment.policies;
+    master_lookup;
+    ack_peers_of;
+    retransmit = t.Deployment.retransmit;
+    degraded_quorum = t.Deployment.degraded_quorum;
+    shards = Validator.shards_of_hint t.Deployment.shards;
+    max_inflight = t.Deployment.max_inflight }
 
 let install cluster t = Deployment.install cluster (deployment t)
 

@@ -35,15 +35,6 @@ let next_pow2 n =
 
 let shards_of_hint hint = max 1 (next_pow2 hint)
 
-let retransmit ?(fraction = 0.4) ?(backoff = 2.0) ?(max_retries = 2) () =
-  if not (fraction > 0. && fraction <= 1.) then
-    invalid_arg "Validator.retransmit: fraction must be in (0, 1]";
-  if not (backoff >= 1.) then
-    invalid_arg "Validator.retransmit: backoff must be >= 1";
-  if max_retries < 0 then
-    invalid_arg "Validator.retransmit: max_retries must be >= 0";
-  { fraction; backoff; max_retries }
-
 type config = {
   k : int;
   timeout : Time.t;
@@ -59,24 +50,6 @@ type config = {
   shards : int;
   max_inflight : int option;
 }
-
-let config ?(state_aware = true) ?(nondet_rule = true)
-    ?(adaptive_timeout = false) ?(min_timeout = Time.ms 10)
-    ?(policies = Jury_policy.Engine.create []) ?(master_lookup = fun _ -> None)
-    ?(ack_peers_of = fun _ -> []) ?retransmit ?degraded_quorum ?(shards = 1)
-    ?max_inflight ~k ~timeout () =
-  (match degraded_quorum with
-  | Some q when q < 1 ->
-      invalid_arg "Validator.config: degraded_quorum must be >= 1"
-  | _ -> ());
-  if shards < 1 then invalid_arg "Validator.config: shards must be >= 1";
-  (match max_inflight with
-  | Some m when m < 1 ->
-      invalid_arg "Validator.config: max_inflight must be >= 1"
-  | _ -> ());
-  { k; timeout; adaptive_timeout; min_timeout; state_aware; nondet_rule;
-    policies; master_lookup; ack_peers_of; retransmit; degraded_quorum;
-    shards = shards_of_hint shards; max_inflight }
 
 type pending = {
   taint : Types.Taint.t;

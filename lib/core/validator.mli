@@ -27,16 +27,6 @@ type retransmit = {
   max_retries : int;  (** retry cap per straggling secondary *)
 }
 
-val retransmit :
-  ?fraction:float -> ?backoff:float -> ?max_retries:int -> unit -> retransmit
-  [@@deprecated "use Jury_config.retransmit instead"]
-(** Defaults: fraction 0.4, backoff 2.0, max_retries 2 — i.e. retries
-    at 0.4·θτ and 1.2·θτ after registration. Raises [Invalid_argument]
-    on out-of-range values.
-
-    @deprecated Construct through {!Jury_config.retransmit}; the record
-    type stays public as the internal representation. *)
-
 type config = {
   k : int;                     (** replication factor *)
   timeout : Jury_sim.Time.t;   (** validation timeout θτ (the maximum,
@@ -78,23 +68,6 @@ type config = {
           with {!Alarm.Overload} verdicts instead of growing without
           bound. [None] = unbounded (seed behaviour) *)
 }
-
-val config :
-  ?state_aware:bool -> ?nondet_rule:bool -> ?adaptive_timeout:bool ->
-  ?min_timeout:Jury_sim.Time.t ->
-  ?policies:Jury_policy.Engine.t ->
-  ?master_lookup:(Jury_openflow.Of_types.Dpid.t -> int option) ->
-  ?ack_peers_of:(int -> int list) ->
-  ?retransmit:retransmit -> ?degraded_quorum:int ->
-  ?shards:int -> ?max_inflight:int ->
-  k:int -> timeout:Jury_sim.Time.t ->
-  unit -> config
-  [@@deprecated "use Jury_config.make instead"]
-(** [shards] is a hint, rounded up to [max 1 (next_pow2 shards)].
-
-    @deprecated Construct through {!Jury_config.make} (the validated
-    builder facade); the record type stays public as the internal
-    representation. *)
 
 val shards_of_hint : int -> int
 (** [max 1 (next_pow2 hint)] — the normalisation {!config} applies to

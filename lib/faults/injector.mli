@@ -25,6 +25,13 @@ val blackhole_flow_mods : Types.trigger -> Types.action list -> Types.action lis
     while leaving the cache writes intact (the "undesirable FLOW_MOD"
     T2 fault). *)
 
+val byzantine_actions : Types.trigger -> Types.action list -> Types.action list
+(** Mutator: plausible-but-wrong responses (the Byzantine / arbitrary
+    fault class): cache writes keep their shape but carry corrupted
+    values, and FLOW_MODs are re-pointed at a perturbed physical output
+    port. Deterministic, so the node is consistently wrong in
+    replicated execution too. *)
+
 val probabilistic :
   Jury_sim.Rng.t -> float ->
   (Types.trigger -> Types.action list -> Types.action list) ->
@@ -48,11 +55,26 @@ val crash : Cluster.t -> node:int -> unit
 (** Crash ≈ omit everything and answer nothing (reported by JURY as
     response omissions, exactly as §III-B notes). *)
 
+val make_byzantine : Cluster.t -> node:int -> unit
+(** Install {!byzantine_actions} as the node's mutator. *)
+
+val partition : Cluster.t -> node:int -> unit
+(** Partition the node from the store fabric: it neither receives nor
+    emits replication, so its view silently diverges while it keeps
+    answering from stale state. Cleared by {!heal} or {!rejoin}. *)
+
 val lock_cache : Cluster.t -> node:int -> cache:string -> unit
 (** The ONOS "failed to obtain lock" fault. *)
 
 val unlock_cache : Cluster.t -> node:int -> cache:string -> unit
 
 val heal : Cluster.t -> node:int -> unit
-(** Remove every lever from the node (mutator, delays, omissions, cache
-    locks). *)
+(** Remove every lever from the node (mutator, delays, omissions, store
+    partition, cache locks). *)
+
+val rejoin : Jury.Deployment.t -> node:int -> unit
+(** Crash-and-rejoin recovery: {!heal} the node, then
+    {!Jury.Deployment.rejoin_node} — state transfer from a healthy
+    peer, snapshot re-seed, view invalidation, cluster aliveness. The
+    node resumes answering (as a secondary; mastership is not handed
+    back). *)

@@ -44,6 +44,7 @@ let run_env ?(seed = 11) ?(nodes = 7) ?(k = 6) ?(faulty = 2)
   let ctx =
     { Scenarios.cluster;
       network;
+      deployment;
       faulty;
       rng = Rng.split (Engine.rng engine) }
   in

@@ -17,6 +17,7 @@ module Addr = Jury_packet.Addr
 type context = {
   cluster : Cluster.t;
   network : Network.t;
+  deployment : Jury.Deployment.t;
   faulty : int;
   rng : Rng.t;
 }
@@ -27,6 +28,9 @@ type t = {
   description : string;
   profile : Profile.t;
   policy : string option;
+  state_aware : bool;
+      (* almost always true; state-blind consensus exists for faults
+         (store partition) that state-aware consensus excuses by design *)
   needs_lenient_switches : bool;
   arm_before_start : bool;
   arm : context -> unit;
@@ -103,6 +107,7 @@ let onos_database_locking =
        entry is never written (Scott et al. [55]).";
     profile = Profile.onos;
     policy = None;
+    state_aware = true;
     needs_lenient_switches = false;
     arm_before_start = true;
     arm =
@@ -129,6 +134,7 @@ let onos_master_election =
        LINKSDB entry is never refreshed (Scott et al. [55]).";
     profile = Profile.onos;
     policy = None;
+    state_aware = true;
     needs_lenient_switches = false;
     arm_before_start = false;
     arm =
@@ -153,6 +159,7 @@ let odl_flowmod_drop =
        sees it [13].";
     profile = Profile.odl;
     policy = None;
+    state_aware = true;
     needs_lenient_switches = false;
     arm_before_start = false;
     arm =
@@ -182,6 +189,7 @@ let odl_incorrect_flowmod =
        network are consistent, so only a policy can catch it.";
     profile = Profile.odl;
     policy = Some hierarchy_policy;
+    state_aware = true;
     needs_lenient_switches = true;
     arm_before_start = false;
     arm = (fun _ -> ());
@@ -206,6 +214,7 @@ let link_failure =
        LINKSDB to mark a healthy critical link as down.";
     profile = Profile.onos;
     policy = None;
+    state_aware = true;
     needs_lenient_switches = false;
     arm_before_start = false;
     arm =
@@ -230,6 +239,7 @@ let undesirable_flowmod =
        FLOW_MOD that drops all packets instead.";
     profile = Profile.onos;
     policy = None;
+    state_aware = true;
     needs_lenient_switches = false;
     arm_before_start = false;
     arm =
@@ -260,6 +270,7 @@ let faulty_proactive =
        writes raises the alarm.";
     profile = Profile.onos;
     policy = Some topology_guard_policy;
+    state_aware = true;
     needs_lenient_switches = false;
     arm_before_start = false;
     arm = (fun _ -> ());
@@ -294,6 +305,7 @@ let flow_deletion_failure =
        controller up; nothing is deleted and nothing answers.";
     profile = Profile.odl;
     policy = None;
+    state_aware = true;
     needs_lenient_switches = false;
     arm_before_start = false;
     arm =
@@ -328,6 +340,7 @@ let link_detection_inconsistent =
        its LINKSDB writes.";
     profile = Profile.onos;
     policy = None;
+    state_aware = true;
     needs_lenient_switches = false;
     arm_before_start = false;
     arm =
@@ -355,6 +368,7 @@ let flow_instantiation_failure =
        the store, but no FLOW_MOD ever leaves the controller [3].";
     profile = Profile.odl;
     policy = None;
+    state_aware = true;
     needs_lenient_switches = false;
     arm_before_start = false;
     arm =
@@ -381,6 +395,7 @@ let pending_add_stuck =
        whose FLOW_MOD is lost.";
     profile = Profile.onos;
     policy = None;
+    state_aware = true;
     needs_lenient_switches = false;
     arm_before_start = false;
     arm =
@@ -422,6 +437,7 @@ let controller_crash =
        failover reassigns its switches.";
     profile = Profile.onos;
     policy = None;
+    state_aware = true;
     needs_lenient_switches = false;
     arm_before_start = false;
     arm = (fun ctx -> Injector.crash ctx.cluster ~node:ctx.faulty);
@@ -446,6 +462,202 @@ let controller_crash =
     expected = is_fault "response-timeout";
     expected_name = "response-timeout" }
 
+(* Traffic through a switch the given replica masters — the standard
+   provocation for omission-class faults. *)
+let send_via_mastered_switch ctx node =
+  let dpid = a_switch_mastered_by ctx node in
+  let plan = Network.plan ctx.network in
+  let local =
+    List.find
+      (fun (slot : Jury_topo.Builder.host_slot) ->
+        Jury_openflow.Of_types.Dpid.equal slot.Jury_topo.Builder.dpid dpid)
+      plan.Jury_topo.Builder.hosts
+  in
+  let src = Network.host ctx.network local.Jury_topo.Builder.host_index in
+  let dst = Network.host ctx.network 0 in
+  Host.send_tcp src ~dst_mac:(Host.mac dst) ~dst_ip:(Host.ip dst)
+    ~src_port:4000 ~dst_port:80 ()
+
+let controller_crash_rejoin =
+  { name = "controller-crash-rejoin";
+    klass = `T1;
+    description =
+      "Crash-and-rejoin: a replica fail-stops (detected as response \
+       timeouts, as in controller-crash), then recovers via a state \
+       transfer from a healthy peer and resumes answering. The alarms \
+       all date from the crash window; the rejoined replica's responses \
+       validate cleanly against its resynced store view.";
+    profile = Profile.onos;
+    policy = None;
+    state_aware = true;
+    needs_lenient_switches = false;
+    arm_before_start = false;
+    arm = (fun ctx -> Injector.crash ctx.cluster ~node:ctx.faulty);
+    provoke =
+      (fun ctx ->
+        (* Crash window: a trigger mastered by the dead replica times
+           out. Two seconds in, the replica rejoins; a second trigger
+           must then be answered from the resynced state. *)
+        send_via_mastered_switch ctx ctx.faulty;
+        let engine = Cluster.engine ctx.cluster in
+        ignore
+          (Engine.schedule engine ~after:(Time.sec 2) (fun () ->
+               Injector.rejoin ctx.deployment ~node:ctx.faulty));
+        ignore
+          (Engine.schedule engine ~after:(Time.ms 2500) (fun () ->
+               send_via_mastered_switch ctx ctx.faulty)));
+    settle = Time.sec 5;
+    channel = Jury.Channel.reliable;
+    expected = is_fault "response-timeout";
+    expected_name = "response-timeout" }
+
+let byzantine_secondary =
+  { name = "byzantine-secondary";
+    klass = `T1;
+    description =
+      "A replica turns Byzantine: it answers every replicated trigger \
+       promptly but with plausible-but-wrong content (corrupted cache \
+       values, FLOW_MODs re-pointed at the wrong port). State-aware \
+       consensus outvotes it: the k honest responses agree, the \
+       Byzantine one diverges.";
+    profile = Profile.onos;
+    policy = None;
+    state_aware = true;
+    needs_lenient_switches = false;
+    arm_before_start = false;
+    arm = (fun ctx -> Injector.make_byzantine ctx.cluster ~node:ctx.faulty);
+    provoke =
+      (fun ctx ->
+        (* Install through the Byzantine primary: its cache write and
+           FLOW_MOD carry the corruption while every honest secondary's
+           replicated execution plans the correct actions. *)
+        let dpid = a_switch_mastered_by ctx ctx.faulty in
+        rest_install ctx ~node:ctx.faulty ~dpid (sample_flow ~out_port:1 ()));
+    settle = Time.sec 3;
+    channel = Jury.Channel.reliable;
+    expected = is_fault "consensus-mismatch";
+    expected_name = "consensus-mismatch" }
+
+let store_partition =
+  { name = "store-partition";
+    klass = `T1;
+    description =
+      "The store fabric partitions one replica from its peers: \
+       replication stops crossing the cut, so its view silently \
+       diverges while it keeps answering replicated executions from \
+       stale state. A topology change it never sees makes its shadow \
+       execution dissent from every honest replica. State-aware \
+       consensus would excuse the dissent (the snapshots differ — \
+       exactly the false-positive SIV-C guards against), so this \
+       scenario runs consensus state-blind to surface it.";
+    profile = Profile.onos;
+    policy = None;
+    state_aware = false;
+    needs_lenient_switches = false;
+    arm_before_start = false;
+    arm = (fun ctx -> Injector.partition ctx.cluster ~node:ctx.faulty);
+    provoke =
+      (fun ctx ->
+        (* Cut a link: the LINKSDB updates replicate to everyone but
+           the partitioned replica. A reactive trigger towards a host
+           behind the cut floods on every honest replica (no path),
+           while the stale one still plans the old route — dissent. *)
+        let plan = Network.plan ctx.network in
+        let graph = plan.Jury_topo.Builder.graph in
+        (* Pick a link whose removal strands one endpoint (a degree-1
+           stub): traffic for the stranded switch has no route left, so
+           every honest replica floods while the stale one still plans
+           through the cut. *)
+        let edge, stranded =
+          let stub (e : Graph.edge) =
+            if List.length (Graph.neighbors graph e.a.dpid) = 1 then
+              Some (e, e.a.dpid)
+            else if List.length (Graph.neighbors graph e.b.dpid) = 1 then
+              Some (e, e.b.dpid)
+            else None
+          in
+          match List.find_map stub (Graph.edges graph) with
+          | Some p -> p
+          | None -> failwith "scenario: no stub link to cut"
+        in
+        Network.take_link_down ctx.network edge.a edge.b;
+        ignore
+          (Engine.schedule (Cluster.engine ctx.cluster) ~after:(Time.sec 1)
+             (fun () ->
+               let host_on dpid =
+                 match
+                   List.find_opt
+                     (fun (s : Jury_topo.Builder.host_slot) ->
+                       Jury_openflow.Of_types.Dpid.equal
+                         s.Jury_topo.Builder.dpid dpid)
+                     plan.Jury_topo.Builder.hosts
+                 with
+                 | Some s ->
+                     Network.host ctx.network s.Jury_topo.Builder.host_index
+                 | None -> failwith "scenario: no host behind the cut"
+               in
+               (* The trigger's primary must be healthy — the stale
+                  replica has to dissent as a {e secondary} so the
+                  honest majority outvotes it. *)
+               let healthy = (ctx.faulty + 1) mod Cluster.nodes ctx.cluster in
+               let src = host_on (a_switch_mastered_by ctx healthy) in
+               let dst = host_on stranded in
+               Host.send_tcp src ~dst_mac:(Host.mac dst) ~dst_ip:(Host.ip dst)
+                 ~src_port:4000 ~dst_port:80 ())));
+    settle = Time.sec 4;
+    channel = Jury.Channel.reliable;
+    expected = is_fault "consensus-mismatch";
+    expected_name = "consensus-mismatch" }
+
+let churn_policy =
+  "deny name=no-proactive-topology trigger=internal cache=LINKSDB"
+
+let policy_churn =
+  { name = "policy-churn";
+    klass = `T3;
+    description =
+      "Policy churn: JURY starts with no policy rules, an operator \
+       installs the Fig. 3 topology guard mid-flight (add_rule, \
+       recompile on next read), and a rogue proactive write arriving \
+       after the churn is caught by the freshly-compiled rule.";
+    profile = Profile.onos;
+    (* [Some ""] compiles to an empty engine but routes through the
+       policy-carrying path: the staged pipeline is dropped (the churned
+       engine would otherwise be shared with detached shard replicas)
+       and the validator re-reads the rule count per verdict. *)
+    policy = Some "";
+    state_aware = true;
+    needs_lenient_switches = false;
+    arm_before_start = false;
+    arm =
+      (fun ctx ->
+        let policies = (Jury.Deployment.cfg ctx.deployment).Jury.Deployment.policies in
+        match Jury_policy.Parse.dsl_line churn_policy with
+        | Ok rule -> Jury_policy.Engine.add_rule policies rule
+        | Error msg -> failwith ("policy-churn: " ^ msg));
+    provoke =
+      (fun ctx ->
+        let graph = (Network.plan ctx.network).Jury_topo.Builder.graph in
+        match Graph.edges graph with
+        | [] -> failwith "scenario: no link to attack"
+        | e :: _ ->
+            let key =
+              Values.Link.key (e.a.dpid, e.a.port) (e.b.dpid, e.b.port)
+            in
+            Controller.run_internal
+              (Cluster.controller ctx.cluster ctx.faulty)
+              ~app:"rogue-app"
+              (Types.Proactive
+                 [ Types.Cache_write
+                     { cache = Names.linksdb;
+                       op = Jury_store.Event.Update;
+                       key;
+                       value = Values.Link.value_down } ]));
+    settle = Time.sec 3;
+    channel = Jury.Channel.reliable;
+    expected = is_policy_violation "no-proactive-topology";
+    expected_name = "policy-violation:no-proactive-topology" }
+
 let all =
   [ onos_database_locking;
     onos_master_election;
@@ -458,7 +670,11 @@ let all =
     link_detection_inconsistent;
     flow_instantiation_failure;
     pending_add_stuck;
-    controller_crash ]
+    controller_crash;
+    controller_crash_rejoin;
+    byzantine_secondary;
+    store_partition;
+    policy_churn ]
 
 let find name = List.find_opt (fun s -> s.name = name) all
 let names = List.map (fun s -> s.name) all
@@ -485,5 +701,5 @@ let jury_config (t : t) ?(k = 6) ?(random_secondaries = true) ?channel
      rejecting a whole matrix sweep over the flag. *)
   let pipeline_jobs = if t.policy = None then pipeline_jobs else None in
   Jury.Jury_config.make ~k ~random_secondaries ~policies ~encapsulation
-    ~channel ?retransmit ?degraded_quorum ?shards ?max_inflight ?batch
-    ?pipeline_jobs ()
+    ~state_aware:t.state_aware ~channel ?retransmit ?degraded_quorum ?shards
+    ?max_inflight ?batch ?pipeline_jobs ()

@@ -11,6 +11,10 @@ module Cluster = Jury_controller.Cluster
 type context = {
   cluster : Cluster.t;
   network : Jury_net.Network.t;
+  deployment : Jury.Deployment.t;
+      (** the installed JURY deployment — recovery scenarios (rejoin's
+          state transfer) and policy churn (the live rule engine) act
+          through it *)
   faulty : int;          (** the replica carrying the fault *)
   rng : Jury_sim.Rng.t;
 }
@@ -22,6 +26,10 @@ type t = {
   profile : Jury_controller.Profile.t;  (** controller flavour it targets *)
   policy : string option;
       (** policy-DSL source JURY needs loaded to catch it (T3 faults) *)
+  state_aware : bool;
+      (** consensus mode for the deployment — [true] for every scenario
+          except {!store_partition}, whose divergent-view dissent
+          state-aware consensus excuses by design (§IV-C) *)
   needs_lenient_switches : bool;
   arm_before_start : bool;
       (** arm during bootstrap (e.g. the switch-connect lock fault) *)
@@ -56,6 +64,22 @@ val pending_add_stuck : t
 val controller_crash : t
 (** Fail-stop crash, reported by JURY as response omissions (§III-B's
     explicit caveat). *)
+
+val controller_crash_rejoin : t
+(** Crash, then recovery: {!Injector.rejoin} state-transfers the store
+    view from a healthy peer and the replica resumes answering. *)
+
+val byzantine_secondary : t
+(** Plausible-but-wrong responses, outvoted by state-aware consensus. *)
+
+val store_partition : t
+(** The store fabric stops replicating one replica's writes; the
+    missing peer cache acks surface as response timeouts. *)
+
+val policy_churn : t
+(** A policy rule is installed mid-flight ({!Jury_policy.Engine.add_rule});
+    a violation arriving after the churn is caught by the recompiled
+    rule set. *)
 
 val jury_config :
   t ->

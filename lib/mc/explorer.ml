@@ -165,7 +165,10 @@ let explore_with ?(prune = true) ?(max_schedules = 1000) ?(max_depth = max_int)
       truncated = !truncated },
     List.rev !divergences )
 
-let explore ?prune ?max_schedules ?max_depth ?(oracles = Oracle.all) case =
+let explore ?prune ?max_schedules ?max_depth ?oracles case =
+  let oracles =
+    match oracles with Some os -> os | None -> Registry.all ()
+  in
   let rep_reference, rep_stats, rep_divergences =
     explore_with ?prune ?max_schedules ?max_depth
       ~run:(fun record trace -> run ~record case trace)
@@ -195,6 +198,7 @@ let mc_oracle ?(prune = true) ?(max_schedules = 64) ?(max_depth = max_int)
     ?(oracles = []) () =
   { Oracle.name = "schedule-independence";
     family = "mc";
+    doc = "small-scope schedule exploration finds no divergent schedule";
     check =
       (fun ctx ->
         let r =

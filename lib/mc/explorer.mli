@@ -83,8 +83,8 @@ val explore :
     [max_schedules] (default 1000) bounds executions; [max_depth]
     (default unbounded) stops {e branching} past that many choice
     points (deeper ties take the default order). [oracles] (default
-    {!Jury_check.Oracle.all}) is the per-schedule battery; [[]] checks
-    schedule-blindness only. *)
+    {!Jury_check.Registry.all}) is the per-schedule battery; [[]]
+    checks schedule-blindness only. *)
 
 val chooser :
   ?record:(int -> Jury_sim.Engine.candidate array -> unit) ->

@@ -235,6 +235,25 @@ let set_partitioned t ~node p =
   check_node t node;
   t.node_states.(node).partitioned <- p
 
+let is_partitioned t ~node =
+  check_node t node;
+  t.node_states.(node).partitioned
+
+(* State transfer, not event replay: the rejoining node's tables are
+   silently overwritten with a deep copy of the source's — no events,
+   no listeners, no sequence bumps — so divergence accumulated while
+   crashed or partitioned vanishes without generating traffic the
+   validator would have to account for. *)
+let resync t ~from ~node =
+  check_node t from;
+  check_node t node;
+  if from = node then invalid_arg "Fabric.resync: from = node";
+  let src = t.node_states.(from) and dst = t.node_states.(node) in
+  Hashtbl.reset dst.caches;
+  Hashtbl.iter
+    (fun name tbl -> Hashtbl.replace dst.caches name (Hashtbl.copy tbl))
+    src.caches
+
 let inject_divergent_write t ~node ~cache op ~key ~value =
   check_node t node;
   let ev =

@@ -79,6 +79,16 @@ val set_cache_locked : t -> node:int -> cache:string -> bool -> unit
 val set_partitioned : t -> node:int -> bool -> unit
 (** A partitioned node neither receives nor emits replication. *)
 
+val is_partitioned : t -> node:int -> bool
+
+val resync : t -> from:int -> node:int -> unit
+(** State transfer for a rejoining node: [node]'s cache tables are
+    silently replaced with a deep copy of [from]'s — no events, no
+    listener dispatch, no sequence bumps — so divergence accumulated
+    while crashed or partitioned vanishes without traffic the validator
+    would have to account for. Raises [Invalid_argument] when
+    [from = node]. *)
+
 val inject_divergent_write :
   t -> node:int -> cache:string -> Event.op -> key:string -> value:string ->
   Event.t

@@ -95,3 +95,72 @@ let () =
       max_inflight = None;
       batch_us = None;
       triggers = 5 }
+
+(* The guided-fuzzing mutation demo: two stateful validator bugs that
+   only the mutation-reachable fault vocabulary can trigger, so 200
+   blind cases (seeds 42..241) pass while `check --fuzz` catches and
+   shrinks both. Pinned from the minimised failures. *)
+
+(* stale rejoin snapshot: every second crash-rejoin state transfer
+   left the node's consensus snapshot pristine instead of adopting the
+   resync source's, so replaying a case with a Rejoin fault diverged
+   (ok verdicts flipped to ok-unverifiable on the second run only).
+   Lineage: seed=24 fault-inject@280440992 workload-flip@91026226. *)
+let () =
+  add ~name:"fuzz-rejoin-stale-snapshot" ~oracle:"replay-determinism"
+    { Jury_check.Case.case_seed = 24;
+      topo = Jury_check.Case.Linear;
+      switches = 1;
+      hosts_per_switch = 1;
+      nodes = 3;
+      k = 1;
+      odl = false;
+      workload = Jury_check.Case.Joins;
+      rate = 190.23927925819103;
+      duration_ms = 100;
+      faults =
+        [ { Jury_check.Case.at_ms = 78;
+            action = Jury_check.Case.Rejoin { node = 1 } } ];
+      drop = 0.0;
+      duplicate = 0.0;
+      jitter_us = 0.0;
+      retries = 0;
+      degraded_quorum = None;
+      shards = 1;
+      max_inflight = None;
+      batch_us = None;
+      triggers = 5 }
+
+(* policy verdicts without detection samples: detection_times_ms
+   silently skipped Policy_violation verdicts, so a mid-run add_rule
+   (policy churn) broke decided-count vs detection-sample conservation.
+   Lineage: seed=19 validator-churn@960652544 fault-inject@759014654
+   fault-drop@773348863. *)
+let () =
+  add ~name:"fuzz-policy-detection-skip" ~oracle:"verdict-conservation"
+    { Jury_check.Case.case_seed = 19;
+      topo = Jury_check.Case.Linear;
+      switches = 2;
+      hosts_per_switch = 1;
+      nodes = 3;
+      k = 1;
+      odl = false;
+      workload = Jury_check.Case.Connections;
+      rate = 84.636758189464658;
+      duration_ms = 145;
+      faults =
+        [ { Jury_check.Case.at_ms = 170;
+            action =
+              Jury_check.Case.Add_rule
+                { rule =
+                    "deny name=fuzz-external-flowsdb trigger=external \
+                     cache=FLOWSDB" } } ];
+      drop = 0.0;
+      duplicate = 0.0;
+      jitter_us = 0.0;
+      retries = 0;
+      degraded_quorum = None;
+      shards = 1;
+      max_inflight = None;
+      batch_us = None;
+      triggers = 5 }

@@ -3,7 +3,7 @@
    once-fixed bug (or a fresh one) is back. *)
 
 let check (e : Repro_corpus.entry) () =
-  match Jury_check.Oracle.check_case e.Repro_corpus.case with
+  match Jury_check.Registry.check_case e.Repro_corpus.case with
   | [] -> ()
   | violations ->
       Alcotest.failf "%s (pinned for %s): %s" e.Repro_corpus.name
@@ -22,7 +22,8 @@ let check_mc (e : Mc_corpus.entry) () =
   | Error msg -> Alcotest.failf "%s: bad trace: %s" e.Mc_corpus.name msg
   | Ok trace -> (
       match
-        Jury_mc.Explorer.replay ~oracles:Jury_check.Oracle.all
+        Jury_mc.Explorer.replay
+          ~oracles:(Jury_check.Registry.all ())
           e.Mc_corpus.case trace
       with
       | _, None -> ()

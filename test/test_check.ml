@@ -68,7 +68,7 @@ let test_minimise_artificial () =
      without executing the system (the fake oracle never forces the
      base outcome). *)
   let fake =
-    { Oracle.name = "fake"; family = "fake";
+    { Oracle.name = "fake"; family = "fake"; doc = "test fake";
       check =
         (fun ctx ->
           let c = ctx.Oracle.case in
@@ -89,7 +89,7 @@ let test_minimise_rejects_crashes () =
   (* A candidate that crashes the oracle must not be accepted as a
      smaller witness when the original failure was a genuine Fail. *)
   let fake =
-    { Oracle.name = "crashy"; family = "fake";
+    { Oracle.name = "crashy"; family = "fake"; doc = "test fake";
       check =
         (fun ctx ->
           let c = ctx.Oracle.case in
@@ -135,7 +135,7 @@ let test_execute_replays () =
   check_bool "worked at all" true (a.Run.fp.Run.decided > 0)
 
 let test_oracles_pass_tiny () =
-  match Oracle.check_case tiny_case with
+  match Registry.check_case tiny_case with
   | [] -> ()
   | vs ->
       Alcotest.failf "tiny case violates: %s"
@@ -197,20 +197,20 @@ let test_backtoback_overload_delta () =
    a family resolves to its oracles, an exact name to a singleton, and
    anything else to an error that lists every valid choice. *)
 let test_oracle_resolve () =
-  (match Jury_check.Oracle.resolve "sharding" with
+  (match Jury_check.Registry.resolve "sharding" with
   | Ok os ->
       check_int "family resolves to its oracles"
-        (List.length (Jury_check.Oracle.by_family "sharding"))
+        (List.length (Jury_check.Registry.by_family "sharding"))
         (List.length os)
   | Error e -> Alcotest.fail e);
-  (match Jury_check.Oracle.names with
+  (match Jury_check.Registry.names () with
   | [] -> Alcotest.fail "no oracle names"
   | name :: _ -> (
-      match Jury_check.Oracle.resolve name with
+      match Jury_check.Registry.resolve name with
       | Ok [ o ] -> Alcotest.(check string) "exact name" name o.Jury_check.Oracle.name
       | Ok _ -> Alcotest.fail "name resolved to several oracles"
       | Error e -> Alcotest.fail e));
-  match Jury_check.Oracle.resolve "no-such-oracle" with
+  match Jury_check.Registry.resolve "no-such-oracle" with
   | Ok _ -> Alcotest.fail "unknown selector accepted"
   | Error e ->
       let contains needle =
@@ -221,10 +221,10 @@ let test_oracle_resolve () =
       check_bool "error names the selector" true (contains "no-such-oracle");
       List.iter
         (fun f -> check_bool ("error lists family " ^ f) true (contains f))
-        Jury_check.Oracle.families;
+        (Jury_check.Registry.families ());
       List.iter
         (fun n -> check_bool ("error lists oracle " ^ n) true (contains n))
-        Jury_check.Oracle.names
+        (Jury_check.Registry.names ())
 
 let suite =
   [ Alcotest.test_case "generate is deterministic" `Quick

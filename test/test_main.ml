@@ -19,4 +19,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("par", Test_par.suite);
       ("check", Test_check.suite);
+      ("fuzz", Test_fuzz.suite);
       ("mc", Test_mc.suite) ]

@@ -226,7 +226,7 @@ let test_replay_deterministic () =
 let test_demo_exploration_clean () =
   let r =
     Explorer.explore ~max_schedules:3000
-      ~oracles:(Jury_check.Oracle.by_family "conservation") demo
+      ~oracles:(Jury_check.Registry.by_family "conservation") demo
   in
   let s = r.Explorer.rep_stats in
   check_bool "fully enumerated" false s.Explorer.truncated;
