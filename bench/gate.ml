@@ -7,7 +7,9 @@
      - every micro_ns_per_op row named "policy-scale-*" (ns/op; fails
        when current > factor * baseline);
      - the "validator-scale" experiment's events_per_sec (fails when
-       current < baseline / factor).
+       current < baseline / factor);
+     - every experiment named "profile-*" (the per-controller-profile
+       runs: onos, odl, ryu), same events_per_sec threshold.
    Rows present in the baseline but absent from the current run fail
    the gate too: a silently skipped measurement must not pass.
 
@@ -202,6 +204,21 @@ let experiment_rate name json =
         rows
   | _ -> None
 
+(* experiments rows named profile-* (per-controller-profile runs) *)
+let profile_experiments json =
+  match member "experiments" json with
+  | Some (List rows) ->
+      List.filter_map
+        (fun row ->
+          match (member "name" row, num (member "events_per_sec" row)) with
+          | Some (Str name), Some rate
+            when String.length name >= 8 && String.sub name 0 8 = "profile-"
+            ->
+              Some (name, rate)
+          | _ -> None)
+        rows
+  | _ -> []
+
 let () =
   let baseline_path, current_path, factor =
     match Array.to_list Sys.argv with
@@ -255,6 +272,17 @@ let () =
         ~current_v:(experiment_rate "validator-scale" current)
         ~regressed:(fun cur -> cur < base /. factor)
         ~unit_label:"");
+  List.iter
+    (fun (name, base) ->
+      check_row
+        ~name:(name ^ " events/s")
+        ~baseline_v:base
+        ~current_v:(List.assoc_opt name (profile_experiments current))
+        ~regressed:(fun cur -> cur < base /. factor)
+        ~unit_label:"")
+    (profile_experiments baseline);
+  if profile_experiments baseline = [] then
+    print_endline "note: baseline has no profile-* rows";
   if policy_micro baseline = [] then
     print_endline "note: baseline has no policy-scale micro rows";
   if !failures > 0 then begin

@@ -188,6 +188,46 @@ let fig4i ~full () =
         s.samples s.p50_ms p80 s.p95_ms)
     series
 
+let print_profile_rows (rows : Figures.profile_row list) =
+  let t =
+    Table.create
+      ~header:
+        [ "profile"; "mode"; "rate"; "p50 ms"; "p95 ms"; "base FM/s";
+          "JURY FM/s"; "overhead" ]
+  in
+  List.iter
+    (fun (r : Figures.profile_row) ->
+      Table.add_row t
+        [ r.pr_name;
+          (if r.pr_clustered then "clustered" else "standalone");
+          Printf.sprintf "%.0f" r.pr_rate;
+          Printf.sprintf "%.1f" r.pr_detection.p50_ms;
+          Printf.sprintf "%.1f" r.pr_detection.p95_ms;
+          Printf.sprintf "%.0f" r.pr_base_fm_rate;
+          Printf.sprintf "%.0f" r.pr_jury_fm_rate;
+          Printf.sprintf "%.1f%%" r.pr_overhead_pct ])
+    rows;
+  Table.print t
+
+let profiles ~full () =
+  section "Controller profiles: detection + throughput, ONOS/ODL/Ryu";
+  note "clustered profiles validate state-aware against the shared \
+        store; the standalone Ryu-style profile runs JURY in \
+        state-blind response-voting mode";
+  let duration = Time.sec (if full then 10 else 3) in
+  let rows = Figures.profile_comparison ~duration () in
+  print_profile_rows rows;
+  print_cdf_series ~unit_label:"ms"
+    (List.map (fun (r : Figures.profile_row) -> r.pr_detection) rows)
+
+(* One experiment per profile so the --json record (and the bench
+   gate) carries a separate events_per_sec figure for each controller
+   flavour. *)
+let profile_one name ~full () =
+  section (Printf.sprintf "Controller profile: %s" name);
+  let duration = Time.sec (if full then 10 else 3) in
+  print_profile_rows (Figures.profile_comparison ~duration ~names:[ name ] ())
+
 let overhead ~full () =
   section "Network overhead (Sec VII-B2): store vs JURY traffic";
   note
@@ -699,6 +739,10 @@ let all_experiments =
     ("fig4h", fig4h);
     ("fig4i", fig4i);
     ("overhead", overhead);
+    ("profiles", profiles);
+    ("profile-onos", profile_one "onos");
+    ("profile-odl", profile_one "odl");
+    ("profile-ryu", profile_one "ryu");
     ("policy-scaling", policy_scaling);
     ("policy-scale", policy_scale);
     ("ablations", ablations);
@@ -867,6 +911,7 @@ let names_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"
          ~doc:"Experiments to run (default: all). Known: fig4a fig4b fig4c \
                fig4d detection fig4e fig4f fig4g fig4h fig4i overhead \
+               profiles profile-onos profile-odl profile-ryu \
                policy-scaling policy-scale ablations lossy validator-scale \
                firehose pool micro.")
 

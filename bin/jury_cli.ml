@@ -204,8 +204,18 @@ let matrix_cmd =
 
 let simulate_cmd =
   let profile_arg =
-    Arg.(value & opt (enum [ ("onos", `Onos); ("odl", `Odl) ]) `Onos
-         & info [ "profile" ] ~doc:"Controller flavour: onos or odl.")
+    Arg.(value
+         & opt (enum [ ("onos", `Onos); ("odl", `Odl); ("ryu", `Ryu) ]) `Onos
+         & info [ "profile" ]
+             ~doc:"Controller flavour: onos, odl, or ryu (standalone — \
+                   JURY validates in state-blind response-voting mode).")
+  in
+  let election_arg =
+    Arg.(value & opt (some int) None
+         & info [ "election-ms" ] ~docv:"MS"
+             ~doc:"Enable dynamic master election with this heartbeat \
+                   period (ms); a node missing 2 beats is declared dead \
+                   and its switches fail over to the new term's master.")
   in
   let rate_arg =
     Arg.(value & opt float 1000. & info [ "rate" ] ~doc:"PACKET_IN rate.")
@@ -243,11 +253,12 @@ let simulate_cmd =
                    size.")
   in
   let run profile nodes k rate duration seed switches drop duplicate jitter_us
-      retries degraded_quorum (tuning : Common.tuning) =
+      retries degraded_quorum election_ms (tuning : Common.tuning) =
     let profile =
       match profile with
       | `Onos -> Jury_controller.Profile.onos
       | `Odl -> Jury_controller.Profile.odl
+      | `Ryu -> Jury_controller.Profile.ryu
     in
     let engine = Jury_sim.Engine.create ~seed () in
     let plan =
@@ -267,12 +278,18 @@ let simulate_cmd =
         Some (Jury.Jury_config.retransmit ~max_retries:retries ())
       else None
     in
+    let election =
+      Option.map
+        (fun ms ->
+          { Jury_controller.Cluster.period = Time.ms ms; timeout_beats = 2 })
+        election_ms
+    in
     let deployment =
       Jury.Jury_config.install cluster
         (Jury.Jury_config.make ~k ~channel ?retransmit ?degraded_quorum
            ~shards:tuning.Common.shards
            ?max_inflight:tuning.Common.max_inflight ?batch:tuning.Common.batch
-           ~pipeline_jobs:tuning.Common.pipeline_jobs ())
+           ~pipeline_jobs:tuning.Common.pipeline_jobs ?election ())
     in
     let validator = Jury.Deployment.validator deployment in
     Jury_controller.Cluster.converge cluster;
@@ -287,6 +304,13 @@ let simulate_cmd =
     Jury.Validator.drain_pipeline validator;
     let report = Jury.Report.of_validator validator in
     print_string (Jury.Report.to_string report);
+    if Jury_controller.Cluster.election_enabled cluster then
+      Printf.printf "election: term %d, leader %d, alive [%s]\n"
+        (Jury_controller.Cluster.current_term cluster)
+        (Jury_controller.Cluster.leader cluster)
+        (String.concat ", "
+           (List.map string_of_int
+              (Jury_controller.Cluster.alive_nodes cluster)));
     Printf.printf
       "overheads: store %d bytes, jury replication %d bytes, validator %d \
        bytes\n"
@@ -333,7 +357,7 @@ let simulate_cmd =
     Term.(const run $ profile_arg $ Common.nodes $ Common.k $ rate_arg
           $ duration_arg $ Common.seed $ Common.switches $ drop_arg
           $ duplicate_arg $ jitter_arg $ retries_arg $ degraded_arg
-          $ Common.tuning)
+          $ election_arg $ Common.tuning)
 
 (* --- failover --- *)
 

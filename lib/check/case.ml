@@ -17,6 +17,7 @@ type fault_action =
   | Byzantine of { node : int }
   | Partition of { node : int }
   | Add_rule of { rule : string }
+  | Fail_master of { node : int }
 
 type fault_event = { at_ms : int; action : fault_action }
 
@@ -184,6 +185,7 @@ let action_name = function
   | Byzantine { node } -> Printf.sprintf "byzantine(%d)" node
   | Partition { node } -> Printf.sprintf "partition(%d)" node
   | Add_rule { rule } -> Printf.sprintf "add-rule(%s)" rule
+  | Fail_master { node } -> Printf.sprintf "fail-master(%d)" node
 
 let pp ppf t =
   Format.fprintf ppf
@@ -237,6 +239,8 @@ let action_ocaml = function
       Printf.sprintf "Jury_check.Case.Partition { node = %d }" node
   | Add_rule { rule } ->
       Printf.sprintf "Jury_check.Case.Add_rule { rule = %S }" rule
+  | Fail_master { node } ->
+      Printf.sprintf "Jury_check.Case.Fail_master { node = %d }" node
 
 let to_ocaml ?(indent = "  ") t =
   let b = Buffer.create 512 in
@@ -319,7 +323,8 @@ module Lens = struct
             | Rejoin { node } -> Rejoin { node = clamp_node node }
             | Byzantine { node } -> Byzantine { node = clamp_node node }
             | Partition { node } -> Partition { node = clamp_node node }
-            | Add_rule _ as a -> a) })
+            | Add_rule _ as a -> a
+            | Fail_master { node } -> Fail_master { node = clamp_node node }) })
       faults
 
   let topo =

@@ -32,12 +32,12 @@ type workload_kind =
     {!Jury_faults.Injector}.
 
     The first seven constructors are the blind generator's vocabulary.
-    The last four — crash-rejoin resync, Byzantine responses, a
-    store-level partition and mid-run policy churn — are {e never}
-    drawn blindly (the generator's draw sequence is pinned by
-    replayability across releases); they enter a case only through
-    {!Mutate}, so guided fuzzing explores them while blind-mode
-    fingerprints stay byte-identical. *)
+    The last five — crash-rejoin resync, Byzantine responses, a
+    store-level partition, mid-run policy churn and mastership
+    failover — are {e never} drawn blindly (the generator's draw
+    sequence is pinned by replayability across releases); they enter a
+    case only through {!Mutate}, so guided fuzzing explores them while
+    blind-mode fingerprints stay byte-identical. *)
 type fault_action =
   | Slow of { node : int; delay_ms : int }  (** timing fault *)
   | Lossy of { node : int; omit : float }   (** response omission *)
@@ -58,6 +58,11 @@ type fault_action =
       (** policy churn: parse one {!Jury_policy.Parse} DSL line and
           [add_rule] it into the live engine while triggers are in
           flight (unparsable rules are ignored) *)
+  | Fail_master of { node : int }
+      (** crash plus an explicit HA failover
+          ({!Jury_controller.Cluster.fail_over}): the node's switches
+          move to the survivors mid-run (skipped when it is the last
+          survivor) *)
 
 type fault_event = { at_ms : int; action : fault_action }
 (** [at_ms] is relative to the start of the workload window. *)

@@ -38,6 +38,7 @@ let fault_kind (a : Case.fault_action) =
   | Case.Byzantine _ -> "byzantine"
   | Case.Partition _ -> "partition"
   | Case.Add_rule _ -> "add-rule"
+  | Case.Fail_master _ -> "fail-master"
 
 let verdict_class line =
   match String.split_on_char '|' line with

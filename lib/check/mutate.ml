@@ -29,7 +29,7 @@ let fresh_action rng (c : Case.t) : Case.fault_action =
        "deny name=fuzz-external-flowsdb trigger=external cache=FLOWSDB";
        "deny name=fuzz-any-switchdb cache=SWITCHDB" |]
   in
-  match Rng.int rng 15 with
+  match Rng.int rng 17 with
   | 0 -> Case.Slow { node; delay_ms = 1 + Rng.int rng 120 }
   | 1 -> Case.Lossy { node; omit = Rng.float rng 1.0 }
   | 2 -> Case.Crash { node }
@@ -42,7 +42,8 @@ let fresh_action rng (c : Case.t) : Case.fault_action =
   | 7 | 8 -> Case.Rejoin { node }
   | 9 | 10 -> Case.Byzantine { node }
   | 11 | 12 -> Case.Partition { node }
-  | _ -> Case.Add_rule { rule = Rng.choice rng rules }
+  | 13 | 14 -> Case.Add_rule { rule = Rng.choice rng rules }
+  | _ -> Case.Fail_master { node }
 
 let fault_splice rng (c : Case.t) =
   match c.Case.faults with

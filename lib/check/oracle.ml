@@ -156,7 +156,7 @@ let synthetic_stream (case : Case.t) =
           else [ action (Printf.sprintf "k%d" (Rng.int rng 3)) ]
         in
         let r =
-          { Response.controller; taint; snapshot; sent_at = Time.zero;
+          { Response.controller; taint; snapshot; sent_at = Time.zero; term = 0;
             body = Response.Execution { role; actions } }
         in
         responses := r :: !responses;

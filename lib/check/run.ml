@@ -140,6 +140,17 @@ let apply_fault deployment ~policies (action : Case.fault_action) =
       match Jury_policy.Parse.dsl_line rule with
       | Ok ast -> Jury_policy.Engine.add_rule policies ast
       | Error _ -> ())
+  | Case.Fail_master { node } ->
+      (* Crash plus an explicit HA failover: the dead node's switches
+         move to the survivors mid-run. Skipped when every other node
+         has already been failed over (fail_over rejects a cluster with
+         no survivors). *)
+      Injector.crash cluster ~node;
+      if
+        List.exists
+          (fun i -> i <> node)
+          (Jury_controller.Cluster.alive_nodes cluster)
+      then Jury_controller.Cluster.fail_over cluster ~node
 
 let plan_of (case : Case.t) =
   match case.Case.topo with

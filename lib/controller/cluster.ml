@@ -19,6 +19,23 @@ type northbound_hook =
   forward:(?taint:Types.Taint.t -> ?to_:int -> unit -> unit) ->
   unit
 
+type election_config = { period : Time.t; timeout_beats : int }
+
+let default_election = { period = Time.ms 100; timeout_beats = 3 }
+
+(* Election state exists only once [enable_election] runs: with no
+   election the cluster schedules zero extra events and draws no RNG,
+   so churn-free deployments stay byte-identical to the seed. *)
+type election = {
+  e_cfg : election_config;
+  mutable term : int;
+  mutable leader : int;
+  mutable suspected : int list;
+      (* nodes a past term already declared dead; cleared by [rejoin] *)
+  missed : int array;  (* consecutive failed liveness probes per node *)
+  mutable listeners : (term:int -> failed:int -> leader:int -> unit) list;
+}
+
 type t = {
   engine : Engine.t;
   profile : Profile.t;
@@ -28,6 +45,7 @@ type t = {
   channel_latency : Time.t;
   mutable masters : (Of_types.Dpid.t * int) list;
   mutable failed : int list;
+  mutable election : election option;
   mutable southbound_hook : southbound_hook;
   mutable northbound_hook : northbound_hook;
   mutable southbound_bytes : int;
@@ -48,6 +66,10 @@ let master_of t dpid =
   match List.assoc_opt dpid t.masters with
   | Some m -> m
   | None -> 0
+
+let current_term t = match t.election with None -> 0 | Some e -> e.term
+let leader t = match t.election with None -> 0 | Some e -> e.leader
+let election_enabled t = t.election <> None
 
 let trigger_of_message dpid (msg : Of_message.t) =
   match msg.payload with
@@ -94,6 +116,7 @@ let create engine ~profile ~nodes:n ~network
   if n <= 0 then invalid_arg "Cluster.create: need >= 1 node";
   let fabric =
     Fabric.create engine ~consistency:profile.Profile.consistency ~nodes:n
+      ~standalone:(not profile.Profile.clustered)
       ~profile:profile.Profile.store_profile ()
   in
   let controllers =
@@ -108,6 +131,7 @@ let create engine ~profile ~nodes:n ~network
       channel_latency;
       masters = [];
       failed = [];
+      election = None;
       southbound_hook = default_southbound;
       northbound_hook = default_northbound;
       southbound_bytes = 0 }
@@ -162,23 +186,37 @@ let create engine ~profile ~nodes:n ~network
     (Network.switches network);
   t
 
-let assign_mastership t =
-  let switches = Network.switches t.network in
-  let n = nodes t in
-  t.masters <-
-    List.mapi (fun i sw -> (Switch.dpid sw, i mod n)) switches;
-  (* Publish mastership in the shared store (administrative
-     provisioning, attributed to node 0). *)
+(* Write one mastership entry. Clustered fabrics replicate a single
+   node-0 write; a standalone fabric never replicates, so the entry is
+   provisioned into every instance's local table — plan_as consults the
+   local MASTERDB and divergent copies would wreck the response vote. *)
+let publish_master t op dpid m =
+  let targets =
+    if Fabric.standalone t.fabric then List.init (nodes t) Fun.id else [ 0 ]
+  in
   List.iter
-    (fun (dpid, m) ->
+    (fun node ->
       match
-        Fabric.write t.fabric ~node:0 ~cache:Names.masterdb Event.Create
+        Fabric.write t.fabric ~node ~cache:Names.masterdb op
           ~key:(Values.Master.key dpid)
           ~value:(Values.Master.value m)
       with
       | Ok _ -> ()
       | Error e -> Logs.warn (fun f -> f "mastership write failed: %s" e))
-    t.masters
+    targets
+
+let assign_mastership t =
+  let switches = Network.switches t.network in
+  let n = nodes t in
+  t.masters <-
+    (if Fabric.standalone t.fabric then
+       (* Standalone mode: the leader instance owns every switch; the
+          other instances validate its action stream. *)
+       let l = leader t in
+       List.map (fun sw -> (Switch.dpid sw, l)) switches
+     else List.mapi (fun i sw -> (Switch.dpid sw, i mod n)) switches);
+  (* Publish mastership in the store (administrative provisioning). *)
+  List.iter (fun (dpid, m) -> publish_master t Event.Create dpid m) t.masters
 
 let start t =
   assign_mastership t;
@@ -210,6 +248,7 @@ let fail_over t ~node =
   let survivors = alive_nodes t in
   if survivors = [] then invalid_arg "Cluster.fail_over: no survivors";
   let surv = Array.of_list survivors in
+  let standalone = Fabric.standalone t.fabric in
   let idx = ref 0 in
   let orphaned =
     List.filter (fun (_, m) -> m = node) t.masters |> List.map fst
@@ -218,8 +257,16 @@ let fail_over t ~node =
     List.map
       (fun (dpid, m) ->
         if m = node then begin
-          let m' = surv.(!idx mod Array.length surv) in
-          incr idx;
+          (* Standalone: everything moves to the lowest survivor (the
+             incoming leader). Clustered: round-robin over survivors. *)
+          let m' =
+            if standalone then surv.(0)
+            else begin
+              let m' = surv.(!idx mod Array.length surv) in
+              incr idx;
+              m'
+            end
+          in
           (dpid, m')
         end
         else (dpid, m))
@@ -229,13 +276,15 @@ let fail_over t ~node =
   List.iter
     (fun dpid ->
       let m = master_of t dpid in
-      (match
-         Fabric.write t.fabric ~node:m ~cache:Names.masterdb Event.Update
-           ~key:(Values.Master.key dpid)
-           ~value:(Values.Master.value m)
-       with
-      | Ok _ -> ()
-      | Error e -> Logs.warn (fun f -> f "failover mastership write: %s" e));
+      (if standalone then publish_master t Event.Update dpid m
+       else
+         match
+           Fabric.write t.fabric ~node:m ~cache:Names.masterdb Event.Update
+             ~key:(Values.Master.key dpid)
+             ~value:(Values.Master.value m)
+         with
+        | Ok _ -> ()
+        | Error e -> Logs.warn (fun f -> f "failover mastership write: %s" e));
       match Network.switch t.network dpid with
       | sw ->
           ignore
@@ -254,7 +303,85 @@ let fail_over t ~node =
    act real clusters also treat as such. *)
 let rejoin t ~node =
   if node < 0 || node >= nodes t then invalid_arg "Cluster.rejoin: bad id";
-  t.failed <- List.filter (fun i -> i <> node) t.failed
+  t.failed <- List.filter (fun i -> i <> node) t.failed;
+  match t.election with
+  | None -> ()
+  | Some e ->
+      (* The rejoined node is monitorable again — a fresh crash starts
+         a fresh suspicion window and a fresh term. *)
+      e.suspected <- List.filter (fun i -> i <> node) e.suspected;
+      e.missed.(node) <- 0
+
+(* Liveness as the failure detector sees it: an administratively failed
+   node, or a replica whose response channel is deterministically
+   silent (omit probability saturated — Injector.crash sets exactly
+   that). Reading the lever instead of probing keeps the detector off
+   every RNG stream. *)
+let dead_now t node =
+  List.mem node t.failed
+  || Controller.omit_probability t.controllers.(node) >= 1.0
+
+let on_leadership_change t f =
+  match t.election with
+  | None -> invalid_arg "Cluster.on_leadership_change: election not enabled"
+  | Some e -> e.listeners <- e.listeners @ [ f ]
+
+let enable_election t cfg =
+  if cfg.timeout_beats < 1 then
+    invalid_arg "Cluster.enable_election: timeout_beats must be >= 1";
+  if Time.compare cfg.period Time.zero <= 0 then
+    invalid_arg "Cluster.enable_election: period must be positive";
+  match t.election with
+  | Some _ -> ()
+  | None ->
+      let e =
+        { e_cfg = cfg;
+          term = 1;
+          leader = 0;
+          suspected = [];
+          missed = Array.make (nodes t) 0;
+          listeners = [] }
+      in
+      t.election <- Some e;
+      (* One beat per period; a node missing [timeout_beats] consecutive
+         beats is declared dead: term++, mastership handed off, leader
+         re-elected as the lowest healthy id. Everything is a pure
+         function of the schedule — no RNG — so the same seed yields
+         the same term sequence. *)
+      let rec tick () =
+        (match t.election with
+        | None -> ()
+        | Some e ->
+            let n = nodes t in
+            for node = 0 to n - 1 do
+              if List.mem node e.suspected then ()
+              else if dead_now t node then e.missed.(node) <- e.missed.(node) + 1
+              else e.missed.(node) <- 0
+            done;
+            for node = 0 to n - 1 do
+              if
+                (not (List.mem node e.suspected))
+                && e.missed.(node) >= e.e_cfg.timeout_beats
+              then begin
+                e.suspected <- node :: e.suspected;
+                e.term <- e.term + 1;
+                if List.exists (fun i -> i <> node) (alive_nodes t) then
+                  fail_over t ~node;
+                let healthy =
+                  List.filter
+                    (fun i ->
+                      (not (List.mem i e.suspected))
+                      && not (List.mem i t.failed))
+                    (List.init n Fun.id)
+                in
+                (match healthy with h :: _ -> e.leader <- h | [] -> ());
+                let term = e.term and leader = e.leader in
+                List.iter (fun f -> f ~term ~failed:node ~leader) e.listeners
+              end
+            done);
+        ignore (Engine.schedule t.engine ~after:cfg.period tick)
+      in
+      ignore (Engine.schedule t.engine ~after:cfg.period tick)
 
 let query_flows t ~node dpid =
   if node < 0 || node >= nodes t then invalid_arg "Cluster.query_flows: bad id";

@@ -29,9 +29,23 @@ type northbound_hook =
   forward:(?taint:Types.Taint.t -> ?to_:int -> unit -> unit) ->
   unit
 
+type election_config = {
+  period : Jury_sim.Time.t;  (** liveness-probe beat period *)
+  timeout_beats : int;
+      (** consecutive missed beats before a node is declared dead *)
+}
+(** Tuning for the deterministic master-election protocol
+    ({!enable_election}). *)
+
+val default_election : election_config
+(** 100 ms beats, 3 missed beats to declare death. *)
+
 val create :
   Jury_sim.Engine.t -> profile:Profile.t -> nodes:int ->
   network:Jury_net.Network.t -> ?channel_latency:Jury_sim.Time.t -> unit -> t
+(** Builds the fabric (standalone when the profile is not
+    [clustered]), the [nodes] controller replicas and the control
+    channels. Election is off until {!enable_election}. *)
 
 val engine : t -> Jury_sim.Engine.t
 val fabric : t -> Jury_store.Fabric.t
@@ -43,10 +57,44 @@ val controller : t -> int -> Controller.t
 val master_of : t -> Of_types.Dpid.t -> int
 
 val start : t -> unit
-(** Assign mastership (round-robin over switches), connect every switch
-    (HELLO + FEATURES_REPLY to its master), begin LLDP discovery on all
-    replicas. Call once; run the engine afterwards to let discovery
-    converge (a few LLDP periods). *)
+(** Assign mastership (round-robin over switches for clustered
+    profiles; everything to the leader for standalone ones), connect
+    every switch (HELLO + FEATURES_REPLY to its master), begin LLDP
+    discovery on all replicas. Call once; run the engine afterwards to
+    let discovery converge (a few LLDP periods). *)
+
+(** {1 Leadership} *)
+
+val enable_election : t -> election_config -> unit
+(** Start the deterministic term-numbered election protocol: an engine
+    timer beats every [period]; a node that is administratively failed
+    or deterministically silent ({!Controller.omit_probability} ≥ 1)
+    for [timeout_beats] consecutive beats is declared dead — the term
+    increments, its switches fail over ({!fail_over}), the leader is
+    re-elected as the lowest healthy id, and every
+    {!on_leadership_change} listener fires. The detector reads fault
+    levers instead of probing, so it draws no RNG: the same seed
+    always yields the same term sequence, and with election disabled
+    the cluster schedules zero extra events (churn-free runs stay
+    byte-identical to the seed). Idempotent; raises
+    [Invalid_argument] on a non-positive period or [timeout_beats < 1]. *)
+
+val election_enabled : t -> bool
+
+val current_term : t -> int
+(** Current leadership term: [0] when election is disabled, [1] once
+    enabled, incremented on every declared death. *)
+
+val leader : t -> int
+(** Current leader id ([0] when election is disabled). In standalone
+    mode the leader masters every switch. *)
+
+val on_leadership_change :
+  t -> (term:int -> failed:int -> leader:int -> unit) -> unit
+(** Subscribe to elections: fires once per declared death, after
+    mastership has failed over, with the new [term], the [failed] node
+    and the new [leader]. Raises [Invalid_argument] when election is
+    not enabled. *)
 
 val converge : t -> unit
 (** {!start} plus running the engine long enough for SWITCHDB, LINKSDB
@@ -63,9 +111,11 @@ val query_flows :
 
 val fail_over : t -> node:int -> unit
 (** HA failover: reassign every switch mastered by [node] to the
-    surviving replicas (round-robin), publish the new mastership in
-    MASTERDB, and have the switches re-announce to their new masters.
-    The failed replica itself is not otherwise altered — combine with
+    surviving replicas (round-robin for clustered profiles; all to the
+    lowest survivor for standalone ones), publish the new mastership
+    in MASTERDB (into every instance's local table when standalone),
+    and have the switches re-announce to their new masters. The failed
+    replica itself is not otherwise altered — combine with
     {!Jury_faults.Injector.crash} to silence it. *)
 
 val alive_nodes : t -> int list
@@ -74,9 +124,12 @@ val alive_nodes : t -> int list
 
 val rejoin : t -> node:int -> unit
 (** The failed node counts as alive again (future failovers may assign
-    it mastership). Does {e not} restore its store state or response
-    levers — {!Jury_faults.Injector.rejoin} composes this with the heal
-    and the {!Jury_store.Fabric.resync} state transfer. *)
+    it mastership), and the election failure detector — if enabled —
+    forgets its suspicion so a later crash starts a fresh term. Does
+    {e not} restore its store state or response levers —
+    [Jury_faults.Injector.rejoin] (which depends on this library)
+    composes this with the heal and the {!Jury_store.Fabric.resync}
+    state transfer. *)
 
 val set_southbound_hook : t -> southbound_hook -> unit
 val set_northbound_hook : t -> northbound_hook -> unit

@@ -137,6 +137,7 @@ let set_observer t o = t.observer <- o
 let set_mutator t m = t.mutator <- m
 let set_response_delay t d = t.response_delay <- d
 let set_omit_probability t p = t.omit_probability <- p
+let omit_probability t = t.omit_probability
 
 (* After an out-of-band state transfer (crash-rejoin resync) the cached
    topology view no longer matches the replica's tables; mark it dirty

@@ -101,6 +101,12 @@ val set_omit_probability : t -> float -> unit
 (** Probability of silently dropping a whole response (response
     omission). *)
 
+val omit_probability : t -> float
+(** Current response-omission probability. A replica at [>= 1.0] is
+    deterministically silent — the liveness signal the election
+    protocol's failure detector reads ({!Cluster.enable_election})
+    without touching any RNG stream. *)
+
 val invalidate_view : t -> unit
 (** Mark the cached topology view dirty so the next read rebuilds it
     from the replica's cache tables — required after an out-of-band

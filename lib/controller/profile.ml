@@ -22,6 +22,7 @@ type t = {
   forwarding : forwarding_style;
   ecmp : bool;
   decapsulation_cost_median_us : float;
+  clustered : bool;
 }
 
 let onos =
@@ -43,7 +44,8 @@ let onos =
     flow_idle_timeout = 10;
     forwarding = Reactive_exact;
     ecmp = false;
-    decapsulation_cost_median_us = 0. }
+    decapsulation_cost_median_us = 0.;
+    clustered = true }
 
 (* ONOS with an ECMP-style load-balancing forwarding app: equal-cost
    next hops are picked at random, so replicated executions legitimately
@@ -77,9 +79,41 @@ let odl =
     flow_idle_timeout = 10;
     forwarding = Reactive_exact;
     ecmp = false;
-    decapsulation_cost_median_us = 95. }
+    decapsulation_cost_median_us = 95.;
+    clustered = true }
 
 let odl_vanilla = { odl with name = "odl-vanilla"; forwarding = Proactive_dst }
+
+(* Ryu: a single-threaded Python event loop with no clustered store at
+   all. Each instance keeps a purely local view; nothing is replicated
+   between instances by the controller itself, so JURY must validate it
+   by replicating the *action stream* across standalone instances
+   (Deployment runs the fabric in standalone mode and mirrors each
+   secondary's planned cache writes into its own local store). The
+   service time is higher than ONOS — one Python thread serialises the
+   whole pipeline — but there is no flow-backup stall and no
+   coordination round, so a single instance is simple and predictable. *)
+let ryu =
+  { name = "ryu";
+    consistency = Jury_store.Fabric.Eventual;
+    store_profile = Jury_store.Fabric.default_eventual_profile;
+    base_service = Time.us 520;
+    service_sigma = 0.45;
+    flow_writes_per_packet_in = 1;
+    flow_backup_sync_per_node = Time.zero;
+    remote_flow_apply = Time.zero;
+    remote_other_apply = Time.zero;
+    packet_out_service = Time.us 12;
+    response_latency_base = Time.us 180;
+    response_jitter_median_us = 9_000.;
+    response_jitter_sigma = 1.1;
+    lldp_period = Time.sec 3;
+    lldp_jitter = Time.ms 200;
+    flow_idle_timeout = 10;
+    forwarding = Reactive_exact;
+    ecmp = false;
+    decapsulation_cost_median_us = 0.;
+    clustered = false }
 
 (* Every stochastic latency collapsed to its location parameter. The
    run is still a faithful deployment — it just sits at the median of

@@ -1,10 +1,10 @@
 (** Controller behaviour profiles.
 
-    The two enterprise controllers the paper evaluates differ along
-    exactly the axes captured here; everything else about the control
-    logic is shared. Parameter values are calibrated so the bench
-    harness lands near the paper's absolute numbers (see DESIGN.md for
-    the calibration rationale):
+    The controllers modelled here differ along exactly the axes
+    captured in {!t}; everything else about the control logic is
+    shared. Parameter values are calibrated so the bench harness lands
+    near the paper's absolute numbers (see DESIGN.md for the
+    calibration rationale):
 
     - ONOS v1.0.0: eventually-consistent Hazelcast store; ~200 µs
       PACKET_IN service (saturating ≈5 K FLOW_MOD/s per the whole
@@ -17,7 +17,13 @@
       size (≈0.9 ms/node), collapsing clustered throughput exactly as
       Fig. 4g shows; destination-based proactive rules by default (the
       evaluation swaps in a reactive source–destination module, §VI-C,
-      which is what [Reactive_src_dst] selects). *)
+      which is what [Reactive_src_dst] selects).
+    - Ryu: single-threaded standalone event loop with {e no} clustered
+      store (the deployed class the paper never evaluated, per the Ryu
+      evaluation study in PAPERS.md). JURY validates it by replicating
+      the action stream across independent instances — see
+      [clustered] below and the "Controller profiles & leadership"
+      section of DESIGN.md. *)
 
 type forwarding_style =
   | Reactive_exact
@@ -32,11 +38,16 @@ type forwarding_style =
           ODL) *)
 
 type t = {
-  name : string;
+  name : string;  (** short stable identifier (["onos"], ["odl"], ["ryu"], …) *)
   consistency : Jury_store.Fabric.consistency;
+      (** store fabric consistency model the profile deploys on *)
   store_profile : Jury_store.Fabric.latency_profile;
+      (** latency parameters handed to {!Jury_store.Fabric.create} *)
   base_service : Jury_sim.Time.t;
+      (** median pipeline service time per trigger (lognormal location) *)
   service_sigma : float;
+      (** lognormal shape of the service time; [0.] collapses the
+          distribution to its median and skips the RNG draw *)
   flow_writes_per_packet_in : int;
       (** strong-store writes the pipeline blocks on per reactive flow
           setup *)
@@ -48,7 +59,10 @@ type t = {
   remote_flow_apply : Jury_sim.Time.t;
       (** pipeline cost of applying a peer's replicated FLOWSDB event *)
   remote_other_apply : Jury_sim.Time.t;
+      (** pipeline cost of applying a peer's replicated non-FLOWSDB
+          event *)
   packet_out_service : Jury_sim.Time.t;
+      (** marginal pipeline time to emit one PACKET_OUT *)
   response_latency_base : Jury_sim.Time.t;
       (** controller → validator / replicator channel latency *)
   response_jitter_median_us : float;
@@ -56,18 +70,30 @@ type t = {
           inside the controller (GC, thread scheduling); scales with
           pipeline load *)
   response_jitter_sigma : float;
+      (** lognormal shape of the response jitter; [0.] skips the draw *)
   lldp_period : Jury_sim.Time.t;
+      (** link-discovery probe period per mastered switch *)
   lldp_jitter : Jury_sim.Time.t;
       (** uniform jitter on each LLDP re-arm; zero skips the (root-RNG)
           draw entirely *)
   flow_idle_timeout : int;  (** seconds, for reactive rules *)
-  forwarding : forwarding_style;
+  forwarding : forwarding_style;  (** rule-installation strategy *)
   ecmp : bool;
       (** pick uniformly among equal-cost next hops — a legitimately
           non-deterministic application (§IV-C B) *)
   decapsulation_cost_median_us : float;
       (** ODL-only: stripping the doubly-encapsulated PACKET_IN
           (Fig. 4i) *)
+  clustered : bool;
+      (** whether instances share a replicated store. [false] selects
+          JURY's standalone validation mode: the fabric never
+          replicates, every instance holds the same administratively
+          provisioned MASTERDB, and the deployment mirrors each
+          secondary's planned cache writes into that secondary's own
+          local store (action-stream replication). Consensus then runs
+          state-blind — standalone snapshots can never be equal across
+          instances — and the cross-instance response vote carries the
+          verdict. *)
 }
 
 val onos : t
@@ -80,6 +106,12 @@ val odl_vanilla : t
 val onos_ecmp : t
 (** ONOS with randomised equal-cost multipath forwarding — used to
     exercise the validator's non-determinism rule. *)
+
+val ryu : t
+(** Ryu-style standalone controller: single-threaded event loop
+    (high median service time, no backup-sync or coordination stalls),
+    purely local store ([clustered = false]). Deploying this profile
+    switches the whole JURY stack into standalone validation mode. *)
 
 val deterministic : t -> t
 (** The same deployment with every stochastic latency collapsed to its

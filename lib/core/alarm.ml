@@ -22,6 +22,7 @@ type t = {
   decided_at : Jury_sim.Time.t;
   primary : int option;
   suspects : int list;
+  term : int;
   verdict : verdict;
   detail : string;
 }
@@ -46,8 +47,9 @@ let verdict_name = function
   | Faulty faults -> String.concat "+" (List.map fault_name faults)
 
 let pp fmt t =
-  Format.fprintf fmt "%s tau=%a det=%a suspects=[%s]%s"
+  Format.fprintf fmt "%s tau=%a det=%a suspects=[%s]%s%s"
     (verdict_name t.verdict) Types.Taint.pp t.taint Jury_sim.Time.pp
     (detection_time t)
     (String.concat "," (List.map string_of_int t.suspects))
+    (if t.term > 0 then Printf.sprintf " term=%d" t.term else "")
     (if t.detail = "" then "" else " " ^ t.detail)

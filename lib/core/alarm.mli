@@ -51,6 +51,10 @@ type t = {
   decided_at : Jury_sim.Time.t;
   primary : int option;
   suspects : int list;
+  term : int;
+      (** leadership term the trigger was decided under ([0] when
+          election is disabled; bumped when a failover re-attributed
+          the trigger mid-flight) *)
   verdict : verdict;
   detail : string;
 }

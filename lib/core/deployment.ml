@@ -30,6 +30,7 @@ type config = {
   max_inflight : int option;
   batch_window : Time.t option;
   pipeline_jobs : int;
+  election : Cluster.election_config option;
 }
 
 type node_module = {
@@ -58,6 +59,10 @@ type t = {
   validator_links : Channel.t array;
       (* replica i → out-of-band validator *)
   inflight : (string, inflight) Hashtbl.t;
+  reattributed : (string, int) Hashtbl.t;
+      (* taint → current primary, for triggers whose attribution moved
+         to a new master after a mid-run failover; empty (and never
+         consulted to any effect) when election is off *)
   mutable batch_buf : Response.t list;  (* newest first *)
   mutable batch_flush : Engine.handle option;
       (* armed lazily on the first buffered response so an idle engine
@@ -167,6 +172,7 @@ let make_response t ~node ~taint body =
     taint;
     snapshot = t.nodes.(node).snapshot;
     sent_at = Engine.now t.engine;
+    term = Cluster.current_term t.cluster;
     body }
 
 (* --- Trace emission: the replicator is where a trigger's causal tree
@@ -237,9 +243,18 @@ let install_node_module t node =
           | None -> ()
           | Some taint ->
               let is_mine =
-                match Types.Taint.primary_of taint with
+                (* A failover may have moved the trigger's attribution
+                   to a new master; the re-attribution table wins over
+                   the primary minted into the taint. *)
+                match
+                  Hashtbl.find_opt t.reattributed
+                    (Types.Taint.to_string taint)
+                with
                 | Some p -> p = node
-                | None -> true (* internal: the origin reports *)
+                | None -> (
+                    match Types.Taint.primary_of taint with
+                    | Some p -> p = node
+                    | None -> true (* internal: the origin reports *))
               in
               if is_mine then
                 match Controller.sample_response_fate ctrl with
@@ -301,6 +316,24 @@ let run_shadow t ~secondary ~primary ~taint trigger =
         t.cfg.chatter_cost;
       t.chatter_bytes_total <- t.chatter_bytes_total + t.cfg.chatter_bytes;
       let actions = Controller.shadow_execute ctrl ~as_id:primary trigger in
+      (* Standalone (Ryu-style) instances share no store: validation
+         replicates the *action stream* instead. Each secondary applies
+         its own planned cache writes, untainted, to its own local
+         tables — so its view keeps tracking the stream it validates —
+         while network sends stay simulated (only the primary touches
+         the data plane). *)
+      if not (Cluster.profile t.cluster).Jury_controller.Profile.clustered
+      then
+        List.iter
+          (fun a ->
+            match a with
+            | Types.Cache_write { cache; op; key; value } ->
+                ignore
+                  (Fabric.write
+                     (Cluster.fabric t.cluster)
+                     ~node:secondary ~cache op ~key ~value)
+            | Types.Network_send _ -> ())
+          actions;
       match Controller.sample_response_fate ctrl with
       | `Omit -> ()
       | `Respond latency ->
@@ -384,7 +417,9 @@ let replicate_trigger t ~primary ~taint ~wire_size
   Validator.register_external t.validator ~taint ~at:(Engine.now t.engine)
     ~primary ~secondaries;
   t.replicated_triggers <- t.replicated_triggers + 1;
-  if t.cfg.retransmit <> None then
+  (* The in-flight store also backs failover re-attribution, so it is
+     kept whenever either consumer exists. *)
+  if t.cfg.retransmit <> None || t.cfg.election <> None then
     Hashtbl.replace t.inflight
       (Types.Taint.to_string taint)
       { inf_primary = primary;
@@ -411,6 +446,63 @@ let handle_retransmit t taint ~secondary =
       send_replica t ~secondary ~primary:inf.inf_primary ~taint
         ~decap:inf.inf_decap ~rspan:None inf.inf_trigger
 
+(* A leadership change: every undecided in-flight trigger whose primary
+   was the failed node is re-attributed to its new master (the switch's
+   post-failover master for southbound triggers, the new leader for
+   northbound ones) and re-driven there with the SAME taint after one
+   replication-channel hop — so the validator judges the new master's
+   responses under the new term instead of timing the trigger out
+   against the dead node. *)
+let handle_failover t ~term ~failed ~leader =
+  let stale =
+    Hashtbl.fold
+      (fun key inf acc ->
+        if inf.inf_primary = failed then (key, inf) :: acc else acc)
+      t.inflight []
+    (* deterministic re-drive order, independent of hash layout *)
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (key, inf) ->
+      let new_primary =
+        match inf.inf_trigger with
+        | Types.Packet_in (dpid, _)
+        | Types.Port_status (dpid, _)
+        | Types.Switch_join (dpid, _)
+        | Types.Flow_removed (dpid, _) ->
+            Cluster.master_of t.cluster dpid
+        | Types.Rest _ | Types.Internal _ -> leader
+      in
+      if new_primary <> failed then
+        match Types.Taint.of_string key with
+        | None -> ()
+        | Some taint ->
+            if
+              Validator.reattribute t.validator ~taint ~primary:new_primary
+                ~term
+            then begin
+              Hashtbl.replace t.reattributed key new_primary;
+              Hashtbl.replace t.inflight key
+                { inf with inf_primary = new_primary };
+              if trace_enabled t then
+                Jury_obs.Trace.point (Engine.trace t.engine)
+                  ~t_ns:(Engine.now_ns t.engine) ~taint:key
+                  ~phase:Jury_obs.Trace.Replicate ~node:new_primary
+                  [ ("event", "re-drive");
+                    ("term", string_of_int term);
+                    ("failed", string_of_int failed) ];
+              ignore
+                (Engine.schedule t.engine
+                   ~footprint:
+                     (Footprint.touches [ Footprint.controller new_primary ])
+                   ~after:t.cfg.replication_latency
+                   (fun () ->
+                     Controller.submit
+                       (Cluster.controller t.cluster new_primary)
+                       ~taint inf.inf_trigger))
+            end)
+    stale
+
 let mint_taint t ~primary =
   t.serial <- t.serial + 1;
   Types.Taint.external_trigger ~primary ~serial:t.serial
@@ -421,6 +513,7 @@ let install cluster cfg =
   let engine = Cluster.engine cluster in
   let n = Cluster.nodes cluster in
   let profile = Cluster.profile cluster in
+  let clustered = profile.Jury_controller.Profile.clustered in
   (* Built as a record literal: the smart constructor is the deprecated
      public entry point, and [cfg.shards] is already normalised. *)
   let validator_cfg =
@@ -428,10 +521,16 @@ let install cluster cfg =
       timeout = cfg.timeout;
       adaptive_timeout = cfg.adaptive_timeout;
       min_timeout = Time.ms 10;
-      state_aware = cfg.state_aware;
+      (* Standalone instances never share state, so their snapshots can
+         never be equal across nodes (each digests its own origin/seq
+         history): state-aware consensus would excuse everything. The
+         standalone mode is therefore always state-blind — the
+         cross-instance response vote carries the verdict. *)
+      state_aware = cfg.state_aware && clustered;
       nondet_rule = cfg.nondet_rule;
       policies = cfg.policies;
       master_lookup = (fun dpid -> Some (Cluster.master_of cluster dpid));
+      term_lookup = (fun () -> Cluster.current_term cluster);
       ack_peers_of = (fun _ -> []);
       retransmit = cfg.retransmit;
       degraded_quorum = cfg.degraded_quorum;
@@ -480,6 +579,7 @@ let install cluster cfg =
               ~name:(Printf.sprintf "validator/%d" i)
               cfg.channel);
       inflight = Hashtbl.create 256;
+      reattributed = Hashtbl.create 16;
       batch_buf = [];
       batch_flush = None;
       nodes;
@@ -492,9 +592,13 @@ let install cluster cfg =
       decap_samples = [] }
   in
   (* ack_peers_of closes over t, so rebuild the validator config now
-     that t exists. *)
+     that t exists. Standalone fabrics never replicate, so no peer ack
+     can ever arrive — completeness would deadlock waiting for them;
+     the trivial ack set stays. *)
   let validator_cfg =
-    { validator_cfg with Validator.ack_peers_of = (fun o -> ack_peers t o) }
+    if clustered then
+      { validator_cfg with Validator.ack_peers_of = (fun o -> ack_peers t o) }
+    else validator_cfg
   in
   let validator = Validator.create engine validator_cfg in
   let t = { t with validator } in
@@ -511,6 +615,7 @@ let install cluster cfg =
     && cfg.retransmit = None
     && (not cfg.adaptive_timeout)
     && cfg.max_inflight = None
+    && cfg.election = None
     && Jury_policy.Engine.rule_count cfg.policies = 0
     && not (trace_enabled t)
   then
@@ -519,12 +624,14 @@ let install cluster cfg =
   (* The retransmission loop only exists when asked for: registering the
      handler and verdict observer is gated so a default configuration
      keeps the validator byte-for-byte on the seed's event schedule. *)
-  if cfg.retransmit <> None then begin
+  if cfg.retransmit <> None then
     Validator.set_retransmit_handler t.validator (fun taint ~secondary ->
         handle_retransmit t taint ~secondary);
+  if cfg.retransmit <> None || cfg.election <> None then
     Validator.on_verdict t.validator (fun alarm ->
-        Hashtbl.remove t.inflight (Types.Taint.to_string alarm.Alarm.taint))
-  end;
+        let key = Types.Taint.to_string alarm.Alarm.taint in
+        Hashtbl.remove t.inflight key;
+        Hashtbl.remove t.reattributed key);
   for node = 0 to n - 1 do
     install_node_module t node
   done;
@@ -553,6 +660,17 @@ let install cluster cfg =
       (* REST requests are small; 256 bytes covers headers + body. *)
       replicate_trigger t ~primary:node ~taint ~wire_size:256 ~decap:false
         trigger);
+  (* Dynamic leadership: start the election timer and subscribe the
+     replicator so mid-run master crashes re-attribute in-flight
+     triggers instead of timing them out. Strictly opt-in — with
+     [election = None] nothing here runs and churn-free deployments
+     stay byte-identical to the seed. *)
+  (match cfg.election with
+  | None -> ()
+  | Some ec ->
+      Cluster.enable_election cluster ec;
+      Cluster.on_leadership_change cluster (fun ~term ~failed ~leader ->
+          handle_failover t ~term ~failed ~leader));
   t
 
 (* Crash-and-rejoin recovery: the node's store view is replaced by a

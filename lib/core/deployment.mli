@@ -61,6 +61,17 @@ type config = {
           serial (oracle) path, byte-identical to the seed. Pipelined
           runs must call {!Validator.drain_pipeline} (or
           {!Validator.flush}) before reading results *)
+  election : Cluster.election_config option;
+      (** when set, {!install} starts the cluster's deterministic
+          master election ({!Cluster.enable_election}) and subscribes
+          the replicator: a mid-run master crash re-attributes every
+          undecided in-flight trigger of the failed node to its new
+          master ({!Validator.reattribute}) and re-drives it there with
+          the same taint, so validation continues across the leadership
+          change instead of timing out. [None] = no election timer, no
+          listener — churn-free runs stay byte-identical to the seed.
+          Incompatible with [pipeline_jobs > 1] (the term lookup reads
+          live cluster state) *)
 }
 
 type t

@@ -21,11 +21,18 @@ let retransmit ?(fraction = 0.4) ?(backoff = 2.0) ?(max_retries = 2) () =
 
 let lossy_channel = Channel.lossy
 
+let election ?(period = Time.ms 100) ?(timeout_beats = 3) () =
+  if not Time.(period > zero) then
+    invalid_arg "Jury_config.election: period must be positive";
+  if timeout_beats < 1 then
+    invalid_arg "Jury_config.election: timeout_beats must be >= 1";
+  { Jury_controller.Cluster.period; timeout_beats }
+
 let make ?(k = 2) ?timeout ?(adaptive_timeout = false) ?(state_aware = true)
     ?(nondet_rule = true) ?random_secondaries ?policies
     ?(encapsulation = false) ?channel ?drop ?duplicate ?jitter_us ?retransmit
     ?degraded_quorum ?(shards = 1) ?max_inflight ?batch
-    ?(deterministic_latencies = false) ?(pipeline_jobs = 1) () =
+    ?(deterministic_latencies = false) ?(pipeline_jobs = 1) ?election () =
   if k < 0 then invalid_arg "Jury_config.make: k must be >= 0";
   let policies =
     match policies with Some p -> p | None -> Jury_policy.Engine.create []
@@ -86,6 +93,8 @@ let make ?(k = 2) ?timeout ?(adaptive_timeout = false) ?(state_aware = true)
         invalid_arg "Jury_config.make: pipeline_jobs > 1 excludes max_inflight";
       if Jury_policy.Engine.rule_count policies > 0 then
         invalid_arg "Jury_config.make: pipeline_jobs > 1 excludes policy rules";
+      if election <> None then
+        invalid_arg "Jury_config.make: pipeline_jobs > 1 excludes election";
       let batch = match batch with None -> Time.us 200 | Some w -> w in
       if not Time.(batch < timeout) then
         invalid_arg
@@ -115,12 +124,13 @@ let make ?(k = 2) ?timeout ?(adaptive_timeout = false) ?(state_aware = true)
     shards = Validator.shards_of_hint shards;
     max_inflight;
     batch_window = batch;
-    pipeline_jobs }
+    pipeline_jobs;
+    election }
 
 let deployment t = t
 
 let validator ?(min_timeout = Time.ms 10) ?(master_lookup = fun _ -> None)
-    ?(ack_peers_of = fun _ -> []) (t : t) =
+    ?(term_lookup = fun () -> 0) ?(ack_peers_of = fun _ -> []) (t : t) =
   (match t.Deployment.degraded_quorum with
   | Some q when q < 1 ->
       invalid_arg "Jury_config.validator: degraded_quorum must be >= 1"
@@ -133,6 +143,7 @@ let validator ?(min_timeout = Time.ms 10) ?(master_lookup = fun _ -> None)
     nondet_rule = t.Deployment.nondet_rule;
     policies = t.Deployment.policies;
     master_lookup;
+    term_lookup;
     ack_peers_of;
     retransmit = t.Deployment.retransmit;
     degraded_quorum = t.Deployment.degraded_quorum;
@@ -148,3 +159,4 @@ let max_inflight (t : t) = t.Deployment.max_inflight
 let batch_window (t : t) = t.Deployment.batch_window
 let channel (t : t) = t.Deployment.channel
 let pipeline_jobs (t : t) = t.Deployment.pipeline_jobs
+let election_of (t : t) = t.Deployment.election

@@ -37,6 +37,7 @@ val make :
   ?batch:Jury_sim.Time.t ->
   ?deterministic_latencies:bool ->
   ?pipeline_jobs:int ->
+  ?election:Jury_controller.Cluster.election_config ->
   unit -> t
 (** Defaults match the seed: k 2, timeout 150 ms (800 ms when
     [encapsulation]), fixed timeout, state-aware consensus and the
@@ -69,7 +70,12 @@ val make :
     combined with [retransmit], [adaptive_timeout], [max_inflight] or
     a non-empty [policies] set; defaults [batch] to 200 µs when unset
     and requires it below the timeout. [pipeline_jobs:1] is the serial
-    oracle path, byte-identical to the seed. *)
+    oracle path, byte-identical to the seed.
+
+    [election] (default [None]) enables dynamic master election and
+    mid-run failover re-attribution — see the [election] field of
+    {!Deployment.config} and {!election}. Rejected with
+    [pipeline_jobs > 1]. *)
 
 val retransmit :
   ?fraction:float -> ?backoff:float -> ?max_retries:int -> unit ->
@@ -84,6 +90,13 @@ val lossy_channel :
 (** Re-export of {!Channel.lossy} so callers can build a profile
     without leaving the facade. *)
 
+val election :
+  ?period:Jury_sim.Time.t -> ?timeout_beats:int -> unit ->
+  Jury_controller.Cluster.election_config
+(** Validated election tuning (defaults: 100 ms beat period, 3 missed
+    beats to declare a node dead). Raises [Invalid_argument] on a
+    non-positive period or [timeout_beats < 1]. *)
+
 val deployment : t -> Deployment.config
 (** The deployment record this configuration denotes — what
     {!Deployment.install} consumes. *)
@@ -91,6 +104,7 @@ val deployment : t -> Deployment.config
 val validator :
   ?min_timeout:Jury_sim.Time.t ->
   ?master_lookup:(Jury_openflow.Of_types.Dpid.t -> int option) ->
+  ?term_lookup:(unit -> int) ->
   ?ack_peers_of:(int -> int list) ->
   t -> Validator.config
 (** A bare validator configuration carrying this facade's knobs, for
@@ -123,3 +137,6 @@ val channel : t -> Channel.profile
 
 val pipeline_jobs : t -> int
 (** Intra-run pipeline parallelism (1 = serial oracle path). *)
+
+val election_of : t -> Jury_controller.Cluster.election_config option
+(** Election tuning, [None] when leadership is static. *)

@@ -14,6 +14,7 @@ type t = {
   taint : Types.Taint.t;
   snapshot : Snapshot.t;
   sent_at : Jury_sim.Time.t;
+  term : int;
   body : body;
 }
 
@@ -27,5 +28,6 @@ let body_name = function
   | Write_failure _ -> "write-failure"
 
 let pp fmt t =
-  Format.fprintf fmt "rho(id=%d tau=%a %s %a)" t.controller Types.Taint.pp
+  Format.fprintf fmt "rho(id=%d tau=%a %s %a%s)" t.controller Types.Taint.pp
     t.taint (body_name t.body) Snapshot.pp t.snapshot
+    (if t.term > 0 then Printf.sprintf " term=%d" t.term else "")

@@ -28,6 +28,9 @@ type t = {
   taint : Types.Taint.t;      (** τ *)
   snapshot : Snapshot.t;      (** reporter's state when it responded *)
   sent_at : Jury_sim.Time.t;
+  term : int;
+      (** leadership term at send time ([0] when election is disabled
+          — see {!Jury_controller.Cluster.current_term}) *)
   body : body;
 }
 

@@ -44,6 +44,7 @@ type config = {
   nondet_rule : bool;
   policies : Jury_policy.Engine.t;
   master_lookup : Dpid.t -> int option;
+  term_lookup : unit -> int;
   ack_peers_of : int -> int list;
   retransmit : retransmit option;
   degraded_quorum : int option;
@@ -57,6 +58,7 @@ type pending = {
   epoch : int;  (* registration epoch, for bulk retirement *)
   mutable trigger_at : Time.t;
   mutable primary : int option;
+  mutable term : int;  (* leadership term; bumped when re-attributed *)
   mutable secondaries : int list;
   mutable responses : Response.t list;  (* newest first *)
   mutable timer : Engine.handle option;
@@ -86,6 +88,7 @@ type shard = {
   mutable s_late : int;
   mutable s_retransmits : int;
   mutable s_retry_armed : int;
+  mutable s_reattributed : int;
   mutable s_stragglers : int;
   mutable s_batches : int;
   mutable s_batch_responses : int;
@@ -145,6 +148,7 @@ let make_shard index =
     s_late = 0;
     s_retransmits = 0;
     s_retry_armed = 0;
+    s_reattributed = 0;
     s_stragglers = 0;
     s_batches = 0;
     s_batch_responses = 0 }
@@ -704,6 +708,7 @@ let finish t p (verdict : Alarm.verdict) ~suspects ~detail =
       decided_at = Engine.now t.engine;
       primary = p.primary;
       suspects = List.sort_uniq compare suspects;
+      term = p.term;
       verdict;
       detail }
   in
@@ -724,6 +729,9 @@ let finish t p (verdict : Alarm.verdict) ~suspects ~detail =
          ("stragglers",
           String.concat "," (List.map string_of_int stragglers))
          :: attrs
+     in
+     let attrs =
+       if p.term > 0 then ("term", string_of_int p.term) :: attrs else attrs
      in
      Jury_obs.Trace.point tr ~t_ns ~taint ~phase:Jury_obs.Trace.Verdict
        ?node:p.primary
@@ -1085,6 +1093,7 @@ let get_pending t taint =
             epoch;
             trigger_at = Engine.now t.engine;
             primary = None;
+            term = t.cfg.term_lookup ();
             secondaries = [];
             responses = [];
             timer = None;
@@ -1110,6 +1119,7 @@ let register_external t ~taint ~at ~primary ~secondaries =
         epoch;
         trigger_at = at;
         primary = Some primary;
+        term = t.cfg.term_lookup ();
         secondaries;
         responses = [];
         timer = None;
@@ -1124,6 +1134,32 @@ let register_external t ~taint ~at ~primary ~secondaries =
         arm_retry t p rt
     | _ -> ()
   end
+
+(* Mid-flight leadership change: the trigger's primary crashed and a
+   new master will re-execute it under a later term. Instead of letting
+   the pending record time out and blame the old primary, move the
+   attribution to the new primary, stamp the new term, and restart the
+   validation clock — the replicator re-drives the trigger, so fresh
+   responses are on their way. *)
+let reattribute t ~taint ~primary ~term =
+  let key = Types.Taint.to_string taint in
+  let shard = shard_of t key in
+  match Hashtbl.find_opt t.shards.(shard).pending key with
+  | Some p when not p.decided ->
+      p.primary <- Some primary;
+      p.term <- term;
+      (match p.timer with Some h -> Engine.cancel h | None -> ());
+      p.timer <- None;
+      arm_timer t p;
+      t.shards.(shard).s_reattributed <-
+        t.shards.(shard).s_reattributed + 1;
+      (let tr = Engine.trace t.engine in
+       if Jury_obs.Trace.enabled tr then
+         Jury_obs.Trace.point tr ~t_ns:(Engine.now_ns t.engine) ~taint:key
+           ~phase:Jury_obs.Trace.Validate ~node:primary
+           [ ("event", "reattributed"); ("term", string_of_int term) ]);
+      true
+  | _ -> false
 
 let update_flow_mirror t (r : Response.t) =
   match r.body with
@@ -1251,6 +1287,7 @@ let overload_count t = sum t (fun sh -> sh.s_overloads)
 let duplicate_count t = sum t (fun sh -> sh.s_duplicates)
 let late_count t = sum t (fun sh -> sh.s_late)
 let retransmit_count t = sum t (fun sh -> sh.s_retransmits)
+let reattributed_count t = sum t (fun sh -> sh.s_reattributed)
 let straggler_count t = sum t (fun sh -> sh.s_stragglers)
 let batch_count t = sum t (fun sh -> sh.s_batches)
 let batched_response_count t = sum t (fun sh -> sh.s_batch_responses)
@@ -1332,6 +1369,7 @@ let absorb_pipeline_shard t ~shard src =
   dst.s_late <- dst.s_late + s.s_late;
   dst.s_retransmits <- dst.s_retransmits + s.s_retransmits;
   dst.s_retry_armed <- dst.s_retry_armed + s.s_retry_armed;
+  dst.s_reattributed <- dst.s_reattributed + s.s_reattributed;
   dst.s_stragglers <- dst.s_stragglers + s.s_stragglers;
   dst.s_batches <- dst.s_batches + s.s_batches;
   dst.s_batch_responses <- dst.s_batch_responses + s.s_batch_responses;

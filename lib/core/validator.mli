@@ -44,6 +44,10 @@ type config = {
   policies : Jury_policy.Engine.t;
   master_lookup : Jury_openflow.Of_types.Dpid.t -> int option;
       (** for the policy engine's local/remote destination attribute *)
+  term_lookup : unit -> int;
+      (** current leadership term, stamped into each pending trigger at
+          registration (and onto its alarm); [fun () -> 0] when
+          election is disabled *)
   ack_peers_of : int -> int list;
       (** the static peers whose cache-event acks the validator expects
           for writes originating at a given node *)
@@ -85,6 +89,16 @@ val register_external :
 (** The replicator announces an intercepted external trigger: which
     replica is primary and which secondaries received the replica. The
     validation timer starts here. *)
+
+val reattribute :
+  t -> taint:Types.Taint.t -> primary:int -> term:int -> bool
+(** Mid-flight leadership change: the in-flight trigger's primary died
+    and the replicator is re-driving the trigger at the new master.
+    Moves the attribution to [primary], stamps [term] (carried onto
+    the eventual alarm), and restarts the validation timer so the
+    trigger is judged on the new master's responses instead of timing
+    out against the dead one. Returns [false] (and does nothing) when
+    the trigger is unknown or already decided. *)
 
 val deliver : t -> Response.t -> unit
 (** A response arrives on the out-of-band channel. *)
@@ -155,6 +169,10 @@ val late_count : t -> int
 
 val retransmit_count : t -> int
 (** Retransmission requests issued (per secondary, per round). *)
+
+val reattributed_count : t -> int
+(** In-flight triggers whose attribution moved to a new master after a
+    leadership change ({!reattribute}). *)
 
 val straggler_count : t -> int
 (** Secondary slots that never produced an execution response by

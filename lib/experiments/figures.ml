@@ -333,6 +333,61 @@ let fig4i ?pool ?(seed = 51) ?(duration = Time.sec 5)
         ~label:(Printf.sprintf "%.0f messages/sec" rate)
         (Jury.Deployment.decap_samples_us deployment))
 
+(* --- Three-profile comparison: Fig. 4 detection/throughput across
+   controller flavours, including the standalone Ryu-style profile --- *)
+
+type profile_row = {
+  pr_name : string;
+  pr_clustered : bool;
+  pr_rate : float;          (* PacketIns/sec the profile is driven at *)
+  pr_detection : cdf_series;
+  pr_base_fm_rate : float;  (* FLOW_MODs/sec without JURY *)
+  pr_jury_fm_rate : float;  (* FLOW_MODs/sec with JURY, k = 6 *)
+  pr_overhead_pct : float;
+}
+
+(* Each profile is driven at a rate matched to its service model: the
+   clustered ONOS pipeline sustains Fig. 4's 5.5K pps, ODL is measured
+   at its paper rate of 500 pps, and the single-threaded standalone
+   Ryu instance (every switch is mastered by the one leader) at
+   800 pps. *)
+let profile_specs =
+  [ (Profile.onos, 5500.); (Profile.odl, 500.); (Profile.ryu, 800.) ]
+
+let profile_comparison ?pool ?(seed = 60) ?(duration = Time.sec 5) ?names ()
+    =
+  let specs =
+    match names with
+    | None -> profile_specs
+    | Some names ->
+        List.filter
+          (fun ((p : Profile.t), _) -> List.mem p.Profile.name names)
+          profile_specs
+  in
+  par ?pool specs (fun (profile, rate) ->
+      let encapsulation =
+        profile.Profile.decapsulation_cost_median_us > 0.
+      in
+      let detection =
+        detection_run ~seed ~profile ~k:6 ~m:1 ~rate ~duration ~encapsulation
+      in
+      let base =
+        throughput_point ~seed ~profile ~nodes:7 ~jury:None ~rate ~duration
+      in
+      let jury =
+        throughput_point ~seed ~profile ~nodes:7
+          ~jury:(Some (Jury.Jury_config.make ~k:6 ~encapsulation ()))
+          ~rate ~duration
+      in
+      { pr_name = profile.Profile.name;
+        pr_clustered = profile.Profile.clustered;
+        pr_rate = rate;
+        pr_detection = cdf_series_of ~label:profile.Profile.name detection;
+        pr_base_fm_rate = base;
+        pr_jury_fm_rate = jury;
+        pr_overhead_pct =
+          (if base > 0. then (base -. jury) /. base *. 100. else 0.) })
+
 (* --- §VII-B2(1): network overheads --- *)
 
 type overhead_row = {

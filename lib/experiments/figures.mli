@@ -102,6 +102,28 @@ val fig4i :
   cdf_series list
 (** ODL decapsulation-cost CDFs (µs) at 100–500 pps, n=7, k=6. *)
 
+type profile_row = {
+  pr_name : string;          (** profile name: onos / odl / ryu *)
+  pr_clustered : bool;       (** false = standalone validation mode *)
+  pr_rate : float;           (** PacketIns/sec the profile is driven at *)
+  pr_detection : cdf_series; (** detection-time CDF, k = 6, m = 1 *)
+  pr_base_fm_rate : float;   (** FLOW_MODs/sec without JURY *)
+  pr_jury_fm_rate : float;   (** FLOW_MODs/sec with JURY, k = 6 *)
+  pr_overhead_pct : float;   (** throughput cost of JURY, percent *)
+}
+
+val profile_comparison :
+  ?pool:Jury_par.Pool.t -> ?seed:int -> ?duration:Jury_sim.Time.t ->
+  ?names:string list -> unit -> profile_row list
+(** Fig. 4-style detection and throughput for all three controller
+    profiles side by side — clustered ONOS at 5.5 K pps, clustered ODL
+    (encapsulated replication) at 500 pps, and the standalone Ryu-style
+    profile at 800 pps, where JURY runs in standalone validation mode:
+    the action stream is replicated across independent instances and
+    consensus is state-blind response voting. One row per profile;
+    [names] restricts the run to the named profiles (the bench uses
+    this to time each profile as its own experiment). *)
+
 type overhead_row = {
   config : string;
   store_mbps : float;      (** inter-controller store replication *)

@@ -87,7 +87,7 @@ let run_point ?(seed = 11) ?(nodes = 5) ?(k = 2) ~profile ~duration ~jobs
                incr responses;
                batch_buf :=
                  { Response.controller = primary; taint; snapshot;
-                   sent_at = Engine.now engine; body }
+                   sent_at = Engine.now engine; term = 0; body }
                  :: !batch_buf
              in
              let respond controller role =
@@ -95,7 +95,7 @@ let run_point ?(seed = 11) ?(nodes = 5) ?(k = 2) ~profile ~duration ~jobs
                  incr responses;
                  batch_buf :=
                    { Response.controller; taint; snapshot;
-                     sent_at = Engine.now engine;
+                     sent_at = Engine.now engine; term = 0;
                      body = Response.Execution { role; actions = [ action key ] } }
                    :: !batch_buf
                end;

@@ -39,6 +39,9 @@ type t = {
   channel : Jury.Channel.profile;
       (* loss model for the replication/response links; every catalog
          scenario is reliable — runners override it for lossy studies *)
+  election : Cluster.election_config option;
+      (* when set, the run enables dynamic master election with this
+         tuning; [None] keeps the seed's static leadership *)
   expected : Jury.Alarm.fault -> bool;
   expected_name : string;
 }
@@ -122,6 +125,7 @@ let onos_database_locking =
         Switch.announce (Network.switch ctx.network dpid));
     settle = Time.sec 2;
     channel = Jury.Channel.reliable;
+    election = None;
     expected = is_fault "response-timeout";
     expected_name = "response-timeout" }
 
@@ -147,6 +151,7 @@ let onos_master_election =
     provoke = (fun ctx -> flap_liveness_link ctx ctx.faulty);
     settle = Time.sec 8;
     channel = Jury.Channel.reliable;
+    election = None;
     expected = is_fault "consensus-mismatch";
     expected_name = "consensus-mismatch" }
 
@@ -173,6 +178,7 @@ let odl_flowmod_drop =
         rest_install ctx ~node:ctx.faulty ~dpid (sample_flow ~out_port:1 ()));
     settle = Time.sec 3;
     channel = Jury.Channel.reliable;
+    election = None;
     expected = is_fault "cache-without-network";
     expected_name = "cache-without-network" }
 
@@ -203,6 +209,7 @@ let odl_incorrect_flowmod =
         rest_install ctx ~node:ctx.faulty ~dpid flow);
     settle = Time.sec 3;
     channel = Jury.Channel.reliable;
+    election = None;
     expected = is_policy_violation "flow-field-hierarchy";
     expected_name = "policy-violation:flow-field-hierarchy" }
 
@@ -227,6 +234,7 @@ let link_failure =
     provoke = (fun ctx -> flap_liveness_link ctx ctx.faulty);
     settle = Time.sec 8;
     channel = Jury.Channel.reliable;
+    election = None;
     expected = is_fault "consensus-mismatch";
     expected_name = "consensus-mismatch" }
 
@@ -253,6 +261,7 @@ let undesirable_flowmod =
         rest_install ctx ~node:ctx.faulty ~dpid (sample_flow ~out_port:2 ()));
     settle = Time.sec 3;
     channel = Jury.Channel.reliable;
+    election = None;
     expected = is_fault "cache-network-mismatch";
     expected_name = "cache-network-mismatch" }
 
@@ -294,6 +303,7 @@ let faulty_proactive =
                        value = Values.Link.value_down } ]));
     settle = Time.sec 3;
     channel = Jury.Channel.reliable;
+    election = None;
     expected = is_policy_violation "no-proactive-topology";
     expected_name = "policy-violation:no-proactive-topology" }
 
@@ -328,6 +338,7 @@ let flow_deletion_failure =
                  (Types.Delete_flow { dpid; fm_match = flow.Of_message.fm_match }))));
     settle = Time.sec 4;
     channel = Jury.Channel.reliable;
+    election = None;
     expected = is_fault "response-timeout";
     expected_name = "response-timeout" }
 
@@ -357,6 +368,7 @@ let link_detection_inconsistent =
         flap_liveness_link ctx ctx.faulty);
     settle = Time.sec 8;
     channel = Jury.Channel.reliable;
+    election = None;
     expected = is_fault "consensus-mismatch";
     expected_name = "consensus-mismatch" }
 
@@ -383,6 +395,7 @@ let flow_instantiation_failure =
           (sample_flow ~priority:350 ~out_port:1 ()));
     settle = Time.sec 3;
     channel = Jury.Channel.reliable;
+    election = None;
     expected = is_fault "cache-without-network";
     expected_name = "cache-without-network" }
 
@@ -424,6 +437,7 @@ let pending_add_stuck =
                  { dpid; payload = Of_message.Flow_mod flow } ]));
     settle = Time.sec 3;
     channel = Jury.Channel.reliable;
+    election = None;
     expected = is_fault "cache-without-network";
     expected_name = "cache-without-network" }
 
@@ -459,13 +473,13 @@ let controller_crash =
           ~src_port:4000 ~dst_port:80 ());
     settle = Time.sec 2;
     channel = Jury.Channel.reliable;
+    election = None;
     expected = is_fault "response-timeout";
     expected_name = "response-timeout" }
 
-(* Traffic through a switch the given replica masters — the standard
-   provocation for omission-class faults. *)
-let send_via_mastered_switch ctx node =
-  let dpid = a_switch_mastered_by ctx node in
+(* Traffic originating behind a given switch — a reactive trigger whose
+   primary is whoever masters that switch when the PACKET_IN fires. *)
+let send_via_dpid ctx dpid =
   let plan = Network.plan ctx.network in
   let local =
     List.find
@@ -477,6 +491,11 @@ let send_via_mastered_switch ctx node =
   let dst = Network.host ctx.network 0 in
   Host.send_tcp src ~dst_mac:(Host.mac dst) ~dst_ip:(Host.ip dst)
     ~src_port:4000 ~dst_port:80 ()
+
+(* Traffic through a switch the given replica masters — the standard
+   provocation for omission-class faults. *)
+let send_via_mastered_switch ctx node =
+  send_via_dpid ctx (a_switch_mastered_by ctx node)
 
 let controller_crash_rejoin =
   { name = "controller-crash-rejoin";
@@ -508,6 +527,7 @@ let controller_crash_rejoin =
                send_via_mastered_switch ctx ctx.faulty)));
     settle = Time.sec 5;
     channel = Jury.Channel.reliable;
+    election = None;
     expected = is_fault "response-timeout";
     expected_name = "response-timeout" }
 
@@ -535,6 +555,7 @@ let byzantine_secondary =
         rest_install ctx ~node:ctx.faulty ~dpid (sample_flow ~out_port:1 ()));
     settle = Time.sec 3;
     channel = Jury.Channel.reliable;
+    election = None;
     expected = is_fault "consensus-mismatch";
     expected_name = "consensus-mismatch" }
 
@@ -606,6 +627,7 @@ let store_partition =
                  ~src_port:4000 ~dst_port:80 ())));
     settle = Time.sec 4;
     channel = Jury.Channel.reliable;
+    election = None;
     expected = is_fault "consensus-mismatch";
     expected_name = "consensus-mismatch" }
 
@@ -655,8 +677,121 @@ let policy_churn =
                        value = Values.Link.value_down } ]));
     settle = Time.sec 3;
     channel = Jury.Channel.reliable;
+    election = None;
     expected = is_policy_violation "no-proactive-topology";
     expected_name = "policy-violation:no-proactive-topology" }
+
+let master_failover =
+  { name = "master-failover";
+    klass = `T1;
+    description =
+      "Mid-run master crash under dynamic leadership: the slow election \
+       (2 × 400 ms beats) is an order of magnitude above θτ, so the \
+       crash-window trigger times out against the dead master first — \
+       that alarm is the detection. Term 2 then fails its switches \
+       over, and a later trigger through the same switch validates \
+       cleanly under the new master.";
+    profile = Profile.onos;
+    policy = None;
+    state_aware = true;
+    needs_lenient_switches = false;
+    arm_before_start = false;
+    arm = (fun ctx -> Injector.crash ctx.cluster ~node:ctx.faulty);
+    provoke =
+      (fun ctx ->
+        let dpid = a_switch_mastered_by ctx ctx.faulty in
+        send_via_dpid ctx dpid;
+        (* Well after the election: the same switch now answers through
+           its new master, stamped with term 2. *)
+        ignore
+          (Engine.schedule (Cluster.engine ctx.cluster) ~after:(Time.sec 2)
+             (fun () -> send_via_dpid ctx dpid)));
+    settle = Time.sec 4;
+    channel = Jury.Channel.reliable;
+    election = Some { Cluster.period = Time.ms 400; timeout_beats = 2 };
+    expected = is_fault "response-timeout";
+    expected_name = "response-timeout" }
+
+let election_storm =
+  { name = "election-storm";
+    klass = `T1;
+    description =
+      "Leadership churn must not mask a real fault: a healthy replica \
+       crashes (the fast election beats θτ, so its in-flight trigger is \
+       re-attributed to the new master and validates there at term 2), \
+       rejoins as a secondary, and crashes again (term 3) — while a \
+       Byzantine replica keeps answering promptly with corrupted \
+       content. State-aware consensus still convicts the Byzantine one \
+       mid-storm.";
+    profile = Profile.onos;
+    policy = None;
+    state_aware = true;
+    needs_lenient_switches = false;
+    arm_before_start = false;
+    arm = (fun ctx -> Injector.make_byzantine ctx.cluster ~node:ctx.faulty);
+    provoke =
+      (fun ctx ->
+        let engine = Cluster.engine ctx.cluster in
+        let storm = (ctx.faulty + 1) mod Cluster.nodes ctx.cluster in
+        (* Crash the storm node with a trigger of its own in flight: the
+           2 × 30 ms election declares it dead before the 150 ms θτ
+           expires, so the trigger is re-driven at the new master
+           instead of timing out. *)
+        Injector.crash ctx.cluster ~node:storm;
+        send_via_mastered_switch ctx storm;
+        ignore
+          (Engine.schedule engine ~after:(Time.sec 1) (fun () ->
+               Injector.rejoin ctx.deployment ~node:storm));
+        ignore
+          (Engine.schedule engine ~after:(Time.sec 2) (fun () ->
+               Injector.crash ctx.cluster ~node:storm));
+        ignore
+          (Engine.schedule engine ~after:(Time.sec 3) (fun () ->
+               let dpid = a_switch_mastered_by ctx ctx.faulty in
+               rest_install ctx ~node:ctx.faulty ~dpid
+                 (sample_flow ~out_port:1 ()))));
+    settle = Time.sec 5;
+    channel = Jury.Channel.reliable;
+    election = Some { Cluster.period = Time.ms 30; timeout_beats = 2 };
+    expected = is_fault "consensus-mismatch";
+    expected_name = "consensus-mismatch" }
+
+let ryu_standalone_hang =
+  { name = "ryu-standalone-hang";
+    klass = `T1;
+    description =
+      "Standalone (Ryu-style) instances share no store, so JURY \
+       validates by replicating the trigger stream across independent \
+       instances and voting on the response stream alone (state-blind \
+       consensus is forced by the profile). A hung instance — REST \
+       accepted, nothing executed, nothing answered — is caught as a \
+       response timeout attributed to it.";
+    profile = Profile.ryu;
+    policy = None;
+    state_aware = true; (* install forces state-blind: no shared store *)
+    needs_lenient_switches = false;
+    arm_before_start = false;
+    arm =
+      (fun ctx ->
+        let ctrl = Cluster.controller ctx.cluster ctx.faulty in
+        Controller.set_mutator ctrl (Some (fun _ _ -> []));
+        Controller.set_omit_probability ctrl 1.0);
+    provoke =
+      (fun ctx ->
+        (* Every switch is mastered by the standalone leader; the REST
+           call targets the hung instance directly, making it the
+           primary the omission is attributed to. *)
+        let dpid =
+          match Network.switches ctx.network with
+          | s :: _ -> Switch.dpid s
+          | [] -> failwith "scenario: no switch"
+        in
+        rest_install ctx ~node:ctx.faulty ~dpid (sample_flow ~out_port:1 ()));
+    settle = Time.sec 3;
+    channel = Jury.Channel.reliable;
+    election = None;
+    expected = is_fault "response-timeout";
+    expected_name = "response-timeout" }
 
 let all =
   [ onos_database_locking;
@@ -674,7 +809,10 @@ let all =
     controller_crash_rejoin;
     byzantine_secondary;
     store_partition;
-    policy_churn ]
+    policy_churn;
+    master_failover;
+    election_storm;
+    ryu_standalone_hang ]
 
 let find name = List.find_opt (fun s -> s.name = name) all
 let names = List.map (fun s -> s.name) all
@@ -692,14 +830,18 @@ let jury_config (t : t) ?(k = 6) ?(random_secondaries = true) ?channel
         | Ok e -> e
         | Error msg -> failwith ("scenario policy: " ^ msg))
   in
-  (* ONOS replicates raw stores; the other profiles wrap updates in an
-     encapsulation layer JURY must strip (§IV-B). *)
-  let encapsulation = t.profile.Profile.name <> "onos" in
+  (* ONOS replicates raw stores and standalone Ryu has nothing to wrap;
+     the ODL-style profiles wrap updates in an encapsulation layer JURY
+     must strip (§IV-B) — keyed on the profile's decapsulation cost. *)
+  let encapsulation = t.profile.Profile.decapsulation_cost_median_us > 0. in
   let channel = match channel with Some c -> c | None -> t.channel in
-  (* A scenario that ships policy rules cannot pipeline (T3 checks are
-     excluded from the staged path); keep such runs serial instead of
-     rejecting a whole matrix sweep over the flag. *)
-  let pipeline_jobs = if t.policy = None then pipeline_jobs else None in
+  (* A scenario that ships policy rules or runs an election cannot
+     pipeline (T3 checks and live term lookups are excluded from the
+     staged path); keep such runs serial instead of rejecting a whole
+     matrix sweep over the flag. *)
+  let pipeline_jobs =
+    if t.policy = None && t.election = None then pipeline_jobs else None
+  in
   Jury.Jury_config.make ~k ~random_secondaries ~policies ~encapsulation
     ~state_aware:t.state_aware ~channel ?retransmit ?degraded_quorum ?shards
-    ?max_inflight ?batch ?pipeline_jobs ()
+    ?max_inflight ?batch ?pipeline_jobs ?election:t.election ()

@@ -39,6 +39,11 @@ type t = {
   channel : Jury.Channel.profile;
       (** loss model for the replication and response-collection links;
           [Jury.Channel.reliable] for every catalog scenario *)
+  election : Cluster.election_config option;
+      (** when set, the deployment enables dynamic master election and
+          failover re-attribution with this tuning (the [election]
+          field of {!Jury.Deployment.config}); [None] — every
+          pre-leadership catalog scenario — keeps static mastership *)
   expected : Jury.Alarm.fault -> bool;
   expected_name : string;
 }
@@ -81,6 +86,23 @@ val policy_churn : t
     a violation arriving after the churn is caught by the recompiled
     rule set. *)
 
+val master_failover : t
+(** Master crash under dynamic leadership: the crash-window trigger
+    times out (the detection) before the deliberately slow election
+    declares the master dead; the cluster then fails over to term 2
+    and later triggers validate under the new master. *)
+
+val election_storm : t
+(** Two leadership changes in one run (crash → re-attributed in-flight
+    trigger → rejoin → crash) with a Byzantine replica active
+    throughout — churn must not mask the consensus-mismatch
+    conviction. *)
+
+val ryu_standalone_hang : t
+(** Standalone-mode validation: independent Ryu-style instances, no
+    shared store, state-blind response voting; a hung instance is
+    caught as a response timeout. *)
+
 val jury_config :
   t ->
   ?k:int -> ?random_secondaries:bool ->
@@ -94,6 +116,7 @@ val jury_config :
     compiled, encapsulation chosen from the controller profile, and the
     scenario's channel loss model (overridable with [?channel]).
     Defaults to the paper's worst case, k = 6. The remaining knobs pass
-    straight through to {!Jury.Jury_config.make}, except that
-    [pipeline_jobs] is dropped (serial path) for scenarios carrying a
-    policy rule set, which the staged pipeline excludes. *)
+    straight through to {!Jury.Jury_config.make} (along with the
+    scenario's [election] tuning), except that [pipeline_jobs] is
+    dropped (serial path) for scenarios carrying a policy rule set or
+    an election, both of which the staged pipeline excludes. *)

@@ -34,6 +34,7 @@ type node_state = {
 type t = {
   engine : Engine.t;
   consistency : consistency;
+  standalone : bool;
   profile : latency_profile;
   node_states : node_state array;
   seqs : int array;
@@ -51,7 +52,7 @@ type t = {
 
 type listener = local:bool -> Event.t -> unit
 
-let create engine ~consistency ~nodes ?profile () =
+let create engine ~consistency ~nodes ?(standalone = false) ?profile () =
   if nodes <= 0 then invalid_arg "Fabric.create: need >= 1 node";
   let profile =
     match profile with
@@ -63,6 +64,7 @@ let create engine ~consistency ~nodes ?profile () =
   in
   { engine;
     consistency;
+    standalone;
     profile;
     node_states =
       Array.init nodes (fun _ ->
@@ -79,6 +81,7 @@ let create engine ~consistency ~nodes ?profile () =
 
 let nodes t = Array.length t.node_states
 let consistency t = t.consistency
+let standalone t = t.standalone
 
 let check_node t node =
   if node < 0 || node >= nodes t then invalid_arg "Fabric: bad node id"
@@ -116,6 +119,8 @@ let apply_event t node (ev : Event.t) ~local =
   List.iter (fun listener -> listener ~local ev) st.listeners
 
 let replicate t ~origin (ev : Event.t) =
+  if t.standalone then ()
+  else
   let n = nodes t in
   for peer = 0 to n - 1 do
     if peer <> origin && not t.node_states.(peer).partitioned then begin

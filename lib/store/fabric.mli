@@ -38,10 +38,20 @@ type listener = local:bool -> Event.t -> unit
 
 val create :
   Jury_sim.Engine.t -> consistency:consistency -> nodes:int ->
-  ?profile:latency_profile -> unit -> t
+  ?standalone:bool -> ?profile:latency_profile -> unit -> t
+(** [standalone] (default [false]) models instances with {e no}
+    data-distribution platform at all (Ryu-style standalone
+    controllers): writes apply locally and are never replicated to
+    peers — each node's tables evolve independently. All other
+    machinery (locking, listeners, partition flags, resync) still
+    works per node. *)
 
 val nodes : t -> int
 val consistency : t -> consistency
+
+val standalone : t -> bool
+(** Whether this fabric was created with [~standalone:true] (writes
+    never replicate). *)
 
 val write :
   t -> node:int -> ?taint:string -> cache:string -> Event.op -> key:string ->

@@ -63,7 +63,8 @@ let seed_record () =
     shards = 1;
     max_inflight = None;
     batch_window = None;
-    pipeline_jobs = 1 }
+    pipeline_jobs = 1;
+    election = None }
 
 let test_facade_defaults_match_literal_record () =
   let facade =
@@ -159,6 +160,7 @@ let responses n =
             taint;
             snapshot = Snapshot.pristine;
             sent_at = Time.zero;
+            term = 0;
             body =
               Response.Execution
                 { role = (if controller = 0 then `Primary else `Secondary);

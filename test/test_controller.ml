@@ -431,6 +431,90 @@ let test_failover () =
     (Switch.flow_mod_count (List.hd orphans) > fm_before);
   check_bool "traffic delivered" true (Host.received_count other > 0)
 
+(* --- Standalone profile and dynamic election --- *)
+
+let test_standalone_mastership () =
+  (* A standalone (Ryu-style) profile has no clustered store: the one
+     leader masters every switch, and failover moves everything to the
+     lowest survivor instead of round-robining. *)
+  let engine, network, cluster =
+    mk_cluster ~profile:Profile.ryu ~nodes:3 ~switches:5 ()
+  in
+  check_bool "fabric is standalone" true
+    (Fabric.standalone (Cluster.fabric cluster));
+  List.iter
+    (fun sw ->
+      check_int "leader masters every switch" 0
+        (Cluster.master_of cluster (Switch.dpid sw)))
+    (Network.switches network);
+  Jury_faults.Injector.crash cluster ~node:0;
+  Cluster.fail_over cluster ~node:0;
+  settle engine;
+  List.iter
+    (fun sw ->
+      check_int "lowest survivor takes everything" 1
+        (Cluster.master_of cluster (Switch.dpid sw)))
+    (Network.switches network)
+
+let election_trace ~crash_first ~crash_second () =
+  (* One full election run: enable the protocol, crash the leader, then
+     a second node; return the recorded leadership changes. *)
+  let engine, _network, cluster = mk_cluster ~nodes:3 ~switches:6 () in
+  Cluster.enable_election cluster
+    { Cluster.period = Time.ms 50; timeout_beats = 2 };
+  let events = ref [] in
+  Cluster.on_leadership_change cluster (fun ~term ~failed ~leader ->
+      events := (term, failed, leader) :: !events);
+  ignore
+    (Engine.schedule engine ~after:(Time.ms 200) (fun () ->
+         Jury_faults.Injector.crash cluster ~node:crash_first));
+  ignore
+    (Engine.schedule engine ~after:(Time.ms 600) (fun () ->
+         Jury_faults.Injector.crash cluster ~node:crash_second));
+  Engine.run engine ~until:(Time.add (Engine.now engine) (Time.sec 1));
+  (List.rev !events, Cluster.current_term cluster, Cluster.leader cluster)
+
+let test_election_deterministic () =
+  (* Same seed, same crash schedule: the term sequence is a pure
+     function of the run (the failure detector reads fault levers, not
+     RNG), and the leader is always the lowest healthy id. *)
+  let run () = election_trace ~crash_first:0 ~crash_second:1 () in
+  let events, term, leader = run () in
+  Alcotest.(check (list (triple int int int)))
+    "term sequence" [ (2, 0, 1); (3, 1, 2) ] events;
+  check_int "final term" 3 term;
+  check_int "final leader" 2 leader;
+  let events', term', leader' = run () in
+  Alcotest.(check (list (triple int int int)))
+    "same seed, same terms" events events';
+  check_int "same final term" term term';
+  check_int "same final leader" leader leader'
+
+let test_election_rejoin_fresh_term () =
+  (* A rejoined node is forgiven by the failure detector; crashing it
+     again starts a fresh term rather than being swallowed. *)
+  let engine, _network, cluster = mk_cluster ~nodes:3 ~switches:6 () in
+  Cluster.enable_election cluster
+    { Cluster.period = Time.ms 50; timeout_beats = 2 };
+  let terms = ref [] in
+  Cluster.on_leadership_change cluster (fun ~term ~failed:_ ~leader:_ ->
+      terms := term :: !terms);
+  let crash_at ms node =
+    ignore
+      (Engine.schedule engine ~after:(Time.ms ms) (fun () ->
+           Jury_faults.Injector.crash cluster ~node))
+  in
+  crash_at 200 1;
+  ignore
+    (Engine.schedule engine ~after:(Time.ms 600) (fun () ->
+         Jury_faults.Injector.heal cluster ~node:1;
+         Cluster.rejoin cluster ~node:1));
+  crash_at 900 1;
+  Engine.run engine ~until:(Time.add (Engine.now engine) (Time.ms 1500));
+  Alcotest.(check (list int)) "two distinct terms" [ 2; 3 ]
+    (List.rev !terms);
+  check_int "leader stays 0" 0 (Cluster.leader cluster)
+
 let suite =
   [ ("values: host", `Quick, test_values_host);
     ("values: link", `Quick, test_values_link);
@@ -454,4 +538,9 @@ let suite =
     ("flow_removed cleans store", `Quick, test_flow_removed_cleans_store);
     ("proactive dst rules (vanilla ODL)", `Quick, test_proactive_dst_rules);
     ("mastership failover", `Quick, test_failover);
+    ("standalone mastership (ryu)", `Quick, test_standalone_mastership);
+    ("election deterministic across runs", `Quick,
+     test_election_deterministic);
+    ("election rejoin starts fresh term", `Quick,
+     test_election_rejoin_fresh_term);
     ("northbound flow query", `Quick, test_query_flows) ]

@@ -22,7 +22,7 @@ let scenario_case (s : Scenarios.t) =
   )
 
 let test_catalog_complete () =
-  check_int "sixteen scenarios" 16 (List.length Scenarios.all);
+  check_int "nineteen scenarios" 19 (List.length Scenarios.all);
   List.iter
     (fun name ->
       check_bool ("find " ^ name) true (Scenarios.find name <> None))

@@ -98,7 +98,7 @@ let mk_validator ?(k = 2) ?policies ?(timeout = Time.ms 100) ?retransmit
 
 let deliver v ~controller ~snapshot body =
   Validator.deliver v
-    { Response.controller; taint; snapshot; sent_at = Time.zero; body }
+    { Response.controller; taint; snapshot; sent_at = Time.zero; term = 0; body }
 
 let cache_event_of_action ~origin = function
   | Types.Cache_write { cache; op; key; value } ->
@@ -325,6 +325,7 @@ let test_validator_network_without_cache () =
       taint = Types.Taint.internal_trigger ~origin:0 ~seq:1_000_001;
       snapshot = Snapshot.pristine;
       sent_at = Time.zero;
+      term = 0;
       body = Response.Network_write { dpid; flow = fmv } };
   Engine.run engine;
   match Validator.alarms v with
@@ -416,10 +417,12 @@ let test_validator_internal_trigger () =
   Validator.deliver v
     { Response.controller = 3; taint = internal; snapshot = Snapshot.pristine;
       sent_at = Time.zero;
+      term = 0;
       body = Response.Execution { role = `Primary; actions } };
   Validator.deliver v
     { Response.controller = 3; taint = internal; snapshot = Snapshot.pristine;
       sent_at = Time.zero;
+      term = 0;
       body =
         Response.Cache_update
           { Event.cache = Names.linksdb; op = Event.Delete; key = "l";
@@ -463,6 +466,7 @@ let test_adaptive_timeout_shrinks () =
                taint;
                snapshot = Snapshot.pristine;
                sent_at = Engine.now engine;
+               term = 0;
                body = Response.Execution { role = `Primary; actions = [] } }));
     Engine.run engine
   done;
@@ -661,6 +665,7 @@ let test_audit_log () =
         decided_at = Time.ms i;
         primary = Some 0;
         suspects = [];
+        term = 0;
         verdict = Alarm.Ok_valid;
         detail = "" }
   done;
@@ -719,6 +724,132 @@ let test_deployment_benign_and_faulty () =
        (fun (a : Alarm.t) -> List.mem faulty a.Alarm.suspects)
        (Validator.alarms v))
 
+(* --- Standalone (Ryu-style) validation and failover re-attribution --- *)
+
+let test_standalone_conservation () =
+  (* A fault-free run on the standalone profile: every replicated
+     trigger still gets exactly one verdict (state-blind voting changes
+     what the consensus compares, never how many triggers decide). *)
+  let engine = Engine.create ~seed:21 () in
+  let plan = Jury_topo.Builder.linear ~switches:6 ~hosts_per_switch:1 in
+  let network = Jury_net.Network.create engine plan () in
+  let cluster =
+    Jury_controller.Cluster.create engine
+      ~profile:Jury_controller.Profile.ryu ~nodes:5 ~network ()
+  in
+  let dep = Jury.Jury_config.install cluster (Jury.Jury_config.make ~k:2 ()) in
+  let v = Jury.Deployment.validator dep in
+  Jury_controller.Cluster.converge cluster;
+  List.iter Jury_net.Host.join (Jury_net.Network.hosts network);
+  Engine.run engine ~until:(Time.add (Engine.now engine) (Time.sec 2));
+  let h0 = Jury_net.Network.host network 0 in
+  let h5 = Jury_net.Network.host network 5 in
+  Jury_net.Host.send_tcp h0 ~dst_mac:(Jury_net.Host.mac h5)
+    ~dst_ip:(Jury_net.Host.ip h5) ~src_port:1000 ~dst_port:80 ();
+  Engine.run engine ~until:(Time.add (Engine.now engine) (Time.sec 2));
+  Validator.flush v;
+  check_bool "triggers replicated" true
+    (Jury.Deployment.replicated_trigger_count dep > 0);
+  (* Internal (LLDP-probe) triggers are validated too, so decided can
+     exceed the replicated external count — but never undershoot it,
+     and nothing may be left undecided. *)
+  check_bool "every replicated trigger decided" true
+    (Validator.decided_count v
+    >= Jury.Deployment.replicated_trigger_count dep);
+  check_int "nothing pending" 0 (Validator.pending_count v);
+  (* The leader masters every switch in standalone mode, so it is the
+     primary on every southbound trigger. *)
+  List.iter
+    (fun (a : Alarm.t) ->
+      match a.Alarm.primary with
+      | Some p -> check_int "leader is primary" 0 p
+      | None -> ())
+    (Validator.alarms v)
+
+let test_validator_reattribute () =
+  (* Mid-flight leadership change: the trigger is re-judged against the
+     new primary's responses (stamped with the new term) instead of
+     timing out against the dead one. *)
+  let engine, v = mk_validator () in
+  let dpid = Dpid.of_int 1 in
+  let actions = response_actions dpid in
+  let snap = Snapshot.pristine in
+  Validator.register_external v ~taint ~at:Time.zero ~primary:0
+    ~secondaries:[ 1; 2 ];
+  check_bool "unknown taint is refused" false
+    (Validator.reattribute v
+       ~taint:(Types.Taint.external_trigger ~primary:3 ~serial:99)
+       ~primary:1 ~term:2);
+  check_bool "reattributed" true
+    (Validator.reattribute v ~taint ~primary:1 ~term:2);
+  check_int "counted" 1 (Validator.reattributed_count v);
+  (* Node 1 answered as secondary before the failover, then again as
+     the new primary; both must count (dedup is per role). *)
+  deliver v ~controller:1 ~snapshot:snap
+    (Response.Execution { role = `Secondary; actions });
+  deliver v ~controller:2 ~snapshot:snap
+    (Response.Execution { role = `Secondary; actions });
+  deliver v ~controller:1 ~snapshot:snap
+    (Response.Execution { role = `Primary; actions });
+  let cache_ev = cache_event_of_action ~origin:1 (List.hd actions) in
+  deliver v ~controller:1 ~snapshot:snap (Response.Cache_update cache_ev);
+  deliver v ~controller:2 ~snapshot:snap (Response.Cache_update cache_ev);
+  deliver v ~controller:3 ~snapshot:snap (Response.Cache_update cache_ev);
+  let _, fmv = flow_for dpid in
+  deliver v ~controller:1 ~snapshot:snap
+    (Response.Network_write { dpid; flow = fmv });
+  Engine.run engine;
+  check_int "decided" 1 (Validator.decided_count v);
+  check_int "no faults" 0 (Validator.fault_count v);
+  match Validator.verdicts v with
+  | [ a ] ->
+      check_bool "valid on the new primary" true
+        (a.Alarm.verdict = Alarm.Ok_valid);
+      (match a.Alarm.primary with
+      | Some p -> check_int "new primary attributed" 1 p
+      | None -> Alcotest.fail "no primary on alarm");
+      check_int "term stamped" 2 a.Alarm.term
+  | _ -> Alcotest.fail "one verdict"
+
+(* Zero-churn byte-identity: with election never enabled, a clustered
+   run's forensic report is byte-identical to the seed's. The digests
+   below were recorded when the leadership machinery landed; any later
+   change that silently perturbs churn-free ONOS/ODL runs shows up as
+   a digest mismatch here (print the report and re-pin only if the
+   change is intentional). *)
+let zero_churn_report profile =
+  let engine = Engine.create ~seed:21 () in
+  let plan = Jury_topo.Builder.linear ~switches:6 ~hosts_per_switch:1 in
+  let network = Jury_net.Network.create engine plan () in
+  let cluster =
+    Jury_controller.Cluster.create engine ~profile ~nodes:5 ~network ()
+  in
+  let dep = Jury.Jury_config.install cluster (Jury.Jury_config.make ~k:2 ()) in
+  let v = Jury.Deployment.validator dep in
+  Jury_controller.Cluster.converge cluster;
+  List.iter Jury_net.Host.join (Jury_net.Network.hosts network);
+  Engine.run engine ~until:(Time.add (Engine.now engine) (Time.sec 2));
+  let h0 = Jury_net.Network.host network 0 in
+  let h5 = Jury_net.Network.host network 5 in
+  Jury_net.Host.send_tcp h0 ~dst_mac:(Jury_net.Host.mac h5)
+    ~dst_ip:(Jury_net.Host.ip h5) ~src_port:1000 ~dst_port:80 ();
+  Engine.run engine ~until:(Time.add (Engine.now engine) (Time.sec 2));
+  Validator.flush v;
+  ignore (Jury.Deployment.channel_totals dep);
+  Digest.to_hex (Digest.string (Jury.Report.to_string (Jury.Report.of_validator v)))
+
+let test_zero_churn_byte_identity () =
+  let check_digest name profile expected =
+    let got = zero_churn_report profile in
+    if got <> expected then
+      Alcotest.failf "%s zero-churn report digest drifted: %s (pinned %s)"
+        name got expected
+  in
+  check_digest "onos" Jury_controller.Profile.onos
+    "06e1c88ee52ca46462758abf0d48bca8";
+  check_digest "odl" Jury_controller.Profile.odl
+    "4c9687a61612814d68a5b5f4a2a35589"
+
 (* Fuzz: arbitrary response multisets never crash the validator, every
    registered trigger is eventually decided exactly once, and verdicts
    are deterministic in the input. *)
@@ -761,7 +892,7 @@ let prop_validator_total =
           in
           Validator.deliver v
             { Response.controller = ctrl; taint;
-              snapshot = Snapshot.pristine; sent_at = Time.zero; body })
+              snapshot = Snapshot.pristine; sent_at = Time.zero; term = 0; body })
         deliveries;
       Engine.run engine;
       Validator.decided_count v = Array.length taints
@@ -792,6 +923,10 @@ let suite =
      test_duplicate_response_not_double_counted);
     ("retransmit backoff and cap", `Quick, test_retransmit_backoff_and_cap);
     ("channel counters reconcile", `Quick, test_channel_counters_reconcile);
+    ("standalone verdict conservation", `Quick, test_standalone_conservation);
+    ("validator failover re-attribution", `Quick, test_validator_reattribute);
+    ("zero-churn byte identity (onos/odl)", `Quick,
+     test_zero_churn_byte_identity);
     ("alarm report", `Quick, test_report);
     ("audit log", `Quick, test_audit_log);
     ("deployment benign + faulty", `Slow, test_deployment_benign_and_faulty);
